@@ -1,0 +1,345 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// figure of the paper's evaluation section (§IV, Figures 8a–14b). Each
+// benchmark regenerates its figure's series on a compact world and reports
+// the figure's data through -v output; run the full-size sweeps with
+// cmd/experiments.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/hist"
+	"repro/internal/mapmatch"
+	"repro/internal/sim"
+	"repro/internal/traj"
+)
+
+var (
+	benchWorldOnce sync.Once
+	benchWorld     *eval.World
+)
+
+// world returns a shared, lazily built benchmark substrate.
+func world(b *testing.B) *eval.World {
+	b.Helper()
+	benchWorldOnce.Do(func() {
+		cfg := eval.QuickConfig()
+		cfg.Queries = 3
+		benchWorld = eval.NewWorld(cfg)
+	})
+	return benchWorld
+}
+
+func BenchmarkFig8aSamplingRate(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Figure8a([]float64{3, 9, 15})
+	}
+}
+
+func BenchmarkFig8bQueryLength(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Figure8b([]float64{4, 6, 8})
+	}
+}
+
+func BenchmarkFig9aPhiAccuracy(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Figure9([]float64{200, 500, 800}, []float64{3})
+	}
+}
+
+func BenchmarkFig9bPhiTime(b *testing.B) {
+	// The φ cost driver in isolation: one reference search per iteration
+	// at increasing radius.
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 99)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	q := qs[0].Query
+	for _, phi := range []float64{200, 500, 800} {
+		b.Run("phi="+itoa(int(phi)), func(b *testing.B) {
+			sp := hist.SearchParams{Phi: phi, SpliceEps: 200, SpliceMinSimple: 8}
+			for i := 0; i < b.N; i++ {
+				for j := 1; j < q.Len(); j++ {
+					w.Archive.References(q.Points[j-1], q.Points[j], sp)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig10aDensityAccuracy(b *testing.B) {
+	cfg := eval.QuickConfig()
+	cfg.Queries = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Figure10(cfg, []int{150, 500})
+	}
+}
+
+func BenchmarkFig10bDensityTime(b *testing.B) {
+	// TGI vs NNI per-query cost on the same (dense) world.
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 101)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	for _, m := range []core.Method{core.MethodTGI, core.MethodNNI} {
+		b.Run(m.String(), func(b *testing.B) {
+			saved := w.Sys.Params.Method
+			w.Sys.Params.Method = m
+			defer func() { w.Sys.Params.Method = saved }()
+			for i := 0; i < b.N; i++ {
+				_, _ = w.Sys.InferRoutes(qs[0].Query)
+			}
+		})
+	}
+}
+
+func BenchmarkFig11aLambdaAccuracy(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Figure11([]int{2, 4, 6}, []float64{3})
+	}
+}
+
+func BenchmarkFig11bGraphReduction(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 103)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	for _, red := range []bool{true, false} {
+		name := "reduction"
+		if !red {
+			name = "noreduction"
+		}
+		b.Run(name, func(b *testing.B) {
+			saved := w.Sys.Params
+			w.Sys.Params.Method = core.MethodTGI
+			w.Sys.Params.Lambda = 6
+			w.Sys.Params.GraphReduction = red
+			defer func() { w.Sys.Params = saved }()
+			for i := 0; i < b.N; i++ {
+				_, _ = w.Sys.InferRoutes(qs[0].Query)
+			}
+		})
+	}
+}
+
+func BenchmarkFig12aK1Accuracy(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Figure12([]int{1, 4, 8}, []float64{3})
+	}
+}
+
+func BenchmarkFig12bK1Time(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 105)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	for _, k1 := range []int{1, 4, 8} {
+		b.Run("k1="+itoa(k1), func(b *testing.B) {
+			saved := w.Sys.Params
+			w.Sys.Params.Method = core.MethodTGI
+			w.Sys.Params.K1 = k1
+			defer func() { w.Sys.Params = saved }()
+			for i := 0; i < b.N; i++ {
+				_, _ = w.Sys.InferRoutes(qs[0].Query)
+			}
+		})
+	}
+}
+
+func BenchmarkFig13aK2Accuracy(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Figure13([]int{2, 4, 6}, []float64{3})
+	}
+}
+
+func BenchmarkFig13bK2Sharing(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 107)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	for _, share := range []bool{true, false} {
+		name := "sharing"
+		if !share {
+			name = "nosharing"
+		}
+		b.Run(name, func(b *testing.B) {
+			saved := w.Sys.Params
+			w.Sys.Params.Method = core.MethodNNI
+			w.Sys.Params.ShareSubstructures = share
+			defer func() { w.Sys.Params = saved }()
+			for i := 0; i < b.N; i++ {
+				_, _ = w.Sys.InferRoutes(qs[0].Query)
+			}
+		})
+	}
+}
+
+func BenchmarkFig14aK3Accuracy(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Figure14a([]int{1, 5})
+	}
+}
+
+func BenchmarkFig14bKGRIvsBrute(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen*1.5, 109)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	res, err := w.Sys.InferRoutes(qs[0].Query)
+	if err != nil || len(res.Locals) < 4 {
+		b.Skip("no locals")
+	}
+	locals := res.Locals[:4]
+	b.Run("kgri", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.KGRI(w.Sys.G, locals, 5)
+		}
+	})
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.BruteForceGlobalRoutes(w.Sys.G, locals, 5)
+		}
+	})
+}
+
+// BenchmarkHRISQuery measures one full top-K inference end to end — the
+// headline operation of the system.
+func BenchmarkHRISQuery(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 111)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = w.Sys.InferRoutes(qs[0].Query)
+	}
+}
+
+// BenchmarkCompetitors measures the three map-matching baselines on the
+// same query for the Figure 8 cost context.
+func BenchmarkCompetitors(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 113)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	prm := mapmatch.DefaultParams()
+	g := w.Sys.G
+	matchers := []mapmatch.Matcher{
+		mapmatch.NewPointToCurve(g, prm), w.Incremental, w.ST, w.IVMM,
+		mapmatch.NewHMM(g, prm),
+	}
+	for _, m := range matchers {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = m.Match(qs[0].Query)
+			}
+		})
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablation sweep (Figure A1).
+func BenchmarkAblations(b *testing.B) {
+	w := world(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Ablations([]float64{3})
+	}
+}
+
+// BenchmarkNetworkFree measures one network-free inference (extension E2).
+func BenchmarkNetworkFree(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 240, w.Cfg.QueryLen, 115)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	vmax := w.Sys.G.MaxSpeed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.InferPathsNetworkFree(w.Archive, qs[0].Query, w.Sys.Params, vmax)
+	}
+}
+
+// BenchmarkInferBatch measures throughput scaling of concurrent inference.
+func BenchmarkInferBatch(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(6, 180, w.Cfg.QueryLen, 117)
+	if len(qs) < 2 {
+		b.Skip("not enough queries")
+	}
+	queries := make([]*traj.Trajectory, len(qs))
+	for i, qc := range qs {
+		queries[i] = qc.Query
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w.Sys.InferBatch(queries, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkArchiveBuild measures preprocessing: dataset simulation plus
+// R-tree indexing of all archive points.
+func BenchmarkArchiveBuild(b *testing.B) {
+	ccfg := sim.DefaultCityConfig()
+	ccfg.Rows, ccfg.Cols = 12, 12
+	city := sim.GenerateCity(ccfg, 1)
+	fcfg := sim.DefaultFleetConfig()
+	fcfg.Trips = 300
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := sim.BuildDataset(city, fcfg)
+		hist.NewArchive(city.Graph, ds.Archive)
+	}
+}
+
+// BenchmarkReferenceSearchRoot measures the Definition 6/7 search on the
+// shared world.
+func BenchmarkReferenceSearchRoot(b *testing.B) {
+	w := world(b)
+	rng := rand.New(rand.NewSource(9))
+	qc, ok := w.DS.GenQuery(w.Cfg.QueryLen, 180, 15, w.Fleet, rng)
+	if !ok {
+		b.Skip("no query")
+	}
+	sp := hist.DefaultSearchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Archive.References(qc.Query.Points[0], qc.Query.Points[1], sp)
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,168 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// section (Figures 8a–14b) on the simulated substrate and prints the same
+// rows/series the paper plots.
+//
+// Usage:
+//
+//	experiments [-quick] [-fig 8a,9,14b] [-seed 7]
+//
+// -quick runs a scaled-down sweep suitable for a laptop minute; the default
+// (full) run takes several minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		quick = flag.Bool("quick", false, "scaled-down sweep")
+		figs  = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree) or all")
+		seed  = flag.Int64("seed", 7, "world seed")
+		csvD  = flag.String("csv", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := eval.FullConfig()
+	rates := []float64{3, 6, 9, 12, 15}
+	lengths := []float64{6, 9, 12, 15, 18}
+	phis := []float64{50, 100, 200, 400, 600, 900}
+	phiRates := []float64{3, 9, 15}
+	tripCounts := []int{15, 50, 150, 400, 1200}
+	lambdas := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	k1s := []int{1, 2, 4, 6, 8, 10}
+	k2s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	k3s := []int{1, 2, 3, 4, 5, 6, 8, 10}
+	pairCounts := []int{2, 3, 4, 5, 6, 7}
+	if *quick {
+		cfg = eval.QuickConfig()
+		rates = []float64{3, 9, 15}
+		lengths = []float64{4, 6, 8}
+		phis = []float64{50, 200, 800}
+		phiRates = []float64{3, 9}
+		tripCounts = []int{50, 200, 800}
+		lambdas = []int{2, 4, 6}
+		k1s = []int{1, 4, 8}
+		k2s = []int{2, 4, 6}
+		k3s = []int{1, 3, 5, 8}
+		pairCounts = []int{2, 3, 4, 5}
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	need := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	start := time.Now()
+	fmt.Printf("building world (seed %d, %dx%d city, %d trips)...\n",
+		cfg.Seed, cfg.CityRows, cfg.CityCols, cfg.Trips)
+	w := eval.NewWorld(cfg)
+	fmt.Printf("world ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	if need("8a") {
+		run("8a", func() { emit(*csvD, w.Figure8a(rates)) })
+	}
+	if need("8b") {
+		run("8b", func() { emit(*csvD, w.Figure8b(lengths)) })
+	}
+	if need("9", "9a", "9b") {
+		run("9", func() {
+			acc, tim := w.Figure9(phis, phiRates)
+			emit(*csvD, acc)
+			emit(*csvD, tim)
+		})
+	}
+	if need("10", "10a", "10b") {
+		run("10", func() {
+			acc, tim := eval.Figure10(cfg, tripCounts)
+			emit(*csvD, acc)
+			emit(*csvD, tim)
+		})
+	}
+	if need("11", "11a", "11b") {
+		run("11", func() {
+			acc, tim := w.Figure11(lambdas, phiRates)
+			emit(*csvD, acc)
+			emit(*csvD, tim)
+		})
+	}
+	if need("12", "12a", "12b") {
+		run("12", func() {
+			acc, tim := w.Figure12(k1s, phiRates)
+			emit(*csvD, acc)
+			emit(*csvD, tim)
+		})
+	}
+	if need("13", "13a", "13b") {
+		run("13", func() {
+			acc, tim := w.Figure13(k2s, phiRates)
+			emit(*csvD, acc)
+			emit(*csvD, tim)
+		})
+	}
+	if need("14a") {
+		run("14a", func() { emit(*csvD, w.Figure14a(k3s)) })
+	}
+	if need("14b") {
+		run("14b", func() { emit(*csvD, w.Figure14b(pairCounts)) })
+	}
+	if need("ablation", "A1") {
+		run("A1 (ablations)", func() { emit(*csvD, w.Ablations(phiRates)) })
+	}
+	if need("temporal", "E1") {
+		run("E1 (temporal extension)", func() { emit(*csvD, eval.TemporalExtension(cfg, phiRates)) })
+	}
+	if need("networkfree", "E2") {
+		run("E2 (network-free extension)", func() { emit(*csvD, w.NetworkFreeExtension(phiRates)) })
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(name string, fn func()) {
+	start := time.Now()
+	fn()
+	fmt.Printf("[figure %s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+// emit prints a table and, when -csv is set, writes it to <dir>/fig<id>.csv.
+func emit(csvDir string, t *eval.Table) {
+	t.Print(os.Stdout)
+	if csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		log.Fatalf("mkdir %s: %v", csvDir, err)
+	}
+	path := filepath.Join(csvDir, "fig"+t.Figure+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("create %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+}

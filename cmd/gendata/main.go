@@ -1,0 +1,88 @@
+// Command gendata generates a synthetic city and taxi-trip archive — the
+// simulator substitute for the paper's Beijing road network and 33,000-taxi
+// dataset — and writes them to disk as JSON for cmd/hris.
+//
+// Usage:
+//
+//	gendata -out data/ [-seed 7] [-rows 22] [-cols 22] [-trips 1200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+	"repro/internal/traj"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gendata: ")
+	var (
+		out   = flag.String("out", "data", "output directory")
+		seed  = flag.Int64("seed", 7, "random seed")
+		rows  = flag.Int("rows", 22, "city grid rows")
+		cols  = flag.Int("cols", 22, "city grid columns")
+		trips = flag.Int("trips", 1200, "archive trips to simulate")
+		hot   = flag.Int("hotspots", 10, "number of trip hotspots")
+	)
+	flag.Parse()
+
+	ccfg := sim.DefaultCityConfig()
+	ccfg.Rows, ccfg.Cols, ccfg.Hotspots = *rows, *cols, *hot
+	city := sim.GenerateCity(ccfg, *seed)
+	fmt.Printf("generated %v\n", city)
+	fmt.Printf("network: %v\n", city.Graph.ComputeStats())
+
+	fcfg := sim.DefaultFleetConfig()
+	fcfg.Trips = *trips
+	fcfg.Seed = *seed
+	ds := sim.BuildDataset(city, fcfg)
+	fmt.Printf("simulated %d archive trips (%d requested)\n", len(ds.Archive), *trips)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("mkdir: %v", err)
+	}
+	netPath := filepath.Join(*out, "network.json")
+	f, err := os.Create(netPath)
+	if err != nil {
+		log.Fatalf("create %s: %v", netPath, err)
+	}
+	if err := city.Graph.WriteJSON(f); err != nil {
+		log.Fatalf("write network: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close network: %v", err)
+	}
+
+	truth := make(map[string][]int, len(ds.Truth))
+	for id, route := range ds.Truth {
+		truth[id] = route
+	}
+	archPath := filepath.Join(*out, "archive.json")
+	af, err := os.Create(archPath)
+	if err != nil {
+		log.Fatalf("create %s: %v", archPath, err)
+	}
+	if err := traj.WriteArchive(af, ds.Archive, truth); err != nil {
+		log.Fatalf("write archive: %v", err)
+	}
+	if err := af.Close(); err != nil {
+		log.Fatalf("close archive: %v", err)
+	}
+
+	points := 0
+	low := 0
+	for _, tr := range ds.Archive {
+		points += tr.Len()
+		if tr.IsLowSamplingRate() {
+			low++
+		}
+	}
+	fmt.Printf("wrote %s (%d vertices, %d segments)\n", netPath, city.Graph.NumVertices(), city.Graph.NumSegments())
+	fmt.Printf("wrote %s (%d trips, %d GPS points, %d%% low-sampling-rate)\n",
+		archPath, len(ds.Archive), points, 100*low/len(ds.Archive))
+}

@@ -1,0 +1,215 @@
+// Command hris runs History-based Route Inference on a low-sampling-rate
+// query trajectory against a generated dataset (see cmd/gendata), printing
+// the top-K suggested routes. It can also run the competitor map-matching
+// algorithms on the same query for comparison.
+//
+// Usage:
+//
+//	hris -data data/ -query query.json [-k 5] [-method hybrid] [-compare]
+//
+// The query file holds one trajectory: {"points": [[x, y, t], ...]}.
+// With -demo, a query is synthesized from the archive instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/geo"
+	"repro/internal/geojson"
+	"repro/internal/hist"
+	"repro/internal/mapmatch"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+type queryJSON struct {
+	Points [][3]float64 `json:"points"`
+	Truth  []int        `json:"truth,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hris: ")
+	var (
+		data    = flag.String("data", "data", "dataset directory from gendata")
+		query   = flag.String("query", "", "query trajectory JSON file")
+		demo    = flag.Bool("demo", false, "synthesize a demo query from the archive")
+		k       = flag.Int("k", 5, "number of global routes to suggest (k3)")
+		method  = flag.String("method", "hybrid", "local inference: tgi, nni or hybrid")
+		phi     = flag.Float64("phi", 500, "reference search radius (m)")
+		compare = flag.Bool("compare", false, "also run incremental/ST-matching/IVMM")
+		seed    = flag.Int64("seed", 1, "seed for -demo")
+		gjOut   = flag.String("geojson", "", "write query + suggested routes as GeoJSON to this file")
+	)
+	flag.Parse()
+
+	g, trajs, truths := loadDataset(*data)
+	arch := hist.NewArchive(g, trajs)
+	params := core.DefaultParams()
+	params.K3 = *k
+	params.Phi = *phi
+	switch *method {
+	case "tgi":
+		params.Method = core.MethodTGI
+	case "nni":
+		params.Method = core.MethodNNI
+	case "hybrid":
+		params.Method = core.MethodHybrid
+	default:
+		log.Fatalf("unknown -method %q", *method)
+	}
+	sys := core.NewSystem(arch, params)
+
+	var q *traj.Trajectory
+	var truth roadnet.Route
+	switch {
+	case *demo:
+		q, truth = demoQuery(g, trajs, truths, *seed)
+	case *query != "":
+		q, truth = loadQuery(*query)
+	default:
+		log.Fatal("need -query FILE or -demo")
+	}
+	fmt.Printf("query: %d points, %.1f km span, avg interval %.0f s (low-sampling-rate: %v)\n",
+		q.Len(), q.PathLength()/1000, q.AvgInterval(), q.IsLowSamplingRate())
+
+	res, err := sys.InferRoutes(q)
+	if err != nil {
+		log.Fatalf("inference failed: %v", err)
+	}
+	for i, r := range res.Routes {
+		fmt.Printf("route %d: score %.4g, %.1f km, %d segments", i+1, r.Score,
+			r.Route.Length(g)/1000, len(r.Route))
+		if truth != nil {
+			fmt.Printf(", A_L %.3f", eval.AccuracyAL(g, truth, r.Route))
+		}
+		fmt.Println()
+	}
+	refs, spliced := 0, 0
+	for _, ps := range res.Pairs {
+		refs += ps.Refs
+		spliced += ps.Spliced
+	}
+	fmt.Printf("references used: %d (%d spliced) across %d pairs\n", refs, spliced, len(res.Pairs))
+
+	if *gjOut != "" {
+		if err := writeGeoJSON(*gjOut, g, q, truth, res); err != nil {
+			log.Fatalf("geojson: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *gjOut)
+	}
+
+	if *compare {
+		prm := mapmatch.DefaultParams()
+		for _, m := range []mapmatch.Matcher{
+			mapmatch.NewPointToCurve(g, prm),
+			mapmatch.NewIncremental(g, prm),
+			mapmatch.NewSTMatcher(g, prm),
+			mapmatch.NewIVMM(g, prm),
+			mapmatch.NewHMM(g, prm),
+		} {
+			r, err := m.Match(q)
+			if err != nil {
+				fmt.Printf("%-15s failed: %v\n", m.Name()+":", err)
+				continue
+			}
+			fmt.Printf("%-15s %.1f km", m.Name()+":", r.Length(g)/1000)
+			if truth != nil {
+				fmt.Printf(", A_L %.3f", eval.AccuracyAL(g, truth, r))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// writeGeoJSON exports the query, ground truth (when known) and suggested
+// routes for map visualization, anchored at Beijing for plausible WGS84
+// coordinates.
+func writeGeoJSON(path string, g *roadnet.Graph, q *traj.Trajectory, truth roadnet.Route, res *core.Result) error {
+	w := geojson.NewWriter(geo.LatLon{Lat: 39.9, Lon: 116.4})
+	w.AddTrajectory(q, true, map[string]any{"role": "query"})
+	if truth != nil {
+		w.AddRoute(g, truth, map[string]any{"role": "truth"})
+	}
+	for i, r := range res.Routes {
+		w.AddRoute(g, r.Route, map[string]any{
+			"role": "suggestion", "rank": i + 1, "score": r.Score,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return w.Encode(f)
+}
+
+func loadDataset(dir string) (*roadnet.Graph, []*traj.Trajectory, map[string]roadnet.Route) {
+	nf, err := os.Open(filepath.Join(dir, "network.json"))
+	if err != nil {
+		log.Fatalf("open network: %v (run cmd/gendata first)", err)
+	}
+	defer nf.Close()
+	g, err := roadnet.ReadJSON(nf)
+	if err != nil {
+		log.Fatalf("read network: %v", err)
+	}
+	af, err := os.Open(filepath.Join(dir, "archive.json"))
+	if err != nil {
+		log.Fatalf("open archive: %v", err)
+	}
+	defer af.Close()
+	trajs, rawTruth, err := traj.ReadArchive(af)
+	if err != nil {
+		log.Fatalf("read archive: %v", err)
+	}
+	truths := make(map[string]roadnet.Route, len(rawTruth))
+	for id, route := range rawTruth {
+		truths[id] = route
+	}
+	return g, trajs, truths
+}
+
+func loadQuery(path string) (*traj.Trajectory, roadnet.Route) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("open query: %v", err)
+	}
+	defer f.Close()
+	var qj queryJSON
+	if err := json.NewDecoder(f).Decode(&qj); err != nil {
+		log.Fatalf("decode query: %v", err)
+	}
+	q := &traj.Trajectory{ID: "query"}
+	for _, p := range qj.Points {
+		q.Points = append(q.Points, traj.GPSPoint{Pt: geo.Pt(p[0], p[1]), T: p[2]})
+	}
+	return q, roadnet.Route(qj.Truth)
+}
+
+// demoQuery downsamples a random high-rate archive trajectory to 3-minute
+// sampling and uses its recorded generating route as ground truth.
+func demoQuery(g *roadnet.Graph, trajs []*traj.Trajectory, truths map[string]roadnet.Route, seed int64) (*traj.Trajectory, roadnet.Route) {
+	rng := rand.New(rand.NewSource(seed))
+	var candidates []*traj.Trajectory
+	for _, tr := range trajs {
+		if !tr.IsLowSamplingRate() && tr.Len() >= 10 && truths[tr.ID] != nil {
+			candidates = append(candidates, tr)
+		}
+	}
+	if len(candidates) == 0 {
+		log.Fatal("no high-rate archive trajectory suitable for a demo query")
+	}
+	src := candidates[rng.Intn(len(candidates))]
+	q := traj.Downsample(src, 180)
+	q.ID = "demo-query"
+	return q, truths[src.ID]
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/traj"
+)
+
+// BatchResult is one query's outcome in a batch run.
+type BatchResult struct {
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// InferBatch runs InferRoutes over many queries concurrently with at most
+// workers goroutines and returns the results in input order. A built
+// System is read-only during inference, so the queries share it safely;
+// per-query determinism is unaffected by scheduling. workers < 1 uses 1.
+func (s *System) InferBatch(queries []*traj.Trajectory, workers int) []BatchResult {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]BatchResult, len(queries))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := s.InferRoutes(queries[i])
+				out[i] = BatchResult{Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

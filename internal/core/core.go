@@ -1,0 +1,246 @@
+// Package core implements HRIS, the History-based Route Inference System of
+// "Reducing Uncertainty of Low-Sampling-Rate Trajectories" (Zheng, Zheng,
+// Xie, Zhou — ICDE 2012): given a low-sampling-rate query trajectory and an
+// archive of historical trajectories, it suggests the top-K most probable
+// routes.
+//
+// The pipeline follows §II-B.2: the query is split into consecutive point
+// pairs; reference trajectories for each pair come from package hist
+// (§III-A); local routes are inferred per pair with the traverse-graph
+// (TGI), nearest-neighbor (NNI) or hybrid approach (§III-B); local routes
+// are scored with the entropy-based popularity function and connected into
+// global routes by the K-GRI dynamic program (§III-C).
+package core
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/hist"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Method selects the local route inference algorithm.
+type Method int
+
+// Local route inference methods (§III-B).
+const (
+	MethodHybrid Method = iota // density-adaptive TGI/NNI choice
+	MethodTGI                  // traverse-graph based inference
+	MethodNNI                  // nearest-neighbor based inference
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodTGI:
+		return "tgi"
+	case MethodNNI:
+		return "nni"
+	default:
+		return "hybrid"
+	}
+}
+
+// Params collects every tunable of the system. The defaults reproduce
+// Table II of the paper.
+type Params struct {
+	Phi       float64 // reference search radius φ (m)
+	SpliceEps float64 // splicing threshold e (m) of Definition 7
+	// SpliceMinSimple engages spliced-reference search only when fewer
+	// simple references were found (splicing is the paper's sparse-area
+	// remedy, §III-A.2). 0 splices always.
+	SpliceMinSimple int
+	CandEps         float64 // candidate-edge distance threshold ε (m), Definition 5
+
+	Method Method  // local inference algorithm
+	Tau    float64 // hybrid density threshold τ (reference points per km²)
+
+	Lambda int // λ-neighborhood radius in TGI
+	K1     int // K of the K-shortest-path search in TGI
+
+	K2    int     // K (fan-out) of the constrained kNN in NNI
+	Alpha float64 // α detour-tolerance budget (m) in NNI
+	Beta  float64 // β relative-detour cap in NNI
+
+	K3 int // K of the K-GRI global route search
+
+	// MaxLocalRoutes caps each pair's local route set (by popularity).
+	MaxLocalRoutes int
+	// MaxNNIPaths caps the number of paths enumerated from NNI's transit
+	// graph per pair.
+	MaxNNIPaths int
+
+	// GraphReduction enables TGI's transitive graph reduction (§III-B.1);
+	// disabling it is exercised by the Figure 11b/12b experiments.
+	GraphReduction bool
+	// ShareSubstructures enables NNI's common-substructure sharing
+	// (§III-B.2); disabling it is exercised by the Figure 13b experiment.
+	ShareSubstructures bool
+
+	// Ablation switches (all false in the paper's system; the ablation
+	// experiments in internal/eval quantify each design choice):
+
+	// AblateEntropy drops the entropy factor of Equation 1, scoring local
+	// routes by reference support alone.
+	AblateEntropy bool
+	// AblateTransition replaces the transition confidence of Equation 2
+	// with the constant 1, so K-GRI scores ignore route continuity.
+	AblateTransition bool
+	// AblateTrim disables global-route end trimming.
+	AblateTrim bool
+
+	// TemporalWeighting enables the paper's future-work extension (§VI,
+	// "incorporate more information ... such as the time"): only archive
+	// references whose time of day falls within TimeWindow seconds of the
+	// query's are used.
+	TemporalWeighting bool
+	// TimeWindow is the time-of-day half-window in seconds (default 4 h).
+	TimeWindow float64
+}
+
+// DefaultParams returns the Table II defaults: φ=500 m, τ=200/km², λ=4,
+// k1=5, k2=4, α=500 m, β=1.5, k3=5.
+func DefaultParams() Params {
+	return Params{
+		Phi:                500,
+		SpliceEps:          200,
+		SpliceMinSimple:    8,
+		CandEps:            50,
+		Method:             MethodHybrid,
+		Tau:                200,
+		Lambda:             4,
+		K1:                 5,
+		K2:                 4,
+		Alpha:              500,
+		Beta:               1.5,
+		K3:                 5,
+		MaxLocalRoutes:     10,
+		MaxNNIPaths:        48,
+		GraphReduction:     true,
+		ShareSubstructures: true,
+		TimeWindow:         4 * 3600,
+	}
+}
+
+// LocalRoute is one inferred route between a consecutive query point pair,
+// with its reference support.
+type LocalRoute struct {
+	Route roadnet.Route
+	// Refs is C_i(R): the ids of archive trajectories whose references
+	// travel this route (union over the route's segments).
+	Refs map[int]struct{}
+	// Popularity is f(R), Equation 1.
+	Popularity float64
+}
+
+// GlobalRoute is a route for the whole query with its score s(R).
+type GlobalRoute struct {
+	Route roadnet.Route
+	Score float64
+	// Parts indexes the chosen local route in each pair's local route set.
+	Parts []int
+}
+
+// System ties the archive, road network and parameters together.
+type System struct {
+	G       *roadnet.Graph
+	Archive *hist.Archive
+	Params  Params
+}
+
+// NewSystem builds an HRIS instance over the archive.
+func NewSystem(a *hist.Archive, p Params) *System {
+	return &System{G: a.G, Archive: a, Params: p}
+}
+
+// pairContext is everything the local inference algorithms need for one
+// consecutive query pair ⟨q_i, q_{i+1}⟩.
+type pairContext struct {
+	qi, qj traj.GPSPoint
+	refs   []hist.Reference
+	// edgeRefs is C_i(r): per traverse edge, the archive trajectory ids
+	// whose references travel it (Definition 9's candidate-edge relation).
+	edgeRefs map[roadnet.EdgeID]map[int]struct{}
+	// points are all reference points P_i with their source trajectories.
+	points []refPoint
+}
+
+type refPoint struct {
+	pt      geo.Point
+	sources []int // archive trajectory ids of the owning reference
+}
+
+// buildPairContext assembles the traverse-edge and reference-point maps.
+func (s *System) buildPairContext(qi, qj traj.GPSPoint, refs []hist.Reference) *pairContext {
+	ctx := &pairContext{qi: qi, qj: qj, refs: refs,
+		edgeRefs: make(map[roadnet.EdgeID]map[int]struct{})}
+	for _, r := range refs {
+		srcs := r.SourceIDs()
+		for j, p := range r.Points {
+			ctx.points = append(ctx.points, refPoint{pt: p.Pt, sources: srcs})
+			heading, hasHeading := travelHeading(r.Points, j)
+			for _, c := range s.G.CandidateEdges(p.Pt, s.Params.CandEps) {
+				// The preprocessing component map-matches archive points
+				// (§II-B.1), which makes the reference support of an edge
+				// direction-aware. We realize the same effect cheaply:
+				// a candidate edge only counts as traversed when its
+				// direction agrees with the reference's travel heading.
+				if hasHeading && !s.edgeAligned(c.Edge, heading) {
+					continue
+				}
+				set, ok := ctx.edgeRefs[c.Edge]
+				if !ok {
+					set = make(map[int]struct{})
+					ctx.edgeRefs[c.Edge] = set
+				}
+				for _, id := range srcs {
+					set[id] = struct{}{}
+				}
+			}
+		}
+	}
+	return ctx
+}
+
+// travelHeading estimates the direction of travel at point j of a
+// reference sub-trajectory: toward the next sample, or from the previous
+// one at the tail.
+func travelHeading(pts []traj.GPSPoint, j int) (float64, bool) {
+	if j+1 < len(pts) {
+		return pts[j].Pt.Heading(pts[j+1].Pt), true
+	}
+	if j > 0 {
+		return pts[j-1].Pt.Heading(pts[j].Pt), true
+	}
+	return 0, false
+}
+
+// maxHeadingDiff tolerates mid-turn samples (a point between two
+// perpendicular streets travels at ~45° to both).
+const maxHeadingDiff = 75 * math.Pi / 180
+
+// edgeAligned reports whether segment e's direction agrees with heading.
+func (s *System) edgeAligned(e roadnet.EdgeID, heading float64) bool {
+	seg := s.G.Seg(e)
+	segHeading := seg.Shape[0].Heading(seg.Shape[len(seg.Shape)-1])
+	return geo.AngleDiff(segHeading, heading) <= maxHeadingDiff
+}
+
+// density returns the reference point density in points per km²
+// (|P_i| / area(MBR(P_i)), §III-B.3).
+func (ctx *pairContext) density() float64 {
+	if len(ctx.points) == 0 {
+		return 0
+	}
+	box := geo.EmptyBBox()
+	for _, p := range ctx.points {
+		box = box.ExtendPoint(p.pt)
+	}
+	areaKm2 := box.Area() / 1e6
+	if areaKm2 < 1e-6 {
+		return math.Inf(1) // all points coincide: infinitely dense
+	}
+	return float64(len(ctx.points)) / areaKm2
+}

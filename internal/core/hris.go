@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/hist"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// ErrEmptyQuery is returned for queries with fewer than two points.
+var ErrEmptyQuery = errors.New("core: query needs at least two points")
+
+// ErrNoRoutes is returned when no global route can be assembled.
+var ErrNoRoutes = errors.New("core: no routes inferred")
+
+// PairStats reports what happened for one consecutive query pair — the
+// experiment harness uses it to relate accuracy and running time to the
+// reference density (Figure 10) and method choice.
+type PairStats struct {
+	Refs     int     // reference trajectories found
+	Spliced  int     // of which spliced (Definition 7)
+	Points   int     // reference points |P_i|
+	Density  float64 // points per km² over MBR(P_i)
+	Method   Method  // local algorithm actually used
+	Routes   int     // local routes produced
+	UsedFall bool    // fallback shortest path used
+}
+
+// Result is the full output of InferRoutes.
+type Result struct {
+	Routes []GlobalRoute // top-K global routes, best first
+	Pairs  []PairStats
+	Locals [][]LocalRoute // per-pair local route sets (after capping)
+}
+
+// InferRoutes runs the complete HRIS pipeline on a low-sampling-rate query
+// trajectory and returns the top-K global routes (§II-B.2).
+func (s *System) InferRoutes(q *traj.Trajectory) (*Result, error) {
+	if q.Len() < 2 {
+		return nil, ErrEmptyQuery
+	}
+	res := &Result{}
+	sp := hist.SearchParams{Phi: s.Params.Phi, SpliceEps: s.Params.SpliceEps, SpliceMinSimple: s.Params.SpliceMinSimple}
+	for i := 0; i+1 < q.Len(); i++ {
+		qi, qj := q.Points[i], q.Points[i+1]
+		refs := s.Archive.References(qi, qj, sp)
+		if s.Params.TemporalWeighting {
+			refs = filterByTimeOfDay(refs, qi.T, s.Params.TimeWindow)
+		}
+		ctx := s.buildPairContext(qi, qj, refs)
+		locals, method := s.inferLocal(ctx)
+		st := PairStats{
+			Refs: len(refs), Points: len(ctx.points),
+			Density: ctx.density(), Method: method, Routes: len(locals),
+		}
+		for _, r := range refs {
+			if r.Spliced {
+				st.Spliced++
+			}
+		}
+		if len(locals) == 0 {
+			locals = s.fallbackLocal(ctx)
+			st.UsedFall = true
+			st.Routes = len(locals)
+		}
+		if len(locals) == 0 {
+			return nil, fmt.Errorf("core: pair %d (%v -> %v): %w", i, qi.Pt, qj.Pt, ErrNoRoutes)
+		}
+		res.Pairs = append(res.Pairs, st)
+		res.Locals = append(res.Locals, locals)
+	}
+	res.Routes = kgri(s.G, res.Locals, s.Params.K3, s.Params.AblateTransition)
+	if len(res.Routes) == 0 {
+		return nil, ErrNoRoutes
+	}
+	if !s.Params.AblateTrim {
+		for i := range res.Routes {
+			res.Routes[i].Route = trimRoute(s.G, res.Routes[i].Route,
+				q.Points[0].Pt, q.Points[q.Len()-1].Pt)
+		}
+	}
+	return res, nil
+}
+
+// trimRoute drops leading segments the query never reached and trailing
+// segments past its final point: local routes start and end on candidate
+// edges whose far ends can overhang the query's true extent.
+func trimRoute(g *roadnet.Graph, r roadnet.Route, start, end geo.Point) roadnet.Route {
+	for len(r) >= 2 && g.Seg(r[0]).Shape.Dist(start) > g.Seg(r[1]).Shape.Dist(start) {
+		r = r[1:]
+	}
+	for len(r) >= 2 && g.Seg(r[len(r)-1]).Shape.Dist(end) > g.Seg(r[len(r)-2]).Shape.Dist(end) {
+		r = r[:len(r)-1]
+	}
+	return r
+}
+
+// PairLocalRoutes exposes local route inference for a single query pair
+// with an explicit method — the unit the Figure 10–13 experiments measure.
+func (s *System) PairLocalRoutes(qi, qj traj.GPSPoint, m Method) ([]LocalRoute, PairStats) {
+	sp := hist.SearchParams{Phi: s.Params.Phi, SpliceEps: s.Params.SpliceEps, SpliceMinSimple: s.Params.SpliceMinSimple}
+	refs := s.Archive.References(qi, qj, sp)
+	ctx := s.buildPairContext(qi, qj, refs)
+	saved := s.Params.Method
+	s.Params.Method = m
+	locals, used := s.inferLocal(ctx)
+	s.Params.Method = saved
+	st := PairStats{
+		Refs: len(refs), Points: len(ctx.points),
+		Density: ctx.density(), Method: used, Routes: len(locals),
+	}
+	return locals, st
+}
+
+// filterByTimeOfDay keeps references whose sub-trajectory starts within
+// window seconds (circularly) of the query point's time of day — the
+// paper's future-work temporal extension. Travel patterns can differ by
+// time of day (commuting asymmetries), so same-period history is the
+// relevant evidence.
+func filterByTimeOfDay(refs []hist.Reference, queryT, window float64) []hist.Reference {
+	if window <= 0 {
+		return refs
+	}
+	const day = 86400.0
+	qt := math.Mod(queryT, day)
+	out := refs[:0:0]
+	for _, r := range refs {
+		if len(r.Points) == 0 {
+			continue
+		}
+		rt := math.Mod(r.Points[0].T, day)
+		d := math.Abs(rt - qt)
+		if d > day/2 {
+			d = day - d
+		}
+		if d <= window {
+			out = append(out, r)
+		}
+	}
+	return out
+}

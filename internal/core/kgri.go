@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/roadnet"
+)
+
+// lessPartial orders partials by descending score, breaking ties by the
+// lexicographic order of the chosen local-route indices so the result is
+// deterministic and independent of K (equal-scored routes are common when
+// fallback pairs contribute constant factors).
+func lessPartial(a, b partial) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	for i := range a.parts {
+		if i >= len(b.parts) {
+			return false
+		}
+		if a.parts[i] != b.parts[i] {
+			return a.parts[i] < b.parts[i]
+		}
+	}
+	return len(a.parts) < len(b.parts)
+}
+
+// partial is a partial global route during the K-GRI dynamic program: the
+// chosen local route index per processed pair and the accumulated score.
+type partial struct {
+	parts []int
+	score float64
+}
+
+// KGRI runs the top-K Global Route Inference dynamic program (Algorithm 3)
+// over the per-pair local route sets. The matrix entry M[i][j] keeps the K
+// highest-scoring partial routes ending with local route j of pair i; the
+// downward-closure property makes the recursion exact. Complexity is
+// O(K·n·m²) against the brute force's O(mⁿ).
+func KGRI(g *roadnet.Graph, locals [][]LocalRoute, k int) []GlobalRoute {
+	return kgri(g, locals, k, false)
+}
+
+// kgri is KGRI with an optional constant-transition ablation.
+func kgri(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition bool) []GlobalRoute {
+	n := len(locals)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	for _, set := range locals {
+		if len(set) == 0 {
+			return nil // a pair with no local routes breaks every chain
+		}
+	}
+	// M[j] for the current pair i.
+	M := make([][]partial, len(locals[0]))
+	for j, lr := range locals[0] {
+		M[j] = []partial{{parts: []int{j}, score: lr.Popularity}}
+	}
+	for i := 1; i < n; i++ {
+		next := make([][]partial, len(locals[i]))
+		for j, lr := range locals[i] {
+			var cands []partial
+			for pj, prev := range locals[i-1] {
+				gConf := 1.0
+				if !constantTransition {
+					gConf = transitionConfidence(prev.Refs, lr.Refs)
+				}
+				for _, p := range M[pj] {
+					cands = append(cands, partial{
+						parts: append(append([]int(nil), p.parts...), j),
+						score: p.score * gConf * lr.Popularity,
+					})
+				}
+			}
+			sort.Slice(cands, func(a, b int) bool { return lessPartial(cands[a], cands[b]) })
+			if len(cands) > k {
+				cands = cands[:k]
+			}
+			next[j] = cands
+		}
+		M = next
+	}
+	var all []partial
+	for _, ps := range M {
+		all = append(all, ps...)
+	}
+	sort.Slice(all, func(a, b int) bool { return lessPartial(all[a], all[b]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return materialize(g, locals, all)
+}
+
+// BruteForceGlobalRoutes enumerates every combination of local routes and
+// returns the top-K by score — the baseline of the Figure 14b experiment
+// and the correctness oracle for KGRI.
+func BruteForceGlobalRoutes(g *roadnet.Graph, locals [][]LocalRoute, k int) []GlobalRoute {
+	n := len(locals)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	for _, set := range locals {
+		if len(set) == 0 {
+			return nil
+		}
+	}
+	var all []partial
+	parts := make([]int, n)
+	var walk func(i int, score float64)
+	walk = func(i int, score float64) {
+		if i == n {
+			all = append(all, partial{parts: append([]int(nil), parts...), score: score})
+			return
+		}
+		for j, lr := range locals[i] {
+			s := score * lr.Popularity
+			if i > 0 {
+				s *= transitionConfidence(locals[i-1][parts[i-1]].Refs, lr.Refs)
+			}
+			parts[i] = j
+			walk(i+1, s)
+		}
+	}
+	walk(0, 1)
+	sort.Slice(all, func(a, b int) bool { return lessPartial(all[a], all[b]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return materialize(g, locals, all)
+}
+
+// materialize concatenates each partial's local routes (the ◇ operator,
+// bridging candidate-edge gaps with shortest paths as §III-C.1 prescribes)
+// into physical global routes.
+func materialize(g *roadnet.Graph, locals [][]LocalRoute, ps []partial) []GlobalRoute {
+	out := make([]GlobalRoute, 0, len(ps))
+	for _, p := range ps {
+		var route roadnet.Route
+		ok := true
+		for i, j := range p.parts {
+			joined, jok := mergeRoutes(g, route, locals[i][j].Route)
+			if !jok {
+				ok = false
+				break
+			}
+			route = joined
+		}
+		if !ok || len(route) == 0 {
+			continue
+		}
+		out = append(out, GlobalRoute{Route: route, Score: p.score, Parts: p.parts})
+	}
+	return out
+}
+
+// mergeRoutes joins consecutive local routes. Adjacent pairs overlap around
+// the shared query point — local route i runs up to a candidate edge of
+// q_{i+1} and local route i+1 starts at one — so we first look for a shared
+// segment near a's tail and b's head and splice there, avoiding the
+// backtracking a blind shortest-path bridge between different candidate
+// edges of the same point would introduce. Without an overlap we fall back
+// to Route.Concat's shortest-path bridge.
+func mergeRoutes(g *roadnet.Graph, a, b roadnet.Route) (roadnet.Route, bool) {
+	if len(a) == 0 {
+		return b, true
+	}
+	if len(b) == 0 {
+		return a, true
+	}
+	const window = 8
+	loA := len(a) - window
+	if loA < 0 {
+		loA = 0
+	}
+	hiB := window
+	if hiB > len(b) {
+		hiB = len(b)
+	}
+	for i := len(a) - 1; i >= loA; i-- {
+		for j := 0; j < hiB; j++ {
+			if a[i] == b[j] {
+				merged := append(append(roadnet.Route{}, a[:i]...), b[j:]...)
+				return merged.Dedup(), true
+			}
+		}
+	}
+	return a.Concat(g, b)
+}

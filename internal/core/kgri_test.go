@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// chainGrid returns a grid graph and a helper to find directed edges.
+func chainGrid(t *testing.T) (*roadnet.Graph, func(u, v roadnet.VertexID) roadnet.EdgeID) {
+	t.Helper()
+	g := roadnet.NewGrid(4, 6, 100, 15)
+	find := func(u, v roadnet.VertexID) roadnet.EdgeID {
+		for i := range g.Segments {
+			if g.Segments[i].From == u && g.Segments[i].To == v {
+				return g.Segments[i].ID
+			}
+		}
+		t.Fatalf("edge %d->%d not found", u, v)
+		return roadnet.NoEdge
+	}
+	return g, find
+}
+
+// randomLocals builds random per-pair local route sets on the bottom row of
+// the grid so concatenation always succeeds.
+func randomLocals(t *testing.T, g *roadnet.Graph, find func(u, v roadnet.VertexID) roadnet.EdgeID, pairs, m int, rng *rand.Rand) [][]LocalRoute {
+	t.Helper()
+	locals := make([][]LocalRoute, pairs)
+	for i := range locals {
+		for j := 0; j < m; j++ {
+			// Each local route is the single bottom-row edge i -> i+1 (so
+			// all alternatives share geometry) but with random support.
+			ids := make([]int, 1+rng.Intn(4))
+			for k := range ids {
+				ids[k] = rng.Intn(8)
+			}
+			locals[i] = append(locals[i], LocalRoute{
+				Route:      roadnet.Route{find(roadnet.VertexID(i), roadnet.VertexID(i+1))},
+				Refs:       refSet(ids...),
+				Popularity: 0.1 + rng.Float64(),
+			})
+		}
+	}
+	return locals
+}
+
+// TestKGRIMatchesBruteForce is the correctness oracle: the dynamic program
+// must return exactly the brute-force top-K scores.
+func TestKGRIMatchesBruteForce(t *testing.T) {
+	g, find := chainGrid(t)
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := 2 + rng.Intn(4) // up to 5 pairs on the 6-wide grid
+		if pairs > 5 {
+			pairs = 5
+		}
+		m := 1 + rng.Intn(4)
+		locals := randomLocals(t, g, find, pairs, m, rng)
+		for _, k := range []int{1, 3, 7} {
+			got := KGRI(g, locals, k)
+			want := BruteForceGlobalRoutes(g, locals, k)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d k=%d: %d routes vs %d", seed, k, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-12*math.Max(1, want[i].Score) {
+					t.Fatalf("seed %d k=%d rank %d: score %v, want %v",
+						seed, k, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestKGRIScoresSortedAndComputedRight(t *testing.T) {
+	g, find := chainGrid(t)
+	rng := rand.New(rand.NewSource(99))
+	locals := randomLocals(t, g, find, 4, 3, rng)
+	routes := KGRI(g, locals, 5)
+	if len(routes) == 0 {
+		t.Fatal("no routes")
+	}
+	last := math.Inf(1)
+	for _, r := range routes {
+		if r.Score > last+1e-15 {
+			t.Fatalf("scores not sorted: %v after %v", r.Score, last)
+		}
+		last = r.Score
+		// Recompute the score from the parts.
+		s := 1.0
+		for i, j := range r.Parts {
+			s *= locals[i][j].Popularity
+			if i > 0 {
+				s *= transitionConfidence(locals[i-1][r.Parts[i-1]].Refs, locals[i][j].Refs)
+			}
+		}
+		if math.Abs(s-r.Score) > 1e-12*math.Max(1, s) {
+			t.Fatalf("score mismatch: %v vs recomputed %v", r.Score, s)
+		}
+		if !r.Route.Valid(g) {
+			t.Fatalf("global route invalid: %v", r.Route)
+		}
+	}
+}
+
+func TestKGRIDegenerate(t *testing.T) {
+	g, find := chainGrid(t)
+	if got := KGRI(g, nil, 3); got != nil {
+		t.Fatal("empty locals should give nil")
+	}
+	locals := [][]LocalRoute{{}, {{Route: roadnet.Route{find(0, 1)}, Popularity: 1}}}
+	if got := KGRI(g, locals, 3); got != nil {
+		t.Fatal("pair without local routes should give nil")
+	}
+	one := [][]LocalRoute{{{Route: roadnet.Route{find(0, 1)}, Refs: refSet(1), Popularity: 2}}}
+	got := KGRI(g, one, 5)
+	if len(got) != 1 || got[0].Score != 2 {
+		t.Fatalf("single pair: %+v", got)
+	}
+	if got := KGRI(g, one, 0); got != nil {
+		t.Fatal("k=0 should give nil")
+	}
+}
+
+// TestKGRIBridgesGaps: consecutive local routes whose boundary edges differ
+// are connected by a shortest-path bridge (§III-C.1: "we can always use
+// shortest path to bridge this gap").
+func TestKGRIBridgesGaps(t *testing.T) {
+	g, find := chainGrid(t)
+	locals := [][]LocalRoute{
+		{{Route: roadnet.Route{find(0, 1)}, Refs: refSet(1), Popularity: 1}},
+		// Starts two vertices later: a gap over vertex 1->2.
+		{{Route: roadnet.Route{find(2, 3)}, Refs: refSet(1), Popularity: 1}},
+	}
+	routes := KGRI(g, locals, 1)
+	if len(routes) != 1 {
+		t.Fatalf("routes = %d", len(routes))
+	}
+	r := routes[0].Route
+	if !r.Valid(g) {
+		t.Fatalf("bridged route invalid: %v", r)
+	}
+	if r.Start(g) != 0 || r.End(g) != 3 {
+		t.Fatalf("bridged endpoints: %d -> %d", r.Start(g), r.End(g))
+	}
+	if len(r) != 3 {
+		t.Fatalf("expected 3 edges after bridging, got %v", r)
+	}
+}
+
+func BenchmarkKGRI(b *testing.B) {
+	g := roadnet.NewGrid(2, 12, 100, 15)
+	find := func(u, v roadnet.VertexID) roadnet.EdgeID {
+		for i := range g.Segments {
+			if g.Segments[i].From == u && g.Segments[i].To == v {
+				return g.Segments[i].ID
+			}
+		}
+		return roadnet.NoEdge
+	}
+	rng := rand.New(rand.NewSource(1))
+	locals := make([][]LocalRoute, 10)
+	for i := range locals {
+		for j := 0; j < 6; j++ {
+			ids := make([]int, 1+rng.Intn(4))
+			for k := range ids {
+				ids[k] = rng.Intn(8)
+			}
+			locals[i] = append(locals[i], LocalRoute{
+				Route:      roadnet.Route{find(roadnet.VertexID(i), roadnet.VertexID(i+1))},
+				Refs:       refSet(ids...),
+				Popularity: 0.1 + rng.Float64(),
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KGRI(g, locals, 5)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/traj"
+)
+
+// pickPair returns a consecutive pair from a fresh low-rate query that has
+// at least minRefs references under the system's parameters.
+func pickPair(t *testing.T, w *world, interval float64, minRefs int) (traj.GPSPoint, traj.GPSPoint) {
+	t.Helper()
+	for trial := 0; trial < 20; trial++ {
+		qc, ok := w.ds.GenQuery(6000, interval, 15, w.cfg, w.rng)
+		if !ok {
+			continue
+		}
+		for i := 1; i < qc.Query.Len(); i++ {
+			qi, qj := qc.Query.Points[i-1], qc.Query.Points[i]
+			_, st := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+			if st.Refs >= minRefs {
+				return qi, qj
+			}
+		}
+	}
+	t.Skip("no reference-rich pair found")
+	return traj.GPSPoint{}, traj.GPSPoint{}
+}
+
+func TestTGIProducesConnectedLocalRoutes(t *testing.T) {
+	w := newWorld(t, 400, 71)
+	qi, qj := pickPair(t, w, 180, 3)
+	locals, st := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+	if len(locals) == 0 {
+		t.Fatal("TGI produced no local routes")
+	}
+	if st.Method != MethodTGI {
+		t.Fatal("stats method wrong")
+	}
+	for _, lr := range locals {
+		if !lr.Route.Valid(w.sys.G) {
+			t.Fatalf("invalid TGI route %v", lr.Route)
+		}
+		if lr.Popularity < 0 {
+			t.Fatal("negative popularity")
+		}
+		// Route actually connects the query pair's neighborhoods: its first
+		// edge is near qi, its last near qj.
+		first := w.sys.G.Seg(lr.Route[0])
+		last := w.sys.G.Seg(lr.Route[len(lr.Route)-1])
+		if first.Shape.Dist(qi.Pt) > w.sys.Params.Phi {
+			t.Fatalf("route starts %0.f m from qi", first.Shape.Dist(qi.Pt))
+		}
+		if last.Shape.Dist(qj.Pt) > w.sys.Params.Phi {
+			t.Fatalf("route ends %0.f m from qj", last.Shape.Dist(qj.Pt))
+		}
+	}
+	// Sorted by popularity.
+	for i := 1; i < len(locals); i++ {
+		if locals[i].Popularity > locals[i-1].Popularity+1e-12 {
+			t.Fatal("local routes not sorted by popularity")
+		}
+	}
+}
+
+func TestNNIProducesConnectedLocalRoutes(t *testing.T) {
+	w := newWorld(t, 400, 73)
+	qi, qj := pickPair(t, w, 180, 3)
+	locals, st := w.sys.PairLocalRoutes(qi, qj, MethodNNI)
+	if len(locals) == 0 {
+		t.Fatal("NNI produced no local routes")
+	}
+	if st.Method != MethodNNI {
+		t.Fatal("stats method wrong")
+	}
+	for _, lr := range locals {
+		if !lr.Route.Valid(w.sys.G) {
+			t.Fatalf("invalid NNI route %v", lr.Route)
+		}
+	}
+}
+
+// TestTGIAndNNIAgreeOnTopRoute: on a dense, well-supported pair both
+// methods should find substantially overlapping best routes.
+func TestTGIAndNNIAgreeOnTopRoute(t *testing.T) {
+	w := newWorld(t, 600, 75)
+	qi, qj := pickPair(t, w, 180, 6)
+	tgi, _ := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+	nni, _ := w.sys.PairLocalRoutes(qi, qj, MethodNNI)
+	if len(tgi) == 0 || len(nni) == 0 {
+		t.Skip("one method found nothing")
+	}
+	// The two methods rank alternatives differently; agreement means NNI's
+	// best route appears (substantially) somewhere in TGI's route set.
+	best := 0.0
+	for _, lr := range tgi {
+		if ov := accuracy(w.sys.G, lr.Route, nni[0].Route); ov > best {
+			best = ov
+		}
+	}
+	if best < 0.3 {
+		t.Errorf("NNI top route overlaps TGI's set at most %.2f", best)
+	}
+}
+
+func TestHybridSwitchesOnDensity(t *testing.T) {
+	w := newWorld(t, 400, 77)
+	qi, qj := pickPair(t, w, 180, 2)
+	// Force hybrid with extreme thresholds and observe the method choice.
+	w.sys.Params.Tau = 0 // every density >= 0: always TGI
+	_, st := w.sys.PairLocalRoutes(qi, qj, MethodHybrid)
+	if st.Method != MethodTGI {
+		t.Fatalf("tau=0 chose %v", st.Method)
+	}
+	w.sys.Params.Tau = math.Inf(1) // never dense enough: always NNI
+	_, st = w.sys.PairLocalRoutes(qi, qj, MethodHybrid)
+	if st.Method != MethodNNI {
+		t.Fatalf("tau=inf chose %v", st.Method)
+	}
+	w.sys.Params.Tau = DefaultParams().Tau
+}
+
+// TestGraphReductionPreservesResults: reduction is a performance
+// optimization; the produced local route set must not get worse (the top
+// route survives).
+func TestGraphReductionPreservesTopRoute(t *testing.T) {
+	w := newWorld(t, 400, 79)
+	qi, qj := pickPair(t, w, 180, 3)
+	w.sys.Params.GraphReduction = true
+	withRed, _ := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+	w.sys.Params.GraphReduction = false
+	withoutRed, _ := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+	if len(withRed) == 0 || len(withoutRed) == 0 {
+		t.Skip("no routes to compare")
+	}
+	// Reduction preserves shortest-path *distances* on the traverse graph,
+	// but a removed direct link makes Yen's paths pass through the
+	// intermediate traverse edge, so the projected physical routes can
+	// differ in detail. The top routes must still be substantially the
+	// same corridor.
+	if ov := accuracy(w.sys.G, withoutRed[0].Route, withRed[0].Route); ov < 0.5 {
+		t.Errorf("reduction changed the top route (overlap %.2f)", ov)
+	}
+}
+
+// TestSubstructureSharingPreservesRoutes: sharing is a performance
+// optimization for NNI; the top route should be stable.
+func TestSubstructureSharingPreservesRoutes(t *testing.T) {
+	w := newWorld(t, 400, 81)
+	qi, qj := pickPair(t, w, 180, 3)
+	w.sys.Params.ShareSubstructures = true
+	shared, _ := w.sys.PairLocalRoutes(qi, qj, MethodNNI)
+	w.sys.Params.ShareSubstructures = false
+	unshared, _ := w.sys.PairLocalRoutes(qi, qj, MethodNNI)
+	if len(shared) == 0 || len(unshared) == 0 {
+		t.Skip("no routes to compare")
+	}
+	// Sharing memoizes successor lists with the α of first expansion, so
+	// the trace sets legitimately differ in detail (the paper shares the
+	// same way); the shared run's best route must still appear
+	// substantially within the unshared run's set.
+	best := 0.0
+	for _, lr := range unshared {
+		if ov := accuracy(w.sys.G, lr.Route, shared[0].Route); ov > best {
+			best = ov
+		}
+	}
+	if best < 0.4 {
+		t.Errorf("sharing changed routes too much (best overlap %.2f)", best)
+	}
+}
+
+func TestPairStatsDensity(t *testing.T) {
+	w := newWorld(t, 300, 83)
+	qi, qj := pickPair(t, w, 180, 1)
+	_, st := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+	if st.Points > 0 && st.Density <= 0 {
+		t.Fatalf("density = %v with %d points", st.Density, st.Points)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/hist"
+	"repro/internal/traj"
+)
+
+// FreeRoute is a route inferred without a road network: a polyline through
+// reference points, with the archive trajectories supporting it and a
+// popularity-style score. It realizes the paper's second future-work item
+// (§VI): "extend our solution to deal with the case where the road network
+// is not available".
+type FreeRoute struct {
+	Path    geo.Polyline
+	Score   float64
+	Support map[int]struct{}
+}
+
+// ErrNoFreePath is returned when no network-free path can be assembled.
+var ErrNoFreePath = errors.New("core: no network-free path inferred")
+
+// InferPathsNetworkFree suggests up to p.K3 paths for a query without any
+// road network: per consecutive pair, the reference search (with vmax as
+// the feasibility speed, since no network supplies V_max) feeds the same
+// transit-graph recursion NNI uses, but the enumerated traces are kept as
+// polylines instead of being map-matched; a K-GRI-style dynamic program
+// over support sets assembles the global paths.
+func InferPathsNetworkFree(a *hist.Archive, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
+	if q.Len() < 2 {
+		return nil, ErrEmptyQuery
+	}
+	sp := hist.SearchParams{
+		Phi: p.Phi, SpliceEps: p.SpliceEps,
+		SpliceMinSimple: p.SpliceMinSimple, VMax: vmax,
+	}
+	// locals[i] holds the pair's candidate point-paths.
+	type freeLocal struct {
+		path    geo.Polyline
+		support map[int]struct{}
+	}
+	var locals [][]freeLocal
+	for i := 0; i+1 < q.Len(); i++ {
+		qi, qj := q.Points[i], q.Points[i+1]
+		refs := a.References(qi, qj, sp)
+		var pts []refPoint
+		for _, r := range refs {
+			srcs := r.SourceIDs()
+			for _, gp := range r.Points {
+				pts = append(pts, refPoint{pt: gp.Pt, sources: srcs})
+			}
+		}
+		points, traces := enumerateTransitTraces(pts, qi.Pt, qj.Pt, p)
+		var cands []freeLocal
+		seen := make(map[string]bool)
+		for _, tr := range traces {
+			path := geo.Polyline(tracePoints(points, tr, qi.Pt, qj.Pt))
+			support := make(map[int]struct{})
+			for _, node := range tr {
+				if node < len(points) {
+					for _, s := range points[node].sources {
+						support[s] = struct{}{}
+					}
+				}
+			}
+			key := pathKey(path)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cands = append(cands, freeLocal{path: path, support: support})
+		}
+		if len(cands) == 0 {
+			// No references: interpolate straight between the points.
+			cands = []freeLocal{{
+				path:    geo.Polyline{qi.Pt, qj.Pt},
+				support: map[int]struct{}{},
+			}}
+		}
+		sort.SliceStable(cands, func(x, y int) bool {
+			return len(cands[x].support) > len(cands[y].support)
+		})
+		if p.MaxLocalRoutes > 0 && len(cands) > p.MaxLocalRoutes {
+			cands = cands[:p.MaxLocalRoutes]
+		}
+		locals = append(locals, cands)
+	}
+
+	// K-GRI-style DP: score = ∏(|support|+smoothing) · ∏ g(transition).
+	type fpartial struct {
+		parts []int
+		score float64
+	}
+	M := make([][]fpartial, len(locals[0]))
+	for j, c := range locals[0] {
+		M[j] = []fpartial{{parts: []int{j}, score: float64(len(c.support)) + entropySmoothing}}
+	}
+	for i := 1; i < len(locals); i++ {
+		next := make([][]fpartial, len(locals[i]))
+		for j, c := range locals[i] {
+			var cands []fpartial
+			for pj, prev := range locals[i-1] {
+				gConf := transitionConfidence(prev.support, c.support)
+				for _, fp := range M[pj] {
+					cands = append(cands, fpartial{
+						parts: append(append([]int(nil), fp.parts...), j),
+						score: fp.score * gConf * (float64(len(c.support)) + entropySmoothing),
+					})
+				}
+			}
+			sort.SliceStable(cands, func(x, y int) bool { return cands[x].score > cands[y].score })
+			if len(cands) > p.K3 {
+				cands = cands[:p.K3]
+			}
+			next[j] = cands
+		}
+		M = next
+	}
+	var all []fpartial
+	for _, fs := range M {
+		all = append(all, fs...)
+	}
+	sort.SliceStable(all, func(x, y int) bool { return all[x].score > all[y].score })
+	if len(all) > p.K3 {
+		all = all[:p.K3]
+	}
+	if len(all) == 0 {
+		return nil, ErrNoFreePath
+	}
+	out := make([]FreeRoute, 0, len(all))
+	for _, fp := range all {
+		var path geo.Polyline
+		support := make(map[int]struct{})
+		for i, j := range fp.parts {
+			part := locals[i][j].path
+			if len(path) > 0 && len(part) > 0 && path[len(path)-1].Equal(part[0], 1e-9) {
+				part = part[1:]
+			}
+			path = append(path, part...)
+			for s := range locals[i][j].support {
+				support[s] = struct{}{}
+			}
+		}
+		out = append(out, FreeRoute{Path: path, Score: fp.score, Support: support})
+	}
+	return out, nil
+}
+
+// pathKey produces a coarse dedup key for a polyline (50 m resolution).
+func pathKey(p geo.Polyline) string {
+	b := make([]byte, 0, len(p)*4)
+	for _, pt := range p {
+		x, y := int(pt.X/50), int(pt.Y/50)
+		b = append(b, byte(x), byte(x>>8), byte(y), byte(y>>8))
+	}
+	return string(b)
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/mapmatch"
+	"repro/internal/rtree"
+)
+
+// dedupPoints keeps one reference point per cell×cell meter grid square,
+// merging the source-trajectory sets of collapsed points.
+func dedupPoints(pts []refPoint, cell float64) []refPoint {
+	type key struct{ x, y int }
+	idx := make(map[key]int)
+	var out []refPoint
+	for _, rp := range pts {
+		k := key{int(math.Floor(rp.pt.X / cell)), int(math.Floor(rp.pt.Y / cell))}
+		if i, ok := idx[k]; ok {
+			out[i].sources = append(out[i].sources, rp.sources...)
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, refPoint{pt: rp.pt, sources: append([]int(nil), rp.sources...)})
+	}
+	return out
+}
+
+// inferNNI implements Nearest Neighbor based Inference (Algorithm 2): a
+// depth-first recursion that hops from the current position to admissible
+// nearest reference points until q_{i+1} is reached. Two controls shape the
+// hop choice — α, a detour-tolerance budget that shrinks whenever a hop
+// moves away from the destination (guaranteeing eventual arrival), and β,
+// a cap on the relative detour of a hop. With substructure sharing enabled
+// the per-point successor lists are memoized, turning the recursion tree
+// into the transit graph of Figure 5(d) and saving repeated constrained
+// kNN searches; every q_i→q_{i+1} path of that graph is then converted to
+// a physical route by map-matching its point sequence.
+// inferNNI implements Nearest Neighbor based Inference (Algorithm 2): a
+// depth-first recursion that hops from the current position to admissible
+// nearest reference points until q_{i+1} is reached. Two controls shape the
+// hop choice — α, a detour-tolerance budget that shrinks whenever a hop
+// moves away from the destination (guaranteeing eventual arrival), and β,
+// a cap on the relative detour of a hop. With substructure sharing enabled
+// the per-point successor lists are memoized, turning the recursion tree
+// into the transit graph of Figure 5(d) and saving repeated constrained
+// kNN searches; every q_i→q_{i+1} path of that graph is then converted to
+// a physical route by map-matching its point sequence.
+func (s *System) inferNNI(ctx *pairContext) []LocalRoute {
+	p := s.Params
+	points, traces := enumerateTransitTraces(ctx.points, ctx.qi.Pt, ctx.qj.Pt, p)
+	if len(traces) == 0 {
+		return nil
+	}
+
+	// Convert each trace to a physical route via map-matching (line 3).
+	seen := make(map[string]bool)
+	var out []LocalRoute
+	mprm := mapmatch.DefaultParams()
+	mprm.CandidateRadius = p.CandEps
+	for _, tr := range traces {
+		pts := tracePoints(points, tr, ctx.qi.Pt, ctx.qj.Pt)
+		route, err := mapmatch.ProjectPointSequence(s.G, pts, mprm)
+		if err != nil || len(route) == 0 {
+			continue
+		}
+		key := route.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pop, refs := s.scoreRoute(route, ctx.edgeRefs)
+		out = append(out, LocalRoute{Route: route, Refs: refs, Popularity: pop})
+	}
+	return capLocalRoutes(out, p.MaxLocalRoutes)
+}
+
+// tracePoints materializes a transit trace as a point sequence from q_i to
+// q_{i+1}. The trailing sink marker (len(points)) is skipped.
+func tracePoints(points []refPoint, trace []int, qi, qj geo.Point) []geo.Point {
+	pts := make([]geo.Point, 0, len(trace)+2)
+	pts = append(pts, qi)
+	for _, node := range trace {
+		if node < len(points) {
+			pts = append(pts, points[node].pt)
+		}
+	}
+	pts = append(pts, qj)
+	return pts
+}
+
+// enumerateTransitTraces runs Algorithm 2's recursion over bare reference
+// points and returns the deduplicated point set plus every enumerated
+// q_i→q_{i+1} trace (sequences of indices into the returned point set; the
+// sink q_{i+1} appears as index len(points)). It needs no road network,
+// which is what makes the network-free extension possible.
+func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params) ([]refPoint, [][]int) {
+	// Collapse nearby reference points: GPS noise scatters many archive
+	// samples of the same road into a 2D band, and at fine resolution every
+	// node's k nearest neighbors are band-mates — the transit graph would
+	// never leave the band. A 100 m cell (well under the typical reference
+	// sample spacing) collapses the band to single file along the roads
+	// while keeping the corridor structure the recursion walks on.
+	points := dedupPoints(rawPoints, 100)
+	n := len(points)
+	if n == 0 {
+		return nil, nil
+	}
+	const srcNode = -1
+	sinkNode := n // the destination participates in the kNN stream
+
+	// Index reference points plus the destination for kNN streaming.
+	entries := make([]rtree.Entry[int], 0, n+1)
+	for i, rp := range points {
+		entries = append(entries, rtree.Entry[int]{
+			Box: geo.BBox{Min: rp.pt, Max: rp.pt}, Item: i,
+		})
+	}
+	entries = append(entries, rtree.Entry[int]{
+		Box: geo.BBox{Min: qjPt, Max: qjPt}, Item: sinkNode,
+	})
+	idx := rtree.Bulk(entries)
+
+	posOf := func(node int) geo.Point {
+		switch {
+		case node == srcNode:
+			return qiPt
+		case node == sinkNode:
+			return qjPt
+		default:
+			return points[node].pt
+		}
+	}
+	dest := qjPt
+
+	// successors performs the constrained kNN of Algorithm 2 lines 7–17.
+	successors := func(node int, alpha float64) []int {
+		pc := posOf(node)
+		dCur := pc.Dist(dest)
+		var nn []int
+		it := idx.Nearest(pc)
+		for len(nn) < p.K2 {
+			e, _, ok := it.Next()
+			if !ok {
+				break
+			}
+			cand := e.Item
+			if cand == node {
+				continue
+			}
+			cp := posOf(cand)
+			hop := pc.Dist(cp)
+			if hop < 1e-9 {
+				continue // co-located sample: no progress
+			}
+			if cp.Dist(dest)-alpha > dCur {
+				continue // line 9: drifting away beyond the α budget
+			}
+			if dCur > 1e-9 && (hop+cp.Dist(dest))/dCur > p.Beta {
+				continue // line 11: relative detour too long
+			}
+			if cand == sinkNode {
+				return []int{sinkNode} // lines 13–16: go straight home
+			}
+			nn = append(nn, cand)
+		}
+		// Explore the most promising hop first: the admissible set is the
+		// constrained kNN of the algorithm; ordering children by remaining
+		// distance lets the DFS reach the destination without exhausting
+		// its budget inside dense clusters.
+		sort.Slice(nn, func(a, b int) bool {
+			return posOf(nn[a]).Dist2(dest) < posOf(nn[b]).Dist2(dest)
+		})
+		return nn
+	}
+
+	// Depth-first enumeration with optional transit-graph sharing. The
+	// step budget bounds the exploration when sharing is disabled — the
+	// recursion tree of Figure 5(b) grows combinatorially, which is the
+	// inefficiency the transit graph exists to fix (Figure 13b).
+	steps := 0
+	maxSteps := (p.MaxNNIPaths + 1) * 400
+	memo := make(map[int][]int)
+	var traces [][]int
+	onPath := make(map[int]bool)
+	var trace []int
+	var dfs func(node int, alpha float64)
+	dfs = func(node int, alpha float64) {
+		steps++
+		if steps > maxSteps || len(traces) >= p.MaxNNIPaths {
+			return
+		}
+		if node == sinkNode {
+			traces = append(traces, append([]int(nil), trace...))
+			return
+		}
+		var succ []int
+		if p.ShareSubstructures {
+			var ok bool
+			succ, ok = memo[node]
+			if !ok {
+				succ = successors(node, alpha)
+				memo[node] = succ
+			}
+		} else {
+			succ = successors(node, alpha)
+		}
+		pc := posOf(node)
+		advanced := false
+		for _, next := range succ {
+			if onPath[next] {
+				continue
+			}
+			advanced = true
+			// Line 20, read with the accompanying text: "if the next point
+			// is indeed further [from the destination], we deduct this
+			// deviation from α". The budget only shrinks — regaining it on
+			// forward hops would permit unbounded oscillation.
+			nextAlpha := alpha
+			if drift := posOf(next).Dist(dest) - pc.Dist(dest); drift > 0 {
+				nextAlpha -= drift
+			}
+			onPath[next] = true
+			trace = append(trace, next)
+			dfs(next, nextAlpha)
+			trace = trace[:len(trace)-1]
+			onPath[next] = false
+		}
+		// Dead end: no admissible onward reference point. Rather than
+		// discarding the partial trace, hop straight to the destination —
+		// the resulting route follows the references as far as they lead
+		// and bridges the rest, which still beats a blind shortest path.
+		if !advanced && node != srcNode {
+			trace = append(trace, sinkNode)
+			dfs(sinkNode, alpha)
+			trace = trace[:len(trace)-1]
+		}
+	}
+	onPath[srcNode] = true
+	dfs(srcNode, p.Alpha)
+	return points, traces
+}
+
+// inferLocal dispatches to the configured local inference method; the
+// hybrid approach (§III-B.3) estimates the reference point density
+// ρ = |P_i| / area(MBR(P_i)) and picks NNI below τ (where its adaptive kNN
+// beats TGI's fixed λ radius) and TGI above (where it is both more accurate
+// and cheaper).
+func (s *System) inferLocal(ctx *pairContext) ([]LocalRoute, Method) {
+	switch s.Params.Method {
+	case MethodTGI:
+		return s.inferTGI(ctx), MethodTGI
+	case MethodNNI:
+		return s.inferNNI(ctx), MethodNNI
+	}
+	if ctx.density() < s.Params.Tau {
+		return s.inferNNI(ctx), MethodNNI
+	}
+	return s.inferTGI(ctx), MethodTGI
+}
+
+// fallbackLocal produces a shortest-path local route when no references
+// exist for a pair, keeping the pipeline total on sparse archives. Its
+// popularity is a small constant so any reference-supported alternative
+// outranks it.
+func (s *System) fallbackLocal(ctx *pairContext) []LocalRoute {
+	a, okA := s.G.LocationOf(ctx.qi.Pt)
+	b, okB := s.G.LocationOf(ctx.qj.Pt)
+	if !okA || !okB {
+		return nil
+	}
+	route, _, ok := s.G.PathBetweenLocations(a, b)
+	if !ok {
+		// Try the opposite candidate assignment before giving up: the
+		// nearest edge can be the wrong direction of a two-way street.
+		return nil
+	}
+	return []LocalRoute{{
+		Route:      route,
+		Refs:       map[int]struct{}{},
+		Popularity: entropySmoothing,
+	}}
+}

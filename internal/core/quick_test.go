@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/roadnet"
+)
+
+// TestQuickPopularityProperties: for arbitrary reference assignments,
+// f(R) ≥ 0; f grows (weakly) when a reference is added to a segment; and
+// the union size matches the distinct ids.
+func TestQuickPopularityProperties(t *testing.T) {
+	f := func(assign []uint8, extra uint8) bool {
+		if len(assign) == 0 {
+			return true
+		}
+		if len(assign) > 24 {
+			assign = assign[:24]
+		}
+		// Interpret assign as (segment, refID) pairs on a 4-segment route.
+		er := make(map[roadnet.EdgeID]map[int]struct{})
+		route := roadnet.Route{0, 1, 2, 3}
+		distinct := make(map[int]struct{})
+		for i, a := range assign {
+			seg := roadnet.EdgeID(i % 4)
+			id := int(a % 16)
+			if er[seg] == nil {
+				er[seg] = map[int]struct{}{}
+			}
+			er[seg][id] = struct{}{}
+			distinct[id] = struct{}{}
+		}
+		pop, union := popularity(route, er)
+		if pop < 0 || len(union) != len(distinct) {
+			return false
+		}
+		// Adding a new reference id to segment 0 never lowers f.
+		newID := 100 + int(extra)
+		er[0][newID] = struct{}{}
+		pop2, _ := popularity(route, er)
+		return pop2 >= pop-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTransitionConfidenceBounds: g ∈ [1/e, 1] for arbitrary sets.
+func TestQuickTransitionConfidenceBounds(t *testing.T) {
+	f := func(aIDs, bIDs []uint8) bool {
+		a, b := map[int]struct{}{}, map[int]struct{}{}
+		for _, x := range aIDs {
+			a[int(x%32)] = struct{}{}
+		}
+		for _, x := range bIDs {
+			b[int(x%32)] = struct{}{}
+		}
+		g := transitionConfidence(a, b)
+		return g >= math.Exp(-1)-1e-12 && g <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKGRIEqualsBruteForce: randomized local route sets keep the DP
+// and the enumeration in exact agreement (scores and count).
+func TestQuickKGRIEqualsBruteForce(t *testing.T) {
+	g := roadnet.NewGrid(2, 8, 100, 15)
+	find := func(u, v roadnet.VertexID) roadnet.EdgeID {
+		for i := range g.Segments {
+			if g.Segments[i].From == u && g.Segments[i].To == v {
+				return g.Segments[i].ID
+			}
+		}
+		return roadnet.NoEdge
+	}
+	f := func(seed int64, pairsRaw, mRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pairs := 1 + int(pairsRaw%5)
+		m := 1 + int(mRaw%4)
+		k := 1 + int(kRaw%6)
+		locals := make([][]LocalRoute, pairs)
+		for i := range locals {
+			for j := 0; j < m; j++ {
+				ids := make([]int, 1+rng.Intn(3))
+				for x := range ids {
+					ids[x] = rng.Intn(6)
+				}
+				locals[i] = append(locals[i], LocalRoute{
+					Route:      roadnet.Route{find(roadnet.VertexID(i), roadnet.VertexID(i+1))},
+					Refs:       refSet(ids...),
+					Popularity: 0.05 + rng.Float64(),
+				})
+			}
+		}
+		a := KGRI(g, locals, k)
+		b := BruteForceGlobalRoutes(g, locals, k)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i].Score-b[i].Score) > 1e-12*math.Max(1, b[i].Score) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

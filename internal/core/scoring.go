@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// entropySmoothing is added to the entropy term of Equation 1 so that
+// single-segment local routes (whose reference distribution has zero
+// entropy by definition) still rank by their reference support instead of
+// all collapsing to f(R)=0, which would zero out every global score they
+// participate in. The value is small enough that the entropy term dominates
+// whenever it is nonzero.
+const entropySmoothing = 0.01
+
+// popularity computes f(R) of Equation 1 for a route given the pair's
+// per-edge reference sets C_i(r):
+//
+//	f(R) = |∪_{r∈R} C_i(r)| · H(R)
+//
+// with x(r) = |C_i(r)| / Σ_{r∈R} |C_i(r)| and the entropy term
+// H = Σ −x·log x normalized by its maximum log |R|. The paper motivates
+// the entropy factor as "naturally reflect[ing] the uniformness of a
+// probability distribution" (Figure 6's stable R_a versus bursty R_b);
+// the raw sum, however, also grows as log n with the number of route
+// segments, which would make every longer alternative outrank shorter
+// ones regardless of support. Normalizing isolates the uniformness signal
+// the paper argues for — a documented deviation from the formula as
+// printed (see DESIGN.md).
+func popularity(route roadnet.Route, edgeRefs map[roadnet.EdgeID]map[int]struct{}) (float64, map[int]struct{}) {
+	union := make(map[int]struct{})
+	var total float64
+	counts := make([]float64, len(route))
+	for i, e := range route {
+		set := edgeRefs[e]
+		counts[i] = float64(len(set))
+		total += counts[i]
+		for id := range set {
+			union[id] = struct{}{}
+		}
+	}
+	if len(union) == 0 || total == 0 {
+		return 0, union
+	}
+	var entropy float64
+	for _, c := range counts {
+		if c == 0 {
+			continue // lim x→0 of −x·log x is 0
+		}
+		x := c / total
+		entropy += -x * math.Log(x)
+	}
+	if n := len(route); n > 1 {
+		entropy /= math.Log(float64(n))
+	}
+	return float64(len(union)) * (entropy + entropySmoothing), union
+}
+
+// transitionConfidence computes g(R_a, R_b) of Equation 2: the Jaccard
+// similarity of the two routes' reference sets mapped through exp(·−1),
+// so identical support gives 1 and disjoint support gives 1/e.
+func transitionConfidence(a, b map[int]struct{}) float64 {
+	inter, union := 0, len(b)
+	for id := range a {
+		if _, ok := b[id]; ok {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union == 0 {
+		return math.Exp(-1)
+	}
+	return math.Exp(float64(inter)/float64(union) - 1)
+}
+
+// scoreRoute applies Equation 1 or, under the AblateEntropy ablation, the
+// bare reference-support count.
+func (s *System) scoreRoute(route roadnet.Route, edgeRefs map[roadnet.EdgeID]map[int]struct{}) (float64, map[int]struct{}) {
+	pop, refs := popularity(route, edgeRefs)
+	if s.Params.AblateEntropy {
+		return float64(len(refs)), refs
+	}
+	return pop, refs
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func refSet(ids ...int) map[int]struct{} {
+	s := make(map[int]struct{}, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+func edgeRefs(m map[roadnet.EdgeID][]int) map[roadnet.EdgeID]map[int]struct{} {
+	out := make(map[roadnet.EdgeID]map[int]struct{})
+	for e, ids := range m {
+		out[e] = refSet(ids...)
+	}
+	return out
+}
+
+func TestPopularityStableBeatsBursty(t *testing.T) {
+	// Figure 6: R_a has stable traffic (2 refs on each of 3 segments),
+	// R_b has a burst (6 refs on one segment, none elsewhere). Same union
+	// size; R_a must score higher.
+	ra := edgeRefs(map[roadnet.EdgeID][]int{0: {1, 2}, 1: {3, 4}, 2: {5, 6}})
+	rb := edgeRefs(map[roadnet.EdgeID][]int{0: {1, 2, 3, 4, 5, 6}, 1: {}, 2: {}})
+	fa, ua := popularity(roadnet.Route{0, 1, 2}, ra)
+	fb, ub := popularity(roadnet.Route{0, 1, 2}, rb)
+	if len(ua) != 6 || len(ub) != 6 {
+		t.Fatalf("unions: %d, %d", len(ua), len(ub))
+	}
+	if fa <= fb {
+		t.Fatalf("stable route f=%v not above bursty f=%v", fa, fb)
+	}
+}
+
+func TestPopularityGrowsWithSupport(t *testing.T) {
+	small := edgeRefs(map[roadnet.EdgeID][]int{0: {1}, 1: {2}})
+	big := edgeRefs(map[roadnet.EdgeID][]int{0: {1, 3, 5}, 1: {2, 4, 6}})
+	fs, _ := popularity(roadnet.Route{0, 1}, small)
+	fb, _ := popularity(roadnet.Route{0, 1}, big)
+	if fb <= fs {
+		t.Fatalf("more references should raise popularity: %v vs %v", fb, fs)
+	}
+}
+
+func TestPopularityNoReferences(t *testing.T) {
+	f, u := popularity(roadnet.Route{0, 1}, edgeRefs(map[roadnet.EdgeID][]int{}))
+	if f != 0 || len(u) != 0 {
+		t.Fatalf("unsupported route: f=%v union=%d", f, len(u))
+	}
+}
+
+func TestPopularitySingleSegmentUsesSmoothing(t *testing.T) {
+	er := edgeRefs(map[roadnet.EdgeID][]int{0: {1, 2, 3}})
+	f, u := popularity(roadnet.Route{0}, er)
+	if len(u) != 3 {
+		t.Fatalf("union = %d", len(u))
+	}
+	// Entropy of a single segment is 0; smoothing keeps ranking by support.
+	want := 3 * entropySmoothing
+	if math.Abs(f-want) > 1e-12 {
+		t.Fatalf("f = %v, want %v", f, want)
+	}
+}
+
+func TestTransitionConfidenceBounds(t *testing.T) {
+	// Identical sets -> 1 (maximum).
+	a := refSet(1, 2, 3)
+	if g := transitionConfidence(a, refSet(1, 2, 3)); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("identical sets: g = %v", g)
+	}
+	// Disjoint sets -> 1/e (minimum).
+	if g := transitionConfidence(a, refSet(4, 5)); math.Abs(g-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("disjoint sets: g = %v", g)
+	}
+	// Partial overlap strictly between.
+	g := transitionConfidence(a, refSet(1, 2, 9))
+	if g <= math.Exp(-1) || g >= 1 {
+		t.Fatalf("partial overlap: g = %v", g)
+	}
+	// Empty-empty defined as the minimum.
+	if g := transitionConfidence(refSet(), refSet()); math.Abs(g-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("empty sets: g = %v", g)
+	}
+}
+
+func TestTransitionConfidenceMonotoneInOverlap(t *testing.T) {
+	a := refSet(1, 2, 3, 4)
+	prev := -1.0
+	for k := 0; k <= 4; k++ {
+		ids := make([]int, 0, 4)
+		for i := 1; i <= k; i++ {
+			ids = append(ids, i) // overlap grows with k
+		}
+		for i := 10; len(ids) < 4; i++ {
+			ids = append(ids, i)
+		}
+		g := transitionConfidence(a, refSet(ids...))
+		if g < prev {
+			t.Fatalf("g not monotone in overlap at k=%d: %v < %v", k, g, prev)
+		}
+		prev = g
+	}
+}

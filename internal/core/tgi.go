@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/graphalg"
+	"repro/internal/roadnet"
+)
+
+// inferTGI implements Traverse Graph based Inference (Algorithm 1).
+//
+// The traverse graph is a conceptual directed graph whose nodes are the
+// traverse edges — road segments that are candidate edges of some reference
+// point (Definition 9) — plus the candidate edges of q_i and q_{i+1}. A
+// link r→s exists when s lies in the λ-neighborhood of r, weighted by the
+// hop distance h(r,s). Graph augmentation makes the graph strongly
+// connected; transitive graph reduction drops redundant links; Yen's
+// K-shortest-path search between every candidate-edge pair yields paths
+// that are finally projected back onto the physical road network.
+func (s *System) inferTGI(ctx *pairContext) []LocalRoute {
+	g := s.G
+	p := s.Params
+
+	srcs := s.queryCandidates(ctx.qi.Pt)
+	dsts := s.queryCandidates(ctx.qj.Pt)
+	if len(srcs) == 0 || len(dsts) == 0 {
+		return nil
+	}
+
+	// Node set: traverse edges plus the query candidate edges.
+	nodeOf := make(map[roadnet.EdgeID]int)
+	var edges []roadnet.EdgeID
+	addNode := func(e roadnet.EdgeID) int {
+		if idx, ok := nodeOf[e]; ok {
+			return idx
+		}
+		idx := len(edges)
+		nodeOf[e] = idx
+		edges = append(edges, e)
+		return idx
+	}
+	// Sorted insertion keeps the traverse graph — and with it Yen's
+	// tie-breaking among equal-weight paths — deterministic across runs.
+	traverse := make([]roadnet.EdgeID, 0, len(ctx.edgeRefs))
+	for e := range ctx.edgeRefs {
+		traverse = append(traverse, e)
+	}
+	sort.Ints(traverse)
+	for _, e := range traverse {
+		addNode(e)
+	}
+	for _, e := range srcs {
+		addNode(e)
+	}
+	for _, e := range dsts {
+		addNode(e)
+	}
+
+	// Links to λ-neighborhoods (lines 6–8). Membership follows Definition 8
+	// (hop distance < λ); the link weight approximates the physical driving
+	// length of taking the link — the straight-line gap between r's end and
+	// s's start plus s's length — so that the K "shortest" paths of line 13
+	// are the physically shortest reference-supported routes rather than
+	// the fewest-hop ones.
+	tg := graphalg.NewGraph(len(edges))
+	for i, r := range edges {
+		hops := g.EdgeHops(r, p.Lambda-1)
+		rEnd := g.Vertices[g.Seg(r).To].Pt
+		for j, sEdge := range edges {
+			if i == j {
+				continue
+			}
+			if h := hops[sEdge]; h > 0 && h < p.Lambda {
+				sSeg := g.Seg(sEdge)
+				gap := rEnd.Dist(g.Vertices[sSeg.From].Pt)
+				tg.AddArc(i, j, gap+sSeg.Length)
+			}
+		}
+	}
+
+	augmentStronglyConnected(tg, edges, g)
+	if p.GraphReduction {
+		reduceTraverseGraph(tg)
+	}
+
+	// K-shortest paths between every (source, destination) candidate pair
+	// (lines 11–13), projected to physical routes (line 14).
+	seen := make(map[string]bool)
+	var out []LocalRoute
+	for _, se := range srcs {
+		for _, de := range dsts {
+			paths := graphalg.KShortestPaths(tg, nodeOf[se], nodeOf[de], p.K1)
+			for _, path := range paths {
+				route, ok := s.projectPath(path.Vertices, edges)
+				if !ok || len(route) == 0 {
+					continue
+				}
+				key := route.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				pop, refs := s.scoreRoute(route, ctx.edgeRefs)
+				out = append(out, LocalRoute{Route: route, Refs: refs, Popularity: pop})
+			}
+		}
+	}
+	return capLocalRoutes(out, p.MaxLocalRoutes)
+}
+
+// queryCandidates returns candidate edges of a query point, widening to the
+// nearest edges when the ε-radius finds none, capped to keep the
+// K-shortest-path stage tractable.
+func (s *System) queryCandidates(pt geo.Point) []roadnet.EdgeID {
+	const maxQueryCandidates = 3
+	cands := s.G.CandidateEdges(pt, s.Params.CandEps)
+	if len(cands) == 0 {
+		cands = s.G.NearestCandidates(pt, maxQueryCandidates)
+	}
+	if len(cands) > maxQueryCandidates {
+		cands = cands[:maxQueryCandidates]
+	}
+	out := make([]roadnet.EdgeID, len(cands))
+	for i, c := range cands {
+		out[i] = c.Edge
+	}
+	return out
+}
+
+// augmentStronglyConnected implements the graph-augmentation subroutine:
+// while the traverse graph is not strongly connected, link the closest pair
+// of nodes from different components with two directed arcs (the k=1
+// special case of the connectivity augmentation problem, solved greedily
+// like a minimum spanning tree over components).
+func augmentStronglyConnected(tg *graphalg.Graph, edges []roadnet.EdgeID, g *roadnet.Graph) {
+	mid := make([]geo.Point, len(edges))
+	for i, e := range edges {
+		seg := g.Seg(e)
+		mid[i] = seg.Shape.At(seg.Length / 2)
+	}
+	for {
+		comp, count := graphalg.StronglyConnectedComponents(tg)
+		if count <= 1 {
+			return
+		}
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := range edges {
+			for j := i + 1; j < len(edges); j++ {
+				if comp[i] == comp[j] {
+					continue
+				}
+				if d := mid[i].Dist(mid[j]); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if bi < 0 {
+			return
+		}
+		// The augmented link's weight is the physical gap it spans plus the
+		// target edge, consistent with the λ-neighborhood link weights.
+		tg.AddArc(bi, bj, best+g.Seg(edges[bj]).Length)
+		tg.AddArc(bj, bi, best+g.Seg(edges[bi]).Length)
+	}
+}
+
+// reduceTraverseGraph removes redundant links: r→k is redundant when some
+// intermediate node j has links r→j and j→k whose hop distances compose
+// exactly to h(r,k) (the paper's h(r_i,r_k) = h(r_i,r_j)+h(r_j,r_k)+1 rule,
+// expressed in our hop convention where adjacent edges are 1 hop apart).
+// Removal preserves all shortest-path distances while shrinking the search
+// space of the K-shortest-path stage.
+func reduceTraverseGraph(tg *graphalg.Graph) {
+	n := tg.N()
+	w := make([]map[int]float64, n)
+	for u := 0; u < n; u++ {
+		w[u] = make(map[int]float64, len(tg.Adj[u]))
+		for _, a := range tg.Adj[u] {
+			if cur, ok := w[u][a.To]; !ok || a.W < cur {
+				w[u][a.To] = a.W
+			}
+		}
+	}
+	// A direct link is redundant when routing through an intermediate
+	// traverse edge composes to (approximately) the same physical length —
+	// the float-weight analogue of the paper's exact hop composition rule.
+	// The tolerance absorbs street curvature and vertex jitter; removed
+	// links change path weights by at most this amount.
+	const tol = 30.0 // meters
+	for r := 0; r < n; r++ {
+		for k, wrk := range w[r] {
+			redundant := false
+			for j, wrj := range w[r] {
+				if j == k {
+					continue
+				}
+				if wjk, ok := w[j][k]; ok && wrj+wjk <= wrk+tol {
+					redundant = true
+					break
+				}
+			}
+			if redundant {
+				tg.RemoveArc(r, k)
+				delete(w[r], k)
+			}
+		}
+	}
+}
+
+// projectPath maps a traverse-graph path (node indices) to a physical road
+// route, bridging non-adjacent consecutive edges with shortest paths.
+func (s *System) projectPath(nodes []int, edges []roadnet.EdgeID) (roadnet.Route, bool) {
+	if len(nodes) == 0 {
+		return nil, false
+	}
+	route := roadnet.Route{edges[nodes[0]]}
+	for _, n := range nodes[1:] {
+		next := edges[n]
+		joined, ok := route.Concat(s.G, roadnet.Route{next})
+		if !ok {
+			return nil, false
+		}
+		route = joined
+	}
+	if !route.Valid(s.G) {
+		return nil, false
+	}
+	return route, true
+}
+
+// capLocalRoutes sorts by popularity (descending) and keeps at most max.
+func capLocalRoutes(rs []LocalRoute, max int) []LocalRoute {
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Popularity > rs[j].Popularity })
+	if max > 0 && len(rs) > max {
+		rs = rs[:max]
+	}
+	return rs
+}

@@ -1,0 +1,72 @@
+package eval
+
+import "testing"
+
+func TestAblationsSmoke(t *testing.T) {
+	w := NewWorld(tinyConfig())
+	tab := w.Ablations([]float64{3})
+	if len(tab.Series) != 5 {
+		t.Fatalf("series = %d, want 5", len(tab.Series))
+	}
+	var full float64
+	found := false
+	for _, s := range tab.Series {
+		if len(s.Points) != 1 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.Points))
+		}
+		y := s.Points[0].Y
+		if y < 0 || y > 1 {
+			t.Fatalf("series %s accuracy %v out of range", s.Name, y)
+		}
+		if s.Name == "full" {
+			full, found = y, true
+		}
+	}
+	if !found {
+		t.Fatal("no full series")
+	}
+	if full <= 0 {
+		t.Fatal("full system scored 0")
+	}
+	// Params restored.
+	if w.Sys.Params.AblateEntropy || w.Sys.Params.AblateTransition || w.Sys.Params.AblateTrim {
+		t.Fatal("Ablations leaked parameter changes")
+	}
+}
+
+func TestNetworkFreeExtensionSmoke(t *testing.T) {
+	w := NewWorld(tinyConfig())
+	tab := w.NetworkFreeExtension([]float64{5})
+	if len(tab.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(tab.Series))
+	}
+	var inf, straight float64
+	for _, s := range tab.Series {
+		if len(s.Points) != 1 || s.Points[0].Y < 0 {
+			t.Fatalf("series %s bad points %+v", s.Name, s.Points)
+		}
+		if s.Name == "network-free HRIS" {
+			inf = s.Points[0].Y
+		} else {
+			straight = s.Points[0].Y
+		}
+	}
+	// The headline claim of the extension: history beats interpolation.
+	if inf > straight {
+		t.Errorf("network-free deviation %.0f m above straight-line %.0f m", inf, straight)
+	}
+}
+
+func TestTemporalExtensionSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 3
+	tab := TemporalExtension(cfg, []float64{3})
+	if len(tab.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(tab.Series))
+	}
+	for _, s := range tab.Series {
+		if len(s.Points) != 1 || s.Points[0].Y < 0 || s.Points[0].Y > 1 {
+			t.Fatalf("series %s bad points %+v", s.Name, s.Points)
+		}
+	}
+}

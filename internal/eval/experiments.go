@@ -1,0 +1,332 @@
+package eval
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapmatch"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/traj"
+)
+
+// hrisTop1 runs HRIS on the query and returns its best route.
+func (w *World) hrisTop1(q *traj.Trajectory) (roadnet.Route, bool) {
+	res, err := w.Sys.InferRoutes(q)
+	if err != nil || len(res.Routes) == 0 {
+		return nil, false
+	}
+	return res.Routes[0].Route, true
+}
+
+// meanAccuracy runs fn over the queries and averages A_L (failures score 0).
+func (w *World) meanAccuracy(qs []sim.QueryCase, fn func(*traj.Trajectory) (roadnet.Route, bool)) float64 {
+	if len(qs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, qc := range qs {
+		if route, ok := fn(qc.Query); ok {
+			sum += AccuracyAL(w.Sys.G, qc.Truth, route)
+		}
+	}
+	return sum / float64(len(qs))
+}
+
+func matcherFn(m mapmatch.Matcher) func(*traj.Trajectory) (roadnet.Route, bool) {
+	return func(q *traj.Trajectory) (roadnet.Route, bool) {
+		r, err := m.Match(q)
+		return r, err == nil
+	}
+}
+
+// Figure8a compares HRIS against the three map-matching competitors across
+// sampling rates (minutes between samples).
+func (w *World) Figure8a(rates []float64) *Table {
+	t := &Table{Figure: "8a", Title: "Accuracy vs sampling rate",
+		XLabel: "SR (min)", YLabel: "A_L"}
+	for i, sr := range rates {
+		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(i)*101)
+		t.Add("HRIS", sr, w.meanAccuracy(qs, w.hrisTop1))
+		t.Add("IVMM", sr, w.meanAccuracy(qs, matcherFn(w.IVMM)))
+		t.Add("ST-matching", sr, w.meanAccuracy(qs, matcherFn(w.ST)))
+		t.Add("incremental", sr, w.meanAccuracy(qs, matcherFn(w.Incremental)))
+	}
+	return t
+}
+
+// Figure8b compares the approaches across query lengths (km) at the default
+// sampling rate (3 min).
+func (w *World) Figure8b(lengthsKm []float64) *Table {
+	t := &Table{Figure: "8b", Title: "Accuracy vs query length",
+		XLabel: "L (km)", YLabel: "A_L"}
+	for i, lk := range lengthsKm {
+		qs := w.Queries(w.Cfg.Queries, 180, lk*1000, w.Cfg.Seed+int64(i)*211)
+		t.Add("HRIS", lk, w.meanAccuracy(qs, w.hrisTop1))
+		t.Add("IVMM", lk, w.meanAccuracy(qs, matcherFn(w.IVMM)))
+		t.Add("ST-matching", lk, w.meanAccuracy(qs, matcherFn(w.ST)))
+		t.Add("incremental", lk, w.meanAccuracy(qs, matcherFn(w.Incremental)))
+	}
+	return t
+}
+
+// Figure9 sweeps the reference search radius φ for several sampling rates,
+// reporting accuracy (9a) and mean per-query running time in ms (9b).
+func (w *World) Figure9(phis []float64, ratesMin []float64) (*Table, *Table) {
+	acc := &Table{Figure: "9a", Title: "Accuracy vs reference search range φ",
+		XLabel: "phi (m)", YLabel: "A_L"}
+	tim := &Table{Figure: "9b", Title: "Running time vs φ",
+		XLabel: "phi (m)", YLabel: "ms/query"}
+	saved := w.Sys.Params
+	defer func() { w.Sys.Params = saved }()
+	for _, sr := range ratesMin {
+		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(sr)*307)
+		name := seriesSR(sr)
+		for _, phi := range phis {
+			w.Sys.Params.Phi = phi
+			start := time.Now()
+			a := w.meanAccuracy(qs, w.hrisTop1)
+			elapsed := time.Since(start)
+			acc.Add(name, phi, a)
+			tim.Add(name, phi, float64(elapsed.Milliseconds())/float64(max(1, len(qs))))
+		}
+	}
+	return acc, tim
+}
+
+// Figure10 compares TGI and NNI as the reference-point density varies:
+// archives of increasing size shift the per-pair density up. The x axis is
+// the measured mean density (points/km²); 10a reports accuracy, 10b mean
+// per-query time in ms.
+func Figure10(cfg WorldConfig, tripCounts []int) (*Table, *Table) {
+	acc := &Table{Figure: "10a", Title: "Accuracy vs reference density ρ (TGI vs NNI)",
+		XLabel: "rho (pts/km^2)", YLabel: "A_L"}
+	tim := &Table{Figure: "10b", Title: "Running time vs ρ (TGI vs NNI)",
+		XLabel: "rho (pts/km^2)", YLabel: "ms/query"}
+	for _, trips := range tripCounts {
+		c := cfg
+		c.Trips = trips
+		w := NewWorld(c)
+		qs := w.Queries(c.Queries, 180, c.QueryLen, c.Seed+int64(trips))
+		for _, m := range []core.Method{core.MethodTGI, core.MethodNNI} {
+			w.Sys.Params.Method = m
+			start := time.Now()
+			var accSum, denSum float64
+			var denN int
+			for _, qc := range qs {
+				res, err := w.Sys.InferRoutes(qc.Query)
+				if err != nil || len(res.Routes) == 0 {
+					continue
+				}
+				accSum += AccuracyAL(w.Sys.G, qc.Truth, res.Routes[0].Route)
+				for _, ps := range res.Pairs {
+					if ps.Points > 0 && !isInf(ps.Density) {
+						denSum += ps.Density
+						denN++
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			if denN == 0 || len(qs) == 0 {
+				continue
+			}
+			rho := denSum / float64(denN)
+			acc.Add(m.String(), rho, accSum/float64(len(qs)))
+			tim.Add(m.String(), rho, float64(elapsed.Milliseconds())/float64(len(qs)))
+		}
+	}
+	return acc, tim
+}
+
+// Figure11 sweeps λ: 11a accuracy per sampling rate (TGI), 11b TGI time
+// with and without graph reduction.
+func (w *World) Figure11(lambdas []int, ratesMin []float64) (*Table, *Table) {
+	acc := &Table{Figure: "11a", Title: "Accuracy vs λ (TGI)",
+		XLabel: "lambda", YLabel: "A_L"}
+	tim := &Table{Figure: "11b", Title: "TGI time vs λ, with/without graph reduction",
+		XLabel: "lambda", YLabel: "ms/query"}
+	saved := w.Sys.Params
+	defer func() { w.Sys.Params = saved }()
+	w.Sys.Params.Method = core.MethodTGI
+	for _, sr := range ratesMin {
+		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(sr)*401)
+		for _, l := range lambdas {
+			w.Sys.Params.Lambda = l
+			w.Sys.Params.GraphReduction = true
+			a := w.meanAccuracy(qs, w.hrisTop1)
+			acc.Add(seriesSR(sr), float64(l), a)
+		}
+	}
+	qs := w.Queries(w.Cfg.Queries, 180, w.Cfg.QueryLen, w.Cfg.Seed+997)
+	for _, l := range lambdas {
+		w.Sys.Params.Lambda = l
+		for _, red := range []bool{true, false} {
+			w.Sys.Params.GraphReduction = red
+			start := time.Now()
+			w.meanAccuracy(qs, w.hrisTop1)
+			elapsed := time.Since(start)
+			name := "no reduction"
+			if red {
+				name = "with reduction"
+			}
+			tim.Add(name, float64(l), float64(elapsed.Milliseconds())/float64(max(1, len(qs))))
+		}
+	}
+	return acc, tim
+}
+
+// Figure12 sweeps k1 (K of the K-shortest-path search in TGI): accuracy per
+// sampling rate (12a) and time with/without reduction (12b).
+func (w *World) Figure12(k1s []int, ratesMin []float64) (*Table, *Table) {
+	acc := &Table{Figure: "12a", Title: "Accuracy vs k1 (TGI K-shortest paths)",
+		XLabel: "k1", YLabel: "A_L"}
+	tim := &Table{Figure: "12b", Title: "TGI time vs k1, with/without graph reduction",
+		XLabel: "k1", YLabel: "ms/query"}
+	saved := w.Sys.Params
+	defer func() { w.Sys.Params = saved }()
+	w.Sys.Params.Method = core.MethodTGI
+	for _, sr := range ratesMin {
+		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(sr)*503)
+		for _, k := range k1s {
+			w.Sys.Params.K1 = k
+			w.Sys.Params.GraphReduction = true
+			acc.Add(seriesSR(sr), float64(k), w.meanAccuracy(qs, w.hrisTop1))
+		}
+	}
+	qs := w.Queries(w.Cfg.Queries, 180, w.Cfg.QueryLen, w.Cfg.Seed+1009)
+	for _, k := range k1s {
+		w.Sys.Params.K1 = k
+		for _, red := range []bool{true, false} {
+			w.Sys.Params.GraphReduction = red
+			start := time.Now()
+			w.meanAccuracy(qs, w.hrisTop1)
+			elapsed := time.Since(start)
+			name := "no reduction"
+			if red {
+				name = "with reduction"
+			}
+			tim.Add(name, float64(k), float64(elapsed.Milliseconds())/float64(max(1, len(qs))))
+		}
+	}
+	return acc, tim
+}
+
+// Figure13 sweeps k2 (NNI fan-out): accuracy per sampling rate (13a) and
+// time with/without substructure sharing (13b).
+func (w *World) Figure13(k2s []int, ratesMin []float64) (*Table, *Table) {
+	acc := &Table{Figure: "13a", Title: "Accuracy vs k2 (NNI)",
+		XLabel: "k2", YLabel: "A_L"}
+	tim := &Table{Figure: "13b", Title: "NNI time vs k2, with/without substructure sharing",
+		XLabel: "k2", YLabel: "ms/query"}
+	saved := w.Sys.Params
+	defer func() { w.Sys.Params = saved }()
+	w.Sys.Params.Method = core.MethodNNI
+	for _, sr := range ratesMin {
+		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(sr)*601)
+		for _, k := range k2s {
+			w.Sys.Params.K2 = k
+			w.Sys.Params.ShareSubstructures = true
+			acc.Add(seriesSR(sr), float64(k), w.meanAccuracy(qs, w.hrisTop1))
+		}
+	}
+	qs := w.Queries(w.Cfg.Queries, 180, w.Cfg.QueryLen, w.Cfg.Seed+1013)
+	for _, k := range k2s {
+		w.Sys.Params.K2 = k
+		for _, share := range []bool{true, false} {
+			w.Sys.Params.ShareSubstructures = share
+			start := time.Now()
+			w.meanAccuracy(qs, w.hrisTop1)
+			elapsed := time.Since(start)
+			name := "no sharing"
+			if share {
+				name = "with sharing"
+			}
+			tim.Add(name, float64(k), float64(elapsed.Milliseconds())/float64(max(1, len(qs))))
+		}
+	}
+	return acc, tim
+}
+
+// Figure14a sweeps k3 (K-GRI's K): the average and maximum A_L over the
+// returned top-k3 global routes.
+func (w *World) Figure14a(k3s []int) *Table {
+	t := &Table{Figure: "14a", Title: "Top-k3 average and maximum accuracy (K-GRI)",
+		XLabel: "k3", YLabel: "A_L"}
+	saved := w.Sys.Params
+	defer func() { w.Sys.Params = saved }()
+	qs := w.Queries(w.Cfg.Queries, 180, w.Cfg.QueryLen, w.Cfg.Seed+1201)
+	for _, k := range k3s {
+		w.Sys.Params.K3 = k
+		var avgSum, maxSum float64
+		n := 0
+		for _, qc := range qs {
+			res, err := w.Sys.InferRoutes(qc.Query)
+			if err != nil || len(res.Routes) == 0 {
+				continue
+			}
+			var sum, best float64
+			for _, gr := range res.Routes {
+				a := AccuracyAL(w.Sys.G, qc.Truth, gr.Route)
+				sum += a
+				if a > best {
+					best = a
+				}
+			}
+			avgSum += sum / float64(len(res.Routes))
+			maxSum += best
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		t.Add("avg", float64(k), avgSum/float64(n))
+		t.Add("max", float64(k), maxSum/float64(n))
+	}
+	return t
+}
+
+// Figure14b compares K-GRI against brute-force enumeration on the same
+// local route sets as the query length (number of pairs) grows, reporting
+// microseconds per call.
+func (w *World) Figure14b(pairCounts []int) *Table {
+	t := &Table{Figure: "14b", Title: "K-GRI vs brute-force global route search",
+		XLabel: "pairs", YLabel: "us/call"}
+	// Build one long query's local route sets, then evaluate prefixes.
+	qs := w.Queries(1, 180, w.Cfg.QueryLen*1.5, w.Cfg.Seed+1301)
+	if len(qs) == 0 {
+		return t
+	}
+	res, err := w.Sys.InferRoutes(qs[0].Query)
+	if err != nil {
+		return t
+	}
+	locals := res.Locals
+	for _, n := range pairCounts {
+		if n > len(locals) {
+			break
+		}
+		sub := locals[:n]
+		reps := 5
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			core.KGRI(w.Sys.G, sub, w.Sys.Params.K3)
+		}
+		kgriUS := float64(time.Since(start).Microseconds()) / float64(reps)
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			core.BruteForceGlobalRoutes(w.Sys.G, sub, w.Sys.Params.K3)
+		}
+		bruteUS := float64(time.Since(start).Microseconds()) / float64(reps)
+		t.Add("K-GRI", float64(n), kgriUS)
+		t.Add("brute-force", float64(n), bruteUS)
+	}
+	return t
+}
+
+func seriesSR(sr float64) string {
+	return "SR=" + strconv.FormatFloat(sr, 'g', -1, 64) + "min"
+}
+
+func isInf(f float64) bool { return math.IsInf(f, 1) }

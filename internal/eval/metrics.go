@@ -1,0 +1,54 @@
+// Package eval implements the paper's evaluation (§IV): the A_L route
+// similarity metric and one experiment runner per figure (8a–14b), each
+// producing the same series the paper plots. The substrate is the
+// simulator of internal/sim standing in for the Beijing taxi dataset; see
+// DESIGN.md §5 for the substitution rationale.
+package eval
+
+import (
+	"repro/internal/roadnet"
+)
+
+// AccuracyAL computes the paper's inference-quality metric
+//
+//	A_L = LCR(R_G, R_I).length / max{R_G.length, R_I.length}
+//
+// where LCR is the longest common (order-preserving) road segment
+// subsequence of the ground truth R_G and the inferred route R_I, measured
+// by total segment length.
+func AccuracyAL(g *roadnet.Graph, truth, inferred roadnet.Route) float64 {
+	if len(truth) == 0 || len(inferred) == 0 {
+		return 0
+	}
+	common := lcsLength(g, truth, inferred)
+	tl, il := truth.Length(g), inferred.Length(g)
+	max := tl
+	if il > max {
+		max = il
+	}
+	if max == 0 {
+		return 0
+	}
+	return common / max
+}
+
+// lcsLength returns the maximum total length of a common subsequence of
+// segment ids, by the classic O(n·m) dynamic program with length weights.
+func lcsLength(g *roadnet.Graph, a, b roadnet.Route) float64 {
+	n, m := len(a), len(b)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + g.Seg(a[i-1]).Length
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func grid(t *testing.T) (*roadnet.Graph, func(u, v roadnet.VertexID) roadnet.EdgeID) {
+	t.Helper()
+	g := roadnet.NewGrid(4, 6, 100, 15)
+	find := func(u, v roadnet.VertexID) roadnet.EdgeID {
+		for i := range g.Segments {
+			if g.Segments[i].From == u && g.Segments[i].To == v {
+				return g.Segments[i].ID
+			}
+		}
+		t.Fatalf("edge %d->%d missing", u, v)
+		return roadnet.NoEdge
+	}
+	return g, find
+}
+
+func TestAccuracyIdenticalRoutes(t *testing.T) {
+	g, find := grid(t)
+	r := roadnet.Route{find(0, 1), find(1, 2), find(2, 3)}
+	if a := AccuracyAL(g, r, r); math.Abs(a-1) > 1e-12 {
+		t.Fatalf("identical routes: A_L = %v", a)
+	}
+}
+
+func TestAccuracyDisjointRoutes(t *testing.T) {
+	g, find := grid(t)
+	a := roadnet.Route{find(0, 1), find(1, 2)}
+	b := roadnet.Route{find(6, 7), find(7, 8)}
+	if got := AccuracyAL(g, a, b); got != 0 {
+		t.Fatalf("disjoint routes: A_L = %v", got)
+	}
+}
+
+func TestAccuracyPartialOverlap(t *testing.T) {
+	g, find := grid(t)
+	truth := roadnet.Route{find(0, 1), find(1, 2), find(2, 3), find(3, 4)}
+	// Shares the middle two segments; same total length.
+	inferred := roadnet.Route{find(6, 7), find(1, 2), find(2, 3), find(9, 10)}
+	got := AccuracyAL(g, truth, inferred)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("A_L = %v, want 0.5", got)
+	}
+}
+
+func TestAccuracyLengthPenalty(t *testing.T) {
+	g, find := grid(t)
+	truth := roadnet.Route{find(0, 1), find(1, 2)}
+	// Inferred contains the truth but is twice as long: penalized by the
+	// max-length denominator.
+	inferred := roadnet.Route{find(0, 1), find(1, 2), find(2, 3), find(3, 4)}
+	if got := AccuracyAL(g, truth, inferred); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("A_L = %v, want 0.5", got)
+	}
+	// Symmetric: truth longer than inferred.
+	if got := AccuracyAL(g, inferred, truth); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("A_L = %v, want 0.5", got)
+	}
+}
+
+// TestAccuracyOrderMatters: LCR is a common subsequence, not a set
+// intersection — reversing segment order reduces it.
+func TestAccuracyOrderMatters(t *testing.T) {
+	g, find := grid(t)
+	e1, e2, e3 := find(0, 1), find(1, 2), find(2, 3)
+	truth := roadnet.Route{e1, e2, e3}
+	scrambled := roadnet.Route{e3, e2, e1}
+	got := AccuracyAL(g, truth, scrambled)
+	if got >= 0.5 {
+		t.Fatalf("scrambled order A_L = %v, want < 0.5", got)
+	}
+	if got <= 0 {
+		t.Fatalf("one common segment still expected, got %v", got)
+	}
+}
+
+func TestAccuracyEmptyRoutes(t *testing.T) {
+	g, find := grid(t)
+	r := roadnet.Route{find(0, 1)}
+	if AccuracyAL(g, nil, r) != 0 || AccuracyAL(g, r, nil) != 0 || AccuracyAL(g, nil, nil) != 0 {
+		t.Fatal("empty routes should score 0")
+	}
+}
+
+// TestAccuracyBounds is a property test: A_L ∈ [0,1] for random routes.
+func TestAccuracyBounds(t *testing.T) {
+	g, _ := grid(t)
+	rng := rand.New(rand.NewSource(5))
+	randomRoute := func() roadnet.Route {
+		n := 1 + rng.Intn(8)
+		r := make(roadnet.Route, n)
+		for i := range r {
+			r[i] = roadnet.EdgeID(rng.Intn(g.NumSegments()))
+		}
+		return r
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomRoute(), randomRoute()
+		got := AccuracyAL(g, a, b)
+		if got < 0 || got > 1+1e-12 {
+			t.Fatalf("A_L out of bounds: %v", got)
+		}
+		// Symmetry.
+		if sym := AccuracyAL(g, b, a); math.Abs(sym-got) > 1e-12 {
+			t.Fatalf("A_L not symmetric: %v vs %v", got, sym)
+		}
+	}
+}
+
+func TestTableAddAndPrint(t *testing.T) {
+	tab := &Table{Figure: "x", Title: "test", XLabel: "x", YLabel: "y"}
+	tab.Add("s1", 1, 0.5)
+	tab.Add("s1", 2, 0.7)
+	tab.Add("s2", 1, 0.1)
+	if len(tab.Series) != 2 {
+		t.Fatalf("series = %d", len(tab.Series))
+	}
+	var sb stringsBuilder
+	tab.Print(&sb)
+	out := sb.String()
+	if len(out) == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &Table{Figure: "8a", Title: "t", XLabel: "SR", YLabel: "A_L"}
+	tab.Add("a", 3, 0.5)
+	tab.Add("a", 9, 0.25)
+	tab.Add("b", 3, 0.75)
+	var sb stringsBuilder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got := sb.String()
+	want := "SR,a,b\n3,0.5,0.75\n9,0.25,\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+type stringsBuilder struct{ b []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) { s.b = append(s.b, p...); return len(p), nil }
+func (s *stringsBuilder) String() string              { return string(s.b) }

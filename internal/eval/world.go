@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/hist"
+	"repro/internal/mapmatch"
+	"repro/internal/sim"
+)
+
+// WorldConfig sizes the simulated evaluation substrate.
+type WorldConfig struct {
+	Seed     int64
+	CityRows int
+	CityCols int
+	Hotspots int
+	Trips    int // archive size
+	Queries  int // queries per experiment point
+	QueryLen float64
+	Noise    float64 // GPS noise sigma for queries (m)
+}
+
+// QuickConfig is sized for CI and unit tests: a 14×14 city, 400 trips,
+// 5 queries per point.
+func QuickConfig() WorldConfig {
+	return WorldConfig{
+		Seed: 7, CityRows: 14, CityCols: 14, Hotspots: 7,
+		Trips: 400, Queries: 5, QueryLen: 7000, Noise: 15,
+	}
+}
+
+// FullConfig is sized for the full experiment run (cmd/experiments): a
+// 22×22 city (≈10.5 km across), 1500 trips, 10 queries per point, 15 km
+// queries (long queries keep the 12–15-minute sampling intervals from
+// degenerating to two-point trajectories).
+func FullConfig() WorldConfig {
+	return WorldConfig{
+		Seed: 7, CityRows: 22, CityCols: 22, Hotspots: 10,
+		Trips: 1500, Queries: 10, QueryLen: 15000, Noise: 15,
+	}
+}
+
+// World is a built evaluation substrate: city, archive, HRIS system and
+// competitor matchers.
+type World struct {
+	Cfg     WorldConfig
+	DS      *sim.Dataset
+	Archive *hist.Archive
+	Sys     *core.System
+	Fleet   sim.FleetConfig
+
+	Incremental mapmatch.Matcher
+	ST          mapmatch.Matcher
+	IVMM        mapmatch.Matcher
+}
+
+// newArchive indexes a dataset's trajectories.
+func newArchive(ds *sim.Dataset) *hist.Archive {
+	return hist.NewArchive(ds.City.Graph, ds.Archive)
+}
+
+// NewWorld builds the substrate deterministically from cfg.
+func NewWorld(cfg WorldConfig) *World {
+	ccfg := sim.DefaultCityConfig()
+	ccfg.Rows, ccfg.Cols = cfg.CityRows, cfg.CityCols
+	ccfg.Hotspots = cfg.Hotspots
+	city := sim.GenerateCity(ccfg, cfg.Seed)
+	fcfg := sim.DefaultFleetConfig()
+	fcfg.Trips = cfg.Trips
+	fcfg.Seed = cfg.Seed
+	ds := sim.BuildDataset(city, fcfg)
+	arch := hist.NewArchive(city.Graph, ds.Archive)
+	mprm := mapmatch.DefaultParams()
+	return &World{
+		Cfg:         cfg,
+		DS:          ds,
+		Archive:     arch,
+		Sys:         core.NewSystem(arch, core.DefaultParams()),
+		Fleet:       fcfg,
+		Incremental: mapmatch.NewIncremental(city.Graph, mprm),
+		ST:          mapmatch.NewSTMatcher(city.Graph, mprm),
+		IVMM:        mapmatch.NewIVMM(city.Graph, mprm),
+	}
+}
+
+// Queries generates n evaluation queries with the given sampling interval
+// (seconds) and target length (meters), deterministically per (seed, n).
+func (w *World) Queries(n int, interval, length float64, seed int64) []sim.QueryCase {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]sim.QueryCase, 0, n)
+	for len(out) < n {
+		qc, ok := w.DS.GenQuery(length, interval, w.Cfg.Noise, w.Fleet, rng)
+		if !ok {
+			break
+		}
+		if qc.Query.Len() < 2 {
+			continue
+		}
+		out = append(out, qc)
+	}
+	return out
+}

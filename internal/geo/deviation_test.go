@@ -1,0 +1,54 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeviationIdenticalCurves(t *testing.T) {
+	a := Polyline{Pt(0, 0), Pt(500, 0), Pt(500, 500)}
+	if d := Deviation(a, a, 25); d > 1e-9 {
+		t.Fatalf("self deviation = %v", d)
+	}
+}
+
+func TestDeviationParallelOffset(t *testing.T) {
+	a := Polyline{Pt(0, 0), Pt(1000, 0)}
+	b := Polyline{Pt(0, 60), Pt(1000, 60)}
+	if d := Deviation(a, b, 50); math.Abs(d-60) > 1e-9 {
+		t.Fatalf("parallel deviation = %v, want 60", d)
+	}
+}
+
+func TestDeviationAsymmetricCurvesAveraged(t *testing.T) {
+	// b covers only half of a: deviation from a's far half dominates one
+	// direction; the symmetric mean sits between the two one-sided values.
+	a := Polyline{Pt(0, 0), Pt(1000, 0)}
+	b := Polyline{Pt(0, 0), Pt(500, 0)}
+	d := Deviation(a, b, 25)
+	oneSidedAB := meanDistTo(a, b, 25)
+	oneSidedBA := meanDistTo(b, a, 25)
+	if oneSidedBA > 1e-9 {
+		t.Fatalf("b lies on a; one-sided b->a = %v", oneSidedBA)
+	}
+	if math.Abs(d-oneSidedAB/2) > 1e-9 {
+		t.Fatalf("symmetric mean = %v, want %v", d, oneSidedAB/2)
+	}
+}
+
+func TestDeviationEmptyAndStep(t *testing.T) {
+	a := Polyline{Pt(0, 0), Pt(100, 0)}
+	if d := Deviation(nil, a, 10); !math.IsInf(d, 1) {
+		t.Fatalf("empty deviation = %v", d)
+	}
+	// Nonpositive step falls back to the 50 m default rather than hanging.
+	if d := Deviation(a, a, 0); d > 1e-9 {
+		t.Fatalf("default-step self deviation = %v", d)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := Pt(1.5, -2).String(); got != "(1.50, -2.00)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,125 @@
+package geo
+
+import "math"
+
+// Polyline is an ordered sequence of points describing a curve, used for the
+// geometric shape of road segments (Definition 2's "list of intermediate
+// points describing the segment using a polyline").
+type Polyline []Point
+
+// Length returns the total length of the polyline in meters.
+func (pl Polyline) Length() float64 {
+	var l float64
+	for i := 1; i < len(pl); i++ {
+		l += pl[i-1].Dist(pl[i])
+	}
+	return l
+}
+
+// Dist returns the minimum distance from p to any point on the polyline,
+// implementing dist(p, r) of Definition 5 for polyline-shaped segments.
+// It returns +Inf for an empty polyline.
+func (pl Polyline) Dist(p Point) float64 {
+	if len(pl) == 0 {
+		return math.Inf(1)
+	}
+	c, _, _ := pl.Project(p)
+	return p.Dist(c)
+}
+
+// Project returns the closest point on the polyline to p, the index of the
+// piece it lies on, and the arc-length offset from the start of the polyline
+// to the projected point.
+func (pl Polyline) Project(p Point) (Point, int, float64) {
+	if len(pl) == 0 {
+		return Point{}, -1, 0
+	}
+	if len(pl) == 1 {
+		return pl[0], 0, 0
+	}
+	best := pl[0]
+	bestPiece := 0
+	bestD2 := math.Inf(1)
+	var bestOffset, walked float64
+	for i := 1; i < len(pl); i++ {
+		seg := Segment{pl[i-1], pl[i]}
+		c, t := seg.Project(p)
+		if d2 := p.Dist2(c); d2 < bestD2 {
+			bestD2 = d2
+			best = c
+			bestPiece = i - 1
+			bestOffset = walked + t*seg.Length()
+		}
+		walked += seg.Length()
+	}
+	return best, bestPiece, bestOffset
+}
+
+// At returns the point at arc-length offset from the start, clamped to the
+// polyline's extent.
+func (pl Polyline) At(offset float64) Point {
+	if len(pl) == 0 {
+		return Point{}
+	}
+	if offset <= 0 {
+		return pl[0]
+	}
+	var walked float64
+	for i := 1; i < len(pl); i++ {
+		l := pl[i-1].Dist(pl[i])
+		if walked+l >= offset {
+			if l == 0 {
+				return pl[i]
+			}
+			return pl[i-1].Lerp(pl[i], (offset-walked)/l)
+		}
+		walked += l
+	}
+	return pl[len(pl)-1]
+}
+
+// BBox returns the axis-aligned bounding box of the polyline.
+func (pl Polyline) BBox() BBox {
+	b := EmptyBBox()
+	for _, p := range pl {
+		b = b.ExtendPoint(p)
+	}
+	return b
+}
+
+// Deviation returns the mean symmetric deviation between two polylines:
+// each curve is sampled every step meters and the distances to the other
+// curve are averaged over both directions. It is the route-similarity
+// metric for the network-free extension, where routes are polylines rather
+// than road-segment sequences and the A_L metric does not apply.
+func Deviation(a, b Polyline, step float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	if step <= 0 {
+		step = 50
+	}
+	return (meanDistTo(a, b, step) + meanDistTo(b, a, step)) / 2
+}
+
+// meanDistTo samples 'from' every step meters and averages the distance of
+// each sample to the polyline 'to'.
+func meanDistTo(from, to Polyline, step float64) float64 {
+	total := from.Length()
+	n := int(total/step) + 1
+	var sum float64
+	for i := 0; i <= n; i++ {
+		p := from.At(total * float64(i) / float64(n))
+		sum += to.Dist(p)
+	}
+	return sum / float64(n+1)
+}
+
+// Reverse returns a new polyline with the point order reversed.
+func (pl Polyline) Reverse() Polyline {
+	out := make(Polyline, len(pl))
+	for i, p := range pl {
+		out[len(pl)-1-i] = p
+	}
+	return out
+}

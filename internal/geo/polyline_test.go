@@ -1,0 +1,97 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPolylineLength(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(3, 4), Pt(3, 10)}
+	if got := pl.Length(); !almostEq(got, 11, 1e-12) {
+		t.Errorf("Length = %v, want 11", got)
+	}
+	if got := (Polyline{}).Length(); got != 0 {
+		t.Errorf("empty Length = %v", got)
+	}
+	if got := (Polyline{Pt(1, 1)}).Length(); got != 0 {
+		t.Errorf("single-point Length = %v", got)
+	}
+}
+
+func TestPolylineProjectAndAt(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
+	c, piece, off := pl.Project(Pt(5, 2))
+	if !c.Equal(Pt(5, 0), 1e-12) || piece != 0 || !almostEq(off, 5, 1e-12) {
+		t.Errorf("Project = %v,%d,%v", c, piece, off)
+	}
+	c, piece, off = pl.Project(Pt(12, 7))
+	if !c.Equal(Pt(10, 7), 1e-12) || piece != 1 || !almostEq(off, 17, 1e-12) {
+		t.Errorf("Project = %v,%d,%v", c, piece, off)
+	}
+	// At inverts offsets on the curve.
+	for _, off := range []float64{0, 3, 10, 15, 20} {
+		p := pl.At(off)
+		_, _, got := pl.Project(p)
+		if !almostEq(got, off, 1e-9) {
+			t.Errorf("At/Project offset mismatch: %v -> %v", off, got)
+		}
+	}
+	// Clamping.
+	if got := pl.At(-5); got != Pt(0, 0) {
+		t.Errorf("At(-5) = %v", got)
+	}
+	if got := pl.At(100); got != Pt(10, 10) {
+		t.Errorf("At(100) = %v", got)
+	}
+}
+
+func TestPolylineDistEdgeCases(t *testing.T) {
+	if d := (Polyline{}).Dist(Pt(0, 0)); !math.IsInf(d, 1) {
+		t.Errorf("empty Dist = %v, want +Inf", d)
+	}
+	if d := (Polyline{Pt(3, 4)}).Dist(Pt(0, 0)); !almostEq(d, 5, 1e-12) {
+		t.Errorf("single-point Dist = %v, want 5", d)
+	}
+}
+
+// TestPolylineProjectOptimality samples densely and verifies no sampled point
+// beats the projection.
+func TestPolylineProjectOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		pl := make(Polyline, n)
+		for i := range pl {
+			pl[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		p := Pt(rng.Float64()*150-25, rng.Float64()*150-25)
+		best := pl.Dist(p)
+		total := pl.Length()
+		for k := 0; k <= 200; k++ {
+			c := pl.At(total * float64(k) / 200)
+			if p.Dist(c) < best-1e-6 {
+				t.Fatalf("sample beats projection: %v < %v", p.Dist(c), best)
+			}
+		}
+	}
+}
+
+func TestPolylineReverse(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(1, 0), Pt(2, 5)}
+	r := pl.Reverse()
+	if r[0] != Pt(2, 5) || r[2] != Pt(0, 0) {
+		t.Errorf("Reverse = %v", r)
+	}
+	if !almostEq(pl.Length(), r.Length(), 1e-12) {
+		t.Errorf("Reverse changed length")
+	}
+}
+
+func TestPolylineBBox(t *testing.T) {
+	pl := Polyline{Pt(1, 5), Pt(-2, 3), Pt(4, -1)}
+	b := pl.BBox()
+	if b.Min != Pt(-2, -1) || b.Max != Pt(4, 5) {
+		t.Errorf("BBox = %v", b)
+	}
+}

@@ -1,0 +1,140 @@
+package graphalg
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Path is a shortest-path result: the vertex sequence and its total weight.
+type Path struct {
+	Vertices []int
+	Weight   float64
+}
+
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (h pq) Len() int           { return len(h) }
+func (h pq) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h pq) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x any)        { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the minimum-weight path from src to dst, or ok=false
+// if dst is unreachable. Negative weights are not supported.
+func ShortestPath(g *Graph, src, dst int) (Path, bool) {
+	dist, prev := dijkstra(g, src, dst, nil, nil)
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	return Path{Vertices: reconstruct(prev, src, dst), Weight: dist[dst]}, true
+}
+
+// ShortestDist returns only the distance from src to dst (+Inf if
+// unreachable), without path reconstruction bookkeeping beyond prev.
+func ShortestDist(g *Graph, src, dst int) float64 {
+	dist, _ := dijkstra(g, src, dst, nil, nil)
+	return dist[dst]
+}
+
+// AllDistances returns the shortest distance from src to every vertex
+// (+Inf when unreachable).
+func AllDistances(g *Graph, src int) []float64 {
+	dist, _ := dijkstra(g, src, -1, nil, nil)
+	return dist
+}
+
+// dijkstra runs Dijkstra from src. If dst >= 0 it stops when dst settles.
+// banned vertices and arcs (keyed u*n+v) are skipped — Yen's algorithm uses
+// both to carve the spur graph without copying it.
+func dijkstra(g *Graph, src, dst int, bannedVertex []bool, bannedArc map[[2]int]bool) ([]float64, []int) {
+	n := g.N()
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	if src < 0 || src >= n || (bannedVertex != nil && bannedVertex[src]) {
+		return dist, prev
+	}
+	dist[src] = 0
+	h := pq{{v: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(pqItem)
+		if it.dist > dist[it.v] {
+			continue
+		}
+		if it.v == dst {
+			break
+		}
+		for _, a := range g.Adj[it.v] {
+			if bannedVertex != nil && bannedVertex[a.To] {
+				continue
+			}
+			if bannedArc != nil && bannedArc[[2]int{it.v, a.To}] {
+				continue
+			}
+			if nd := it.dist + a.W; nd < dist[a.To] {
+				dist[a.To] = nd
+				prev[a.To] = it.v
+				heap.Push(&h, pqItem{v: a.To, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+func reconstruct(prev []int, src, dst int) []int {
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+	}
+	out := make([]int, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// BFSHops returns, for every vertex, the minimum number of arcs from src
+// (-1 when unreachable). maxHops < 0 means unlimited; otherwise the search
+// stops expanding past maxHops.
+func BFSHops(g *Graph, src int, maxHops int) []int {
+	hops := make([]int, g.N())
+	for i := range hops {
+		hops[i] = -1
+	}
+	if src < 0 || src >= g.N() {
+		return hops
+	}
+	hops[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if maxHops >= 0 && hops[v] >= maxHops {
+			continue
+		}
+		for _, a := range g.Adj[v] {
+			if hops[a.To] == -1 {
+				hops[a.To] = hops[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return hops
+}

@@ -1,0 +1,88 @@
+package graphalg
+
+// StronglyConnectedComponents returns a component id for every vertex using
+// Tarjan's algorithm (iterative, so deep graphs cannot overflow the stack),
+// plus the number of components. TGI's graph-augmentation subroutine uses
+// the condensation to decide which links to add until the traverse graph is
+// strongly connected.
+func StronglyConnectedComponents(g *Graph) (comp []int, count int) {
+	n := g.N()
+	comp = make([]int, n)
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v, arcIdx int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		callStack := []frame{{v: start}}
+		index[start] = next
+		lowlink[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.arcIdx < len(g.Adj[v]) {
+				w := g.Adj[v][f.arcIdx].To
+				f.arcIdx++
+				if index[w] == -1 {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < lowlink[v] {
+						lowlink[v] = index[w]
+					}
+				}
+				continue
+			}
+			// All arcs of v explored: maybe emit a component, then return.
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// IsStronglyConnected reports whether the graph is a single SCC. The empty
+// graph and a single vertex are considered strongly connected.
+func IsStronglyConnected(g *Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	_, count := StronglyConnectedComponents(g)
+	return count == 1
+}

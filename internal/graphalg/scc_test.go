@@ -1,0 +1,95 @@
+package graphalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSCCSimple(t *testing.T) {
+	// Two 2-cycles joined by a one-way bridge, plus an isolated vertex.
+	g := NewGraph(5)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 0, 1)
+	g.AddArc(1, 2, 1)
+	g.AddArc(2, 3, 1)
+	g.AddArc(3, 2, 1)
+	comp, count := StronglyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] || comp[4] == comp[2] {
+		t.Fatalf("components = %v", comp)
+	}
+	if IsStronglyConnected(g) {
+		t.Fatal("graph wrongly reported strongly connected")
+	}
+}
+
+func TestSCCCycle(t *testing.T) {
+	g := NewGraph(10)
+	for i := 0; i < 10; i++ {
+		g.AddArc(i, (i+1)%10, 1)
+	}
+	if !IsStronglyConnected(g) {
+		t.Fatal("ring should be strongly connected")
+	}
+}
+
+func TestSCCEmptyAndSingle(t *testing.T) {
+	if !IsStronglyConnected(NewGraph(0)) || !IsStronglyConnected(NewGraph(1)) {
+		t.Fatal("trivial graphs should be strongly connected")
+	}
+	_, count := StronglyConnectedComponents(NewGraph(4))
+	if count != 4 {
+		t.Fatalf("isolated vertices: count = %d", count)
+	}
+}
+
+// TestSCCMutualReachability validates the SCC definition directly: two
+// vertices share a component iff each reaches the other.
+func TestSCCMutualReachability(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		g := NewGraph(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.15 {
+					g.AddArc(u, v, 1)
+				}
+			}
+		}
+		comp, _ := StronglyConnectedComponents(g)
+		reach := make([][]bool, n)
+		for u := 0; u < n; u++ {
+			reach[u] = make([]bool, n)
+			for v, d := range AllDistances(g, u) {
+				reach[u][v] = !math.IsInf(d, 1)
+			}
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := comp[u] == comp[v]
+				mutual := reach[u][v] && reach[v][u]
+				if same != mutual {
+					t.Fatalf("seed %d: comp(%d,%d) same=%v mutual=%v", seed, u, v, same, mutual)
+				}
+			}
+		}
+	}
+}
+
+// TestSCCDeepGraph ensures the iterative Tarjan handles paths far deeper
+// than the goroutine stack would allow for naive recursion with big frames.
+func TestSCCDeepGraph(t *testing.T) {
+	n := 200000
+	g := NewGraph(n)
+	for i := 0; i < n-1; i++ {
+		g.AddArc(i, i+1, 1)
+	}
+	g.AddArc(n-1, 0, 1) // close the loop
+	if !IsStronglyConnected(g) {
+		t.Fatal("giant ring should be one SCC")
+	}
+}

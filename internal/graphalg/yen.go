@@ -1,0 +1,115 @@
+package graphalg
+
+import (
+	"math"
+	"sort"
+)
+
+// KShortestPaths returns up to k loopless paths from src to dst in
+// nondecreasing weight order, using Yen's algorithm [Yen 1971] with
+// Dijkstra as the underlying single-pair solver — the K-shortest-path
+// subroutine of the TGI algorithm (Algorithm 1, line 13).
+func KShortestPaths(g *Graph, src, dst, k int) []Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := ShortestPath(g, src, dst)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		last := paths[len(paths)-1].Vertices
+		// Each vertex of the previous path (except the last) is a spur node.
+		for i := 0; i < len(last)-1; i++ {
+			spur := last[i]
+			rootPath := last[:i+1]
+			rootWeight := pathWeight(g, rootPath)
+
+			// Ban arcs that would recreate an already-found path with the
+			// same root, and ban root vertices to keep paths loopless.
+			bannedArc := make(map[[2]int]bool)
+			for _, p := range paths {
+				if len(p.Vertices) > i && equalPrefix(p.Vertices, rootPath) {
+					bannedArc[[2]int{p.Vertices[i], p.Vertices[i+1]}] = true
+				}
+			}
+			for _, c := range candidates {
+				if len(c.Vertices) > i && equalPrefix(c.Vertices, rootPath) {
+					bannedArc[[2]int{c.Vertices[i], c.Vertices[i+1]}] = true
+				}
+			}
+			bannedVertex := make([]bool, g.N())
+			for _, v := range rootPath[:len(rootPath)-1] {
+				bannedVertex[v] = true
+			}
+
+			dist, prev := dijkstra(g, spur, dst, bannedVertex, bannedArc)
+			if math.IsInf(dist[dst], 1) {
+				continue
+			}
+			spurPath := reconstruct(prev, spur, dst)
+			total := append(append([]int(nil), rootPath[:len(rootPath)-1]...), spurPath...)
+			cand := Path{Vertices: total, Weight: rootWeight + dist[dst]}
+			if !containsPath(paths, cand) && !containsPath(candidates, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].Weight < candidates[b].Weight })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func pathWeight(g *Graph, vs []int) float64 {
+	var w float64
+	for i := 1; i < len(vs); i++ {
+		best := math.Inf(1)
+		for _, a := range g.Adj[vs[i-1]] {
+			if a.To == vs[i] && a.W < best {
+				best = a.W
+			}
+		}
+		w += best
+	}
+	return w
+}
+
+func equalPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, q Path) bool {
+	for _, p := range ps {
+		if equalPath(p.Vertices, q.Vertices) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalPath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package graphalg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// enumeratePaths lists every loopless path src->dst by DFS — the oracle for
+// Yen on small graphs.
+func enumeratePaths(g *Graph, src, dst int) []Path {
+	var out []Path
+	visited := make([]bool, g.N())
+	var cur []int
+	var walk func(v int, w float64)
+	walk = func(v int, w float64) {
+		visited[v] = true
+		cur = append(cur, v)
+		if v == dst {
+			out = append(out, Path{Vertices: append([]int(nil), cur...), Weight: w})
+		} else {
+			for _, a := range g.Adj[v] {
+				if !visited[a.To] {
+					walk(a.To, w+a.W)
+				}
+			}
+		}
+		cur = cur[:len(cur)-1]
+		visited[v] = false
+	}
+	walk(src, 0)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight < out[j].Weight })
+	return out
+}
+
+func TestYenClassicExample(t *testing.T) {
+	// Small diamond with a longer detour.
+	g := NewGraph(4)
+	g.AddArc(0, 1, 1)
+	g.AddArc(1, 3, 1)
+	g.AddArc(0, 2, 2)
+	g.AddArc(2, 3, 2)
+	g.AddArc(1, 2, 1)
+	ps := KShortestPaths(g, 0, 3, 3)
+	if len(ps) != 3 {
+		t.Fatalf("got %d paths", len(ps))
+	}
+	if ps[0].Weight != 2 || ps[1].Weight != 4 || ps[2].Weight != 4 {
+		t.Fatalf("weights = %v %v %v", ps[0].Weight, ps[1].Weight, ps[2].Weight)
+	}
+}
+
+func TestYenMatchesEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(4)
+		g := NewGraph(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.35 {
+					g.AddArc(u, v, 1+rng.Float64()*5)
+				}
+			}
+		}
+		src, dst := 0, n-1
+		want := enumeratePaths(g, src, dst)
+		for _, k := range []int{1, 3, 5, 100} {
+			got := KShortestPaths(g, src, dst, k)
+			expect := len(want)
+			if expect > k {
+				expect = k
+			}
+			if len(got) != expect {
+				t.Fatalf("seed %d k=%d: got %d paths, want %d", seed, k, len(got), expect)
+			}
+			for i := range got {
+				if math.Abs(got[i].Weight-want[i].Weight) > 1e-9 {
+					t.Fatalf("seed %d k=%d rank %d: weight %v, want %v",
+						seed, k, i, got[i].Weight, want[i].Weight)
+				}
+			}
+		}
+	}
+}
+
+// TestYenPathsLooplessSortedDistinct is the structural property check:
+// every returned path is loopless, valid, distinct, and ordered by weight.
+func TestYenPathsLooplessSortedDistinct(t *testing.T) {
+	g := randomGraph(40, 3, 77)
+	ps := KShortestPaths(g, 0, 39, 12)
+	seen := make(map[string]bool)
+	lastW := -1.0
+	for _, p := range ps {
+		if p.Weight < lastW-1e-9 {
+			t.Fatalf("weights not sorted: %v after %v", p.Weight, lastW)
+		}
+		lastW = p.Weight
+		visited := make(map[int]bool)
+		for _, v := range p.Vertices {
+			if visited[v] {
+				t.Fatalf("path has a loop: %v", p.Vertices)
+			}
+			visited[v] = true
+		}
+		key := ""
+		for _, v := range p.Vertices {
+			key += string(rune(v)) + ","
+		}
+		if seen[key] {
+			t.Fatalf("duplicate path %v", p.Vertices)
+		}
+		seen[key] = true
+		for i := 1; i < len(p.Vertices); i++ {
+			if !g.HasArc(p.Vertices[i-1], p.Vertices[i]) {
+				t.Fatalf("path uses missing arc")
+			}
+		}
+	}
+}
+
+func TestYenUnreachableAndDegenerate(t *testing.T) {
+	g := NewGraph(3)
+	g.AddArc(0, 1, 1)
+	if ps := KShortestPaths(g, 0, 2, 3); ps != nil {
+		t.Fatalf("unreachable dst gave %v", ps)
+	}
+	if ps := KShortestPaths(g, 0, 1, 0); ps != nil {
+		t.Fatalf("k=0 gave %v", ps)
+	}
+	ps := KShortestPaths(g, 0, 0, 2)
+	if len(ps) != 1 || ps[0].Weight != 0 {
+		t.Fatalf("self paths = %v", ps)
+	}
+}
+
+func BenchmarkYenK5(b *testing.B) {
+	g := randomGraph(200, 4, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KShortestPaths(g, 0, 199, 5)
+	}
+}

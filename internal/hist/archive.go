@@ -1,0 +1,76 @@
+// Package hist implements the historical-trajectory archive and the
+// reference-trajectory search of §III-A: radius-φ range queries over an
+// R-tree of all archive GPS points yield simple reference trajectories
+// (Definition 6), and an on-line spatial join over the leftover candidates
+// yields spliced reference trajectories (Definition 7).
+package hist
+
+import (
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/rtree"
+	"repro/internal/traj"
+)
+
+// PointRef addresses one GPS point in the archive.
+type PointRef struct {
+	Traj int // index into Archive.Trajs
+	Idx  int // point index within that trajectory
+}
+
+// Archive is a set of historical trajectories indexed for spatial search
+// (§II-B.1 "Indexing": an R-tree organizes all the GPS points).
+type Archive struct {
+	G     *roadnet.Graph
+	Trajs []*traj.Trajectory
+
+	index *rtree.Tree[PointRef]
+}
+
+// NewArchive indexes trajs over the road network g.
+func NewArchive(g *roadnet.Graph, trajs []*traj.Trajectory) *Archive {
+	var entries []rtree.Entry[PointRef]
+	for ti, tr := range trajs {
+		for pi, p := range tr.Points {
+			entries = append(entries, rtree.Entry[PointRef]{
+				Box:  geo.BBox{Min: p.Pt, Max: p.Pt},
+				Item: PointRef{Traj: ti, Idx: pi},
+			})
+		}
+	}
+	return &Archive{G: g, Trajs: trajs, index: rtree.Bulk(entries)}
+}
+
+// NumPoints returns the number of indexed GPS points.
+func (a *Archive) NumPoints() int { return a.index.Len() }
+
+// Point resolves a PointRef.
+func (a *Archive) Point(r PointRef) traj.GPSPoint {
+	return a.Trajs[r.Traj].Points[r.Idx]
+}
+
+// WithinRadius returns the archive points within radius r of p.
+func (a *Archive) WithinRadius(p geo.Point, r float64) []PointRef {
+	var out []PointRef
+	for _, e := range a.index.WithinRadius(p, r) {
+		out = append(out, e.Item)
+	}
+	return out
+}
+
+// Preprocess runs the offline preprocessing of §II-B.1 on raw GPS logs:
+// speed-infeasible outlier fixes are removed (vmax in m/s; pass 0 to
+// skip), stay-point detection splits each log into effective trips, and
+// trips with fewer than minPoints samples are dropped. Map-matching of
+// archive points happens lazily via candidate-edge search during route
+// inference.
+func Preprocess(logs []*traj.Trajectory, sp traj.StayPointParams, minPoints int, vmax float64) []*traj.Trajectory {
+	var out []*traj.Trajectory
+	for _, l := range logs {
+		if vmax > 0 {
+			l = traj.RemoveOutliers(l, vmax)
+		}
+		out = append(out, traj.PartitionTrips(l, sp, minPoints)...)
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package hist
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// Reference is a reference trajectory with respect to one query pair
+// ⟨q_i, q_{i+1}⟩: either the sub-trajectory T_i^k of an archive trajectory
+// between nn(q_i, T_k) and nn(q_{i+1}, T_k) (Definition 6), or a virtual
+// trajectory spliced from two archive trajectories (Definition 7). The
+// sub-trajectory's points are materialized in Points.
+type Reference struct {
+	Points  []traj.GPSPoint
+	Spliced bool
+	// SourceA is the archive index of the (first) source trajectory;
+	// SourceB is the second source for spliced references (-1 otherwise).
+	SourceA, SourceB int
+}
+
+// SourceIDs returns the archive trajectory indices backing this reference:
+// one for a simple reference, two for a spliced one. These ids identify
+// references across query pairs for the transition-confidence function
+// (Equation 2).
+func (r Reference) SourceIDs() []int {
+	if r.SourceB >= 0 {
+		return []int{r.SourceA, r.SourceB}
+	}
+	return []int{r.SourceA}
+}
+
+// SearchParams controls the reference search.
+type SearchParams struct {
+	Phi       float64 // search radius φ around q_i and q_{i+1}
+	SpliceEps float64 // splicing threshold e of Definition 7
+	// SpliceMinSimple only engages the spliced-reference search when fewer
+	// simple references than this were found. The paper motivates splicing
+	// as a remedy for "an area with sparse historical data" where simple
+	// references are "too small [in number] to support our inference"
+	// (§III-A.2); when simple references abound, splicing only adds noisy
+	// crossing-pair pseudo-routes. 0 means always splice.
+	SpliceMinSimple int
+	// MaxRefs caps the number of references returned (0 = unlimited);
+	// nearer references are preferred.
+	MaxRefs int
+	// VMax overrides the road network's maximum speed in Definition 6's
+	// feasibility condition. Required when the archive has no road network
+	// (the network-free extension); 0 uses the network's V_max.
+	VMax float64
+}
+
+// DefaultSearchParams mirrors Table II: φ = 500 m, e = 200 m, splicing as
+// a sparse-area fallback.
+func DefaultSearchParams() SearchParams {
+	return SearchParams{Phi: 500, SpliceEps: 200, SpliceMinSimple: 8, MaxRefs: 0}
+}
+
+// References finds all reference trajectories for the pair ⟨qi, qj⟩
+// (qj = q_{i+1}): first the simple references of Definition 6, then — when
+// splicing is enabled — the spliced references of Definition 7 built from
+// the leftover one-sided candidates.
+func (a *Archive) References(qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	vmax := p.VMax
+	if vmax <= 0 {
+		vmax = a.G.MaxSpeed()
+	}
+	vmaxBudget := (qj.T - qi.T) * vmax
+
+	nearI := a.WithinRadius(qi.Pt, p.Phi)
+	nearJ := a.WithinRadius(qj.Pt, p.Phi)
+
+	// Group range hits per trajectory, keeping the nearest hit.
+	bestI := nearestPerTraj(a, nearI, qi.Pt)
+	bestJ := nearestPerTraj(a, nearJ, qj.Pt)
+
+	var refs []Reference
+	usedA := make(map[int]bool) // trajectories already simple references
+	// Iterate candidate trajectories in index order: the reference list
+	// order feeds tie-breaking downstream (R-tree packing, kNN streams),
+	// so it must be deterministic.
+	candidates := make([]int, 0, len(bestI))
+	for ti := range bestI {
+		candidates = append(candidates, ti)
+	}
+	sort.Ints(candidates)
+	for _, ti := range candidates {
+		if _, ok := bestJ[ti]; !ok {
+			continue
+		}
+		tr := a.Trajs[ti]
+		m := tr.NearestPointIndex(qi.Pt)
+		n := tr.NearestPointIndex(qj.Pt)
+		if m < 0 || n < 0 || m > n {
+			continue // wrong travel direction
+		}
+		if tr.Points[m].Pt.Dist(qi.Pt) > p.Phi || tr.Points[n].Pt.Dist(qj.Pt) > p.Phi {
+			continue
+		}
+		sub := tr.Points[m : n+1]
+		if !speedFeasible(sub, qi.Pt, qj.Pt, vmaxBudget) {
+			continue
+		}
+		refs = append(refs, Reference{
+			Points:  sub,
+			SourceA: ti,
+			SourceB: -1,
+		})
+		usedA[ti] = true
+	}
+
+	if p.SpliceEps > 0 && (p.SpliceMinSimple == 0 || len(refs) < p.SpliceMinSimple) {
+		refs = append(refs, a.splicedReferences(qi, qj, p, bestI, bestJ, usedA, vmaxBudget)...)
+	}
+
+	if p.MaxRefs > 0 && len(refs) > p.MaxRefs {
+		sort.Slice(refs, func(x, y int) bool {
+			return refDist(refs[x], qi.Pt, qj.Pt) < refDist(refs[y], qi.Pt, qj.Pt)
+		})
+		refs = refs[:p.MaxRefs]
+	}
+	return refs
+}
+
+// refDist orders references by how tightly they bracket the query pair.
+func refDist(r Reference, qi, qj geo.Point) float64 {
+	if len(r.Points) == 0 {
+		return math.Inf(1)
+	}
+	return r.Points[0].Pt.Dist(qi) + r.Points[len(r.Points)-1].Pt.Dist(qj)
+}
+
+// sortedKeys returns the map's trajectory indices in ascending order.
+func sortedKeys(m map[int]PointRef) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// nearestPerTraj keeps, per trajectory, the range hit closest to q.
+func nearestPerTraj(a *Archive, hits []PointRef, q geo.Point) map[int]PointRef {
+	best := make(map[int]PointRef)
+	for _, h := range hits {
+		cur, ok := best[h.Traj]
+		if !ok || a.Point(h).Pt.Dist2(q) < a.Point(cur).Pt.Dist2(q) {
+			best[h.Traj] = h
+		}
+	}
+	return best
+}
+
+// speedFeasible checks condition 3 of Definition 6: every point of the
+// sub-trajectory satisfies d(p,q_i)+d(p,q_{i+1}) ≤ (q_{i+1}.t−q_i.t)·V_max.
+func speedFeasible(pts []traj.GPSPoint, qi, qj geo.Point, budget float64) bool {
+	for _, p := range pts {
+		if p.Pt.Dist(qi)+p.Pt.Dist(qj) > budget {
+			return false
+		}
+	}
+	return true
+}
+
+// splicedReferences builds Definition 7 references: T_a passes near q_i
+// only, T_b near q_{i+1} only; a splicing pair (p_a, p_b) with
+// d(p_a, p_b) ≤ e joins them into a virtual reference. The splicing pairs
+// are found with a plane-sweep spatial join over the two candidate point
+// sets; for each (T_a, T_b) the pair minimizing d(p_a,q_i)+d(p_b,q_{i+1})
+// is kept.
+func (a *Archive) splicedReferences(qi, qj traj.GPSPoint, p SearchParams,
+	bestI, bestJ map[int]PointRef, usedA map[int]bool, vmaxBudget float64) []Reference {
+
+	type swPoint struct {
+		pt   geo.Point
+		traj int
+		idx  int
+	}
+	// A-side: points after nn(q_i, T_a) on trajectories near q_i only.
+	// (Sorted trajectory order keeps plane-sweep tie-breaking stable.)
+	var aside []swPoint
+	for _, ti := range sortedKeys(bestI) {
+		if usedA[ti] {
+			continue
+		}
+		if _, alsoJ := bestJ[ti]; alsoJ {
+			continue // failed Definition 6 for another reason; skip
+		}
+		tr := a.Trajs[ti]
+		m := tr.NearestPointIndex(qi.Pt)
+		if m < 0 || tr.Points[m].Pt.Dist(qi.Pt) > p.Phi {
+			continue
+		}
+		for k := m; k < tr.Len(); k++ {
+			pt := tr.Points[k].Pt
+			if pt.Dist(qi.Pt)+pt.Dist(qj.Pt) > vmaxBudget {
+				break // heading out of the feasible lens
+			}
+			aside = append(aside, swPoint{pt: pt, traj: ti, idx: k})
+		}
+	}
+	// B-side: points before nn(q_{i+1}, T_b) on trajectories near q_{i+1}.
+	var bside []swPoint
+	for _, tj := range sortedKeys(bestJ) {
+		if usedA[tj] {
+			continue
+		}
+		if _, alsoI := bestI[tj]; alsoI {
+			continue
+		}
+		tr := a.Trajs[tj]
+		n := tr.NearestPointIndex(qj.Pt)
+		if n < 0 || tr.Points[n].Pt.Dist(qj.Pt) > p.Phi {
+			continue
+		}
+		for k := n; k >= 0; k-- {
+			pt := tr.Points[k].Pt
+			if pt.Dist(qi.Pt)+pt.Dist(qj.Pt) > vmaxBudget {
+				break
+			}
+			bside = append(bside, swPoint{pt: pt, traj: tj, idx: k})
+		}
+	}
+	if len(aside) == 0 || len(bside) == 0 {
+		return nil
+	}
+
+	// Plane-sweep join on X with window e [Arge et al. 1998].
+	sort.Slice(aside, func(x, y int) bool { return aside[x].pt.X < aside[y].pt.X })
+	sort.Slice(bside, func(x, y int) bool { return bside[x].pt.X < bside[y].pt.X })
+	type pairKey struct{ a, b int }
+	type splice struct {
+		pa, pb swPoint
+		d      float64
+	}
+	bestPair := make(map[pairKey]splice)
+	lo := 0
+	for _, pa := range aside {
+		for lo < len(bside) && bside[lo].pt.X < pa.pt.X-p.SpliceEps {
+			lo++
+		}
+		for k := lo; k < len(bside) && bside[k].pt.X <= pa.pt.X+p.SpliceEps; k++ {
+			pb := bside[k]
+			if pa.traj == pb.traj {
+				continue
+			}
+			if dy := pa.pt.Y - pb.pt.Y; dy > p.SpliceEps || dy < -p.SpliceEps {
+				continue
+			}
+			if pa.pt.Dist(pb.pt) > p.SpliceEps {
+				continue
+			}
+			key := pairKey{pa.traj, pb.traj}
+			score := pa.pt.Dist(qi.Pt) + pb.pt.Dist(qj.Pt)
+			if cur, ok := bestPair[key]; !ok || score < cur.d {
+				bestPair[key] = splice{pa: pa, pb: pb, d: score}
+			}
+		}
+	}
+
+	keys := make([]pairKey, 0, len(bestPair))
+	for key := range bestPair {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		if keys[x].a != keys[y].a {
+			return keys[x].a < keys[y].a
+		}
+		return keys[x].b < keys[y].b
+	})
+	var out []Reference
+	for _, key := range keys {
+		sp := bestPair[key]
+		ta, tb := a.Trajs[key.a], a.Trajs[key.b]
+		m := ta.NearestPointIndex(qi.Pt)
+		n := tb.NearestPointIndex(qj.Pt)
+		if m < 0 || n < 0 || sp.pa.idx < m || sp.pb.idx > n {
+			continue
+		}
+		pts := make([]traj.GPSPoint, 0, sp.pa.idx-m+1+n-sp.pb.idx+1)
+		pts = append(pts, ta.Points[m:sp.pa.idx+1]...)
+		pts = append(pts, tb.Points[sp.pb.idx:n+1]...)
+		if !speedFeasible(pts, qi.Pt, qj.Pt, vmaxBudget) {
+			continue
+		}
+		out = append(out, Reference{
+			Points:  pts,
+			Spliced: true,
+			SourceA: key.a,
+			SourceB: key.b,
+		})
+	}
+	return out
+}

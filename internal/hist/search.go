@@ -1,0 +1,119 @@
+package hist
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// Ranked is a scored archive trajectory returned by the search utilities.
+type Ranked struct {
+	Traj  int // index into Archive.Trajs
+	Score float64
+}
+
+// BestConnecting implements the k-BCT query of Chen et al. [SIGMOD 2010]
+// discussed in the paper's related work (§V): find the k archive
+// trajectories that best connect the given query locations. A trajectory's
+// score is Σ_q exp(−d(q, T)) over the query points, where d(q, T) is the
+// distance from q to T's nearest sample (distances scaled by the decay
+// parameter, meters). The R-tree prunes to trajectories with at least one
+// sample within the cutoff radius of some query point.
+func (a *Archive) BestConnecting(points []geo.Point, k int, decay float64) []Ranked {
+	if k <= 0 || len(points) == 0 || decay <= 0 {
+		return nil
+	}
+	// exp(-r/decay) < 1e-4 contributes nothing: cutoff at ~9.2 decays.
+	cutoff := 9.2 * decay
+	// nearest[t][i] = min distance from query point i to trajectory t.
+	nearest := make(map[int][]float64)
+	for i, q := range points {
+		for _, ref := range a.WithinRadius(q, cutoff) {
+			d := a.Point(ref).Pt.Dist(q)
+			row, ok := nearest[ref.Traj]
+			if !ok {
+				row = make([]float64, len(points))
+				for j := range row {
+					row[j] = math.Inf(1)
+				}
+				nearest[ref.Traj] = row
+			}
+			if d < row[i] {
+				row[i] = d
+			}
+		}
+	}
+	ranked := make([]Ranked, 0, len(nearest))
+	for t, row := range nearest {
+		var score float64
+		for _, d := range row {
+			if !math.IsInf(d, 1) {
+				score += math.Exp(-d / decay)
+			}
+		}
+		ranked = append(ranked, Ranked{Traj: t, Score: score})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].Traj < ranked[j].Traj
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// SimilarityMeasure scores a candidate archive trajectory against a query
+// (higher = more similar), as used by SimilarTrajectories.
+type SimilarityMeasure func(query, candidate *traj.Trajectory) float64
+
+// LCSSMeasure adapts traj.LCSS as a SimilarityMeasure.
+func LCSSMeasure(eps float64) SimilarityMeasure {
+	return func(q, c *traj.Trajectory) float64 { return traj.LCSS(q, c, eps) }
+}
+
+// DTWMeasure adapts traj.DTW (negated, so higher is more similar).
+func DTWMeasure() SimilarityMeasure {
+	return func(q, c *traj.Trajectory) float64 { return -traj.DTW(q, c) }
+}
+
+// SimilarTrajectories returns the k archive trajectories most similar to
+// the query under the given measure. Candidates are pruned to trajectories
+// passing within radius of the query's bounding box before the (more
+// expensive) measure runs.
+func (a *Archive) SimilarTrajectories(q *traj.Trajectory, k int, radius float64, m SimilarityMeasure) []Ranked {
+	if k <= 0 || q.Len() == 0 {
+		return nil
+	}
+	// Prune: any sample of the candidate within radius of the query bbox.
+	box := q.BBox()
+	box.Min = box.Min.Add(geo.Pt(-radius, -radius))
+	box.Max = box.Max.Add(geo.Pt(radius, radius))
+	cands := make(map[int]bool)
+	for ti, tr := range a.Trajs {
+		for _, p := range tr.Points {
+			if box.Contains(p.Pt) {
+				cands[ti] = true
+				break
+			}
+		}
+	}
+	ranked := make([]Ranked, 0, len(cands))
+	for ti := range cands {
+		ranked = append(ranked, Ranked{Traj: ti, Score: m(q, a.Trajs[ti])})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].Traj < ranked[j].Traj
+	})
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}

@@ -1,0 +1,148 @@
+// Package mapmatch implements the map-matching algorithms the paper uses:
+// the incremental geometric matcher [Greenfeld 2002], ST-Matching
+// [Lou et al. 2009] and IVMM [Yuan et al. 2010] as the experimental
+// competitors (§IV-B), plus the point-sequence-to-route matcher that the
+// preprocessing component and HRIS's NNI algorithm rely on.
+package mapmatch
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// ErrNoRoute is returned when a matcher cannot produce any route for the
+// trajectory (e.g. the points are unreachable from one another).
+var ErrNoRoute = errors.New("mapmatch: no route found")
+
+// Matcher maps a GPS trajectory onto a road-network route.
+type Matcher interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Match returns the matched route for t.
+	Match(t *traj.Trajectory) (roadnet.Route, error)
+}
+
+// Params are the candidate-search settings shared by all matchers.
+type Params struct {
+	CandidateRadius float64 // initial search radius ε for candidate edges
+	MaxCandidates   int     // candidates kept per point
+	GPSSigma        float64 // observation (GPS error) standard deviation
+}
+
+// DefaultParams returns the settings used throughout the evaluation:
+// ε = 50 m, 5 candidates per point, σ = 20 m.
+func DefaultParams() Params {
+	return Params{CandidateRadius: 50, MaxCandidates: 5, GPSSigma: 20}
+}
+
+// candidatesFor returns up to MaxCandidates candidates for p, widening the
+// search radius when the initial ε finds nothing.
+func candidatesFor(g *roadnet.Graph, p geo.Point, prm Params) []roadnet.Candidate {
+	cands := g.CandidateEdges(p, prm.CandidateRadius)
+	if len(cands) == 0 {
+		cands = g.NearestCandidates(p, prm.MaxCandidates)
+	}
+	if len(cands) > prm.MaxCandidates {
+		cands = cands[:prm.MaxCandidates]
+	}
+	return cands
+}
+
+// observation is the GPS error likelihood N(dist; 0, σ) up to a constant.
+func observation(dist, sigma float64) float64 {
+	return math.Exp(-dist * dist / (2 * sigma * sigma))
+}
+
+// StitchLocations connects a sequence of matched network locations into a
+// single route with shortest-path bridges. Unreachable consecutive pairs
+// are skipped (the later location is dropped), mirroring how practical
+// matchers tolerate outliers. It fails only when no two locations connect.
+func StitchLocations(g *roadnet.Graph, locs []roadnet.Location) (roadnet.Route, error) {
+	var route roadnet.Route
+	have := false
+	cur := roadnet.Location{}
+	for _, l := range locs {
+		if !have {
+			route = roadnet.Route{l.Edge}
+			cur = l
+			have = true
+			continue
+		}
+		part, _, ok := g.PathBetweenLocations(cur, l)
+		if !ok {
+			continue
+		}
+		joined, ok := route.Concat(g, part)
+		if !ok {
+			continue
+		}
+		route = joined
+		cur = l
+	}
+	if !have || len(route) == 0 {
+		return nil, ErrNoRoute
+	}
+	return route.Dedup(), nil
+}
+
+// ProjectPointSequence converts a point sequence to a route cheaply: each
+// point snaps to its nearest direction-compatible edge (using the travel
+// heading implied by the sequence) and consecutive snaps are stitched with
+// shortest paths. It trades ST-Matching's noise robustness for an
+// order-of-magnitude lower cost — HRIS's NNI uses it to convert the many
+// enumerated transit-graph traces into physical routes.
+func ProjectPointSequence(g *roadnet.Graph, pts []geo.Point, prm Params) (roadnet.Route, error) {
+	if len(pts) == 0 {
+		return nil, ErrNoRoute
+	}
+	locs := make([]roadnet.Location, 0, len(pts))
+	for i, p := range pts {
+		cands := candidatesFor(g, p, prm)
+		if len(cands) == 0 {
+			continue
+		}
+		var heading float64
+		hasHeading := false
+		if i+1 < len(pts) {
+			heading = p.Heading(pts[i+1])
+			hasHeading = true
+		} else if i > 0 {
+			heading = pts[i-1].Heading(p)
+			hasHeading = true
+		}
+		best := cands[0]
+		if hasHeading {
+			bestScore := math.Inf(-1)
+			for _, c := range cands {
+				seg := g.Seg(c.Edge)
+				segHeading := seg.Shape[0].Heading(seg.Shape[len(seg.Shape)-1])
+				score := math.Cos(geo.AngleDiff(heading, segHeading)) - c.Dist/(prm.GPSSigma*4)
+				if score > bestScore {
+					best, bestScore = c, score
+				}
+			}
+		}
+		locs = append(locs, roadnet.Location{Edge: best.Edge, Offset: best.Offset})
+	}
+	return StitchLocations(g, locs)
+}
+
+// MatchPointSequence map-matches a (reasonably dense) sequence of points
+// with the ST-Matching machinery and returns the route. HRIS's NNI uses it
+// to turn a trace of reference points into a physical route ("we can derive
+// a route from the points in trace by applying the map-matching
+// techniques", §III-B.2); the preprocessing component uses it to align
+// archive trajectories.
+func MatchPointSequence(g *roadnet.Graph, pts []geo.Point, prm Params) (roadnet.Route, error) {
+	t := &traj.Trajectory{ID: "seq"}
+	for i, p := range pts {
+		t.Points = append(t.Points, traj.GPSPoint{Pt: p, T: float64(i)})
+	}
+	m := NewSTMatcher(g, prm)
+	m.SkipTemporal = true // synthetic timestamps carry no speed information
+	return m.Match(t)
+}

@@ -1,0 +1,69 @@
+package mapmatch
+
+import (
+	"testing"
+
+	"repro/internal/traj"
+)
+
+func TestHMMOnCleanHighRate(t *testing.T) {
+	city, rng := testWorld(201)
+	truth, tr := simulateCase(t, city, rng, 4000, 20, 0)
+	m := NewHMM(city.Graph, DefaultParams())
+	got, err := m.Match(tr)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if !got.Valid(city.Graph) {
+		t.Fatal("invalid route")
+	}
+	if ov := routeOverlap(city.Graph, truth, got); ov < 0.9 {
+		t.Errorf("overlap %.2f on clean high-rate trace", ov)
+	}
+}
+
+func TestHMMOnNoisyTrace(t *testing.T) {
+	city, rng := testWorld(203)
+	truth, tr := simulateCase(t, city, rng, 4000, 20, 15)
+	got, err := NewHMM(city.Graph, DefaultParams()).Match(tr)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if ov := routeOverlap(city.Graph, truth, got); ov < 0.75 {
+		t.Errorf("overlap %.2f on noisy trace", ov)
+	}
+}
+
+func TestHMMDegenerate(t *testing.T) {
+	city, _ := testWorld(205)
+	m := NewHMM(city.Graph, DefaultParams())
+	if _, err := m.Match(&traj.Trajectory{}); err == nil {
+		t.Fatal("empty trajectory accepted")
+	}
+	one := &traj.Trajectory{Points: []traj.GPSPoint{{T: 1}}}
+	r, err := m.Match(one)
+	if err != nil || len(r) != 1 {
+		t.Fatalf("single point: %v, %v", r, err)
+	}
+}
+
+// TestHMMComparableToST: on moderate sampling rates the HMM and ST-Matching
+// should produce similar-quality routes (both are global DP matchers).
+func TestHMMComparableToST(t *testing.T) {
+	city, rng := testWorld(207)
+	var hmmSum, stSum float64
+	runs := 5
+	for i := 0; i < runs; i++ {
+		truth, tr := simulateCase(t, city, rng, 5000, 120, 15)
+		h, err1 := NewHMM(city.Graph, DefaultParams()).Match(tr)
+		s, err2 := NewSTMatcher(city.Graph, DefaultParams()).Match(tr)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v %v", err1, err2)
+		}
+		hmmSum += routeOverlap(city.Graph, truth, h)
+		stSum += routeOverlap(city.Graph, truth, s)
+	}
+	if hmmSum < stSum*0.7 {
+		t.Errorf("HMM (%.2f) far below ST (%.2f)", hmmSum/float64(runs), stSum/float64(runs))
+	}
+}

@@ -1,0 +1,41 @@
+package mapmatch
+
+import (
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// PointToCurve is the naive geometric matcher every map-matching survey
+// starts from (and the strawman Greenfeld improves upon): each point snaps
+// independently to its nearest road segment, and the snapped locations are
+// stitched with shortest paths. It ignores both topology between
+// consecutive points and headings, so GPS noise near intersections makes
+// it jump between parallel roads — included as the floor baseline.
+type PointToCurve struct {
+	G      *roadnet.Graph
+	Params Params
+}
+
+// NewPointToCurve returns a point-to-curve matcher on g.
+func NewPointToCurve(g *roadnet.Graph, prm Params) *PointToCurve {
+	return &PointToCurve{G: g, Params: prm}
+}
+
+// Name implements Matcher.
+func (m *PointToCurve) Name() string { return "point-to-curve" }
+
+// Match implements Matcher.
+func (m *PointToCurve) Match(t *traj.Trajectory) (roadnet.Route, error) {
+	if t.Len() == 0 {
+		return nil, ErrNoRoute
+	}
+	locs := make([]roadnet.Location, 0, t.Len())
+	for _, p := range t.Points {
+		cands := candidatesFor(m.G, p.Pt, m.Params)
+		if len(cands) == 0 {
+			continue
+		}
+		locs = append(locs, roadnet.Location{Edge: cands[0].Edge, Offset: cands[0].Offset})
+	}
+	return StitchLocations(m.G, locs)
+}

@@ -1,0 +1,53 @@
+package mapmatch
+
+import (
+	"testing"
+
+	"repro/internal/traj"
+)
+
+func TestPointToCurveOnCleanTrace(t *testing.T) {
+	city, rng := testWorld(301)
+	truth, tr := simulateCase(t, city, rng, 4000, 20, 0)
+	m := NewPointToCurve(city.Graph, DefaultParams())
+	got, err := m.Match(tr)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if !got.Valid(city.Graph) {
+		t.Fatal("invalid route")
+	}
+	if ov := routeOverlap(city.Graph, truth, got); ov < 0.85 {
+		t.Errorf("overlap %.2f on a clean trace", ov)
+	}
+}
+
+// TestPointToCurveWeakerThanST: the floor baseline should not beat the
+// global matchers on noisy low-rate traces (averaged).
+func TestPointToCurveWeakerThanST(t *testing.T) {
+	city, rng := testWorld(303)
+	var p2c, st float64
+	runs := 6
+	for i := 0; i < runs; i++ {
+		truth, tr := simulateCase(t, city, rng, 5000, 240, 20)
+		a, err1 := NewPointToCurve(city.Graph, DefaultParams()).Match(tr)
+		b, err2 := NewSTMatcher(city.Graph, DefaultParams()).Match(tr)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v %v", err1, err2)
+		}
+		p2c += routeOverlap(city.Graph, truth, a)
+		st += routeOverlap(city.Graph, truth, b)
+	}
+	if p2c > st*1.15 {
+		t.Errorf("point-to-curve (%.2f) suspiciously above ST-matching (%.2f)",
+			p2c/float64(runs), st/float64(runs))
+	}
+}
+
+func TestPointToCurveDegenerate(t *testing.T) {
+	city, _ := testWorld(305)
+	m := NewPointToCurve(city.Graph, DefaultParams())
+	if _, err := m.Match(&traj.Trajectory{}); err == nil {
+		t.Fatal("empty trajectory accepted")
+	}
+}

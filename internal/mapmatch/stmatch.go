@@ -1,0 +1,174 @@
+package mapmatch
+
+import (
+	"math"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// STMatcher implements ST-Matching [Lou et al. 2009]: a candidate graph is
+// built over the per-point candidate edges; spatial analysis combines the
+// GPS-error observation probability with a transmission probability
+// (straight-line over network distance), temporal analysis compares the
+// implied travel speed with the segment speed limits, and the best
+// candidate sequence is found by dynamic programming.
+type STMatcher struct {
+	G      *roadnet.Graph
+	Params Params
+	// SkipTemporal disables the temporal term; used when timestamps are
+	// synthetic (e.g. matching bare point sequences).
+	SkipTemporal bool
+}
+
+// NewSTMatcher returns an ST-Matching matcher on g.
+func NewSTMatcher(g *roadnet.Graph, prm Params) *STMatcher {
+	return &STMatcher{G: g, Params: prm}
+}
+
+// Name implements Matcher.
+func (m *STMatcher) Name() string { return "st-matching" }
+
+// Match implements Matcher.
+func (m *STMatcher) Match(t *traj.Trajectory) (roadnet.Route, error) {
+	if t.Len() == 0 {
+		return nil, ErrNoRoute
+	}
+	cands := make([][]roadnet.Candidate, t.Len())
+	for i, p := range t.Points {
+		cands[i] = candidatesFor(m.G, p.Pt, m.Params)
+		if len(cands[i]) == 0 {
+			return nil, ErrNoRoute
+		}
+	}
+	if t.Len() == 1 {
+		return roadnet.Route{cands[0][0].Edge}, nil
+	}
+
+	// DP over the candidate graph: score[i][j] = best cumulative score of a
+	// path ending at candidate j of point i.
+	n := t.Len()
+	score := make([][]float64, n)
+	back := make([][]int, n)
+	score[0] = make([]float64, len(cands[0]))
+	back[0] = make([]int, len(cands[0]))
+	for j, c := range cands[0] {
+		score[0][j] = observation(c.Dist, m.Params.GPSSigma)
+		back[0][j] = -1
+	}
+	for i := 1; i < n; i++ {
+		score[i] = make([]float64, len(cands[i]))
+		back[i] = make([]int, len(cands[i]))
+		straight := t.Points[i-1].Pt.Dist(t.Points[i].Pt)
+		dt := t.Points[i].T - t.Points[i-1].T
+		// One Dijkstra per previous candidate: distances from its end
+		// vertex serve all current candidates.
+		for j := range score[i] {
+			score[i][j] = math.Inf(-1)
+			back[i][j] = -1
+		}
+		for pj, pc := range cands[i-1] {
+			pseg := m.G.Seg(pc.Edge)
+			dists := m.G.VertexDistances(pseg.To)
+			for j, c := range cands[i] {
+				w := m.networkDist(pc, c, dists)
+				if math.IsInf(w, 1) {
+					continue
+				}
+				trans := transmission(straight, w)
+				f := observation(c.Dist, m.Params.GPSSigma) * trans
+				if !m.SkipTemporal && dt > 0 && w > 0 {
+					f *= m.temporal(pc, c, w/dt)
+				}
+				if s := score[i-1][pj] + f; s > score[i][j] {
+					score[i][j] = s
+					back[i][j] = pj
+				}
+			}
+		}
+		// If every transition is unreachable, restart the chain at point i
+		// (outlier tolerance).
+		allDead := true
+		for j := range score[i] {
+			if !math.IsInf(score[i][j], -1) {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			for j, c := range cands[i] {
+				score[i][j] = observation(c.Dist, m.Params.GPSSigma)
+				back[i][j] = -1
+			}
+		}
+	}
+
+	// Trace back the best sequence of candidate locations.
+	bestJ := 0
+	for j := range score[n-1] {
+		if score[n-1][j] > score[n-1][bestJ] {
+			bestJ = j
+		}
+	}
+	locs := make([]roadnet.Location, 0, n)
+	j := bestJ
+	for i := n - 1; i >= 0; i-- {
+		c := cands[i][j]
+		locs = append(locs, roadnet.Location{Edge: c.Edge, Offset: c.Offset})
+		if back[i][j] == -1 && i > 0 {
+			// Chain restart: drop earlier points (they could not connect).
+			break
+		}
+		j = back[i][j]
+	}
+	// Reverse into forward order.
+	for a, b := 0, len(locs)-1; a < b; a, b = a+1, b-1 {
+		locs[a], locs[b] = locs[b], locs[a]
+	}
+	return StitchLocations(m.G, locs)
+}
+
+// networkDist computes the driving distance from candidate a to candidate b
+// given precomputed vertex distances from a's segment end.
+func (m *STMatcher) networkDist(a, b roadnet.Candidate, distsFromAEnd []float64) float64 {
+	if a.Edge == b.Edge && b.Offset >= a.Offset {
+		return b.Offset - a.Offset
+	}
+	sa, sb := m.G.Seg(a.Edge), m.G.Seg(b.Edge)
+	mid := distsFromAEnd[sb.From]
+	if math.IsInf(mid, 1) {
+		return mid
+	}
+	return (sa.Length - a.Offset) + mid + b.Offset
+}
+
+// transmission is the ST-Matching transmission probability: straight-line
+// distance over network distance, capped at 1.
+func transmission(straight, network float64) float64 {
+	if network <= 0 {
+		return 1
+	}
+	v := straight / network
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// temporal is the ST-Matching temporal analysis term: the cosine similarity
+// between the speed-limit vector along the transition and the (constant)
+// actual travel speed. Transitions whose implied speed matches the road
+// class score higher.
+func (m *STMatcher) temporal(a, b roadnet.Candidate, actualSpeed float64) float64 {
+	// Use the two endpoint segments as the speed-limit sample; the paper
+	// uses every segment on the sub-path, which the two ends dominate for
+	// the short transitions map-matching sees.
+	u1 := m.G.Seg(a.Edge).Speed
+	u2 := m.G.Seg(b.Edge).Speed
+	num := u1*actualSpeed + u2*actualSpeed
+	den := math.Sqrt(u1*u1+u2*u2) * math.Sqrt(2*actualSpeed*actualSpeed)
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}

@@ -1,0 +1,29 @@
+package roadnet
+
+import "repro/internal/geo"
+
+// NewGrid builds a rows×cols Manhattan grid with bidirectional segments of
+// the given spacing (meters) and speed limit (m/s). Vertex (i,j) sits at
+// (j*spacing, i*spacing); its id is i*cols+j. It is the deterministic
+// test-bed network used across the test suites; the randomized city
+// generator lives in internal/sim.
+func NewGrid(rows, cols int, spacing, speed float64) *Graph {
+	b := NewBuilder()
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			b.AddVertex(geo.Pt(float64(j)*spacing, float64(i)*spacing))
+		}
+	}
+	id := func(i, j int) VertexID { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				b.AddBidirectional(id(i, j), id(i, j+1), speed, nil)
+			}
+			if i+1 < rows {
+				b.AddBidirectional(id(i, j), id(i+1, j), speed, nil)
+			}
+		}
+	}
+	return b.Build()
+}

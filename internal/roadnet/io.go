@@ -1,0 +1,82 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+)
+
+// jsonGraph is the on-disk representation used by cmd/gendata and cmd/hris.
+type jsonGraph struct {
+	Vertices []jsonVertex  `json:"vertices"`
+	Segments []jsonSegment `json:"segments"`
+}
+
+type jsonVertex struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type jsonSegment struct {
+	From  int          `json:"from"`
+	To    int          `json:"to"`
+	Speed float64      `json:"speed"`
+	Shape [][2]float64 `json:"shape,omitempty"`
+}
+
+// WriteJSON serializes the graph.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{
+		Vertices: make([]jsonVertex, len(g.Vertices)),
+		Segments: make([]jsonSegment, len(g.Segments)),
+	}
+	for i, v := range g.Vertices {
+		jg.Vertices[i] = jsonVertex{X: v.Pt.X, Y: v.Pt.Y}
+	}
+	for i := range g.Segments {
+		s := &g.Segments[i]
+		js := jsonSegment{From: s.From, To: s.To, Speed: s.Speed}
+		// Straight-line shapes are implied; only store curved shapes.
+		if len(s.Shape) > 2 {
+			js.Shape = make([][2]float64, len(s.Shape))
+			for k, p := range s.Shape {
+				js.Shape[k] = [2]float64{p.X, p.Y}
+			}
+		}
+		jg.Segments[i] = js
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jg)
+}
+
+// ReadJSON deserializes a graph written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("roadnet: decode graph: %w", err)
+	}
+	b := NewBuilder()
+	for _, v := range jg.Vertices {
+		b.AddVertex(geo.Pt(v.X, v.Y))
+	}
+	for i, s := range jg.Segments {
+		if s.From < 0 || s.From >= len(jg.Vertices) || s.To < 0 || s.To >= len(jg.Vertices) {
+			return nil, fmt.Errorf("roadnet: segment %d: vertex out of range", i)
+		}
+		var shape geo.Polyline
+		if len(s.Shape) > 0 {
+			shape = make(geo.Polyline, len(s.Shape))
+			for k, p := range s.Shape {
+				shape[k] = geo.Pt(p[0], p[1])
+			}
+		}
+		b.AddEdge(s.From, s.To, s.Speed, shape)
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("roadnet: invalid graph: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,380 @@
+// Package roadnet models the directed road network of Definitions 2–5:
+// road segments (directed edges with polyline shapes, lengths and speed
+// constraints), the road graph, routes (connected segment sequences), and
+// candidate-edge search. It also provides the network operations the rest
+// of the system relies on: shortest paths between network locations,
+// edge-level hop distances and λ-neighborhoods (Definition 8), and
+// shortest-path bridging of edge sequences into valid routes.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/graphalg"
+	"repro/internal/rtree"
+)
+
+// VertexID identifies an intersection or segment terminal point.
+type VertexID = int
+
+// EdgeID identifies a directed road segment.
+type EdgeID = int
+
+// NoEdge is the sentinel for "no segment".
+const NoEdge EdgeID = -1
+
+// Vertex is a road-network node (Definition 3).
+type Vertex struct {
+	ID VertexID
+	Pt geo.Point
+}
+
+// Segment is a directed road segment (Definition 2): terminal points
+// r.s = From and r.e = To, a polyline shape, a length, and a speed
+// constraint in meters per second.
+type Segment struct {
+	ID     EdgeID
+	From   VertexID
+	To     VertexID
+	Shape  geo.Polyline
+	Length float64
+	Speed  float64
+}
+
+// Graph is a road network (Definition 3): a directed graph whose edges are
+// road segments. Build one with a Builder; a built Graph is immutable and
+// safe for concurrent readers.
+type Graph struct {
+	Vertices []Vertex
+	Segments []Segment
+
+	out [][]EdgeID // out[v] = segments leaving vertex v
+	in  [][]EdgeID // in[v]  = segments entering vertex v
+
+	maxSpeed  float64
+	edgeIndex *rtree.Tree[EdgeID]
+	vertexG   *graphalg.Graph // vertex graph weighted by segment length
+	edgeG     *graphalg.Graph // edge adjacency graph (hop weight 1)
+	// cheapest[u] sorted by (to, length) is implicit in vertexG arc order;
+	// edgeByPair resolves a (from,to) vertex pair to the shortest segment.
+	edgeByPair map[[2]VertexID]EdgeID
+}
+
+// Builder accumulates vertices and segments, then finalizes them into a
+// Graph with all derived indexes.
+type Builder struct {
+	vertices []Vertex
+	segments []Segment
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddVertex adds an intersection at p and returns its id.
+func (b *Builder) AddVertex(p geo.Point) VertexID {
+	id := len(b.vertices)
+	b.vertices = append(b.vertices, Vertex{ID: id, Pt: p})
+	return id
+}
+
+// AddEdge adds a directed segment from u to v with the given speed limit
+// (m/s). If shape is nil the segment is a straight line between the vertex
+// points; otherwise shape must start at u's point and end at v's point.
+func (b *Builder) AddEdge(u, v VertexID, speed float64, shape geo.Polyline) EdgeID {
+	if shape == nil {
+		shape = geo.Polyline{b.vertices[u].Pt, b.vertices[v].Pt}
+	}
+	id := len(b.segments)
+	b.segments = append(b.segments, Segment{
+		ID: id, From: u, To: v, Shape: shape, Length: shape.Length(), Speed: speed,
+	})
+	return id
+}
+
+// AddBidirectional adds both directions between u and v, sharing the shape
+// (reversed for the v->u direction), and returns the two edge ids.
+func (b *Builder) AddBidirectional(u, v VertexID, speed float64, shape geo.Polyline) (EdgeID, EdgeID) {
+	e1 := b.AddEdge(u, v, speed, shape)
+	var back geo.Polyline
+	if shape != nil {
+		back = shape.Reverse()
+	}
+	e2 := b.AddEdge(v, u, speed, back)
+	return e1, e2
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.vertices) }
+
+// VertexPoint returns the location of an already-added vertex, for
+// constructing shapes that must start and end on the vertices.
+func (b *Builder) VertexPoint(v VertexID) geo.Point { return b.vertices[v].Pt }
+
+// Build finalizes the graph: adjacency lists, the segment R-tree, the
+// vertex-level weighted graph, and the edge-level hop graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		Vertices:   b.vertices,
+		Segments:   b.segments,
+		out:        make([][]EdgeID, len(b.vertices)),
+		in:         make([][]EdgeID, len(b.vertices)),
+		edgeByPair: make(map[[2]VertexID]EdgeID, len(b.segments)),
+	}
+	entries := make([]rtree.Entry[EdgeID], len(g.Segments))
+	g.vertexG = graphalg.NewGraph(len(g.Vertices))
+	for i := range g.Segments {
+		s := &g.Segments[i]
+		g.out[s.From] = append(g.out[s.From], s.ID)
+		g.in[s.To] = append(g.in[s.To], s.ID)
+		if s.Speed > g.maxSpeed {
+			g.maxSpeed = s.Speed
+		}
+		entries[i] = rtree.Entry[EdgeID]{Box: s.Shape.BBox(), Item: s.ID}
+		g.vertexG.AddArc(s.From, s.To, s.Length)
+		key := [2]VertexID{s.From, s.To}
+		if prev, ok := g.edgeByPair[key]; !ok || s.Length < g.Segments[prev].Length {
+			g.edgeByPair[key] = s.ID
+		}
+	}
+	g.edgeIndex = rtree.Bulk(entries)
+	g.edgeG = graphalg.NewGraph(len(g.Segments))
+	for i := range g.Segments {
+		s := &g.Segments[i]
+		for _, next := range g.out[s.To] {
+			g.edgeG.AddArc(s.ID, next, 1)
+		}
+	}
+	return g
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Vertices) }
+
+// NumSegments returns the segment count.
+func (g *Graph) NumSegments() int { return len(g.Segments) }
+
+// MaxSpeed returns V_max, the maximum speed constraint over all segments,
+// used by the temporal feasibility condition of Definition 6.
+func (g *Graph) MaxSpeed() float64 { return g.maxSpeed }
+
+// Out returns the segments leaving vertex v.
+func (g *Graph) Out(v VertexID) []EdgeID { return g.out[v] }
+
+// In returns the segments entering vertex v.
+func (g *Graph) In(v VertexID) []EdgeID { return g.in[v] }
+
+// Seg returns the segment with the given id.
+func (g *Graph) Seg(id EdgeID) *Segment { return &g.Segments[id] }
+
+// BBox returns the bounding box of the whole network.
+func (g *Graph) BBox() geo.BBox {
+	b := geo.EmptyBBox()
+	for i := range g.Vertices {
+		b = b.ExtendPoint(g.Vertices[i].Pt)
+	}
+	return b
+}
+
+// Candidate is a road segment near a GPS point (Definition 5), together
+// with the projection of the point onto the segment.
+type Candidate struct {
+	Edge   EdgeID
+	Proj   geo.Point // closest point on the segment shape
+	Dist   float64   // dist(p, r)
+	Offset float64   // arc length from the segment start to Proj
+}
+
+// CandidateEdges returns the segments whose distance to p is at most eps
+// (Definition 5), sorted by distance.
+func (g *Graph) CandidateEdges(p geo.Point, eps float64) []Candidate {
+	var out []Candidate
+	g.edgeIndex.Visit(geo.BBoxAround(p, eps), func(e rtree.Entry[EdgeID]) bool {
+		s := g.Seg(e.Item)
+		proj, _, off := s.Shape.Project(p)
+		if d := p.Dist(proj); d <= eps {
+			out = append(out, Candidate{Edge: e.Item, Proj: proj, Dist: d, Offset: off})
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out
+}
+
+// NearestCandidates returns the k segments closest to p regardless of
+// distance, sorted by distance. It widens a candidate search geometrically,
+// so it remains cheap when a nearby hit exists.
+func (g *Graph) NearestCandidates(p geo.Point, k int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	eps := 50.0
+	for {
+		cands := g.CandidateEdges(p, eps)
+		if len(cands) >= k || len(cands) == g.NumSegments() {
+			if len(cands) > k {
+				cands = cands[:k]
+			}
+			return cands
+		}
+		bb := g.BBox()
+		if eps > bb.Margin()+1 {
+			return cands
+		}
+		eps *= 2
+	}
+}
+
+// Location is a point on the network: a segment plus an arc-length offset.
+type Location struct {
+	Edge   EdgeID
+	Offset float64
+}
+
+// LocationOf projects p onto the nearest segment and returns the resulting
+// network location (ok=false on an empty network).
+func (g *Graph) LocationOf(p geo.Point) (Location, bool) {
+	cands := g.NearestCandidates(p, 1)
+	if len(cands) == 0 {
+		return Location{}, false
+	}
+	return Location{Edge: cands[0].Edge, Offset: cands[0].Offset}, true
+}
+
+// Point returns the planar point of a network location.
+func (g *Graph) Point(l Location) geo.Point {
+	return g.Seg(l.Edge).Shape.At(l.Offset)
+}
+
+// VertexDistances returns shortest-path distances (by length) from vertex
+// src to every vertex.
+func (g *Graph) VertexDistances(src VertexID) []float64 {
+	return graphalg.AllDistances(g.vertexG, src)
+}
+
+// VertexPath returns the shortest vertex path and distance from u to v.
+// Point-to-point queries run A* with the straight-line lower bound, which
+// prunes most of the search space on planar road networks while remaining
+// exact (segment lengths can never beat the straight line).
+func (g *Graph) VertexPath(u, v VertexID) ([]VertexID, float64, bool) {
+	if u < 0 || u >= len(g.Vertices) || v < 0 || v >= len(g.Vertices) {
+		return nil, 0, false
+	}
+	dst := g.Vertices[v].Pt
+	p, ok := graphalg.AStar(g.vertexG, u, v, func(w int) float64 {
+		return g.Vertices[w].Pt.Dist(dst)
+	})
+	if !ok {
+		return nil, 0, false
+	}
+	return p.Vertices, p.Weight, true
+}
+
+// edgeFor returns the shortest segment from u to v, or NoEdge.
+func (g *Graph) edgeFor(u, v VertexID) EdgeID {
+	if id, ok := g.edgeByPair[[2]VertexID{u, v}]; ok {
+		return id
+	}
+	return NoEdge
+}
+
+// EdgePathBetweenVertices returns the shortest route (as segment ids) from
+// vertex u to vertex v.
+func (g *Graph) EdgePathBetweenVertices(u, v VertexID) (Route, float64, bool) {
+	vs, w, ok := g.VertexPath(u, v)
+	if !ok {
+		return nil, 0, false
+	}
+	route := make(Route, 0, len(vs)-1)
+	for i := 1; i < len(vs); i++ {
+		e := g.edgeFor(vs[i-1], vs[i])
+		if e == NoEdge {
+			return nil, 0, false
+		}
+		route = append(route, e)
+	}
+	return route, w, true
+}
+
+// NetworkDistance returns the driving distance from location a to location
+// b along the network (+Inf when unreachable).
+func (g *Graph) NetworkDistance(a, b Location) float64 {
+	if a.Edge == b.Edge && b.Offset >= a.Offset {
+		return b.Offset - a.Offset
+	}
+	sa, sb := g.Seg(a.Edge), g.Seg(b.Edge)
+	head := sa.Length - a.Offset
+	mid := graphalg.ShortestDist(g.vertexG, sa.To, sb.From)
+	if math.IsInf(mid, 1) {
+		return mid
+	}
+	return head + mid + b.Offset
+}
+
+// PathBetweenLocations returns the route from a to b including both end
+// segments, and the driving distance.
+func (g *Graph) PathBetweenLocations(a, b Location) (Route, float64, bool) {
+	if a.Edge == b.Edge && b.Offset >= a.Offset {
+		return Route{a.Edge}, b.Offset - a.Offset, true
+	}
+	sa, sb := g.Seg(a.Edge), g.Seg(b.Edge)
+	mid, w, ok := g.EdgePathBetweenVertices(sa.To, sb.From)
+	if !ok {
+		return nil, 0, false
+	}
+	route := append(Route{a.Edge}, mid...)
+	route = append(route, b.Edge)
+	return route.Dedup(), sa.Length - a.Offset + w + b.Offset, true
+}
+
+// EdgeHops returns h(r, s) for every segment s: the minimum number of
+// segment transitions for an object moving from r (h(r,r)=0, an immediately
+// following segment has h=1; -1 when unreachable). maxHops < 0 means
+// unlimited.
+func (g *Graph) EdgeHops(r EdgeID, maxHops int) []int {
+	return graphalg.BFSHops(g.edgeG, r, maxHops)
+}
+
+// Neighborhood returns N_λ(r) (Definition 8): every segment s ≠ r with
+// h(r, s) < lambda, together with its hop count.
+func (g *Graph) Neighborhood(r EdgeID, lambda int) map[EdgeID]int {
+	hops := g.EdgeHops(r, lambda-1)
+	out := make(map[EdgeID]int)
+	for s, h := range hops {
+		if s != r && h > 0 && h < lambda {
+			out[EdgeID(s)] = h
+		}
+	}
+	return out
+}
+
+// EdgeGraph exposes the edge-adjacency hop graph (segment ids as vertices).
+func (g *Graph) EdgeGraph() *graphalg.Graph { return g.edgeG }
+
+// VertexGraph exposes the vertex graph weighted by segment length.
+func (g *Graph) VertexGraph() *graphalg.Graph { return g.vertexG }
+
+// Validate checks structural invariants and returns the first violation.
+func (g *Graph) Validate() error {
+	for i := range g.Segments {
+		s := &g.Segments[i]
+		if s.From < 0 || s.From >= len(g.Vertices) || s.To < 0 || s.To >= len(g.Vertices) {
+			return fmt.Errorf("segment %d: vertex out of range", s.ID)
+		}
+		if len(s.Shape) < 2 {
+			return fmt.Errorf("segment %d: shape has %d points", s.ID, len(s.Shape))
+		}
+		if !s.Shape[0].Equal(g.Vertices[s.From].Pt, 1e-6) {
+			return fmt.Errorf("segment %d: shape start mismatch", s.ID)
+		}
+		if !s.Shape[len(s.Shape)-1].Equal(g.Vertices[s.To].Pt, 1e-6) {
+			return fmt.Errorf("segment %d: shape end mismatch", s.ID)
+		}
+		if s.Speed <= 0 {
+			return fmt.Errorf("segment %d: nonpositive speed", s.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package roadnet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geo"
+)
+
+// Route is a set of connected road segments (Definition 4):
+// R: r_1 -> r_2 -> ... -> r_n with r_{k+1}.s = r_k.e.
+type Route []EdgeID
+
+// Length returns the total driving length of the route in meters.
+func (r Route) Length(g *Graph) float64 {
+	var l float64
+	for _, e := range r {
+		l += g.Seg(e).Length
+	}
+	return l
+}
+
+// TravelTime returns the free-flow driving time of the route in seconds
+// (each segment at its speed limit).
+func (r Route) TravelTime(g *Graph) float64 {
+	var t float64
+	for _, e := range r {
+		s := g.Seg(e)
+		t += s.Length / s.Speed
+	}
+	return t
+}
+
+// Valid reports whether consecutive segments are connected end-to-start
+// (Definition 4). The empty route is valid.
+func (r Route) Valid(g *Graph) bool {
+	for i := 1; i < len(r); i++ {
+		if g.Seg(r[i]).From != g.Seg(r[i-1]).To {
+			return false
+		}
+	}
+	return true
+}
+
+// Start returns R.s, the start vertex of the route.
+func (r Route) Start(g *Graph) VertexID {
+	if len(r) == 0 {
+		return -1
+	}
+	return g.Seg(r[0]).From
+}
+
+// End returns R.e, the end vertex of the route.
+func (r Route) End(g *Graph) VertexID {
+	if len(r) == 0 {
+		return -1
+	}
+	return g.Seg(r[len(r)-1]).To
+}
+
+// Dedup removes immediately repeated segment ids (which arise when
+// bridging routes that share boundary segments) while preserving order.
+func (r Route) Dedup() Route {
+	if len(r) < 2 {
+		return r
+	}
+	out := Route{r[0]}
+	for _, e := range r[1:] {
+		if e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Concat joins r with s (the paper's ◇ operator), bridging any gap between
+// r's end and s's start with a shortest path. ok=false when no bridge
+// exists.
+func (r Route) Concat(g *Graph, s Route) (Route, bool) {
+	if len(r) == 0 {
+		return s, true
+	}
+	if len(s) == 0 {
+		return r, true
+	}
+	joined := append(Route{}, r...)
+	if g.Seg(s[0]).From == r.End(g) || s[0] == r[len(r)-1] {
+		joined = append(joined, s...)
+		return joined.Dedup(), true
+	}
+	bridge, _, ok := g.EdgePathBetweenVertices(r.End(g), g.Seg(s[0]).From)
+	if !ok {
+		return nil, false
+	}
+	joined = append(joined, bridge...)
+	joined = append(joined, s...)
+	return joined.Dedup(), true
+}
+
+// Points returns the polyline of the whole route.
+func (r Route) Points(g *Graph) geo.Polyline {
+	var pl geo.Polyline
+	for _, e := range r {
+		shape := g.Seg(e).Shape
+		if len(pl) > 0 && len(shape) > 0 && pl[len(pl)-1].Equal(shape[0], 1e-9) {
+			shape = shape[1:]
+		}
+		pl = append(pl, shape...)
+	}
+	return pl
+}
+
+// Equal reports whether two routes are the same segment sequence.
+func (r Route) Equal(s Route) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for i := range r {
+		if r[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact map key for the route.
+func (r Route) Key() string {
+	var b strings.Builder
+	for i, e := range r {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", e)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (r Route) String() string { return "[" + r.Key() + "]" }

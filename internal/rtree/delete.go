@@ -1,0 +1,84 @@
+package rtree
+
+import "repro/internal/geo"
+
+// Delete removes one entry whose box equals box and for which match
+// returns true, using the classic condense-tree algorithm: the leaf is
+// located, the entry removed, underfull nodes are dissolved and their
+// remaining entries reinserted. It reports whether an entry was removed.
+// Supporting deletion lets an archive evolve (e.g. expiring old
+// trajectories) without rebuilding the index.
+func (t *Tree[T]) Delete(box geo.BBox, match func(T) bool) bool {
+	leaf, idx := findLeaf(t.root, box, match)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+
+	// Condense: walk from the root again, dissolving underfull nodes.
+	var orphans []Entry[T]
+	t.root = condense(t.root, &orphans)
+	if t.root == nil {
+		t.root = &node[T]{leaf: true, box: geo.EmptyBBox()}
+	}
+	// Collapse a root with a single child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	for _, e := range orphans {
+		t.size-- // Insert re-increments
+		t.Insert(e.Box, e.Item)
+	}
+	return true
+}
+
+// findLeaf locates the leaf containing a matching entry.
+func findLeaf[T any](nd *node[T], box geo.BBox, match func(T) bool) (*node[T], int) {
+	if nd == nil || !nd.box.Intersects(box) {
+		return nil, -1
+	}
+	if nd.leaf {
+		for i, e := range nd.entries {
+			if e.Box == box && match(e.Item) {
+				return nd, i
+			}
+		}
+		return nil, -1
+	}
+	for _, c := range nd.children {
+		if l, i := findLeaf(c, box, match); l != nil {
+			return l, i
+		}
+	}
+	return nil, -1
+}
+
+// condense rebuilds boxes bottom-up, removing empty/underfull leaves and
+// gathering their entries for reinsertion. Returns nil when the subtree
+// dissolves entirely.
+func condense[T any](nd *node[T], orphans *[]Entry[T]) *node[T] {
+	if nd.leaf {
+		if len(nd.entries) == 0 {
+			return nil
+		}
+		if len(nd.entries) < minEntries {
+			*orphans = append(*orphans, nd.entries...)
+			return nil
+		}
+		nd.recomputeBox()
+		return nd
+	}
+	kept := nd.children[:0]
+	for _, c := range nd.children {
+		if cc := condense(c, orphans); cc != nil {
+			kept = append(kept, cc)
+		}
+	}
+	nd.children = kept
+	if len(nd.children) == 0 {
+		return nil
+	}
+	nd.recomputeBox()
+	return nd
+}

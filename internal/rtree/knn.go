@@ -1,0 +1,95 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"repro/internal/geo"
+)
+
+// NearestIter streams entries in nondecreasing order of distance from a
+// query point using the classic best-first (Hjaltason–Samet) traversal.
+// Distances are measured from the query point to the entry's bounding box,
+// which is exact for point entries.
+type NearestIter[T any] struct {
+	from geo.Point
+	pq   nnHeap[T]
+}
+
+type nnItem[T any] struct {
+	dist  float64
+	node  *node[T] // non-nil for subtree items
+	entry Entry[T] // valid when node is nil
+}
+
+type nnHeap[T any] []nnItem[T]
+
+func (h nnHeap[T]) Len() int           { return len(h) }
+func (h nnHeap[T]) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h nnHeap[T]) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap[T]) Push(x any)        { *h = append(*h, x.(nnItem[T])) }
+func (h *nnHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Nearest returns an iterator producing entries in order of distance from p.
+func (t *Tree[T]) Nearest(p geo.Point) *NearestIter[T] {
+	it := &NearestIter[T]{from: p}
+	if t.root != nil && !t.root.box.IsEmpty() {
+		it.pq = append(it.pq, nnItem[T]{dist: t.root.box.DistToPoint(p), node: t.root})
+	}
+	heap.Init(&it.pq)
+	return it
+}
+
+// Next returns the next-closest entry and its distance. ok is false when the
+// iterator is exhausted.
+func (it *NearestIter[T]) Next() (e Entry[T], dist float64, ok bool) {
+	for it.pq.Len() > 0 {
+		top := heap.Pop(&it.pq).(nnItem[T])
+		if top.node == nil {
+			return top.entry, top.dist, true
+		}
+		nd := top.node
+		if nd.leaf {
+			for _, e := range nd.entries {
+				heap.Push(&it.pq, nnItem[T]{dist: e.Box.DistToPoint(it.from), entry: e})
+			}
+		} else {
+			for _, c := range nd.children {
+				heap.Push(&it.pq, nnItem[T]{dist: c.box.DistToPoint(it.from), node: c})
+			}
+		}
+	}
+	return e, 0, false
+}
+
+// KNN returns the k entries closest to p, ordered by distance.
+func (t *Tree[T]) KNN(p geo.Point, k int) []Entry[T] {
+	it := t.Nearest(p)
+	out := make([]Entry[T], 0, k)
+	for len(out) < k {
+		e, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// WithinRadius returns all entries whose box lies within dist r of p,
+// ordered arbitrarily. For point entries this is an exact radius query.
+func (t *Tree[T]) WithinRadius(p geo.Point, r float64) []Entry[T] {
+	var out []Entry[T]
+	t.Visit(geo.BBoxAround(p, r), func(e Entry[T]) bool {
+		if e.Box.DistToPoint(p) <= r {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,204 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func randomPoints(n int, seed int64) []geo.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*10000, rng.Float64()*10000)
+	}
+	return pts
+}
+
+func pointEntries(pts []geo.Point) []Entry[int] {
+	es := make([]Entry[int], len(pts))
+	for i, p := range pts {
+		es[i] = Entry[int]{Box: geo.BBox{Min: p, Max: p}, Item: i}
+	}
+	return es
+}
+
+func bruteRange(pts []geo.Point, q geo.BBox) []int {
+	var ids []int
+	for i, p := range pts {
+		if q.Contains(p) {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+func sortedItems(es []Entry[int]) []int {
+	ids := make([]int, len(es))
+	for i, e := range es {
+		ids[i] = e.Item
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Search(geo.BBox{Min: geo.Pt(0, 0), Max: geo.Pt(1, 1)}, nil); len(got) != 0 {
+		t.Errorf("Search on empty tree = %v", got)
+	}
+	if _, _, ok := tr.Nearest(geo.Pt(0, 0)).Next(); ok {
+		t.Error("Nearest on empty tree returned an entry")
+	}
+	bulk := Bulk[int](nil)
+	if bulk.Len() != 0 || len(bulk.KNN(geo.Pt(0, 0), 3)) != 0 {
+		t.Error("empty Bulk tree misbehaves")
+	}
+}
+
+// TestRangeMatchesBruteForce cross-checks both the bulk-loaded and the
+// incrementally built tree against a linear scan on random boxes.
+func TestRangeMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(2000, 42)
+	bulk := Bulk(pointEntries(pts))
+	dyn := New[int]()
+	for i, p := range pts {
+		dyn.Insert(geo.BBox{Min: p, Max: p}, i)
+	}
+	if bulk.Len() != 2000 || dyn.Len() != 2000 {
+		t.Fatalf("Len: bulk=%d dyn=%d", bulk.Len(), dyn.Len())
+	}
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		c := geo.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		r := rng.Float64() * 2000
+		q := geo.BBoxAround(c, r)
+		want := bruteRange(pts, q)
+		sort.Ints(want)
+		for name, tr := range map[string]*Tree[int]{"bulk": bulk, "dyn": dyn} {
+			got := sortedItems(tr.Search(q, nil))
+			if !equalInts(got, want) {
+				t.Fatalf("%s: Search mismatch: got %d items, want %d", name, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestWithinRadiusMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(1000, 7)
+	tr := Bulk(pointEntries(pts))
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		c := geo.Pt(rng.Float64()*10000, rng.Float64()*10000)
+		r := rng.Float64() * 1500
+		var want []int
+		for i, p := range pts {
+			if p.Dist(c) <= r {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(want)
+		got := sortedItems(tr.WithinRadius(c, r))
+		if !equalInts(got, want) {
+			t.Fatalf("WithinRadius mismatch: got %d want %d", len(got), len(want))
+		}
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	pts := randomPoints(500, 9)
+	tr := Bulk(pointEntries(pts))
+	count := 0
+	tr.Visit(geo.BBox{Min: geo.Pt(0, 0), Max: geo.Pt(10000, 10000)}, func(Entry[int]) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d entries", count)
+	}
+}
+
+func TestTreeInvariants(t *testing.T) {
+	pts := randomPoints(3000, 10)
+	dyn := New[int]()
+	for i, p := range pts {
+		dyn.Insert(geo.BBox{Min: p, Max: p}, i)
+	}
+	checkNode(t, dyn.root, true)
+	bulk := Bulk(pointEntries(pts))
+	checkNode(t, bulk.root, true)
+	if h := bulk.Height(); h < 2 || h > 6 {
+		t.Errorf("suspicious bulk height %d for 3000 points", h)
+	}
+}
+
+// checkNode verifies bounding-box containment and fanout bounds recursively.
+func checkNode(t *testing.T, nd *node[int], isRoot bool) {
+	t.Helper()
+	if nd.leaf {
+		if !isRoot && (len(nd.entries) < 1 || len(nd.entries) > maxEntries) {
+			t.Fatalf("leaf fanout %d out of bounds", len(nd.entries))
+		}
+		for _, e := range nd.entries {
+			if !nd.box.ContainsBox(e.Box) {
+				t.Fatalf("leaf box does not contain entry box")
+			}
+		}
+		return
+	}
+	if len(nd.children) < 2 || len(nd.children) > maxEntries {
+		t.Fatalf("internal fanout %d out of bounds", len(nd.children))
+	}
+	for _, c := range nd.children {
+		if !nd.box.ContainsBox(c.box) {
+			t.Fatalf("parent box does not contain child box")
+		}
+		checkNode(t, c, false)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := New[int]()
+	p := geo.Pt(5, 5)
+	for i := 0; i < 100; i++ {
+		tr.Insert(geo.BBox{Min: p, Max: p}, i)
+	}
+	got := tr.Search(geo.BBoxAround(p, 1), nil)
+	if len(got) != 100 {
+		t.Errorf("duplicate search returned %d, want 100", len(got))
+	}
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	pts := randomPoints(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bulk(pointEntries(pts))
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	pts := randomPoints(50000, 2)
+	tr := Bulk(pointEntries(pts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(geo.BBoxAround(geo.Pt(5000, 5000), 500), nil)
+	}
+}

@@ -1,0 +1,264 @@
+// Package sim synthesizes the evaluation substrate the paper obtained from
+// real data: an urban road network standing in for Beijing's, and a taxi
+// fleet whose trips form the historical trajectory archive. The generator
+// is built to reproduce the two motivational observations the HRIS
+// algorithms exploit (§I-A): travel patterns between locations are highly
+// skewed (drivers sample among a few good routes with a Zipf-like
+// preference), and similar trajectories interleave so that they complement
+// each other. Archive trajectories mix high- and low-sampling-rate sensors,
+// reproducing the paper's "data quality" challenge.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/graphalg"
+	"repro/internal/roadnet"
+)
+
+// CityConfig parameterizes the synthetic urban network.
+type CityConfig struct {
+	Rows, Cols    int     // intersection grid dimensions
+	Spacing       float64 // meters between adjacent intersections
+	ArterialEvery int     // every k-th row/column is a fast arterial
+	StreetSpeed   float64 // m/s speed limit on side streets
+	ArterialSpeed float64 // m/s speed limit on arterials
+	RemoveProb    float64 // probability of deleting a side-street pair (irregularity)
+	OneWayProb    float64 // probability a surviving side street is one-way
+	Jitter        float64 // vertex position jitter as a fraction of Spacing
+	Hotspots      int     // number of popular trip endpoints
+	// CurvedStreets gives side streets a curved polyline shape (a bowed
+	// midpoint) instead of a straight line, exercising the polyline
+	// projection paths end to end. Off by default so results stay
+	// comparable with the recorded experiments.
+	CurvedStreets bool
+}
+
+// DefaultCityConfig returns a mid-sized city: a 30×30 perturbed grid at
+// 500 m spacing (≈15 km × 15 km, ~3300 segments) with arterials every 5th
+// street — large enough for the paper's 10–30 km queries.
+func DefaultCityConfig() CityConfig {
+	return CityConfig{
+		Rows: 30, Cols: 30, Spacing: 500,
+		ArterialEvery: 5,
+		StreetSpeed:   11.1, // 40 km/h
+		ArterialSpeed: 22.2, // 80 km/h
+		RemoveProb:    0.06,
+		OneWayProb:    0.10,
+		Jitter:        0.15,
+		Hotspots:      12,
+	}
+}
+
+// City is a generated road network plus trip-demand metadata.
+type City struct {
+	Graph    *roadnet.Graph
+	Hotspots []roadnet.VertexID // popular endpoints, all mutually reachable
+	Config   CityConfig
+
+	timeG *graphalg.Graph // vertex graph weighted by free-flow travel time
+	// routeCache memoizes PlanRoutes keyed by (o,d,k).
+	routeCache map[[3]int][]roadnet.Route
+}
+
+// GenerateCity builds a deterministic random city from cfg and seed.
+func GenerateCity(cfg CityConfig, seed int64) *City {
+	rng := rand.New(rand.NewSource(seed))
+	b := roadnet.NewBuilder()
+	idOf := func(i, j int) roadnet.VertexID { return i*cfg.Cols + j }
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter * cfg.Spacing
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter * cfg.Spacing
+			b.AddVertex(geo.Pt(float64(j)*cfg.Spacing+jx, float64(i)*cfg.Spacing+jy))
+		}
+	}
+	isArterialRow := func(i int) bool { return cfg.ArterialEvery > 0 && i%cfg.ArterialEvery == 0 }
+	// shape returns the street geometry between two placed vertices: a
+	// straight line, or a bowed three-point polyline for curved streets.
+	shape := func(u, v roadnet.VertexID, arterial bool) geo.Polyline {
+		if !cfg.CurvedStreets || arterial {
+			return nil
+		}
+		pu, pv := b.VertexPoint(u), b.VertexPoint(v)
+		mid := pu.Lerp(pv, 0.5)
+		// Perpendicular bow of up to 10% of the street length.
+		dir := pv.Sub(pu)
+		perp := geo.Pt(-dir.Y, dir.X).Scale((rng.Float64()*2 - 1) * 0.1)
+		return geo.Polyline{pu, mid.Add(perp), pv}
+	}
+	addStreet := func(u, v roadnet.VertexID, arterial bool) {
+		speed := cfg.StreetSpeed
+		if arterial {
+			speed = cfg.ArterialSpeed
+		}
+		if !arterial && rng.Float64() < cfg.RemoveProb {
+			return // vanished side street: urban irregularity
+		}
+		sh := shape(u, v, arterial)
+		if !arterial && rng.Float64() < cfg.OneWayProb {
+			if rng.Intn(2) == 0 {
+				b.AddEdge(u, v, speed, sh)
+			} else {
+				var back geo.Polyline
+				if sh != nil {
+					back = sh.Reverse()
+				}
+				b.AddEdge(v, u, speed, back)
+			}
+			return
+		}
+		b.AddBidirectional(u, v, speed, sh)
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		for j := 0; j < cfg.Cols; j++ {
+			if j+1 < cfg.Cols {
+				addStreet(idOf(i, j), idOf(i, j+1), isArterialRow(i))
+			}
+			if i+1 < cfg.Rows {
+				addStreet(idOf(i, j), idOf(i+1, j), isArterialRow(j))
+			}
+		}
+	}
+	g := b.Build()
+
+	c := &City{Graph: g, Config: cfg, routeCache: make(map[[3]int][]roadnet.Route)}
+	c.timeG = graphalg.NewGraph(g.NumVertices())
+	for i := range g.Segments {
+		s := g.Seg(i)
+		c.timeG.AddArc(s.From, s.To, s.Length/s.Speed)
+	}
+	c.pickHotspots(rng)
+	return c
+}
+
+// pickHotspots selects spread-out, mutually reachable vertices in the
+// largest strongly connected component.
+func (c *City) pickHotspots(rng *rand.Rand) {
+	comp, count := graphalg.StronglyConnectedComponents(c.Graph.VertexGraph())
+	sizes := make([]int, count)
+	for _, cc := range comp {
+		sizes[cc]++
+	}
+	largest := 0
+	for i, s := range sizes {
+		if s > sizes[largest] {
+			largest = i
+		}
+	}
+	var pool []roadnet.VertexID
+	for v, cc := range comp {
+		if cc == largest {
+			pool = append(pool, v)
+		}
+	}
+	n := c.Config.Hotspots
+	if n > len(pool) {
+		n = len(pool)
+	}
+	// Farthest-point sampling for spatial spread.
+	if len(pool) == 0 {
+		return
+	}
+	c.Hotspots = []roadnet.VertexID{pool[rng.Intn(len(pool))]}
+	for len(c.Hotspots) < n {
+		bestV, bestD := -1, -1.0
+		for _, v := range pool {
+			minD := 1e18
+			for _, h := range c.Hotspots {
+				if d := c.Graph.Vertices[v].Pt.Dist(c.Graph.Vertices[h].Pt); d < minD {
+					minD = d
+				}
+			}
+			if minD > bestD {
+				bestV, bestD = v, minD
+			}
+		}
+		c.Hotspots = append(c.Hotspots, bestV)
+	}
+}
+
+// PlanRoutes returns up to k route alternatives from o to d ordered by
+// free-flow travel time, memoized per (o, d, k).
+func (c *City) PlanRoutes(o, d roadnet.VertexID, k int) []roadnet.Route {
+	key := [3]int{o, d, k}
+	if rs, ok := c.routeCache[key]; ok {
+		return rs
+	}
+	paths := graphalg.KShortestPaths(c.timeG, o, d, k)
+	routes := make([]roadnet.Route, 0, len(paths))
+	for _, p := range paths {
+		r, ok := c.verticesToRoute(p.Vertices)
+		if ok {
+			routes = append(routes, r)
+		}
+	}
+	c.routeCache[key] = routes
+	return routes
+}
+
+// verticesToRoute maps a vertex path to segment ids, choosing the fastest
+// parallel segment for each hop.
+func (c *City) verticesToRoute(vs []int) (roadnet.Route, bool) {
+	route := make(roadnet.Route, 0, len(vs)-1)
+	for i := 1; i < len(vs); i++ {
+		best, bestT := roadnet.NoEdge, 1e18
+		for _, e := range c.Graph.Out(vs[i-1]) {
+			s := c.Graph.Seg(e)
+			if s.To == vs[i] && s.Length/s.Speed < bestT {
+				best, bestT = e, s.Length/s.Speed
+			}
+		}
+		if best == roadnet.NoEdge {
+			return nil, false
+		}
+		route = append(route, best)
+	}
+	return route, true
+}
+
+// SampleRoute draws one of the alternatives with Zipf-like skew
+// P(rank i) ∝ 1/(i+1)^skew — Observation 1's "travel patterns between
+// certain locations are often highly skewed".
+func SampleRoute(routes []roadnet.Route, skew float64, rng *rand.Rand) (roadnet.Route, bool) {
+	if len(routes) == 0 {
+		return nil, false
+	}
+	weights := make([]float64, len(routes))
+	var total float64
+	for i := range routes {
+		weights[i] = 1 / math.Pow(float64(i+1), skew)
+		total += weights[i]
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return routes[i], true
+		}
+	}
+	return routes[len(routes)-1], true
+}
+
+// RandomHotspotPair returns two distinct hotspots, or ok=false when the
+// city has fewer than two.
+func (c *City) RandomHotspotPair(rng *rand.Rand) (o, d roadnet.VertexID, ok bool) {
+	if len(c.Hotspots) < 2 {
+		return 0, 0, false
+	}
+	i := rng.Intn(len(c.Hotspots))
+	j := rng.Intn(len(c.Hotspots) - 1)
+	if j >= i {
+		j++
+	}
+	return c.Hotspots[i], c.Hotspots[j], true
+}
+
+// String summarizes the city.
+func (c *City) String() string {
+	return fmt.Sprintf("city(%d vertices, %d segments, %d hotspots)",
+		c.Graph.NumVertices(), c.Graph.NumSegments(), len(c.Hotspots))
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graphalg"
+)
+
+func smallCityConfig() CityConfig {
+	cfg := DefaultCityConfig()
+	cfg.Rows, cfg.Cols = 12, 12
+	cfg.Hotspots = 6
+	return cfg
+}
+
+func TestGenerateCityDeterministic(t *testing.T) {
+	c1 := GenerateCity(smallCityConfig(), 42)
+	c2 := GenerateCity(smallCityConfig(), 42)
+	if c1.Graph.NumSegments() != c2.Graph.NumSegments() {
+		t.Fatalf("segment counts differ: %d vs %d", c1.Graph.NumSegments(), c2.Graph.NumSegments())
+	}
+	for i := range c1.Graph.Segments {
+		s1, s2 := c1.Graph.Seg(i), c2.Graph.Seg(i)
+		if s1.From != s2.From || s1.To != s2.To || s1.Length != s2.Length {
+			t.Fatalf("segment %d differs", i)
+		}
+	}
+	if len(c1.Hotspots) != len(c2.Hotspots) {
+		t.Fatal("hotspots differ")
+	}
+	c3 := GenerateCity(smallCityConfig(), 43)
+	if c3.Graph.NumSegments() == c1.Graph.NumSegments() {
+		// Different seeds usually differ in removed streets; identical
+		// counts are possible but shapes should differ somewhere.
+		same := true
+		for i := range c1.Graph.Vertices {
+			if c1.Graph.Vertices[i].Pt != c3.Graph.Vertices[i].Pt {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical cities")
+		}
+	}
+}
+
+func TestCityStructure(t *testing.T) {
+	c := GenerateCity(smallCityConfig(), 7)
+	if err := c.Graph.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.Graph.NumVertices() != 144 {
+		t.Fatalf("vertices = %d", c.Graph.NumVertices())
+	}
+	if c.Graph.MaxSpeed() != smallCityConfig().ArterialSpeed {
+		t.Fatalf("MaxSpeed = %v", c.Graph.MaxSpeed())
+	}
+	if len(c.Hotspots) != 6 {
+		t.Fatalf("hotspots = %d", len(c.Hotspots))
+	}
+}
+
+func TestHotspotsMutuallyReachable(t *testing.T) {
+	c := GenerateCity(smallCityConfig(), 9)
+	comp, _ := graphalg.StronglyConnectedComponents(c.Graph.VertexGraph())
+	for _, h := range c.Hotspots[1:] {
+		if comp[h] != comp[c.Hotspots[0]] {
+			t.Fatalf("hotspot %d not in the same SCC", h)
+		}
+	}
+}
+
+func TestPlanRoutesOrderedAndValid(t *testing.T) {
+	c := GenerateCity(smallCityConfig(), 11)
+	o, d := c.Hotspots[0], c.Hotspots[1]
+	routes := c.PlanRoutes(o, d, 4)
+	if len(routes) == 0 {
+		t.Fatal("no routes between hotspots")
+	}
+	lastTime := -1.0
+	for _, r := range routes {
+		if !r.Valid(c.Graph) {
+			t.Fatalf("invalid route %v", r)
+		}
+		if r.Start(c.Graph) != o || r.End(c.Graph) != d {
+			t.Fatal("route endpoints wrong")
+		}
+		var tt float64
+		for _, e := range r {
+			s := c.Graph.Seg(e)
+			tt += s.Length / s.Speed
+		}
+		if tt < lastTime-1e-9 {
+			t.Fatalf("routes not ordered by travel time: %v after %v", tt, lastTime)
+		}
+		lastTime = tt
+	}
+	// Memoized: same slice on second call.
+	again := c.PlanRoutes(o, d, 4)
+	if &again[0][0] != &routes[0][0] {
+		t.Fatal("PlanRoutes not memoized")
+	}
+}
+
+func TestSampleRouteSkew(t *testing.T) {
+	c := GenerateCity(smallCityConfig(), 13)
+	o, d := c.Hotspots[0], c.Hotspots[2]
+	routes := c.PlanRoutes(o, d, 4)
+	if len(routes) < 2 {
+		t.Skip("need at least 2 alternatives for the skew test")
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		r, ok := SampleRoute(routes, 1.6, rng)
+		if !ok {
+			t.Fatal("SampleRoute failed")
+		}
+		counts[r.Key()]++
+	}
+	top := counts[routes[0].Key()]
+	second := counts[routes[1].Key()]
+	if top <= second {
+		t.Fatalf("skew violated: top=%d second=%d", top, second)
+	}
+	if top < 2000/3 {
+		t.Fatalf("top route only drawn %d/2000 times; distribution not skewed", top)
+	}
+	if _, ok := SampleRoute(nil, 1.6, rng); ok {
+		t.Fatal("SampleRoute on empty slice should fail")
+	}
+}
+
+func TestRandomHotspotPair(t *testing.T) {
+	c := GenerateCity(smallCityConfig(), 17)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		o, d, ok := c.RandomHotspotPair(rng)
+		if !ok || o == d {
+			t.Fatalf("bad pair (%d,%d,%v)", o, d, ok)
+		}
+	}
+	tiny := &City{}
+	if _, _, ok := tiny.RandomHotspotPair(rng); ok {
+		t.Fatal("pair from empty city")
+	}
+}

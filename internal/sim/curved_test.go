@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func curvedConfig() CityConfig {
+	cfg := smallCityConfig()
+	cfg.CurvedStreets = true
+	return cfg
+}
+
+func TestCurvedCityValidates(t *testing.T) {
+	c := GenerateCity(curvedConfig(), 161)
+	if err := c.Graph.Validate(); err != nil {
+		t.Fatalf("curved city invalid: %v", err)
+	}
+	// Some side streets actually carry curved (3-point) shapes longer than
+	// the straight line between their endpoints.
+	curved := 0
+	for i := range c.Graph.Segments {
+		s := c.Graph.Seg(roadnet.EdgeID(i))
+		if len(s.Shape) > 2 {
+			curved++
+			straight := c.Graph.Vertices[s.From].Pt.Dist(c.Graph.Vertices[s.To].Pt)
+			if s.Length < straight-1e-9 {
+				t.Fatalf("segment %d shorter than its chord", i)
+			}
+		}
+	}
+	if curved == 0 {
+		t.Fatal("no curved segments generated")
+	}
+}
+
+// TestCurvedCityEndToEnd drives the whole pipeline — fleet, archive, trips
+// and motion simulation — over curved geometry.
+func TestCurvedCityEndToEnd(t *testing.T) {
+	c := GenerateCity(curvedConfig(), 163)
+	fcfg := DefaultFleetConfig()
+	fcfg.Trips = 120
+	fcfg.Seed = 163
+	ds := BuildDataset(c, fcfg)
+	if len(ds.Archive) < 80 {
+		t.Fatalf("archive = %d", len(ds.Archive))
+	}
+	for _, tr := range ds.Archive[:10] {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trajectory invalid: %v", err)
+		}
+		// Zero-noise samples sit on the network even on curved streets.
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// FleetConfig parameterizes archive generation.
+type FleetConfig struct {
+	Trips        int     // number of archive trips
+	HotspotFrac  float64 // fraction of trips between hotspot pairs
+	RouteK       int     // route alternatives per OD pair
+	RouteSkew    float64 // Zipf exponent of the route-choice distribution
+	HighRateFrac float64 // fraction of archive sensors sampling at ~20–60 s
+	LowRateMin   float64 // low-rate sensors draw intervals in [Min, Max] s
+	LowRateMax   float64
+	NoiseSigma   float64 // GPS noise std-dev in meters
+	Seed         int64
+	// TimeOfDayPatterns makes route preferences flip between the AM and PM
+	// halves of the day (commuting asymmetry): in the PM, drivers prefer
+	// the alternatives in reverse rank order. Exercises the temporal
+	// extension (core.Params.TemporalWeighting).
+	TimeOfDayPatterns bool
+}
+
+// DefaultFleetConfig mirrors the paper's setting in miniature: a mixed-
+// quality archive (high- and low-rate co-exist, §I-B "Data quality") with
+// skewed route choices.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{
+		Trips:        800,
+		HotspotFrac:  0.8,
+		RouteK:       4,
+		RouteSkew:    1.6,
+		HighRateFrac: 0.45,
+		LowRateMin:   120,
+		LowRateMax:   360,
+		NoiseSigma:   15,
+		Seed:         1,
+	}
+}
+
+// Dataset is a generated city plus its historical archive with per-trip
+// ground-truth routes.
+type Dataset struct {
+	City    *City
+	Archive []*traj.Trajectory
+	Truth   map[string]roadnet.Route // trajectory id -> generating route
+}
+
+// BuildDataset simulates cfg.Trips taxi trips on the city. Each trip's
+// sensor quality is drawn from the configured mix; every trajectory gets
+// Gaussian GPS noise. The generating routes are retained as ground truth
+// (the simulator's equivalent of map-matched high-rate GeoLife traces).
+func BuildDataset(city *City, cfg FleetConfig) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{City: city, Truth: make(map[string]roadnet.Route, cfg.Trips)}
+	for i := 0; i < cfg.Trips; i++ {
+		t0 := rng.Float64() * 86400
+		route, ok := ds.randomTripRoute(cfg, t0, rng)
+		if !ok || len(route) == 0 {
+			continue
+		}
+		id := fmt.Sprintf("taxi-%05d", i)
+		motion := DefaultMotion()
+		if rng.Float64() < cfg.HighRateFrac {
+			motion.Interval = 20 + rng.Float64()*40 // 20–60 s
+		} else {
+			motion.Interval = cfg.LowRateMin + rng.Float64()*(cfg.LowRateMax-cfg.LowRateMin)
+		}
+		tr := SimulateTrip(city.Graph, route, id, t0, motion, rng)
+		if tr.Len() < 2 {
+			continue
+		}
+		if cfg.NoiseSigma > 0 {
+			tr = traj.AddNoise(tr, cfg.NoiseSigma, rng)
+		}
+		ds.Archive = append(ds.Archive, tr)
+		ds.Truth[id] = route
+	}
+	return ds
+}
+
+// randomTripRoute draws one trip's route: usually between hotspots with the
+// skewed route choice, sometimes between uniformly random vertices (the
+// long tail of taxi demand).
+func (ds *Dataset) randomTripRoute(cfg FleetConfig, t0 float64, rng *rand.Rand) (roadnet.Route, bool) {
+	city := ds.City
+	if rng.Float64() < cfg.HotspotFrac {
+		o, d, ok := city.RandomHotspotPair(rng)
+		if !ok {
+			return nil, false
+		}
+		routes := city.PlanRoutes(o, d, cfg.RouteK)
+		if cfg.TimeOfDayPatterns {
+			routes = PreferenceOrderAt(routes, t0)
+		}
+		return SampleRoute(routes, cfg.RouteSkew, rng)
+	}
+	// Uniform OD pair; fall back to another draw when unreachable.
+	for tries := 0; tries < 10; tries++ {
+		o := rng.Intn(city.Graph.NumVertices())
+		d := rng.Intn(city.Graph.NumVertices())
+		if o == d {
+			continue
+		}
+		routes := city.PlanRoutes(o, d, 1)
+		if len(routes) > 0 {
+			return routes[0], true
+		}
+	}
+	return nil, false
+}
+
+// QueryCase is one evaluation query: a low-sampling-rate trajectory plus
+// the ground-truth route it was resampled from.
+type QueryCase struct {
+	Query *traj.Trajectory
+	Truth roadnet.Route
+	High  *traj.Trajectory // the original high-rate trace
+}
+
+// PreferenceOrderAt reorders route alternatives by time-of-day preference:
+// in the PM half of the day (t mod 86400 ≥ 43200) the two best routes swap
+// ranks, modeling commuting asymmetry (the evening-popular route is the
+// morning's runner-up). AM keeps the free-flow ordering.
+func PreferenceOrderAt(routes []roadnet.Route, t float64) []roadnet.Route {
+	const day, half = 86400.0, 43200.0
+	tod := t - float64(int(t/day))*day
+	if tod < half || len(routes) < 2 {
+		return routes
+	}
+	out := append([]roadnet.Route(nil), routes...)
+	out[0], out[1] = out[1], out[0]
+	return out
+}
+
+// GenQuery produces an evaluation query of roughly targetLen meters whose
+// samples are interval seconds apart, following §IV-B: simulate a high-rate
+// (20 s) trip, keep its generating route as ground truth, then downsample
+// and noise the trace. The trip starts at time zero (AM).
+func (ds *Dataset) GenQuery(targetLen, interval, noiseSigma float64, cfg FleetConfig, rng *rand.Rand) (QueryCase, bool) {
+	return ds.GenQueryAt(0, targetLen, interval, noiseSigma, cfg, rng)
+}
+
+// GenQueryAt is GenQuery with an explicit trip start time; with
+// cfg.TimeOfDayPatterns the generating route follows the time-of-day
+// preference ordering, so PM queries travel PM-popular routes.
+func (ds *Dataset) GenQueryAt(t0, targetLen, interval, noiseSigma float64, cfg FleetConfig, rng *rand.Rand) (QueryCase, bool) {
+	var route roadnet.Route
+	var ok bool
+	if cfg.TimeOfDayPatterns {
+		route, ok = ds.City.TripOfLengthAt(targetLen, cfg.RouteK, cfg.RouteSkew, t0, rng)
+	} else {
+		route, ok = ds.City.TripOfLength(targetLen, cfg.RouteK, cfg.RouteSkew, rng)
+	}
+	if !ok {
+		return QueryCase{}, false
+	}
+	high := SimulateTrip(ds.City.Graph, route, "query", t0, DefaultMotion(), rng)
+	if high.Len() < 2 {
+		return QueryCase{}, false
+	}
+	q := traj.Downsample(high, interval)
+	if noiseSigma > 0 {
+		q = traj.AddNoise(q, noiseSigma, rng)
+	}
+	return QueryCase{Query: q, Truth: route, High: high}, true
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/traj"
+)
+
+func smallDataset(t *testing.T, trips int, seed int64) *Dataset {
+	t.Helper()
+	city := GenerateCity(smallCityConfig(), seed)
+	cfg := DefaultFleetConfig()
+	cfg.Trips = trips
+	cfg.Seed = seed
+	return BuildDataset(city, cfg)
+}
+
+func TestBuildDatasetBasics(t *testing.T) {
+	ds := smallDataset(t, 150, 31)
+	if len(ds.Archive) < 100 {
+		t.Fatalf("archive too small: %d", len(ds.Archive))
+	}
+	for _, tr := range ds.Archive {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("archive trajectory invalid: %v", err)
+		}
+		route, ok := ds.Truth[tr.ID]
+		if !ok {
+			t.Fatalf("no truth for %s", tr.ID)
+		}
+		if !route.Valid(ds.City.Graph) {
+			t.Fatalf("truth route invalid for %s", tr.ID)
+		}
+	}
+}
+
+func TestDatasetQualityMix(t *testing.T) {
+	ds := smallDataset(t, 300, 33)
+	high, low := 0, 0
+	for _, tr := range ds.Archive {
+		if tr.AvgInterval() <= traj.LowRateThreshold {
+			high++
+		} else {
+			low++
+		}
+	}
+	if high == 0 || low == 0 {
+		t.Fatalf("quality mix degenerate: high=%d low=%d", high, low)
+	}
+}
+
+// TestArchiveSkew verifies Observation 1 end-to-end: for a hotspot pair,
+// the most-used route dominates the alternatives.
+func TestArchiveSkew(t *testing.T) {
+	city := GenerateCity(smallCityConfig(), 35)
+	cfg := DefaultFleetConfig()
+	cfg.Trips = 400
+	cfg.HotspotFrac = 1.0
+	cfg.Seed = 35
+	ds := BuildDataset(city, cfg)
+	counts := make(map[string]int)
+	for _, r := range ds.Truth {
+		counts[r.Key()]++
+	}
+	// The single most popular route should appear far more often than the
+	// average route.
+	max, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	avg := float64(total) / float64(len(counts))
+	if float64(max) < 3*avg {
+		t.Fatalf("travel pattern not skewed: max=%d avg=%.1f", max, avg)
+	}
+	_ = ds
+}
+
+func TestGenQuery(t *testing.T) {
+	ds := smallDataset(t, 50, 37)
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultFleetConfig()
+	qc, ok := ds.GenQuery(6000, 180, 15, cfg, rng)
+	if !ok {
+		t.Fatal("GenQuery failed")
+	}
+	if qc.Truth.Length(ds.City.Graph) < 6000 {
+		t.Fatalf("truth route too short: %v", qc.Truth.Length(ds.City.Graph))
+	}
+	// Every gap except the forced final sample honors the interval.
+	for i := 1; i < qc.Query.Len()-1; i++ {
+		if gap := qc.Query.Points[i].T - qc.Query.Points[i-1].T; gap < 180 {
+			t.Fatalf("gap %d = %v < 180", i, gap)
+		}
+	}
+	if !qc.Query.IsLowSamplingRate() {
+		t.Fatal("query should be low-sampling-rate")
+	}
+	if qc.High.AvgInterval() > 30 {
+		t.Fatalf("high-rate trace interval = %v", qc.High.AvgInterval())
+	}
+	if qc.Query.Len() < 2 {
+		t.Fatal("query too short")
+	}
+}
+
+func TestGenQueryDeterministicWithSeed(t *testing.T) {
+	ds1 := smallDataset(t, 40, 39)
+	ds2 := smallDataset(t, 40, 39)
+	rng1 := rand.New(rand.NewSource(8))
+	rng2 := rand.New(rand.NewSource(8))
+	q1, ok1 := ds1.GenQuery(5000, 180, 10, DefaultFleetConfig(), rng1)
+	q2, ok2 := ds2.GenQuery(5000, 180, 10, DefaultFleetConfig(), rng2)
+	if !ok1 || !ok2 {
+		t.Fatal("GenQuery failed")
+	}
+	if !q1.Truth.Equal(q2.Truth) {
+		t.Fatal("same seeds produced different truths")
+	}
+	if q1.Query.Len() != q2.Query.Len() {
+		t.Fatal("same seeds produced different queries")
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func TestPreferenceOrderAt(t *testing.T) {
+	routes := []roadnet.Route{{1}, {2}, {3}}
+	am := PreferenceOrderAt(routes, 9*3600) // 09:00
+	if !am[0].Equal(routes[0]) {
+		t.Fatal("AM order changed")
+	}
+	pm := PreferenceOrderAt(routes, 18*3600) // 18:00
+	if !pm[0].Equal(routes[1]) || !pm[1].Equal(routes[0]) || !pm[2].Equal(routes[2]) {
+		t.Fatalf("PM order = %v", pm)
+	}
+	// Wraps across days.
+	nextPM := PreferenceOrderAt(routes, 86400+18*3600)
+	if !nextPM[0].Equal(routes[1]) {
+		t.Fatal("day wrap broken")
+	}
+	// Input not mutated.
+	if !routes[0].Equal(roadnet.Route{1}) {
+		t.Fatal("PreferenceOrderAt mutated input")
+	}
+	// Short slices unchanged.
+	one := []roadnet.Route{{9}}
+	if got := PreferenceOrderAt(one, 18*3600); !got[0].Equal(one[0]) {
+		t.Fatal("single-route slice changed")
+	}
+}
+
+// TestTimeOfDayPatternsShiftRouteShares: with patterns on, the same OD
+// pair's most-used route differs between AM-only and PM-only fleets.
+func TestTimeOfDayPatternsShiftRouteShares(t *testing.T) {
+	city := GenerateCity(smallCityConfig(), 141)
+	o, d := city.Hotspots[0], city.Hotspots[1]
+	routes := city.PlanRoutes(o, d, 4)
+	if len(routes) < 2 {
+		t.Skip("need 2 alternatives")
+	}
+	rng := rand.New(rand.NewSource(9))
+	counts := func(t0 float64) map[string]int {
+		c := make(map[string]int)
+		for i := 0; i < 800; i++ {
+			r, ok := SampleRoute(PreferenceOrderAt(routes, t0), 1.6, rng)
+			if ok {
+				c[r.Key()]++
+			}
+		}
+		return c
+	}
+	am := counts(9 * 3600)
+	pm := counts(18 * 3600)
+	if am[routes[0].Key()] <= am[routes[1].Key()] {
+		t.Fatal("AM should prefer rank-0")
+	}
+	if pm[routes[1].Key()] <= pm[routes[0].Key()] {
+		t.Fatal("PM should prefer rank-1")
+	}
+}
+
+func TestGenQueryAtRespectsPatterns(t *testing.T) {
+	city := GenerateCity(smallCityConfig(), 143)
+	cfg := DefaultFleetConfig()
+	cfg.Trips = 50
+	cfg.Seed = 143
+	cfg.TimeOfDayPatterns = true
+	ds := BuildDataset(city, cfg)
+	rng := rand.New(rand.NewSource(7))
+	qc, ok := ds.GenQueryAt(18*3600, 4000, 180, 10, cfg, rng)
+	if !ok {
+		t.Skip("no PM query")
+	}
+	if qc.Query.Points[0].T != 18*3600 {
+		t.Fatalf("query start time = %v", qc.Query.Points[0].T)
+	}
+	if err := qc.Query.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

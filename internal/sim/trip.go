@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// MotionConfig controls how a vehicle is driven along a route.
+type MotionConfig struct {
+	Interval    float64 // seconds between GPS samples
+	SpeedFactor float64 // mean fraction of the speed limit actually driven
+	SpeedJitter float64 // per-segment multiplicative jitter (± fraction)
+}
+
+// DefaultMotion is a 20-second sensor (the GeoLife query rate, §IV-B)
+// driving at 70% of the limit with ±20% per-segment variation.
+func DefaultMotion() MotionConfig {
+	return MotionConfig{Interval: 20, SpeedFactor: 0.7, SpeedJitter: 0.2}
+}
+
+// SimulateTrip drives route on g starting at time t0 and returns the GPS
+// trajectory sampled every cfg.Interval seconds. The samples lie exactly on
+// the road (add noise with traj.AddNoise). The first and last positions of
+// the route are always sampled, so the trajectory spans the whole trip.
+func SimulateTrip(g *roadnet.Graph, route roadnet.Route, id string, t0 float64, cfg MotionConfig, rng *rand.Rand) *traj.Trajectory {
+	out := &traj.Trajectory{ID: id}
+	if len(route) == 0 {
+		return out
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 20
+	}
+	emit := func(p traj.GPSPoint) {
+		if n := len(out.Points); n > 0 && p.T <= out.Points[n-1].T {
+			return
+		}
+		out.Points = append(out.Points, p)
+	}
+	now := t0
+	emit(traj.GPSPoint{Pt: g.Seg(route[0]).Shape.At(0), T: now})
+	nextSample := t0 + cfg.Interval
+	for _, e := range route {
+		s := g.Seg(e)
+		jitter := 1 + (rng.Float64()*2-1)*cfg.SpeedJitter
+		speed := s.Speed * cfg.SpeedFactor * jitter
+		if speed < 0.5 {
+			speed = 0.5
+		}
+		segTime := s.Length / speed
+		for nextSample <= now+segTime {
+			offset := (nextSample - now) * speed
+			emit(traj.GPSPoint{Pt: s.Shape.At(offset), T: nextSample})
+			nextSample += cfg.Interval
+		}
+		now += segTime
+	}
+	last := g.Seg(route[len(route)-1])
+	emit(traj.GPSPoint{Pt: last.Shape.At(last.Length), T: now})
+	return out
+}
+
+// TripOfLength chains legs between random hotspots until the route reaches
+// targetLen meters, drawing each leg from the skewed route-choice model so
+// the trip travels popular roads. ok=false when the city cannot supply one.
+func (c *City) TripOfLength(targetLen float64, routeK int, skew float64, rng *rand.Rand) (roadnet.Route, bool) {
+	return c.tripOfLength(targetLen, routeK, skew, -1, rng)
+}
+
+// TripOfLengthAt is TripOfLength with time-of-day route preferences: legs
+// are drawn from the preference ordering at time t0.
+func (c *City) TripOfLengthAt(targetLen float64, routeK int, skew float64, t0 float64, rng *rand.Rand) (roadnet.Route, bool) {
+	return c.tripOfLength(targetLen, routeK, skew, t0, rng)
+}
+
+func (c *City) tripOfLength(targetLen float64, routeK int, skew float64, t0 float64, rng *rand.Rand) (roadnet.Route, bool) {
+	if len(c.Hotspots) < 2 {
+		return nil, false
+	}
+	cur := c.Hotspots[rng.Intn(len(c.Hotspots))]
+	prev := -1
+	var route roadnet.Route
+	for attempts := 0; attempts < 50; attempts++ {
+		if route.Length(c.Graph) >= targetLen {
+			return route, true
+		}
+		next := c.Hotspots[rng.Intn(len(c.Hotspots))]
+		if next == cur || next == prev {
+			continue // no zero-length legs, no immediate backtracking
+		}
+		legs := c.PlanRoutes(cur, next, routeK)
+		if t0 >= 0 {
+			legs = PreferenceOrderAt(legs, t0)
+		}
+		leg, ok := SampleRoute(legs, skew, rng)
+		if !ok {
+			continue
+		}
+		joined, ok := route.Concat(c.Graph, leg)
+		if !ok {
+			continue
+		}
+		route = joined
+		prev, cur = cur, next
+	}
+	return route, route.Length(c.Graph) >= targetLen
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func TestSimulateTripSampling(t *testing.T) {
+	c := GenerateCity(smallCityConfig(), 21)
+	rng := rand.New(rand.NewSource(3))
+	route, ok := c.TripOfLength(5000, 4, 1.6, rng)
+	if !ok {
+		t.Fatal("TripOfLength failed")
+	}
+	tr := SimulateTrip(c.Graph, route, "t", 100, DefaultMotion(), rng)
+	if tr.Len() < 10 {
+		t.Fatalf("too few samples: %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tr.Points[0].T != 100 {
+		t.Fatalf("start time = %v", tr.Points[0].T)
+	}
+	// Sampling interval ≈ 20 s for all but the final sample.
+	for i := 1; i < tr.Len()-1; i++ {
+		if gap := tr.Points[i].T - tr.Points[i-1].T; gap < 19.99 || gap > 20.01 {
+			t.Fatalf("gap %d = %v", i, gap)
+		}
+	}
+	// Every sample lies on the network (zero noise).
+	for i, p := range tr.Points {
+		cands := c.Graph.CandidateEdges(p.Pt, 1.0)
+		if len(cands) == 0 {
+			t.Fatalf("sample %d off-road at %v", i, p.Pt)
+		}
+	}
+	// Endpoints match the route's endpoints.
+	start := c.Graph.Seg(route[0]).Shape.At(0)
+	endSeg := c.Graph.Seg(route[len(route)-1])
+	end := endSeg.Shape.At(endSeg.Length)
+	if !tr.Points[0].Pt.Equal(start, 1e-9) {
+		t.Fatal("start sample off route start")
+	}
+	if !tr.Points[tr.Len()-1].Pt.Equal(end, 1e-9) {
+		t.Fatal("end sample off route end")
+	}
+}
+
+func TestSimulateTripSpeedRealism(t *testing.T) {
+	c := GenerateCity(smallCityConfig(), 23)
+	rng := rand.New(rand.NewSource(5))
+	route, ok := c.TripOfLength(8000, 4, 1.6, rng)
+	if !ok {
+		t.Fatal("TripOfLength failed")
+	}
+	tr := SimulateTrip(c.Graph, route, "t", 0, DefaultMotion(), rng)
+	// Average speed must be positive and below the max limit.
+	avg := tr.PathLength() / tr.Duration()
+	if avg <= 1 || avg > c.Graph.MaxSpeed() {
+		t.Fatalf("avg speed = %v", avg)
+	}
+}
+
+func TestSimulateTripEmptyRoute(t *testing.T) {
+	c := GenerateCity(smallCityConfig(), 25)
+	rng := rand.New(rand.NewSource(1))
+	tr := SimulateTrip(c.Graph, roadnet.Route{}, "e", 0, DefaultMotion(), rng)
+	if tr.Len() != 0 {
+		t.Fatalf("empty route gave %d samples", tr.Len())
+	}
+}
+
+func TestTripOfLengthReachesTarget(t *testing.T) {
+	c := GenerateCity(smallCityConfig(), 27)
+	rng := rand.New(rand.NewSource(2))
+	for _, target := range []float64{3000, 8000, 15000} {
+		route, ok := c.TripOfLength(target, 4, 1.6, rng)
+		if !ok {
+			t.Fatalf("no trip of %v m", target)
+		}
+		if l := route.Length(c.Graph); l < target {
+			t.Fatalf("trip length %v < target %v", l, target)
+		}
+		if !route.Valid(c.Graph) {
+			t.Fatal("trip route invalid")
+		}
+	}
+}

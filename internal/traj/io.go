@@ -1,0 +1,65 @@
+package traj
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+)
+
+// ArchiveJSON is the on-disk interchange format for trajectory archives,
+// shared by cmd/gendata and cmd/hris: each trajectory is an id, a list of
+// [x, y, t] samples and an optional ground-truth route (segment ids).
+type ArchiveJSON struct {
+	Trajectories []TrajJSON `json:"trajectories"`
+}
+
+// TrajJSON is one serialized trajectory.
+type TrajJSON struct {
+	ID     string       `json:"id"`
+	Points [][3]float64 `json:"points"`
+	Truth  []int        `json:"truth,omitempty"`
+}
+
+// WriteArchive serializes trajectories and their optional ground-truth
+// routes (keyed by trajectory id; pass nil when unknown).
+func WriteArchive(w io.Writer, trajs []*Trajectory, truth map[string][]int) error {
+	var aj ArchiveJSON
+	for _, tr := range trajs {
+		tj := TrajJSON{ID: tr.ID}
+		for _, p := range tr.Points {
+			tj.Points = append(tj.Points, [3]float64{p.Pt.X, p.Pt.Y, p.T})
+		}
+		if truth != nil {
+			tj.Truth = truth[tr.ID]
+		}
+		aj.Trajectories = append(aj.Trajectories, tj)
+	}
+	return json.NewEncoder(w).Encode(aj)
+}
+
+// ReadArchive deserializes an archive written by WriteArchive, returning
+// the trajectories and the ground-truth map (empty entries omitted).
+func ReadArchive(r io.Reader) ([]*Trajectory, map[string][]int, error) {
+	var aj ArchiveJSON
+	if err := json.NewDecoder(r).Decode(&aj); err != nil {
+		return nil, nil, fmt.Errorf("traj: decode archive: %w", err)
+	}
+	var trajs []*Trajectory
+	truth := make(map[string][]int)
+	for _, tj := range aj.Trajectories {
+		tr := &Trajectory{ID: tj.ID}
+		for _, p := range tj.Points {
+			tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(p[0], p[1]), T: p[2]})
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, nil, err
+		}
+		trajs = append(trajs, tr)
+		if len(tj.Truth) > 0 {
+			truth[tj.ID] = tj.Truth
+		}
+	}
+	return trajs, truth, nil
+}

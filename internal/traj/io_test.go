@@ -1,0 +1,61 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	trajs := []*Trajectory{
+		mkTraj("a", [3]float64{0, 0, 0}, [3]float64{10, 5, 30}),
+		mkTraj("b", [3]float64{-5, 2, 1}, [3]float64{8, 8, 61}, [3]float64{20, 20, 121}),
+	}
+	truth := map[string][]int{"a": {3, 4, 5}}
+	var buf bytes.Buffer
+	if err := WriteArchive(&buf, trajs, truth); err != nil {
+		t.Fatalf("WriteArchive: %v", err)
+	}
+	got, gotTruth, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatalf("ReadArchive: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("trajectories = %d", len(got))
+	}
+	for i := range trajs {
+		if got[i].ID != trajs[i].ID || got[i].Len() != trajs[i].Len() {
+			t.Fatalf("trajectory %d differs", i)
+		}
+		for j := range trajs[i].Points {
+			if got[i].Points[j] != trajs[i].Points[j] {
+				t.Fatalf("point %d/%d differs", i, j)
+			}
+		}
+	}
+	if len(gotTruth) != 1 || len(gotTruth["a"]) != 3 || gotTruth["a"][2] != 5 {
+		t.Fatalf("truth = %v", gotTruth)
+	}
+}
+
+func TestReadArchiveErrors(t *testing.T) {
+	if _, _, err := ReadArchive(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Non-increasing timestamps rejected.
+	bad := `{"trajectories":[{"id":"x","points":[[0,0,10],[1,1,5]]}]}`
+	if _, _, err := ReadArchive(strings.NewReader(bad)); err == nil {
+		t.Fatal("non-increasing timestamps accepted")
+	}
+}
+
+func TestWriteArchiveNilTruth(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteArchive(&buf, []*Trajectory{mkTraj("a", [3]float64{0, 0, 0})}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, truth, err := ReadArchive(&buf)
+	if err != nil || len(truth) != 0 {
+		t.Fatalf("nil truth round trip: %v %v", truth, err)
+	}
+}

@@ -1,0 +1,63 @@
+package traj
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestRemoveOutliersDropsJumps(t *testing.T) {
+	// 10 m/s movement with one 5 km GPS jump in the middle.
+	tr := mkTraj("j",
+		[3]float64{0, 0, 0},
+		[3]float64{100, 0, 10},
+		[3]float64{5000, 5000, 20}, // impossible at vmax 30
+		[3]float64{200, 0, 30},
+		[3]float64{300, 0, 40},
+	)
+	out := RemoveOutliers(tr, 30)
+	if out.Len() != 4 {
+		t.Fatalf("kept %d samples, want 4", out.Len())
+	}
+	for _, p := range out.Points {
+		if p.Pt.Equal(geo.Pt(5000, 5000), 1) {
+			t.Fatal("outlier survived")
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveOutliersCleanTraceUntouched(t *testing.T) {
+	tr := denseTraj(50, 20) // 0.5 m/s
+	out := RemoveOutliers(tr, 30)
+	if out.Len() != tr.Len() {
+		t.Fatalf("clean trace lost %d samples", tr.Len()-out.Len())
+	}
+}
+
+func TestRemoveOutliersChainedJudgment(t *testing.T) {
+	// After dropping an outlier, feasibility is judged from the last KEPT
+	// sample: a point near the path continues fine even though it is far
+	// from the dropped outlier.
+	tr := mkTraj("c",
+		[3]float64{0, 0, 0},
+		[3]float64{10000, 0, 10}, // jump
+		[3]float64{120, 0, 20},   // 6 m/s from sample 0: keep
+	)
+	out := RemoveOutliers(tr, 30)
+	if out.Len() != 2 || out.Points[1].Pt != geo.Pt(120, 0) {
+		t.Fatalf("kept %v", out.Points)
+	}
+}
+
+func TestRemoveOutliersDegenerate(t *testing.T) {
+	if got := RemoveOutliers(&Trajectory{}, 30); got.Len() != 0 {
+		t.Fatal("empty input")
+	}
+	tr := denseTraj(5, 20)
+	if got := RemoveOutliers(tr, 0); got.Len() != 5 {
+		t.Fatal("vmax<=0 should clone")
+	}
+}

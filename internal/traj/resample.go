@@ -1,0 +1,59 @@
+package traj
+
+import "math/rand"
+
+// Downsample returns a copy of t keeping the first point and then every
+// sample at least interval seconds after the last kept one, emulating a
+// low-sampling-rate sensor reading the same movement (the paper's queries
+// are "re-sampled to the desired sampling rates from trajectories ...
+// initially high-sampling-rate", §IV-B). The final point is always kept so
+// the trip's destination survives.
+func Downsample(t *Trajectory, interval float64) *Trajectory {
+	if len(t.Points) == 0 || interval <= 0 {
+		return t.Clone()
+	}
+	out := &Trajectory{ID: t.ID}
+	last := -1.0
+	for i, p := range t.Points {
+		if i == 0 || p.T-last >= interval {
+			out.Points = append(out.Points, p)
+			last = p.T
+		}
+	}
+	tail := t.Points[len(t.Points)-1]
+	if n := len(out.Points); out.Points[n-1].T != tail.T {
+		out.Points = append(out.Points, tail)
+	}
+	return out
+}
+
+// AddNoise returns a copy of t with zero-mean Gaussian noise of the given
+// standard deviation (meters, per axis) added to every point, modeling GPS
+// measurement error.
+func AddNoise(t *Trajectory, sigma float64, rng *rand.Rand) *Trajectory {
+	out := t.Clone()
+	for i := range out.Points {
+		out.Points[i].Pt.X += rng.NormFloat64() * sigma
+		out.Points[i].Pt.Y += rng.NormFloat64() * sigma
+	}
+	return out
+}
+
+// ClipToLength returns the prefix of t whose path length first reaches
+// maxLen meters (the whole trajectory if shorter) — used to build queries
+// of a target length for the Figure 8b experiment.
+func ClipToLength(t *Trajectory, maxLen float64) *Trajectory {
+	if len(t.Points) == 0 {
+		return t.Clone()
+	}
+	out := &Trajectory{ID: t.ID, Points: []GPSPoint{t.Points[0]}}
+	var walked float64
+	for i := 1; i < len(t.Points); i++ {
+		walked += t.Points[i-1].Pt.Dist(t.Points[i].Pt)
+		out.Points = append(out.Points, t.Points[i])
+		if walked >= maxLen {
+			break
+		}
+	}
+	return out
+}

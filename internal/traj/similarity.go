@@ -1,0 +1,168 @@
+package traj
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// This file implements the classic trajectory similarity measures the
+// paper's related-work section (§V) builds on: Euclidean lock-step
+// distance, DTW [Yi et al.], LCSS [Vlachos et al.], EDR [Chen et al.] and
+// ERP [Chen & Ng]. They are not used by the HRIS core — the reference
+// search of §III-A deliberately replaces whole-trajectory similarity with
+// local pair-anchored search — but they make the archive a complete
+// trajectory-mining substrate and power the similarity-search utilities.
+
+// EuclideanDist is the lock-step L2 distance between two equal-length
+// trajectories (the measure behind the DFT-based methods of Agrawal et
+// al.); +Inf when lengths differ or inputs are empty.
+func EuclideanDist(a, b *Trajectory) float64 {
+	if a.Len() != b.Len() || a.Len() == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range a.Points {
+		sum += a.Points[i].Pt.Dist2(b.Points[i].Pt)
+	}
+	return math.Sqrt(sum)
+}
+
+// DTW returns the dynamic-time-warping distance: the minimum total
+// point-to-point distance over all monotone alignments, allowing
+// time-shifting between trajectories of different lengths. +Inf for empty
+// inputs.
+func DTW(a, b *Trajectory) float64 {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	// Standard border: D[0][0] = 0, the rest of row/column 0 is +Inf.
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		for j := 1; j <= m; j++ {
+			d := a.Points[i-1].Pt.Dist(b.Points[j-1].Pt)
+			best := prev[j] // repeat a's previous point
+			if cur[j-1] < best {
+				best = cur[j-1] // repeat b's previous point
+			}
+			if prev[j-1] < best {
+				best = prev[j-1] // advance both
+			}
+			cur[j] = d + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// LCSS returns the longest-common-subsequence similarity: the number of
+// matched point pairs where two points match when within eps meters,
+// normalized by min(len(a), len(b)) to [0, 1]. Robust to noise because
+// outliers are skipped rather than aligned.
+func LCSS(a, b *Trajectory, eps float64) float64 {
+	n, m := a.Len(), b.Len()
+	if n == 0 || m == 0 {
+		return 0
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if a.Points[i-1].Pt.Dist(b.Points[j-1].Pt) <= eps {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	minLen := n
+	if m < minLen {
+		minLen = m
+	}
+	return float64(prev[m]) / float64(minLen)
+}
+
+// EDR returns the edit-distance-on-real-sequences: the minimum number of
+// insert/delete/replace edits to turn a into b, where two points are equal
+// when within eps meters. Lower is more similar; range [0, max(n,m)].
+func EDR(a, b *Trajectory, eps float64) int {
+	n, m := a.Len(), b.Len()
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			subCost := 1
+			if a.Points[i-1].Pt.Dist(b.Points[j-1].Pt) <= eps {
+				subCost = 0
+			}
+			best := prev[j-1] + subCost // match/replace
+			if v := prev[j] + 1; v < best {
+				best = v // delete
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v // insert
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// ERP returns the edit distance with real penalty: like EDR but gap costs
+// are the distance to a reference point g rather than a constant, which
+// restores the triangle inequality (making ERP a metric). Lower is more
+// similar.
+func ERP(a, b *Trajectory, g geo.Point) float64 {
+	n, m := a.Len(), b.Len()
+	gapA := make([]float64, n+1) // cumulative gap cost of deleting a[0..i)
+	for i := 1; i <= n; i++ {
+		gapA[i] = gapA[i-1] + a.Points[i-1].Pt.Dist(g)
+	}
+	gapB := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		gapB[j] = gapB[j-1] + b.Points[j-1].Pt.Dist(g)
+	}
+	if n == 0 {
+		return gapB[m]
+	}
+	if m == 0 {
+		return gapA[n]
+	}
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	copy(prev, gapB)
+	for i := 1; i <= n; i++ {
+		cur[0] = gapA[i]
+		for j := 1; j <= m; j++ {
+			match := prev[j-1] + a.Points[i-1].Pt.Dist(b.Points[j-1].Pt)
+			del := prev[j] + a.Points[i-1].Pt.Dist(g)
+			ins := cur[j-1] + b.Points[j-1].Pt.Dist(g)
+			cur[j] = math.Min(match, math.Min(del, ins))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

@@ -1,0 +1,156 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func randTraj(rng *rand.Rand, n int) *Trajectory {
+	tr := &Trajectory{ID: "r"}
+	x, y := rng.Float64()*1000, rng.Float64()*1000
+	for i := 0; i < n; i++ {
+		x += rng.Float64() * 100
+		y += (rng.Float64() - 0.5) * 100
+		tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(x, y), T: float64(i)})
+	}
+	return tr
+}
+
+func TestEuclideanDist(t *testing.T) {
+	a := mkTraj("a", [3]float64{0, 0, 0}, [3]float64{10, 0, 1})
+	b := mkTraj("b", [3]float64{3, 4, 0}, [3]float64{10, 0, 1})
+	if got := EuclideanDist(a, b); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("EuclideanDist = %v, want 5", got)
+	}
+	if got := EuclideanDist(a, a); got != 0 {
+		t.Fatalf("self distance = %v", got)
+	}
+	c := mkTraj("c", [3]float64{0, 0, 0})
+	if got := EuclideanDist(a, c); !math.IsInf(got, 1) {
+		t.Fatalf("length mismatch should be +Inf, got %v", got)
+	}
+}
+
+func TestDTWBasics(t *testing.T) {
+	a := mkTraj("a", [3]float64{0, 0, 0}, [3]float64{10, 0, 1}, [3]float64{20, 0, 2})
+	if got := DTW(a, a); got != 0 {
+		t.Fatalf("self DTW = %v", got)
+	}
+	// Time-shifting: b repeats a point; DTW should absorb it at zero cost.
+	b := mkTraj("b",
+		[3]float64{0, 0, 0}, [3]float64{0, 0, 1}, [3]float64{10, 0, 2}, [3]float64{20, 0, 3})
+	if got := DTW(a, b); got != 0 {
+		t.Fatalf("repeated-point DTW = %v, want 0", got)
+	}
+	// Constant offset accumulates per matched pair.
+	c := mkTraj("c", [3]float64{0, 5, 0}, [3]float64{10, 5, 1}, [3]float64{20, 5, 2})
+	if got := DTW(a, c); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("offset DTW = %v, want 15", got)
+	}
+	if got := DTW(a, &Trajectory{}); !math.IsInf(got, 1) {
+		t.Fatalf("empty DTW = %v", got)
+	}
+}
+
+func TestLCSSBasics(t *testing.T) {
+	a := mkTraj("a", [3]float64{0, 0, 0}, [3]float64{100, 0, 1}, [3]float64{200, 0, 2})
+	if got := LCSS(a, a, 1); got != 1 {
+		t.Fatalf("self LCSS = %v", got)
+	}
+	// One outlier point is skipped, not aligned.
+	b := mkTraj("b",
+		[3]float64{0, 0, 0}, [3]float64{100, 500, 1}, [3]float64{100, 0, 2}, [3]float64{200, 0, 3})
+	if got := LCSS(a, b, 5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("outlier LCSS = %v, want 1 (all of a matched)", got)
+	}
+	// Disjoint trajectories score 0.
+	far := mkTraj("far", [3]float64{9000, 9000, 0}, [3]float64{9100, 9000, 1})
+	if got := LCSS(a, far, 5); got != 0 {
+		t.Fatalf("disjoint LCSS = %v", got)
+	}
+}
+
+func TestEDRBasics(t *testing.T) {
+	a := mkTraj("a", [3]float64{0, 0, 0}, [3]float64{100, 0, 1}, [3]float64{200, 0, 2})
+	if got := EDR(a, a, 1); got != 0 {
+		t.Fatalf("self EDR = %d", got)
+	}
+	// One extra point costs one edit.
+	b := mkTraj("b",
+		[3]float64{0, 0, 0}, [3]float64{50, 80, 1}, [3]float64{100, 0, 2}, [3]float64{200, 0, 3})
+	if got := EDR(a, b, 5); got != 1 {
+		t.Fatalf("one-insertion EDR = %d, want 1", got)
+	}
+	if got := EDR(a, &Trajectory{}, 5); got != 3 {
+		t.Fatalf("empty EDR = %d, want 3", got)
+	}
+}
+
+func TestERPMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := geo.Pt(0, 0)
+	for trial := 0; trial < 40; trial++ {
+		a := randTraj(rng, 3+rng.Intn(6))
+		b := randTraj(rng, 3+rng.Intn(6))
+		c := randTraj(rng, 3+rng.Intn(6))
+		dab, dba := ERP(a, b, g), ERP(b, a, g)
+		if math.Abs(dab-dba) > 1e-6 {
+			t.Fatalf("ERP not symmetric: %v vs %v", dab, dba)
+		}
+		if ERP(a, a, g) != 0 {
+			t.Fatal("ERP(a,a) != 0")
+		}
+		// Triangle inequality (ERP's selling point over DTW/EDR).
+		if dab > ERP(a, c, g)+ERP(c, b, g)+1e-6 {
+			t.Fatalf("ERP violates triangle inequality")
+		}
+	}
+}
+
+func TestDTWSymmetryAndNonNegativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		a := randTraj(rng, 2+rng.Intn(8))
+		b := randTraj(rng, 2+rng.Intn(8))
+		dab, dba := DTW(a, b), DTW(b, a)
+		if dab < 0 || math.Abs(dab-dba) > 1e-6 {
+			t.Fatalf("DTW sym/nonneg: %v vs %v", dab, dba)
+		}
+	}
+}
+
+func TestLCSSBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 40; trial++ {
+		a := randTraj(rng, 2+rng.Intn(8))
+		b := randTraj(rng, 2+rng.Intn(8))
+		s := LCSS(a, b, 50+rng.Float64()*200)
+		if s < 0 || s > 1 {
+			t.Fatalf("LCSS out of [0,1]: %v", s)
+		}
+	}
+}
+
+// TestSimilarTrajectoriesRankAboveDissimilar: all measures should rank a
+// noisy copy of a trajectory as closer than an unrelated one.
+func TestSimilarTrajectoriesRankAboveDissimilar(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := randTraj(rng, 20)
+	noisy := AddNoise(base, 10, rng)
+	other := randTraj(rng, 20)
+	if DTW(base, noisy) >= DTW(base, other) {
+		t.Error("DTW ranks unrelated closer than the noisy copy")
+	}
+	if LCSS(base, noisy, 40) <= LCSS(base, other, 40) {
+		t.Error("LCSS ranks unrelated closer")
+	}
+	if EDR(base, noisy, 40) >= EDR(base, other, 40) {
+		t.Error("EDR ranks unrelated closer")
+	}
+	if ERP(base, noisy, geo.Pt(0, 0)) >= ERP(base, other, geo.Pt(0, 0)) {
+		t.Error("ERP ranks unrelated closer")
+	}
+}

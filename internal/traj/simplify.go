@@ -1,0 +1,50 @@
+package traj
+
+import "repro/internal/geo"
+
+// Simplify reduces a trajectory with the Douglas–Peucker algorithm: points
+// whose perpendicular deviation from the chord of their span is below
+// epsilon meters are dropped, preserving the trajectory's shape. Useful
+// for archive compaction and for rendering; timestamps of kept points are
+// preserved.
+func Simplify(t *Trajectory, epsilon float64) *Trajectory {
+	if t.Len() <= 2 || epsilon <= 0 {
+		return t.Clone()
+	}
+	keep := make([]bool, t.Len())
+	keep[0], keep[t.Len()-1] = true, true
+	douglasPeucker(t.Points, 0, t.Len()-1, epsilon, keep)
+	out := &Trajectory{ID: t.ID}
+	for i, k := range keep {
+		if k {
+			out.Points = append(out.Points, t.Points[i])
+		}
+	}
+	return out
+}
+
+// douglasPeucker marks the points to keep between indexes lo and hi
+// (both already kept). Iterative with an explicit stack so pathological
+// inputs cannot overflow the call stack.
+func douglasPeucker(pts []GPSPoint, lo, hi int, epsilon float64, keep []bool) {
+	type span struct{ lo, hi int }
+	stack := []span{{lo, hi}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		chord := geo.Segment{A: pts[s.lo].Pt, B: pts[s.hi].Pt}
+		worst, worstD := -1, epsilon
+		for i := s.lo + 1; i < s.hi; i++ {
+			if d := chord.Dist(pts[i].Pt); d > worstD {
+				worst, worstD = i, d
+			}
+		}
+		if worst >= 0 {
+			keep[worst] = true
+			stack = append(stack, span{s.lo, worst}, span{worst, s.hi})
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestSimplifyStraightLine(t *testing.T) {
+	tr := denseTraj(50, 20) // collinear points
+	s := Simplify(tr, 1)
+	if s.Len() != 2 {
+		t.Fatalf("straight line kept %d points, want 2", s.Len())
+	}
+	if s.Points[0] != tr.Points[0] || s.Points[1] != tr.Points[tr.Len()-1] {
+		t.Fatal("endpoints not preserved")
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	tr := &Trajectory{ID: "L"}
+	tt := 0.0
+	for x := 0.0; x <= 1000; x += 100 {
+		tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(x, 0), T: tt})
+		tt += 10
+	}
+	for y := 100.0; y <= 1000; y += 100 {
+		tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(1000, y), T: tt})
+		tt += 10
+	}
+	s := Simplify(tr, 5)
+	if s.Len() != 3 {
+		t.Fatalf("L-shape kept %d points, want 3", s.Len())
+	}
+	if !s.Points[1].Pt.Equal(geo.Pt(1000, 0), 1e-9) {
+		t.Fatalf("corner not preserved: %v", s.Points[1].Pt)
+	}
+}
+
+// TestSimplifyErrorBound is the defining property: every dropped point is
+// within epsilon of the simplified polyline.
+func TestSimplifyErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		tr := &Trajectory{ID: "r"}
+		x, y := 0.0, 0.0
+		for i := 0; i < 80; i++ {
+			x += rng.Float64() * 100
+			y += (rng.Float64() - 0.5) * 120
+			tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(x, y), T: float64(i)})
+		}
+		eps := 20 + rng.Float64()*60
+		s := Simplify(tr, eps)
+		var pl geo.Polyline
+		for _, p := range s.Points {
+			pl = append(pl, p.Pt)
+		}
+		for _, p := range tr.Points {
+			if d := pl.Dist(p.Pt); d > eps+1e-9 {
+				t.Fatalf("dropped point %v is %.1f m from the simplification (eps %.1f)", p.Pt, d, eps)
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("simplified trajectory invalid: %v", err)
+		}
+	}
+}
+
+func TestSimplifyDegenerate(t *testing.T) {
+	if got := Simplify(&Trajectory{}, 10); got.Len() != 0 {
+		t.Fatal("empty input")
+	}
+	two := denseTraj(2, 20)
+	if got := Simplify(two, 10); got.Len() != 2 {
+		t.Fatal("two points must survive")
+	}
+	tr := denseTraj(10, 20)
+	if got := Simplify(tr, 0); got.Len() != 10 {
+		t.Fatal("epsilon<=0 should clone")
+	}
+}
+
+func TestSimplifyMonotoneInEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tr := &Trajectory{ID: "m"}
+	x, y := 0.0, 0.0
+	for i := 0; i < 100; i++ {
+		x += rng.Float64() * 80
+		y += (rng.Float64() - 0.5) * 100
+		tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(x, y), T: float64(i)})
+	}
+	prev := math.MaxInt
+	for _, eps := range []float64{5, 20, 80, 320} {
+		n := Simplify(tr, eps).Len()
+		if n > prev {
+			t.Fatalf("larger epsilon kept more points: %d > %d", n, prev)
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,92 @@
+package traj
+
+import "fmt"
+
+// StayPoint is a geographical region where a moving object lingered: the
+// span of samples [Start, End] stays within DistThreshold of the anchor
+// point for at least TimeThreshold seconds (the stay-point concept of
+// Zheng et al. [13] used by the trip-partition preprocessing step).
+type StayPoint struct {
+	Start, End int     // inclusive sample index range
+	Duration   float64 // seconds spent in the region
+}
+
+// StayPointParams controls stay-point detection.
+type StayPointParams struct {
+	DistThreshold float64 // meters; samples within this radius count as staying
+	TimeThreshold float64 // seconds; minimum lingering time
+}
+
+// DefaultStayPointParams mirrors the common GeoLife settings: 200 m / 20 min.
+func DefaultStayPointParams() StayPointParams {
+	return StayPointParams{DistThreshold: 200, TimeThreshold: 20 * 60}
+}
+
+// DetectStayPoints scans the trajectory for stay points.
+func DetectStayPoints(t *Trajectory, p StayPointParams) []StayPoint {
+	var out []StayPoint
+	pts := t.Points
+	i := 0
+	for i < len(pts) {
+		j := i + 1
+		for j < len(pts) && pts[i].Pt.Dist(pts[j].Pt) <= p.DistThreshold {
+			j++
+		}
+		// pts[i..j-1] all lie within the radius of pts[i].
+		if dur := pts[j-1].T - pts[i].T; j-1 > i && dur >= p.TimeThreshold {
+			out = append(out, StayPoint{Start: i, End: j - 1, Duration: dur})
+			i = j
+		} else {
+			i++
+		}
+	}
+	return out
+}
+
+// RemoveOutliers drops GPS samples that would require traveling faster
+// than vmax (m/s) from the previous kept sample — the standard cleaning
+// pass for jumpy GPS fixes. The first sample is always kept.
+func RemoveOutliers(t *Trajectory, vmax float64) *Trajectory {
+	if t.Len() == 0 || vmax <= 0 {
+		return t.Clone()
+	}
+	out := &Trajectory{ID: t.ID, Points: []GPSPoint{t.Points[0]}}
+	for _, p := range t.Points[1:] {
+		last := out.Points[len(out.Points)-1]
+		dt := p.T - last.T
+		if dt <= 0 {
+			continue
+		}
+		if last.Pt.Dist(p.Pt)/dt <= vmax {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// PartitionTrips removes stay-point samples and splits the trajectory into
+// effective trips, each with one specific source and destination
+// (§II-B.1 "Trip Partition"). Trips shorter than minPoints samples are
+// dropped.
+func PartitionTrips(t *Trajectory, p StayPointParams, minPoints int) []*Trajectory {
+	stays := DetectStayPoints(t, p)
+	if minPoints < 2 {
+		minPoints = 2
+	}
+	var trips []*Trajectory
+	emit := func(from, to int) {
+		if to-from+1 >= minPoints {
+			trips = append(trips, &Trajectory{
+				ID:     fmt.Sprintf("%s/trip%d", t.ID, len(trips)),
+				Points: append([]GPSPoint(nil), t.Points[from:to+1]...),
+			})
+		}
+	}
+	start := 0
+	for _, sp := range stays {
+		emit(start, sp.Start-1)
+		start = sp.End + 1
+	}
+	emit(start, len(t.Points)-1)
+	return trips
+}

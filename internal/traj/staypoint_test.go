@@ -1,0 +1,99 @@
+package traj
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// stayTraj builds a trajectory that moves, lingers near (1000,0) for 30
+// minutes, then moves again.
+func stayTraj() *Trajectory {
+	tr := &Trajectory{ID: "s"}
+	t := 0.0
+	// Move east 0..1000 m at 10 m/s.
+	for x := 0.0; x <= 1000; x += 100 {
+		tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(x, 0), T: t})
+		t += 10
+	}
+	// Linger within 50 m for 30 min.
+	for i := 0; i < 18; i++ {
+		tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(1000+float64(i%3)*20, 10), T: t})
+		t += 100
+	}
+	// Move on north.
+	for y := 100.0; y <= 800; y += 100 {
+		tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(1000, y), T: t})
+		t += 10
+	}
+	return tr
+}
+
+func TestDetectStayPoints(t *testing.T) {
+	tr := stayTraj()
+	sps := DetectStayPoints(tr, StayPointParams{DistThreshold: 200, TimeThreshold: 20 * 60})
+	if len(sps) != 1 {
+		t.Fatalf("stay points = %d, want 1", len(sps))
+	}
+	sp := sps[0]
+	if sp.Duration < 20*60 {
+		t.Fatalf("stay duration = %v", sp.Duration)
+	}
+	// The stay should cover the lingering span, roughly samples 10..28.
+	if sp.Start > 11 || sp.End < 26 {
+		t.Fatalf("stay span = [%d,%d]", sp.Start, sp.End)
+	}
+}
+
+func TestDetectStayPointsNoneOnMovingTrajectory(t *testing.T) {
+	tr := &Trajectory{ID: "m"}
+	for i := 0; i < 50; i++ {
+		tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(float64(i)*300, 0), T: float64(i) * 30})
+	}
+	if sps := DetectStayPoints(tr, DefaultStayPointParams()); len(sps) != 0 {
+		t.Fatalf("moving trajectory has %d stay points", len(sps))
+	}
+}
+
+func TestPartitionTrips(t *testing.T) {
+	tr := stayTraj()
+	trips := PartitionTrips(tr, StayPointParams{DistThreshold: 200, TimeThreshold: 20 * 60}, 2)
+	if len(trips) != 2 {
+		t.Fatalf("trips = %d, want 2", len(trips))
+	}
+	for _, trip := range trips {
+		if err := trip.Validate(); err != nil {
+			t.Fatalf("trip invalid: %v", err)
+		}
+		if trip.Len() < 2 {
+			t.Fatalf("trip too short: %d", trip.Len())
+		}
+	}
+	// First trip heads east, second heads north.
+	if trips[0].Points[0].Pt.X != 0 {
+		t.Fatal("first trip should start at origin")
+	}
+	last := trips[1].Points[trips[1].Len()-1]
+	if last.Pt.Y != 800 {
+		t.Fatalf("second trip should end north, got %v", last.Pt)
+	}
+}
+
+func TestPartitionTripsShortRemainderDropped(t *testing.T) {
+	tr := stayTraj()
+	trips := PartitionTrips(tr, StayPointParams{DistThreshold: 200, TimeThreshold: 20 * 60}, 8)
+	// The short northbound leg is dropped at minPoints=8; the eastbound leg
+	// (9 samples — the detector absorbs the last approach samples into the
+	// stay region) survives.
+	if len(trips) != 1 {
+		t.Fatalf("trips = %d, want 1", len(trips))
+	}
+}
+
+func TestPartitionNoStays(t *testing.T) {
+	tr := mkTraj("a", [3]float64{0, 0, 0}, [3]float64{500, 0, 60}, [3]float64{1000, 0, 120})
+	trips := PartitionTrips(tr, DefaultStayPointParams(), 2)
+	if len(trips) != 1 || trips[0].Len() != 3 {
+		t.Fatalf("trips = %v", trips)
+	}
+}
