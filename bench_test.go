@@ -100,11 +100,10 @@ func BenchmarkFig10bDensityTime(b *testing.B) {
 	}
 	for _, m := range []core.Method{core.MethodTGI, core.MethodNNI} {
 		b.Run(m.String(), func(b *testing.B) {
-			saved := w.Sys.Params.Method
-			w.Sys.Params.Method = m
-			defer func() { w.Sys.Params.Method = saved }()
+			p := w.P
+			p.Method = m
 			for i := 0; i < b.N; i++ {
-				_, _ = w.Sys.InferRoutes(qs[0].Query)
+				_, _ = w.Eng.InferRoutes(qs[0].Query, p)
 			}
 		})
 	}
@@ -130,13 +129,12 @@ func BenchmarkFig11bGraphReduction(b *testing.B) {
 			name = "noreduction"
 		}
 		b.Run(name, func(b *testing.B) {
-			saved := w.Sys.Params
-			w.Sys.Params.Method = core.MethodTGI
-			w.Sys.Params.Lambda = 6
-			w.Sys.Params.GraphReduction = red
-			defer func() { w.Sys.Params = saved }()
+			p := w.P
+			p.Method = core.MethodTGI
+			p.Lambda = 6
+			p.GraphReduction = red
 			for i := 0; i < b.N; i++ {
-				_, _ = w.Sys.InferRoutes(qs[0].Query)
+				_, _ = w.Eng.InferRoutes(qs[0].Query, p)
 			}
 		})
 	}
@@ -158,12 +156,11 @@ func BenchmarkFig12bK1Time(b *testing.B) {
 	}
 	for _, k1 := range []int{1, 4, 8} {
 		b.Run("k1="+itoa(k1), func(b *testing.B) {
-			saved := w.Sys.Params
-			w.Sys.Params.Method = core.MethodTGI
-			w.Sys.Params.K1 = k1
-			defer func() { w.Sys.Params = saved }()
+			p := w.P
+			p.Method = core.MethodTGI
+			p.K1 = k1
 			for i := 0; i < b.N; i++ {
-				_, _ = w.Sys.InferRoutes(qs[0].Query)
+				_, _ = w.Eng.InferRoutes(qs[0].Query, p)
 			}
 		})
 	}
@@ -189,12 +186,11 @@ func BenchmarkFig13bK2Sharing(b *testing.B) {
 			name = "nosharing"
 		}
 		b.Run(name, func(b *testing.B) {
-			saved := w.Sys.Params
-			w.Sys.Params.Method = core.MethodNNI
-			w.Sys.Params.ShareSubstructures = share
-			defer func() { w.Sys.Params = saved }()
+			p := w.P
+			p.Method = core.MethodNNI
+			p.ShareSubstructures = share
 			for i := 0; i < b.N; i++ {
-				_, _ = w.Sys.InferRoutes(qs[0].Query)
+				_, _ = w.Eng.InferRoutes(qs[0].Query, p)
 			}
 		})
 	}
@@ -214,19 +210,19 @@ func BenchmarkFig14bKGRIvsBrute(b *testing.B) {
 	if len(qs) == 0 {
 		b.Skip("no query")
 	}
-	res, err := w.Sys.InferRoutes(qs[0].Query)
+	res, err := w.Eng.InferRoutes(qs[0].Query, w.P)
 	if err != nil || len(res.Locals) < 4 {
 		b.Skip("no locals")
 	}
 	locals := res.Locals[:4]
 	b.Run("kgri", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.KGRI(w.Sys.G, locals, 5)
+			core.KGRI(w.Graph(), locals, 5)
 		}
 	})
 	b.Run("bruteforce", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.BruteForceGlobalRoutes(w.Sys.G, locals, 5)
+			core.BruteForceGlobalRoutes(w.Graph(), locals, 5)
 		}
 	})
 }
@@ -241,7 +237,7 @@ func BenchmarkHRISQuery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _ = w.Sys.InferRoutes(qs[0].Query)
+		_, _ = w.Eng.InferRoutes(qs[0].Query, w.P)
 	}
 }
 
@@ -254,7 +250,7 @@ func BenchmarkCompetitors(b *testing.B) {
 		b.Skip("no query")
 	}
 	prm := mapmatch.DefaultParams()
-	g := w.Sys.G
+	g := w.Graph()
 	matchers := []mapmatch.Matcher{
 		mapmatch.NewPointToCurve(g, prm), w.Incremental, w.ST, w.IVMM,
 		mapmatch.NewHMM(g, prm),
@@ -284,10 +280,10 @@ func BenchmarkNetworkFree(b *testing.B) {
 	if len(qs) == 0 {
 		b.Skip("no query")
 	}
-	vmax := w.Sys.G.MaxSpeed()
+	vmax := w.Graph().MaxSpeed()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _ = core.InferPathsNetworkFree(w.Archive, qs[0].Query, w.Sys.Params, vmax)
+		_, _ = w.Eng.InferPathsNetworkFree(qs[0].Query, w.P, vmax)
 	}
 }
 
@@ -305,7 +301,7 @@ func BenchmarkInferBatch(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run("workers="+itoa(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				w.Sys.InferBatch(queries, workers)
+				w.Eng.InferBatch(queries, w.P, workers)
 			}
 		})
 	}

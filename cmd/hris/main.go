@@ -66,7 +66,7 @@ func main() {
 	default:
 		log.Fatalf("unknown -method %q", *method)
 	}
-	sys := core.NewSystem(arch, params)
+	eng := core.NewEngine(arch, params)
 
 	var q *traj.Trajectory
 	var truth roadnet.Route
@@ -81,7 +81,7 @@ func main() {
 	fmt.Printf("query: %d points, %.1f km span, avg interval %.0f s (low-sampling-rate: %v)\n",
 		q.Len(), q.PathLength()/1000, q.AvgInterval(), q.IsLowSamplingRate())
 
-	res, err := sys.InferRoutes(q)
+	res, err := eng.Infer(q)
 	if err != nil {
 		log.Fatalf("inference failed: %v", err)
 	}

@@ -117,7 +117,7 @@ func main() {
 	// --- Uncertainty reduction across the fleet -------------------------
 	fmt.Println("Fleet-wide inference quality (20 queries, 3 min interval):")
 	archive := hist.NewArchive(city.Graph, ds.Archive)
-	sys := core.NewSystem(archive, core.DefaultParams())
+	eng := core.NewEngine(archive, core.DefaultParams())
 	rng := rand.New(rand.NewSource(5))
 	var top1, best5 float64
 	n := 0
@@ -126,7 +126,7 @@ func main() {
 		if !ok {
 			continue
 		}
-		res, err := sys.InferRoutes(qc.Query)
+		res, err := eng.Infer(qc.Query)
 		if err != nil {
 			continue
 		}
@@ -145,5 +145,5 @@ func main() {
 	}
 	fmt.Printf("  mean top-1 A_L: %.3f\n", top1/float64(n))
 	fmt.Printf("  mean best-of-%d A_L: %.3f (uncertainty shrinks as K grows, Figure 14a)\n",
-		sys.Params.K3, best5/float64(n))
+		eng.Defaults().K3, best5/float64(n))
 }

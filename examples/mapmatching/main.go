@@ -31,7 +31,7 @@ func main() {
 	fcfg.Seed = 11
 	ds := sim.BuildDataset(city, fcfg)
 	archive := hist.NewArchive(city.Graph, ds.Archive)
-	sys := core.NewSystem(archive, core.DefaultParams())
+	eng := core.NewEngine(archive, core.DefaultParams())
 	prm := mapmatch.DefaultParams()
 	matchers := []mapmatch.Matcher{
 		mapmatch.NewPointToCurve(city.Graph, prm),
@@ -72,7 +72,7 @@ func main() {
 			}
 			fmt.Printf("%15.3f", eval.AccuracyAL(city.Graph, route, r))
 		}
-		res, err := sys.InferRoutes(q)
+		res, err := eng.Infer(q)
 		if err != nil {
 			fmt.Printf("%15s\n", "fail")
 			continue

@@ -34,6 +34,7 @@ func main() {
 	// solely inside the simulator to generate ground truth.
 	archive := hist.NewArchive(city.Graph, ds.Archive)
 	params := core.DefaultParams()
+	eng := core.NewEngine(archive, params)
 	vmax := city.Graph.MaxSpeed() // a speed bound is domain knowledge, not a map
 
 	rng := rand.New(rand.NewSource(5))
@@ -48,7 +49,7 @@ func main() {
 				continue
 			}
 			truth := qc.Truth.Points(city.Graph)
-			paths, err := core.InferPathsNetworkFree(archive, qc.Query, params, vmax)
+			paths, err := eng.InferPathsNetworkFree(qc.Query, params, vmax)
 			if err != nil || len(paths) == 0 {
 				continue
 			}

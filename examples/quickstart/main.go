@@ -33,10 +33,11 @@ func main() {
 	ds := sim.BuildDataset(city, fcfg)
 	fmt.Printf("archive: %d trips\n", len(ds.Archive))
 
-	// 3. Index the archive and create the HRIS system with the paper's
-	// default parameters (Table II).
+	// 3. Index the archive and create the HRIS engine with the paper's
+	// default parameters (Table II). The engine is immutable and safe to
+	// share across goroutines; per-call parameters go in by value.
 	archive := hist.NewArchive(city.Graph, ds.Archive)
-	sys := core.NewSystem(archive, core.DefaultParams())
+	eng := core.NewEngine(archive, core.DefaultParams())
 
 	// 4. Make a low-sampling-rate query: a trip sampled every 3 minutes
 	// with GPS noise. The generating route is kept as ground truth.
@@ -49,7 +50,7 @@ func main() {
 		qc.Query.Len(), qc.Truth.Length(city.Graph)/1000, qc.Query.AvgInterval())
 
 	// 5. Infer the top-K routes.
-	res, err := sys.InferRoutes(qc.Query)
+	res, err := eng.Infer(qc.Query)
 	if err != nil {
 		log.Fatalf("inference: %v", err)
 	}

@@ -57,7 +57,7 @@ func main() {
 	// larger φ, Figure 9a).
 	params.Phi = 800
 	params.SpliceEps = 300
-	sys := core.NewSystem(archive, params)
+	eng := core.NewEngine(archive, params)
 
 	rng := rand.New(rand.NewSource(23))
 	// The tourist travels one long leg between the two farthest-apart
@@ -75,7 +75,7 @@ func main() {
 	fmt.Printf("photo trail: %d photos over a %.1f km trip (interval %.0f min)\n",
 		photos.Len(), route.Length(city.Graph)/1000, photos.AvgInterval()/60)
 
-	res, err := sys.InferRoutes(photos)
+	res, err := eng.Infer(photos)
 	if err != nil {
 		log.Fatalf("inference: %v", err)
 	}

@@ -14,9 +14,9 @@ func TestAblateEntropyScoring(t *testing.T) {
 	er := edgeRefs(map[roadnet.EdgeID][]int{0: {1, 2}, 1: {3}})
 	route := roadnet.Route{0, 1}
 	w.sys.Params.AblateEntropy = false
-	full, refs := w.sys.scoreRoute(route, er)
+	full, refs := w.sys.snapshot().scoreRoute(route, er)
 	w.sys.Params.AblateEntropy = true
-	bare, refs2 := w.sys.scoreRoute(route, er)
+	bare, refs2 := w.sys.snapshot().scoreRoute(route, er)
 	if len(refs) != 3 || len(refs2) != 3 {
 		t.Fatalf("refs: %d, %d", len(refs), len(refs2))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 
 	"repro/internal/traj"
@@ -13,14 +14,23 @@ type BatchResult struct {
 	Err    error
 }
 
-// InferBatch runs InferRoutes over many queries concurrently with at most
-// workers goroutines and returns the results in input order. A built
-// System is read-only during inference, so the queries share it safely;
-// per-query determinism is unaffected by scheduling. workers < 1 uses 1.
-func (s *System) InferBatch(queries []*traj.Trajectory, workers int) []BatchResult {
+// batchWorkers resolves the batch worker bound: workers as given, with
+// values < 1 defaulting to runtime.GOMAXPROCS(0) so an unconfigured batch
+// uses the machine instead of running serially.
+func batchWorkers(workers int) int {
 	if workers < 1 {
-		workers = 1
+		return runtime.GOMAXPROCS(0)
 	}
+	return workers
+}
+
+// InferBatch runs InferRoutes over many queries concurrently with at most
+// workers goroutines and returns the results in input order. The engine is
+// immutable and its caches are internally synchronized, so the queries
+// share it safely; per-query determinism is unaffected by scheduling.
+// workers < 1 uses runtime.GOMAXPROCS(0).
+func (e *Engine) InferBatch(queries []*traj.Trajectory, p Params, workers int) []BatchResult {
+	workers = batchWorkers(workers)
 	out := make([]BatchResult, len(queries))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -29,7 +39,7 @@ func (s *System) InferBatch(queries []*traj.Trajectory, workers int) []BatchResu
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := s.InferRoutes(queries[i])
+				res, err := e.InferRoutes(queries[i], p)
 				out[i] = BatchResult{Index: i, Result: res, Err: err}
 			}
 		}()

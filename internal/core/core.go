@@ -98,6 +98,12 @@ type Params struct {
 	TemporalWeighting bool
 	// TimeWindow is the time-of-day half-window in seconds (default 4 h).
 	TimeWindow float64
+
+	// PairWorkers bounds the worker pool of InferRoutes' per-pair stage.
+	// Values < 1 (the default) use runtime.GOMAXPROCS(0); 1 forces the
+	// serial path. The result is identical for every setting — pairs are
+	// independent and joined in order — so this is purely a latency knob.
+	PairWorkers int
 }
 
 // DefaultParams returns the Table II defaults: φ=500 m, τ=200/km², λ=4,
@@ -143,18 +149,6 @@ type GlobalRoute struct {
 	Parts []int
 }
 
-// System ties the archive, road network and parameters together.
-type System struct {
-	G       *roadnet.Graph
-	Archive *hist.Archive
-	Params  Params
-}
-
-// NewSystem builds an HRIS instance over the archive.
-func NewSystem(a *hist.Archive, p Params) *System {
-	return &System{G: a.G, Archive: a, Params: p}
-}
-
 // pairContext is everything the local inference algorithms need for one
 // consecutive query pair ⟨q_i, q_{i+1}⟩.
 type pairContext struct {
@@ -173,7 +167,7 @@ type refPoint struct {
 }
 
 // buildPairContext assembles the traverse-edge and reference-point maps.
-func (s *System) buildPairContext(qi, qj traj.GPSPoint, refs []hist.Reference) *pairContext {
+func (x exec) buildPairContext(qi, qj traj.GPSPoint, refs []hist.Reference) *pairContext {
 	ctx := &pairContext{qi: qi, qj: qj, refs: refs,
 		edgeRefs: make(map[roadnet.EdgeID]map[int]struct{})}
 	for _, r := range refs {
@@ -181,13 +175,13 @@ func (s *System) buildPairContext(qi, qj traj.GPSPoint, refs []hist.Reference) *
 		for j, p := range r.Points {
 			ctx.points = append(ctx.points, refPoint{pt: p.Pt, sources: srcs})
 			heading, hasHeading := travelHeading(r.Points, j)
-			for _, c := range s.G.CandidateEdges(p.Pt, s.Params.CandEps) {
+			for _, c := range x.eng.cands.CandidateEdges(p.Pt, x.p.CandEps) {
 				// The preprocessing component map-matches archive points
 				// (§II-B.1), which makes the reference support of an edge
 				// direction-aware. We realize the same effect cheaply:
 				// a candidate edge only counts as traversed when its
 				// direction agrees with the reference's travel heading.
-				if hasHeading && !s.edgeAligned(c.Edge, heading) {
+				if hasHeading && !x.edgeAligned(c.Edge, heading) {
 					continue
 				}
 				set, ok := ctx.edgeRefs[c.Edge]
@@ -222,8 +216,8 @@ func travelHeading(pts []traj.GPSPoint, j int) (float64, bool) {
 const maxHeadingDiff = 75 * math.Pi / 180
 
 // edgeAligned reports whether segment e's direction agrees with heading.
-func (s *System) edgeAligned(e roadnet.EdgeID, heading float64) bool {
-	seg := s.G.Seg(e)
+func (x exec) edgeAligned(e roadnet.EdgeID, heading float64) bool {
+	seg := x.eng.g.Seg(e)
 	segHeading := seg.Shape[0].Heading(seg.Shape[len(seg.Shape)-1])
 	return geo.AngleDiff(segHeading, heading) <= maxHeadingDiff
 }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/hist"
+	"repro/internal/roadnet"
+)
+
+// Engine is the immutable, concurrency-safe inference engine: the road
+// network, the indexed archive, a frozen copy of the default parameters,
+// and the shared read-through caches. Every inference entry point takes its
+// Params by value, so a single Engine serves any number of concurrent
+// queries — with different parameter sets — without synchronization on the
+// caller's side.
+//
+// Concurrency model (see DESIGN.md "Engine architecture & concurrency
+// model"): all fields are set at construction and never reassigned; the
+// graph and archive are immutable after their own construction; the two
+// caches are internally locked read-through memos whose hits and misses
+// return byte-identical results, so caching never changes an outcome.
+type Engine struct {
+	g        *roadnet.Graph
+	archive  *hist.Archive
+	defaults Params
+
+	refs  *hist.SearchCache      // reference-search memo (per query pair)
+	cands *roadnet.CandidateCache // candidate-edge cache (per point × ε)
+}
+
+// NewEngine builds an engine over the archive. The defaults are frozen into
+// the engine for Infer and for callers that want a baseline via Defaults;
+// they never change after construction.
+func NewEngine(a *hist.Archive, defaults Params) *Engine {
+	return &Engine{
+		g:        a.G,
+		archive:  a,
+		defaults: defaults,
+		refs:     hist.NewSearchCache(a, 0),
+		cands:    roadnet.NewCandidateCache(a.G, 0),
+	}
+}
+
+// Graph returns the road network the engine infers over.
+func (e *Engine) Graph() *roadnet.Graph { return e.g }
+
+// Archive returns the indexed historical archive.
+func (e *Engine) Archive() *hist.Archive { return e.archive }
+
+// Defaults returns a copy of the engine's frozen default parameters.
+func (e *Engine) Defaults() Params { return e.defaults }
+
+// CacheStats reports (hits, misses) of the reference-search memo and the
+// candidate-edge cache, for observability and tests.
+func (e *Engine) CacheStats() (refHits, refMisses, candHits, candMisses uint64) {
+	refHits, refMisses = e.refs.Stats()
+	candHits, candMisses = e.cands.Stats()
+	return
+}
+
+// exec is one inference invocation: the shared immutable engine plus this
+// call's private parameter snapshot. All pipeline internals hang off exec,
+// which makes "no shared mutable state" structural — there is simply no
+// field a concurrent call could race on.
+type exec struct {
+	eng *Engine
+	p   Params
+}
+
+// pairWorkers resolves the per-pair worker bound for one InferRoutes call:
+// the PairWorkers param, defaulting to runtime.GOMAXPROCS(0) when < 1, and
+// never more than the number of pairs.
+func (x exec) pairWorkers(pairs int) int {
+	w := x.p.PairWorkers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > pairs {
+		w = pairs
+	}
+	return w
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/traj"
+)
+
+// TestConcurrentBatchAndPairLocalRoutes is the regression test for the
+// PairLocalRoutes data race: the pre-Engine implementation saved, mutated
+// and restored the shared Params.Method around each call, so running it
+// while InferBatch used the same System raced (caught by -race). Both entry
+// points now carry per-call Params copies; this must stay -race clean.
+func TestConcurrentBatchAndPairLocalRoutes(t *testing.T) {
+	w := newWorld(t, 300, 171)
+	qi, qj := pickPair(t, w, 180, 1)
+	var queries []*traj.Trajectory
+	for i := 0; i < 4; i++ {
+		qc, ok := w.ds.GenQuery(6000, 180, 15, w.cfg, w.rng)
+		if !ok {
+			continue
+		}
+		queries = append(queries, qc.Query)
+	}
+	if len(queries) == 0 {
+		t.Fatal("no queries")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.sys.InferBatch(queries, 2)
+	}()
+	for i := 0; i < 10; i++ {
+		m := MethodTGI
+		if i%2 == 1 {
+			m = MethodNNI
+		}
+		locals, st := w.sys.PairLocalRoutes(qi, qj, m)
+		if st.Method != m && !st.UsedFall && len(locals) > 0 {
+			t.Fatalf("iteration %d: asked for %v, stats report %v", i, m, st.Method)
+		}
+	}
+	wg.Wait()
+}
+
+// TestInferRoutesWorkerDeterminism: the per-pair fan-out must not change
+// the answer — any PairWorkers setting yields identical routes and scores.
+func TestInferRoutesWorkerDeterminism(t *testing.T) {
+	w := newWorld(t, 300, 173)
+	qc, ok := w.ds.GenQuery(8000, 180, 15, w.cfg, w.rng)
+	if !ok {
+		t.Fatal("GenQuery failed")
+	}
+	eng := w.sys.Engine()
+	base := w.sys.Params
+	base.PairWorkers = 1
+	want, err := eng.InferRoutes(qc.Query, base)
+	if err != nil {
+		t.Fatalf("serial inference: %v", err)
+	}
+	for _, workers := range []int{2, 4, 0, -1} {
+		p := base
+		p.PairWorkers = workers
+		got, err := eng.InferRoutes(qc.Query, p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got.Routes) != len(want.Routes) {
+			t.Fatalf("workers=%d: %d routes vs %d serial", workers, len(got.Routes), len(want.Routes))
+		}
+		for j := range got.Routes {
+			if !got.Routes[j].Route.Equal(want.Routes[j].Route) {
+				t.Fatalf("workers=%d route %d differs from serial", workers, j)
+			}
+			if got.Routes[j].Score != want.Routes[j].Score {
+				t.Fatalf("workers=%d route %d score differs", workers, j)
+			}
+		}
+	}
+}
+
+func TestBatchWorkersDefault(t *testing.T) {
+	if got, want := batchWorkers(0), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("batchWorkers(0) = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if got, want := batchWorkers(-3), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("batchWorkers(-3) = %d, want GOMAXPROCS = %d", got, want)
+	}
+	if got := batchWorkers(5); got != 5 {
+		t.Fatalf("batchWorkers(5) = %d", got)
+	}
+}
+
+func TestPairWorkersResolution(t *testing.T) {
+	x := exec{p: Params{PairWorkers: 0}}
+	if got, want := x.pairWorkers(100), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("PairWorkers=0 over 100 pairs = %d, want GOMAXPROCS = %d", got, want)
+	}
+	x.p.PairWorkers = 8
+	if got := x.pairWorkers(3); got != 3 {
+		t.Fatalf("worker bound not capped at pair count: %d", got)
+	}
+	x.p.PairWorkers = 2
+	if got := x.pairWorkers(100); got != 2 {
+		t.Fatalf("explicit PairWorkers ignored: %d", got)
+	}
+}
+
+// TestEngineDefaultsFrozen: Defaults hands out a copy; mutating it cannot
+// reach into the engine.
+func TestEngineDefaultsFrozen(t *testing.T) {
+	w := newWorld(t, 100, 177)
+	eng := w.sys.Engine()
+	d := eng.Defaults()
+	d.K3 = 99
+	if eng.Defaults().K3 == 99 {
+		t.Fatal("Defaults returned a reference into the engine")
+	}
+}
+
+// TestEngineCacheStats: a repeated identical query must hit the reference
+// memo and answer identically.
+func TestEngineCacheStats(t *testing.T) {
+	w := newWorld(t, 300, 179)
+	qc, ok := w.ds.GenQuery(6000, 180, 15, w.cfg, w.rng)
+	if !ok {
+		t.Fatal("GenQuery failed")
+	}
+	eng := w.sys.Engine()
+	first, err := eng.Infer(qc.Query)
+	if err != nil {
+		t.Fatalf("first inference: %v", err)
+	}
+	_, refMisses, _, candMisses := eng.CacheStats()
+	if refMisses == 0 || candMisses == 0 {
+		t.Fatalf("expected cold-cache misses, got ref=%d cand=%d", refMisses, candMisses)
+	}
+	second, err := eng.Infer(qc.Query)
+	if err != nil {
+		t.Fatalf("second inference: %v", err)
+	}
+	refHits, _, _, _ := eng.CacheStats()
+	if refHits == 0 {
+		t.Fatal("repeat query missed the reference memo")
+	}
+	if len(first.Routes) != len(second.Routes) {
+		t.Fatalf("cached run changed the answer: %d vs %d routes", len(second.Routes), len(first.Routes))
+	}
+	for j := range first.Routes {
+		if !first.Routes[j].Route.Equal(second.Routes[j].Route) || first.Routes[j].Score != second.Routes[j].Score {
+			t.Fatalf("cached run changed route %d", j)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/hist"
@@ -37,53 +38,116 @@ type Result struct {
 	Locals [][]LocalRoute // per-pair local route sets (after capping)
 }
 
+// pairOutcome is one pair's share of a Result, produced independently of
+// every other pair.
+type pairOutcome struct {
+	stats  PairStats
+	locals []LocalRoute
+}
+
 // InferRoutes runs the complete HRIS pipeline on a low-sampling-rate query
 // trajectory and returns the top-K global routes (§II-B.2).
-func (s *System) InferRoutes(q *traj.Trajectory) (*Result, error) {
+//
+// The per-pair stage — reference search, pair context assembly, local
+// inference — is embarrassingly parallel (§III treats pairs independently
+// until K-GRI joins them), so it fans out over a bounded worker pool of
+// p.PairWorkers goroutines (GOMAXPROCS when < 1). Results are joined in
+// pair order and every pair's computation is deterministic, so the output
+// is identical for any worker count, including 1.
+func (e *Engine) InferRoutes(q *traj.Trajectory, p Params) (*Result, error) {
 	if q.Len() < 2 {
 		return nil, ErrEmptyQuery
 	}
-	res := &Result{}
-	sp := hist.SearchParams{Phi: s.Params.Phi, SpliceEps: s.Params.SpliceEps, SpliceMinSimple: s.Params.SpliceMinSimple}
-	for i := 0; i+1 < q.Len(); i++ {
-		qi, qj := q.Points[i], q.Points[i+1]
-		refs := s.Archive.References(qi, qj, sp)
-		if s.Params.TemporalWeighting {
-			refs = filterByTimeOfDay(refs, qi.T, s.Params.TimeWindow)
-		}
-		ctx := s.buildPairContext(qi, qj, refs)
-		locals, method := s.inferLocal(ctx)
-		st := PairStats{
-			Refs: len(refs), Points: len(ctx.points),
-			Density: ctx.density(), Method: method, Routes: len(locals),
-		}
-		for _, r := range refs {
-			if r.Spliced {
-				st.Spliced++
-			}
-		}
-		if len(locals) == 0 {
-			locals = s.fallbackLocal(ctx)
-			st.UsedFall = true
-			st.Routes = len(locals)
-		}
-		if len(locals) == 0 {
-			return nil, fmt.Errorf("core: pair %d (%v -> %v): %w", i, qi.Pt, qj.Pt, ErrNoRoutes)
-		}
-		res.Pairs = append(res.Pairs, st)
-		res.Locals = append(res.Locals, locals)
+	x := exec{eng: e, p: p}
+	n := q.Len() - 1
+	outs := make([]pairOutcome, n)
+	work := func(i int) {
+		outs[i] = x.inferPair(q.Points[i], q.Points[i+1])
 	}
-	res.Routes = kgri(s.G, res.Locals, s.Params.K3, s.Params.AblateTransition)
+	if workers := x.pairWorkers(n); workers <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					work(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	res := &Result{Pairs: make([]PairStats, 0, n), Locals: make([][]LocalRoute, 0, n)}
+	for i, out := range outs {
+		if len(out.locals) == 0 {
+			return nil, fmt.Errorf("core: pair %d (%v -> %v): %w",
+				i, q.Points[i].Pt, q.Points[i+1].Pt, ErrNoRoutes)
+		}
+		res.Pairs = append(res.Pairs, out.stats)
+		res.Locals = append(res.Locals, out.locals)
+	}
+	res.Routes = kgri(e.g, res.Locals, p.K3, p.AblateTransition)
 	if len(res.Routes) == 0 {
 		return nil, ErrNoRoutes
 	}
-	if !s.Params.AblateTrim {
+	if !p.AblateTrim {
 		for i := range res.Routes {
-			res.Routes[i].Route = trimRoute(s.G, res.Routes[i].Route,
+			res.Routes[i].Route = trimRoute(e.g, res.Routes[i].Route,
 				q.Points[0].Pt, q.Points[q.Len()-1].Pt)
 		}
 	}
 	return res, nil
+}
+
+// Infer is InferRoutes with the engine's frozen default parameters.
+func (e *Engine) Infer(q *traj.Trajectory) (*Result, error) {
+	return e.InferRoutes(q, e.defaults)
+}
+
+// inferPair runs the full per-pair stage for ⟨q_i, q_{i+1}⟩: reference
+// search (memoized), optional temporal filtering, context assembly and
+// local route inference with shortest-path fallback.
+func (x exec) inferPair(qi, qj traj.GPSPoint) pairOutcome {
+	sp := x.searchParams()
+	refs := x.eng.refs.References(qi, qj, sp)
+	if x.p.TemporalWeighting {
+		refs = filterByTimeOfDay(refs, qi.T, x.p.TimeWindow)
+	}
+	ctx := x.buildPairContext(qi, qj, refs)
+	locals, method := x.inferLocal(ctx)
+	st := PairStats{
+		Refs: len(refs), Points: len(ctx.points),
+		Density: ctx.density(), Method: method, Routes: len(locals),
+	}
+	for _, r := range refs {
+		if r.Spliced {
+			st.Spliced++
+		}
+	}
+	if len(locals) == 0 {
+		locals = x.fallbackLocal(ctx)
+		st.UsedFall = true
+		st.Routes = len(locals)
+	}
+	return pairOutcome{stats: st, locals: locals}
+}
+
+// searchParams derives the reference-search parameters of this call.
+func (x exec) searchParams() hist.SearchParams {
+	return hist.SearchParams{
+		Phi:             x.p.Phi,
+		SpliceEps:       x.p.SpliceEps,
+		SpliceMinSimple: x.p.SpliceMinSimple,
+	}
 }
 
 // trimRoute drops leading segments the query never reached and trailing
@@ -101,14 +165,14 @@ func trimRoute(g *roadnet.Graph, r roadnet.Route, start, end geo.Point) roadnet.
 
 // PairLocalRoutes exposes local route inference for a single query pair
 // with an explicit method — the unit the Figure 10–13 experiments measure.
-func (s *System) PairLocalRoutes(qi, qj traj.GPSPoint, m Method) ([]LocalRoute, PairStats) {
-	sp := hist.SearchParams{Phi: s.Params.Phi, SpliceEps: s.Params.SpliceEps, SpliceMinSimple: s.Params.SpliceMinSimple}
-	refs := s.Archive.References(qi, qj, sp)
-	ctx := s.buildPairContext(qi, qj, refs)
-	saved := s.Params.Method
-	s.Params.Method = m
-	locals, used := s.inferLocal(ctx)
-	s.Params.Method = saved
+// The method override lives in this call's private Params copy, so it is
+// safe to run concurrently with any other inference on the same engine.
+func (e *Engine) PairLocalRoutes(qi, qj traj.GPSPoint, m Method, p Params) ([]LocalRoute, PairStats) {
+	p.Method = m
+	x := exec{eng: e, p: p}
+	refs := e.refs.References(qi, qj, x.searchParams())
+	ctx := x.buildPairContext(qi, qj, refs)
+	locals, used := x.inferLocal(ctx)
 	st := PairStats{
 		Refs: len(refs), Points: len(ctx.points),
 		Density: ctx.density(), Method: used, Routes: len(locals),

@@ -30,6 +30,20 @@ var ErrNoFreePath = errors.New("core: no network-free path inferred")
 // polylines instead of being map-matched; a K-GRI-style dynamic program
 // over support sets assembles the global paths.
 func InferPathsNetworkFree(a *hist.Archive, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
+	return inferPathsNetworkFree(a.References, q, p, vmax)
+}
+
+// InferPathsNetworkFree is the engine-backed variant: identical output, but
+// reference searches go through the engine's memo, so repeated pairs across
+// queries are looked up once.
+func (e *Engine) InferPathsNetworkFree(q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
+	return inferPathsNetworkFree(e.refs.References, q, p, vmax)
+}
+
+// inferPathsNetworkFree is the shared implementation, parameterized over
+// the reference search (direct archive scan or engine memo).
+func inferPathsNetworkFree(search func(qi, qj traj.GPSPoint, sp hist.SearchParams) []hist.Reference,
+	q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
 	if q.Len() < 2 {
 		return nil, ErrEmptyQuery
 	}
@@ -45,7 +59,7 @@ func InferPathsNetworkFree(a *hist.Archive, q *traj.Trajectory, p Params, vmax f
 	var locals [][]freeLocal
 	for i := 0; i+1 < q.Len(); i++ {
 		qi, qj := q.Points[i], q.Points[i+1]
-		refs := a.References(qi, qj, sp)
+		refs := search(qi, qj, sp)
 		var pts []refPoint
 		for _, r := range refs {
 			srcs := r.SourceIDs()

@@ -47,8 +47,8 @@ func dedupPoints(pts []refPoint, cell float64) []refPoint {
 // into the transit graph of Figure 5(d) and saving repeated constrained
 // kNN searches; every q_i→q_{i+1} path of that graph is then converted to
 // a physical route by map-matching its point sequence.
-func (s *System) inferNNI(ctx *pairContext) []LocalRoute {
-	p := s.Params
+func (x exec) inferNNI(ctx *pairContext) []LocalRoute {
+	p := x.p
 	points, traces := enumerateTransitTraces(ctx.points, ctx.qi.Pt, ctx.qj.Pt, p)
 	if len(traces) == 0 {
 		return nil
@@ -61,7 +61,7 @@ func (s *System) inferNNI(ctx *pairContext) []LocalRoute {
 	mprm.CandidateRadius = p.CandEps
 	for _, tr := range traces {
 		pts := tracePoints(points, tr, ctx.qi.Pt, ctx.qj.Pt)
-		route, err := mapmatch.ProjectPointSequence(s.G, pts, mprm)
+		route, err := mapmatch.ProjectPointSequence(x.eng.g, pts, mprm)
 		if err != nil || len(route) == 0 {
 			continue
 		}
@@ -70,7 +70,7 @@ func (s *System) inferNNI(ctx *pairContext) []LocalRoute {
 			continue
 		}
 		seen[key] = true
-		pop, refs := s.scoreRoute(route, ctx.edgeRefs)
+		pop, refs := x.scoreRoute(route, ctx.edgeRefs)
 		out = append(out, LocalRoute{Route: route, Refs: refs, Popularity: pop})
 	}
 	return capLocalRoutes(out, p.MaxLocalRoutes)
@@ -247,30 +247,30 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 // ρ = |P_i| / area(MBR(P_i)) and picks NNI below τ (where its adaptive kNN
 // beats TGI's fixed λ radius) and TGI above (where it is both more accurate
 // and cheaper).
-func (s *System) inferLocal(ctx *pairContext) ([]LocalRoute, Method) {
-	switch s.Params.Method {
+func (x exec) inferLocal(ctx *pairContext) ([]LocalRoute, Method) {
+	switch x.p.Method {
 	case MethodTGI:
-		return s.inferTGI(ctx), MethodTGI
+		return x.inferTGI(ctx), MethodTGI
 	case MethodNNI:
-		return s.inferNNI(ctx), MethodNNI
+		return x.inferNNI(ctx), MethodNNI
 	}
-	if ctx.density() < s.Params.Tau {
-		return s.inferNNI(ctx), MethodNNI
+	if ctx.density() < x.p.Tau {
+		return x.inferNNI(ctx), MethodNNI
 	}
-	return s.inferTGI(ctx), MethodTGI
+	return x.inferTGI(ctx), MethodTGI
 }
 
 // fallbackLocal produces a shortest-path local route when no references
 // exist for a pair, keeping the pipeline total on sparse archives. Its
 // popularity is a small constant so any reference-supported alternative
 // outranks it.
-func (s *System) fallbackLocal(ctx *pairContext) []LocalRoute {
-	a, okA := s.G.LocationOf(ctx.qi.Pt)
-	b, okB := s.G.LocationOf(ctx.qj.Pt)
+func (x exec) fallbackLocal(ctx *pairContext) []LocalRoute {
+	a, okA := x.eng.g.LocationOf(ctx.qi.Pt)
+	b, okB := x.eng.g.LocationOf(ctx.qj.Pt)
 	if !okA || !okB {
 		return nil
 	}
-	route, _, ok := s.G.PathBetweenLocations(a, b)
+	route, _, ok := x.eng.g.PathBetweenLocations(a, b)
 	if !ok {
 		// Try the opposite candidate assignment before giving up: the
 		// nearest edge can be the wrong direction of a two-way street.

@@ -77,9 +77,9 @@ func transitionConfidence(a, b map[int]struct{}) float64 {
 
 // scoreRoute applies Equation 1 or, under the AblateEntropy ablation, the
 // bare reference-support count.
-func (s *System) scoreRoute(route roadnet.Route, edgeRefs map[roadnet.EdgeID]map[int]struct{}) (float64, map[int]struct{}) {
+func (x exec) scoreRoute(route roadnet.Route, edgeRefs map[roadnet.EdgeID]map[int]struct{}) (float64, map[int]struct{}) {
 	pop, refs := popularity(route, edgeRefs)
-	if s.Params.AblateEntropy {
+	if x.p.AblateEntropy {
 		return float64(len(refs)), refs
 	}
 	return pop, refs

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"repro/internal/hist"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// System is the pre-Engine entry point, kept as a thin shim so existing
+// callers continue to compile.
+//
+// Deprecated: use Engine, whose inference entry points take Params by
+// value and are safe for concurrent use. System's mutable Params field is
+// the reason it cannot make that guarantee: mutating it while an inference
+// runs is a data race. The shim itself never writes Params — each call
+// copies it by value into the underlying engine — so a System whose Params
+// are left alone after construction is as safe as the Engine it wraps.
+type System struct {
+	G       *roadnet.Graph
+	Archive *hist.Archive
+	Params  Params
+
+	eng *Engine
+}
+
+// NewSystem builds a System over the archive.
+//
+// Deprecated: use NewEngine.
+func NewSystem(a *hist.Archive, p Params) *System {
+	return &System{G: a.G, Archive: a, Params: p, eng: NewEngine(a, p)}
+}
+
+// Engine returns the immutable engine backing this shim. Note the engine's
+// frozen defaults are the Params the System was constructed with; later
+// mutations of s.Params affect the shim's own calls (which pass s.Params
+// explicitly) but not Engine().Infer.
+func (s *System) Engine() *Engine {
+	if s.eng == nil {
+		s.eng = NewEngine(s.Archive, s.Params)
+	}
+	return s.eng
+}
+
+// snapshot captures the system's current Params into a one-call execution
+// context (used by internal tests to reach pipeline internals).
+func (s *System) snapshot() exec {
+	return exec{eng: s.Engine(), p: s.Params}
+}
+
+// InferRoutes runs the HRIS pipeline with the system's current Params.
+//
+// Deprecated: use Engine.InferRoutes.
+func (s *System) InferRoutes(q *traj.Trajectory) (*Result, error) {
+	return s.Engine().InferRoutes(q, s.Params)
+}
+
+// InferBatch runs InferRoutes over many queries concurrently.
+//
+// Deprecated: use Engine.InferBatch.
+func (s *System) InferBatch(queries []*traj.Trajectory, workers int) []BatchResult {
+	return s.Engine().InferBatch(queries, s.Params, workers)
+}
+
+// PairLocalRoutes infers local routes for one query pair with an explicit
+// method. The override lives in a per-call Params copy, so unlike the
+// pre-Engine implementation this is safe to run concurrently with
+// InferRoutes or InferBatch on the same System.
+//
+// Deprecated: use Engine.PairLocalRoutes.
+func (s *System) PairLocalRoutes(qi, qj traj.GPSPoint, m Method) ([]LocalRoute, PairStats) {
+	return s.Engine().PairLocalRoutes(qi, qj, m, s.Params)
+}

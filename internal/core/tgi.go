@@ -19,12 +19,12 @@ import (
 // connected; transitive graph reduction drops redundant links; Yen's
 // K-shortest-path search between every candidate-edge pair yields paths
 // that are finally projected back onto the physical road network.
-func (s *System) inferTGI(ctx *pairContext) []LocalRoute {
-	g := s.G
-	p := s.Params
+func (x exec) inferTGI(ctx *pairContext) []LocalRoute {
+	g := x.eng.g
+	p := x.p
 
-	srcs := s.queryCandidates(ctx.qi.Pt)
-	dsts := s.queryCandidates(ctx.qj.Pt)
+	srcs := x.queryCandidates(ctx.qi.Pt)
+	dsts := x.queryCandidates(ctx.qj.Pt)
 	if len(srcs) == 0 || len(dsts) == 0 {
 		return nil
 	}
@@ -93,7 +93,7 @@ func (s *System) inferTGI(ctx *pairContext) []LocalRoute {
 		for _, de := range dsts {
 			paths := graphalg.KShortestPaths(tg, nodeOf[se], nodeOf[de], p.K1)
 			for _, path := range paths {
-				route, ok := s.projectPath(path.Vertices, edges)
+				route, ok := x.projectPath(path.Vertices, edges)
 				if !ok || len(route) == 0 {
 					continue
 				}
@@ -102,7 +102,7 @@ func (s *System) inferTGI(ctx *pairContext) []LocalRoute {
 					continue
 				}
 				seen[key] = true
-				pop, refs := s.scoreRoute(route, ctx.edgeRefs)
+				pop, refs := x.scoreRoute(route, ctx.edgeRefs)
 				out = append(out, LocalRoute{Route: route, Refs: refs, Popularity: pop})
 			}
 		}
@@ -113,11 +113,11 @@ func (s *System) inferTGI(ctx *pairContext) []LocalRoute {
 // queryCandidates returns candidate edges of a query point, widening to the
 // nearest edges when the ε-radius finds none, capped to keep the
 // K-shortest-path stage tractable.
-func (s *System) queryCandidates(pt geo.Point) []roadnet.EdgeID {
+func (x exec) queryCandidates(pt geo.Point) []roadnet.EdgeID {
 	const maxQueryCandidates = 3
-	cands := s.G.CandidateEdges(pt, s.Params.CandEps)
+	cands := x.eng.cands.CandidateEdges(pt, x.p.CandEps)
 	if len(cands) == 0 {
-		cands = s.G.NearestCandidates(pt, maxQueryCandidates)
+		cands = x.eng.g.NearestCandidates(pt, maxQueryCandidates)
 	}
 	if len(cands) > maxQueryCandidates {
 		cands = cands[:maxQueryCandidates]
@@ -211,20 +211,20 @@ func reduceTraverseGraph(tg *graphalg.Graph) {
 
 // projectPath maps a traverse-graph path (node indices) to a physical road
 // route, bridging non-adjacent consecutive edges with shortest paths.
-func (s *System) projectPath(nodes []int, edges []roadnet.EdgeID) (roadnet.Route, bool) {
+func (x exec) projectPath(nodes []int, edges []roadnet.EdgeID) (roadnet.Route, bool) {
 	if len(nodes) == 0 {
 		return nil, false
 	}
 	route := roadnet.Route{edges[nodes[0]]}
 	for _, n := range nodes[1:] {
 		next := edges[n]
-		joined, ok := route.Concat(s.G, roadnet.Route{next})
+		joined, ok := route.Concat(x.eng.g, roadnet.Route{next})
 		if !ok {
 			return nil, false
 		}
 		route = joined
 	}
-	if !route.Valid(s.G) {
+	if !route.Valid(x.eng.g) {
 		return nil, false
 	}
 	return route, true

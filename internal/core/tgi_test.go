@@ -106,7 +106,7 @@ func TestProjectPathBridgesGaps(t *testing.T) {
 	g := w.sys.G
 	// Two far-apart edges: projection must produce a valid bridged route.
 	edges := []roadnet.EdgeID{0, roadnet.EdgeID(g.NumSegments() / 2)}
-	route, ok := w.sys.projectPath([]int{0, 1}, edges)
+	route, ok := w.sys.snapshot().projectPath([]int{0, 1}, edges)
 	if !ok {
 		t.Skip("no path between the fixture edges in this seed")
 	}
@@ -117,7 +117,7 @@ func TestProjectPathBridgesGaps(t *testing.T) {
 		t.Fatal("projected route endpoints wrong")
 	}
 	// Empty input.
-	if _, ok := w.sys.projectPath(nil, edges); ok {
+	if _, ok := w.sys.snapshot().projectPath(nil, edges); ok {
 		t.Fatal("empty path accepted")
 	}
 }
@@ -128,7 +128,7 @@ func TestQueryCandidatesWidening(t *testing.T) {
 	// A point far from any road still gets candidates via widening.
 	bb := g.BBox()
 	far := bb.Max.Add(pt(3000, 3000))
-	cands := w.sys.queryCandidates(far)
+	cands := w.sys.snapshot().queryCandidates(far)
 	if len(cands) == 0 {
 		t.Fatal("no candidates for a far point")
 	}

@@ -29,14 +29,12 @@ func (w *World) Ablations(ratesMin []float64) *Table {
 		{"no-splicing", func(p *core.Params) { p.SpliceEps = 0 }},
 		{"no-trim", func(p *core.Params) { p.AblateTrim = true }},
 	}
-	saved := w.Sys.Params
-	defer func() { w.Sys.Params = saved }()
 	for i, sr := range ratesMin {
 		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(i)*709)
 		for _, v := range variants {
-			w.Sys.Params = saved
-			v.apply(&w.Sys.Params)
-			t.Add(v.name, sr, w.meanAccuracy(qs, w.hrisTop1))
+			p := w.P
+			v.apply(&p)
+			t.Add(v.name, sr, w.meanAccuracy(qs, w.hrisWith(p)))
 		}
 	}
 	return t
@@ -63,7 +61,8 @@ func TemporalExtension(cfg WorldConfig, ratesMin []float64) *Table {
 	w := &World{Cfg: cfg, DS: ds, Fleet: fcfg}
 	w.Archive = newArchive(ds)
 	base := core.DefaultParams()
-	w.Sys = core.NewSystem(w.Archive, base)
+	w.Eng = core.NewEngine(w.Archive, base)
+	w.P = base
 
 	const pmStart = 61200.0 // 17:00
 
@@ -79,11 +78,11 @@ func TemporalExtension(cfg WorldConfig, ratesMin []float64) *Table {
 				qs = append(qs, qc)
 			}
 		}
-		w.Sys.Params = base
-		w.Sys.Params.TemporalWeighting = false
-		t.Add("untimed", sr, w.meanAccuracy(qs, w.hrisTop1))
-		w.Sys.Params.TemporalWeighting = true
-		t.Add("time-filtered", sr, w.meanAccuracy(qs, w.hrisTop1))
+		p := base
+		p.TemporalWeighting = false
+		t.Add("untimed", sr, w.meanAccuracy(qs, w.hrisWith(p)))
+		p.TemporalWeighting = true
+		t.Add("time-filtered", sr, w.meanAccuracy(qs, w.hrisWith(p)))
 	}
 	return t
 }
@@ -101,8 +100,8 @@ func (w *World) NetworkFreeExtension(ratesMin []float64) *Table {
 		var devInf, devStraight float64
 		n := 0
 		for _, qc := range qs {
-			truth := qc.Truth.Points(w.Sys.G)
-			paths, err := core.InferPathsNetworkFree(w.Archive, qc.Query, w.Sys.Params, w.Sys.G.MaxSpeed())
+			truth := qc.Truth.Points(w.Graph())
+			paths, err := w.Eng.InferPathsNetworkFree(qc.Query, w.P, w.Graph().MaxSpeed())
 			if err != nil || len(paths) == 0 {
 				continue
 			}

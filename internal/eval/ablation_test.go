@@ -28,8 +28,8 @@ func TestAblationsSmoke(t *testing.T) {
 	if full <= 0 {
 		t.Fatal("full system scored 0")
 	}
-	// Params restored.
-	if w.Sys.Params.AblateEntropy || w.Sys.Params.AblateTransition || w.Sys.Params.AblateTrim {
+	// Baseline params untouched by the sweep.
+	if w.P.AblateEntropy || w.P.AblateTransition || w.P.AblateTrim {
 		t.Fatal("Ablations leaked parameter changes")
 	}
 }

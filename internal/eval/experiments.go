@@ -12,13 +12,23 @@ import (
 	"repro/internal/traj"
 )
 
-// hrisTop1 runs HRIS on the query and returns its best route.
+// hrisTop1 runs HRIS with the world's baseline params and returns the best
+// route.
 func (w *World) hrisTop1(q *traj.Trajectory) (roadnet.Route, bool) {
-	res, err := w.Sys.InferRoutes(q)
-	if err != nil || len(res.Routes) == 0 {
-		return nil, false
+	return w.hrisWith(w.P)(q)
+}
+
+// hrisWith binds one parameter set into a top-1 inference function: the
+// experiment sweeps build their variants as value copies of w.P, so they
+// never mutate shared state and may even run concurrently.
+func (w *World) hrisWith(p core.Params) func(*traj.Trajectory) (roadnet.Route, bool) {
+	return func(q *traj.Trajectory) (roadnet.Route, bool) {
+		res, err := w.Eng.InferRoutes(q, p)
+		if err != nil || len(res.Routes) == 0 {
+			return nil, false
+		}
+		return res.Routes[0].Route, true
 	}
-	return res.Routes[0].Route, true
 }
 
 // meanAccuracy runs fn over the queries and averages A_L (failures score 0).
@@ -29,7 +39,7 @@ func (w *World) meanAccuracy(qs []sim.QueryCase, fn func(*traj.Trajectory) (road
 	var sum float64
 	for _, qc := range qs {
 		if route, ok := fn(qc.Query); ok {
-			sum += AccuracyAL(w.Sys.G, qc.Truth, route)
+			sum += AccuracyAL(w.Graph(), qc.Truth, route)
 		}
 	}
 	return sum / float64(len(qs))
@@ -79,15 +89,14 @@ func (w *World) Figure9(phis []float64, ratesMin []float64) (*Table, *Table) {
 		XLabel: "phi (m)", YLabel: "A_L"}
 	tim := &Table{Figure: "9b", Title: "Running time vs φ",
 		XLabel: "phi (m)", YLabel: "ms/query"}
-	saved := w.Sys.Params
-	defer func() { w.Sys.Params = saved }()
 	for _, sr := range ratesMin {
 		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(sr)*307)
 		name := seriesSR(sr)
 		for _, phi := range phis {
-			w.Sys.Params.Phi = phi
+			p := w.P
+			p.Phi = phi
 			start := time.Now()
-			a := w.meanAccuracy(qs, w.hrisTop1)
+			a := w.meanAccuracy(qs, w.hrisWith(p))
 			elapsed := time.Since(start)
 			acc.Add(name, phi, a)
 			tim.Add(name, phi, float64(elapsed.Milliseconds())/float64(max(1, len(qs))))
@@ -111,16 +120,17 @@ func Figure10(cfg WorldConfig, tripCounts []int) (*Table, *Table) {
 		w := NewWorld(c)
 		qs := w.Queries(c.Queries, 180, c.QueryLen, c.Seed+int64(trips))
 		for _, m := range []core.Method{core.MethodTGI, core.MethodNNI} {
-			w.Sys.Params.Method = m
+			p := w.P
+			p.Method = m
 			start := time.Now()
 			var accSum, denSum float64
 			var denN int
 			for _, qc := range qs {
-				res, err := w.Sys.InferRoutes(qc.Query)
+				res, err := w.Eng.InferRoutes(qc.Query, p)
 				if err != nil || len(res.Routes) == 0 {
 					continue
 				}
-				accSum += AccuracyAL(w.Sys.G, qc.Truth, res.Routes[0].Route)
+				accSum += AccuracyAL(w.Graph(), qc.Truth, res.Routes[0].Route)
 				for _, ps := range res.Pairs {
 					if ps.Points > 0 && !isInf(ps.Density) {
 						denSum += ps.Density
@@ -147,25 +157,25 @@ func (w *World) Figure11(lambdas []int, ratesMin []float64) (*Table, *Table) {
 		XLabel: "lambda", YLabel: "A_L"}
 	tim := &Table{Figure: "11b", Title: "TGI time vs λ, with/without graph reduction",
 		XLabel: "lambda", YLabel: "ms/query"}
-	saved := w.Sys.Params
-	defer func() { w.Sys.Params = saved }()
-	w.Sys.Params.Method = core.MethodTGI
+	base := w.P
+	base.Method = core.MethodTGI
 	for _, sr := range ratesMin {
 		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(sr)*401)
 		for _, l := range lambdas {
-			w.Sys.Params.Lambda = l
-			w.Sys.Params.GraphReduction = true
-			a := w.meanAccuracy(qs, w.hrisTop1)
-			acc.Add(seriesSR(sr), float64(l), a)
+			p := base
+			p.Lambda = l
+			p.GraphReduction = true
+			acc.Add(seriesSR(sr), float64(l), w.meanAccuracy(qs, w.hrisWith(p)))
 		}
 	}
 	qs := w.Queries(w.Cfg.Queries, 180, w.Cfg.QueryLen, w.Cfg.Seed+997)
 	for _, l := range lambdas {
-		w.Sys.Params.Lambda = l
 		for _, red := range []bool{true, false} {
-			w.Sys.Params.GraphReduction = red
+			p := base
+			p.Lambda = l
+			p.GraphReduction = red
 			start := time.Now()
-			w.meanAccuracy(qs, w.hrisTop1)
+			w.meanAccuracy(qs, w.hrisWith(p))
 			elapsed := time.Since(start)
 			name := "no reduction"
 			if red {
@@ -184,24 +194,25 @@ func (w *World) Figure12(k1s []int, ratesMin []float64) (*Table, *Table) {
 		XLabel: "k1", YLabel: "A_L"}
 	tim := &Table{Figure: "12b", Title: "TGI time vs k1, with/without graph reduction",
 		XLabel: "k1", YLabel: "ms/query"}
-	saved := w.Sys.Params
-	defer func() { w.Sys.Params = saved }()
-	w.Sys.Params.Method = core.MethodTGI
+	base := w.P
+	base.Method = core.MethodTGI
 	for _, sr := range ratesMin {
 		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(sr)*503)
 		for _, k := range k1s {
-			w.Sys.Params.K1 = k
-			w.Sys.Params.GraphReduction = true
-			acc.Add(seriesSR(sr), float64(k), w.meanAccuracy(qs, w.hrisTop1))
+			p := base
+			p.K1 = k
+			p.GraphReduction = true
+			acc.Add(seriesSR(sr), float64(k), w.meanAccuracy(qs, w.hrisWith(p)))
 		}
 	}
 	qs := w.Queries(w.Cfg.Queries, 180, w.Cfg.QueryLen, w.Cfg.Seed+1009)
 	for _, k := range k1s {
-		w.Sys.Params.K1 = k
 		for _, red := range []bool{true, false} {
-			w.Sys.Params.GraphReduction = red
+			p := base
+			p.K1 = k
+			p.GraphReduction = red
 			start := time.Now()
-			w.meanAccuracy(qs, w.hrisTop1)
+			w.meanAccuracy(qs, w.hrisWith(p))
 			elapsed := time.Since(start)
 			name := "no reduction"
 			if red {
@@ -220,24 +231,25 @@ func (w *World) Figure13(k2s []int, ratesMin []float64) (*Table, *Table) {
 		XLabel: "k2", YLabel: "A_L"}
 	tim := &Table{Figure: "13b", Title: "NNI time vs k2, with/without substructure sharing",
 		XLabel: "k2", YLabel: "ms/query"}
-	saved := w.Sys.Params
-	defer func() { w.Sys.Params = saved }()
-	w.Sys.Params.Method = core.MethodNNI
+	base := w.P
+	base.Method = core.MethodNNI
 	for _, sr := range ratesMin {
 		qs := w.Queries(w.Cfg.Queries, sr*60, w.Cfg.QueryLen, w.Cfg.Seed+int64(sr)*601)
 		for _, k := range k2s {
-			w.Sys.Params.K2 = k
-			w.Sys.Params.ShareSubstructures = true
-			acc.Add(seriesSR(sr), float64(k), w.meanAccuracy(qs, w.hrisTop1))
+			p := base
+			p.K2 = k
+			p.ShareSubstructures = true
+			acc.Add(seriesSR(sr), float64(k), w.meanAccuracy(qs, w.hrisWith(p)))
 		}
 	}
 	qs := w.Queries(w.Cfg.Queries, 180, w.Cfg.QueryLen, w.Cfg.Seed+1013)
 	for _, k := range k2s {
-		w.Sys.Params.K2 = k
 		for _, share := range []bool{true, false} {
-			w.Sys.Params.ShareSubstructures = share
+			p := base
+			p.K2 = k
+			p.ShareSubstructures = share
 			start := time.Now()
-			w.meanAccuracy(qs, w.hrisTop1)
+			w.meanAccuracy(qs, w.hrisWith(p))
 			elapsed := time.Since(start)
 			name := "no sharing"
 			if share {
@@ -254,21 +266,20 @@ func (w *World) Figure13(k2s []int, ratesMin []float64) (*Table, *Table) {
 func (w *World) Figure14a(k3s []int) *Table {
 	t := &Table{Figure: "14a", Title: "Top-k3 average and maximum accuracy (K-GRI)",
 		XLabel: "k3", YLabel: "A_L"}
-	saved := w.Sys.Params
-	defer func() { w.Sys.Params = saved }()
 	qs := w.Queries(w.Cfg.Queries, 180, w.Cfg.QueryLen, w.Cfg.Seed+1201)
 	for _, k := range k3s {
-		w.Sys.Params.K3 = k
+		p := w.P
+		p.K3 = k
 		var avgSum, maxSum float64
 		n := 0
 		for _, qc := range qs {
-			res, err := w.Sys.InferRoutes(qc.Query)
+			res, err := w.Eng.InferRoutes(qc.Query, p)
 			if err != nil || len(res.Routes) == 0 {
 				continue
 			}
 			var sum, best float64
 			for _, gr := range res.Routes {
-				a := AccuracyAL(w.Sys.G, qc.Truth, gr.Route)
+				a := AccuracyAL(w.Graph(), qc.Truth, gr.Route)
 				sum += a
 				if a > best {
 					best = a
@@ -298,7 +309,7 @@ func (w *World) Figure14b(pairCounts []int) *Table {
 	if len(qs) == 0 {
 		return t
 	}
-	res, err := w.Sys.InferRoutes(qs[0].Query)
+	res, err := w.Eng.InferRoutes(qs[0].Query, w.P)
 	if err != nil {
 		return t
 	}
@@ -311,12 +322,12 @@ func (w *World) Figure14b(pairCounts []int) *Table {
 		reps := 5
 		start := time.Now()
 		for r := 0; r < reps; r++ {
-			core.KGRI(w.Sys.G, sub, w.Sys.Params.K3)
+			core.KGRI(w.Graph(), sub, w.P.K3)
 		}
 		kgriUS := float64(time.Since(start).Microseconds()) / float64(reps)
 		start = time.Now()
 		for r := 0; r < reps; r++ {
-			core.BruteForceGlobalRoutes(w.Sys.G, sub, w.Sys.Params.K3)
+			core.BruteForceGlobalRoutes(w.Graph(), sub, w.P.K3)
 		}
 		bruteUS := float64(time.Since(start).Microseconds()) / float64(reps)
 		t.Add("K-GRI", float64(n), kgriUS)

@@ -57,8 +57,8 @@ func TestFigure9Smoke(t *testing.T) {
 	acc, tim := w.Figure9([]float64{200, 500}, []float64{3})
 	seriesLens(t, acc, 1, 2)
 	seriesLens(t, tim, 1, 2)
-	// Params restored after the sweep.
-	if w.Sys.Params.Phi != core.DefaultParams().Phi {
+	// Baseline params untouched by the sweep.
+	if w.P.Phi != core.DefaultParams().Phi {
 		t.Fatal("Figure9 leaked parameter changes")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hist"
 	"repro/internal/mapmatch"
+	"repro/internal/roadnet"
 	"repro/internal/sim"
 )
 
@@ -41,19 +42,24 @@ func FullConfig() WorldConfig {
 	}
 }
 
-// World is a built evaluation substrate: city, archive, HRIS system and
-// competitor matchers.
+// World is a built evaluation substrate: city, archive, HRIS engine and
+// competitor matchers. Experiments never mutate the engine; each sweep
+// derives its parameter set from the baseline P and passes it by value.
 type World struct {
 	Cfg     WorldConfig
 	DS      *sim.Dataset
 	Archive *hist.Archive
-	Sys     *core.System
+	Eng     *core.Engine
+	P       core.Params // baseline parameters for experiments
 	Fleet   sim.FleetConfig
 
 	Incremental mapmatch.Matcher
 	ST          mapmatch.Matcher
 	IVMM        mapmatch.Matcher
 }
+
+// Graph returns the road network of the world's engine.
+func (w *World) Graph() *roadnet.Graph { return w.Eng.Graph() }
 
 // newArchive indexes a dataset's trajectories.
 func newArchive(ds *sim.Dataset) *hist.Archive {
@@ -76,7 +82,8 @@ func NewWorld(cfg WorldConfig) *World {
 		Cfg:         cfg,
 		DS:          ds,
 		Archive:     arch,
-		Sys:         core.NewSystem(arch, core.DefaultParams()),
+		Eng:         core.NewEngine(arch, core.DefaultParams()),
+		P:           core.DefaultParams(),
 		Fleet:       fcfg,
 		Incremental: mapmatch.NewIncremental(city.Graph, mprm),
 		ST:          mapmatch.NewSTMatcher(city.Graph, mprm),

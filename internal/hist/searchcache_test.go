@@ -1,0 +1,82 @@
+package hist
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+func TestSearchCacheMatchesDirect(t *testing.T) {
+	g, qi, qj := refWorld()
+	t1 := lineTraj("t1", geo.Pt(0, 10), geo.Pt(100, 10), geo.Pt(200, 10), geo.Pt(300, 10), geo.Pt(400, 10))
+	t2 := lineTraj("t2", geo.Pt(40, 20), geo.Pt(40, 200), geo.Pt(40, 400))
+	a := NewArchive(g, []*traj.Trajectory{t1, t2})
+	c := NewSearchCache(a, 0)
+	sp := SearchParams{Phi: 60, SpliceEps: 0}
+
+	want := a.References(qi, qj, sp)
+	got := c.References(qi, qj, sp)
+	if len(got) != len(want) {
+		t.Fatalf("memoized references = %d, direct = %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].SourceA != want[i].SourceA || got[i].Spliced != want[i].Spliced ||
+			len(got[i].Points) != len(want[i].Points) {
+			t.Fatalf("reference %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	again := c.References(qi, qj, sp)
+	if len(again) > 0 && &again[0] != &got[0] {
+		t.Fatal("repeat lookup rebuilt the reference slice")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestSearchCacheKeysOnParams(t *testing.T) {
+	g, qi, qj := refWorld()
+	t1 := lineTraj("t1", geo.Pt(0, 10), geo.Pt(100, 10), geo.Pt(200, 10), geo.Pt(300, 10), geo.Pt(400, 10))
+	a := NewArchive(g, []*traj.Trajectory{t1})
+	c := NewSearchCache(a, 0)
+	if n := len(c.References(qi, qj, SearchParams{Phi: 60})); n != 1 {
+		t.Fatalf("phi=60: %d references", n)
+	}
+	if n := len(c.References(qi, qj, SearchParams{Phi: 1})); n != 0 {
+		t.Fatal("phi=1 hit the phi=60 entry")
+	}
+	// Swapped pair is a distinct key (and finds nothing: wrong direction).
+	if n := len(c.References(qj, qi, SearchParams{Phi: 60})); n != 0 {
+		t.Fatal("reversed pair hit the forward entry")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("memo entries = %d, want 3", c.Len())
+	}
+}
+
+func TestSearchCacheConcurrent(t *testing.T) {
+	g, qi, qj := refWorld()
+	t1 := lineTraj("t1", geo.Pt(0, 10), geo.Pt(100, 10), geo.Pt(200, 10), geo.Pt(300, 10), geo.Pt(400, 10))
+	a := NewArchive(g, []*traj.Trajectory{t1})
+	c := NewSearchCache(a, 4) // tiny bound: exercise resets
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				phi := 40 + float64((seed+i)%8)*10
+				refs := c.References(qi, qj, SearchParams{Phi: phi})
+				for _, r := range refs {
+					if len(r.Points) == 0 {
+						t.Error("memoized reference lost its points")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,91 @@
+package roadnet
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geo"
+)
+
+// candKey identifies one CandidateEdges call: the query point and the
+// distance threshold ε, both quantized to millimeters. Archive GPS points
+// are stored values, so repeated lookups of the same point hit the exact
+// same key; genuinely distinct points are never closer than millimeters at
+// the coordinate scales the system works in (meters).
+type candKey struct {
+	x, y, eps int64
+}
+
+func quantMM(v float64) int64 { return int64(math.Round(v * 1000)) }
+
+// CandidateCache is a concurrency-safe read-through cache over
+// Graph.CandidateEdges. The candidate-edge search is the hottest call of
+// the inference pipeline — it runs once per reference point per query pair
+// — and archive points recur across pairs, queries and batch workers, so
+// memoizing by (point, ε) removes most R-tree walks and projections.
+//
+// Returned slices are shared between callers and MUST be treated as
+// read-only (re-slicing is fine, element writes are not). A built Graph is
+// immutable, so cached entries never go stale.
+type CandidateCache struct {
+	g   *Graph
+	max int
+
+	hits, misses atomic.Uint64
+
+	mu sync.RWMutex
+	m  map[candKey][]Candidate
+}
+
+// DefaultCandidateCacheSize bounds the cache to roughly the working set of
+// a large batch (one entry per distinct archive point actually referenced).
+const DefaultCandidateCacheSize = 1 << 18
+
+// NewCandidateCache wraps g with a cache holding at most max entries
+// (max <= 0 uses DefaultCandidateCacheSize). When the bound is exceeded the
+// cache resets wholesale — the workload is read-heavy with a stable working
+// set, so a rare full reset beats per-entry eviction bookkeeping.
+func NewCandidateCache(g *Graph, max int) *CandidateCache {
+	if max <= 0 {
+		max = DefaultCandidateCacheSize
+	}
+	return &CandidateCache{g: g, max: max, m: make(map[candKey][]Candidate)}
+}
+
+// Graph returns the underlying road network.
+func (c *CandidateCache) Graph() *Graph { return c.g }
+
+// CandidateEdges returns Graph.CandidateEdges(p, eps), memoized. Safe for
+// concurrent use; the result must not be modified.
+func (c *CandidateCache) CandidateEdges(p geo.Point, eps float64) []Candidate {
+	k := candKey{quantMM(p.X), quantMM(p.Y), quantMM(eps)}
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	v = c.g.CandidateEdges(p, eps)
+	c.mu.Lock()
+	if len(c.m) >= c.max {
+		c.m = make(map[candKey][]Candidate)
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Len returns the number of cached entries.
+func (c *CandidateCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Stats returns the hit and miss counts since construction.
+func (c *CandidateCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

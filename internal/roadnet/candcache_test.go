@@ -1,0 +1,84 @@
+package roadnet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestCandidateCacheMatchesDirect(t *testing.T) {
+	g := NewGrid(6, 6, 100, 15)
+	c := NewCandidateCache(g, 0)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		p := geo.Pt(rng.Float64()*500, rng.Float64()*500)
+		eps := 20 + rng.Float64()*80
+		want := g.CandidateEdges(p, eps)
+		got := c.CandidateEdges(p, eps)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d candidates vs %d direct", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d candidate %d: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+		// Second lookup must hit and return the identical slice.
+		again := c.CandidateEdges(p, eps)
+		if len(again) > 0 && &again[0] != &got[0] {
+			t.Fatalf("trial %d: repeat lookup rebuilt the slice", trial)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("expected both hits and misses, got %d/%d", hits, misses)
+	}
+}
+
+func TestCandidateCacheKeysOnEps(t *testing.T) {
+	g := NewGrid(4, 4, 100, 15)
+	c := NewCandidateCache(g, 0)
+	p := geo.Pt(150, 150)
+	narrow := c.CandidateEdges(p, 10)
+	wide := c.CandidateEdges(p, 200)
+	if len(wide) <= len(narrow) {
+		t.Fatalf("eps not part of the key: %d (eps=200) vs %d (eps=10)", len(wide), len(narrow))
+	}
+}
+
+func TestCandidateCacheBoundedReset(t *testing.T) {
+	g := NewGrid(4, 4, 100, 15)
+	c := NewCandidateCache(g, 8)
+	for i := 0; i < 40; i++ {
+		c.CandidateEdges(geo.Pt(float64(i)*7, float64(i)*13), 50)
+	}
+	if n := c.Len(); n > 8 {
+		t.Fatalf("cache grew past its bound: %d entries", n)
+	}
+}
+
+func TestCandidateCacheConcurrent(t *testing.T) {
+	g := NewGrid(6, 6, 100, 15)
+	c := NewCandidateCache(g, 64) // small bound: exercise resets under load
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				p := geo.Pt(rng.Float64()*500, rng.Float64()*500)
+				got := c.CandidateEdges(p, 60)
+				for j := 1; j < len(got); j++ {
+					if got[j].Dist < got[j-1].Dist {
+						t.Error("cached candidates out of order")
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
