@@ -17,6 +17,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/hist"
 	"repro/internal/mapmatch"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/traj"
 )
@@ -238,6 +239,23 @@ func BenchmarkHRISQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = w.Eng.InferRoutes(qs[0].Query, w.P)
+	}
+}
+
+// BenchmarkHRISQueryObserved is the same query on an engine wired to an
+// obs.Registry — compare against BenchmarkHRISQuery (whose engine has no
+// registry and takes the zero-clock-read path) to see the instrumentation
+// cost, and to verify the no-op path itself stays within noise of the seed.
+func BenchmarkHRISQueryObserved(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 111)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	eng := core.NewEngineWithRegistry(w.Archive, w.P, obs.New())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = eng.InferRoutes(qs[0].Query, w.P)
 	}
 }
 

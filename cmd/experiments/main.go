@@ -27,7 +27,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		quick = flag.Bool("quick", false, "scaled-down sweep")
-		figs  = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree) or all")
+		figs  = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages) or all")
 		seed  = flag.Int64("seed", 7, "world seed")
 		csvD  = flag.String("csv", "", "also write each figure as CSV into this directory")
 	)
@@ -137,6 +137,11 @@ func main() {
 	}
 	if need("networkfree", "E2") {
 		run("E2 (network-free extension)", func() { emit(*csvD, w.NetworkFreeExtension(phiRates)) })
+	}
+	if need("stages") {
+		run("stages (per-stage cost breakdown)", func() {
+			w.WriteStageBreakdowns(os.Stdout, phiRates, *seed)
+		})
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 }

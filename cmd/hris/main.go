@@ -6,17 +6,28 @@
 // Usage:
 //
 //	hris -data data/ -query query.json [-k 5] [-method hybrid] [-compare]
+//	     [-metrics] [-trace] [-http :6060]
 //
 // The query file holds one trajectory: {"points": [[x, y, t], ...]}.
 // With -demo, a query is synthesized from the archive instead.
+//
+// Observability: -metrics prints the per-stage cost breakdown (count,
+// total, p50/p95/max per pipeline stage — the paper's Figure 9 cost
+// attribution) after the run; -metrics-json dumps the same snapshot as
+// JSON; -trace prints the query's span timeline. -http starts a debug
+// server exposing /metrics (JSON snapshot), /debug/vars (expvar) and
+// /debug/pprof, and keeps the process alive for scraping.
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 
@@ -26,6 +37,7 @@ import (
 	"repro/internal/geojson"
 	"repro/internal/hist"
 	"repro/internal/mapmatch"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -48,6 +60,11 @@ func main() {
 		compare = flag.Bool("compare", false, "also run incremental/ST-matching/IVMM")
 		seed    = flag.Int64("seed", 1, "seed for -demo")
 		gjOut   = flag.String("geojson", "", "write query + suggested routes as GeoJSON to this file")
+
+		metrics  = flag.Bool("metrics", false, "print the per-stage cost breakdown after the run")
+		metricsJ = flag.Bool("metrics-json", false, "dump the metrics snapshot as JSON after the run")
+		trace    = flag.Bool("trace", false, "print the query's per-stage span timeline")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address and stay alive")
 	)
 	flag.Parse()
 
@@ -66,7 +83,15 @@ func main() {
 	default:
 		log.Fatalf("unknown -method %q", *method)
 	}
-	eng := core.NewEngine(arch, params)
+	observe := *metrics || *metricsJ || *httpAddr != ""
+	var reg *obs.Registry
+	if observe {
+		reg = obs.New()
+	}
+	eng := core.NewEngineWithRegistry(arch, params, reg)
+	if *httpAddr != "" {
+		serveDebug(*httpAddr, eng)
+	}
 
 	var q *traj.Trajectory
 	var truth roadnet.Route
@@ -81,7 +106,7 @@ func main() {
 	fmt.Printf("query: %d points, %.1f km span, avg interval %.0f s (low-sampling-rate: %v)\n",
 		q.Len(), q.PathLength()/1000, q.AvgInterval(), q.IsLowSamplingRate())
 
-	res, err := eng.Infer(q)
+	res, tr, err := eng.InferRoutesTraced(q, params)
 	if err != nil {
 		log.Fatalf("inference failed: %v", err)
 	}
@@ -99,6 +124,11 @@ func main() {
 		spliced += ps.Spliced
 	}
 	fmt.Printf("references used: %d (%d spliced) across %d pairs\n", refs, spliced, len(res.Pairs))
+
+	if *trace {
+		fmt.Println("\nquery trace (one span per pipeline stage):")
+		tr.WriteText(os.Stdout)
+	}
 
 	if *gjOut != "" {
 		if err := writeGeoJSON(*gjOut, g, q, truth, res); err != nil {
@@ -128,6 +158,50 @@ func main() {
 			fmt.Println()
 		}
 	}
+
+	if *metrics {
+		fmt.Println("\nper-stage cost breakdown:")
+		eng.Metrics().WriteText(os.Stdout)
+	}
+	if *metricsJ {
+		out, err := json.MarshalIndent(eng.Metrics(), "", "  ")
+		if err != nil {
+			log.Fatalf("marshal metrics: %v", err)
+		}
+		fmt.Printf("%s\n", out)
+	}
+	if *httpAddr != "" {
+		log.Printf("run complete; serving debug endpoints on %s (ctrl-c to exit)", *httpAddr)
+		select {}
+	}
+}
+
+// serveDebug exposes the engine's metrics snapshot plus the standard Go
+// debug surfaces on addr: /metrics (JSON snapshot), /debug/vars (expvar,
+// including the snapshot under the "hris" key) and /debug/pprof.
+func serveDebug(addr string, eng *core.Engine) {
+	expvar.Publish("hris", expvar.Func(func() any { return eng.Metrics() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(eng.Metrics()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+	}()
+	log.Printf("debug server listening on %s", addr)
 }
 
 // writeGeoJSON exports the query, ground truth (when known) and suggested

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/traj"
 )
@@ -30,6 +31,11 @@ func batchWorkers(workers int) int {
 // share it safely; per-query determinism is unaffected by scheduling.
 // workers < 1 uses runtime.GOMAXPROCS(0).
 func (e *Engine) InferBatch(queries []*traj.Trajectory, p Params, workers int) []BatchResult {
+	if e.met != nil {
+		e.met.batchCalls.Inc()
+		e.met.batchQueries.Add(uint64(len(queries)))
+		defer e.met.batch.ObserveSince(time.Now())
+	}
 	workers = batchWorkers(workers)
 	out := make([]BatchResult, len(queries))
 	jobs := make(chan int)

@@ -152,6 +152,7 @@ type GlobalRoute struct {
 // pairContext is everything the local inference algorithms need for one
 // consecutive query pair ⟨q_i, q_{i+1}⟩.
 type pairContext struct {
+	pair   int // pair index within the query, for stage timings
 	qi, qj traj.GPSPoint
 	refs   []hist.Reference
 	// edgeRefs is C_i(r): per traverse edge, the archive trajectory ids
@@ -167,8 +168,8 @@ type refPoint struct {
 }
 
 // buildPairContext assembles the traverse-edge and reference-point maps.
-func (x exec) buildPairContext(qi, qj traj.GPSPoint, refs []hist.Reference) *pairContext {
-	ctx := &pairContext{qi: qi, qj: qj, refs: refs,
+func (x exec) buildPairContext(pair int, qi, qj traj.GPSPoint, refs []hist.Reference) *pairContext {
+	ctx := &pairContext{pair: pair, qi: qi, qj: qj, refs: refs,
 		edgeRefs: make(map[roadnet.EdgeID]map[int]struct{})}
 	for _, r := range refs {
 		srcs := r.SourceIDs()

@@ -2,8 +2,10 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/hist"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 )
 
@@ -24,20 +26,32 @@ type Engine struct {
 	archive  *hist.Archive
 	defaults Params
 
-	refs  *hist.SearchCache      // reference-search memo (per query pair)
+	refs  *hist.SearchCache       // reference-search memo (per query pair)
 	cands *roadnet.CandidateCache // candidate-edge cache (per point × ε)
+
+	met *metrics // nil when built without a registry: zero-cost no-op
 }
 
 // NewEngine builds an engine over the archive. The defaults are frozen into
 // the engine for Infer and for callers that want a baseline via Defaults;
-// they never change after construction.
+// they never change after construction. The engine is uninstrumented — see
+// NewEngineWithRegistry for the observed variant.
 func NewEngine(a *hist.Archive, defaults Params) *Engine {
+	return NewEngineWithRegistry(a, defaults, nil)
+}
+
+// NewEngineWithRegistry is NewEngine with pipeline observability: every
+// inference records per-stage latency histograms and counters (see package
+// obs for the stage names) into reg. A nil reg yields an uninstrumented
+// engine whose hot path skips all clock reads.
+func NewEngineWithRegistry(a *hist.Archive, defaults Params, reg *obs.Registry) *Engine {
 	return &Engine{
 		g:        a.G,
 		archive:  a,
 		defaults: defaults,
 		refs:     hist.NewSearchCache(a, 0),
 		cands:    roadnet.NewCandidateCache(a.G, 0),
+		met:      newMetrics(reg),
 	}
 }
 
@@ -50,6 +64,15 @@ func (e *Engine) Archive() *hist.Archive { return e.archive }
 // Defaults returns a copy of the engine's frozen default parameters.
 func (e *Engine) Defaults() Params { return e.defaults }
 
+// Registry returns the engine's metrics registry, nil when the engine was
+// built uninstrumented.
+func (e *Engine) Registry() *obs.Registry {
+	if e.met == nil {
+		return nil
+	}
+	return e.met.reg
+}
+
 // CacheStats reports (hits, misses) of the reference-search memo and the
 // candidate-edge cache, for observability and tests.
 func (e *Engine) CacheStats() (refHits, refMisses, candHits, candMisses uint64) {
@@ -58,13 +81,124 @@ func (e *Engine) CacheStats() (refHits, refMisses, candHits, candMisses uint64) 
 	return
 }
 
+// Metrics returns the unified observability snapshot: the per-stage latency
+// histograms and counters of the registry (empty for an uninstrumented
+// engine) with the cache layers' hit/miss/reset/size gauges folded in.
+func (e *Engine) Metrics() obs.Snapshot {
+	var s obs.Snapshot
+	if e.met != nil {
+		s = e.met.reg.Snapshot()
+	} else {
+		s = obs.Snapshot{Counters: map[string]uint64{}, Stages: map[string]obs.HistStats{}}
+	}
+	rh, rm := e.refs.Stats()
+	s.Counters["cache.refsearch.hits"] = rh
+	s.Counters["cache.refsearch.misses"] = rm
+	s.Counters["cache.refsearch.resets"] = e.refs.Resets()
+	s.Counters["cache.refsearch.entries"] = uint64(e.refs.Len())
+	ch, cm := e.cands.Stats()
+	s.Counters["cache.candidates.hits"] = ch
+	s.Counters["cache.candidates.misses"] = cm
+	s.Counters["cache.candidates.resets"] = e.cands.Resets()
+	s.Counters["cache.candidates.entries"] = uint64(e.cands.Len())
+	return s
+}
+
+// metrics holds the engine's pre-resolved instruments so the hot path
+// never takes the registry lock. nil *metrics (uninstrumented engine)
+// short-circuits all recording.
+type metrics struct {
+	reg *obs.Registry
+
+	query, refSearch, candSearch, culling, localTGI, localNNI, kgri, batch *obs.Histogram
+
+	queries, batchCalls, batchQueries, fallbacks *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		return nil
+	}
+	return &metrics{
+		reg:          reg,
+		query:        reg.Histogram(obs.StageQuery),
+		refSearch:    reg.Histogram(obs.StageReferenceSearch),
+		candSearch:   reg.Histogram(obs.StageCandidateSearch),
+		culling:      reg.Histogram(obs.StageConnectionCulling),
+		localTGI:     reg.Histogram(obs.StageLocalTGI),
+		localNNI:     reg.Histogram(obs.StageLocalNNI),
+		kgri:         reg.Histogram(obs.StageKGRI),
+		batch:        reg.Histogram(obs.StageBatch),
+		queries:      reg.Counter("queries"),
+		batchCalls:   reg.Counter("batch.calls"),
+		batchQueries: reg.Counter("batch.queries"),
+		fallbacks:    reg.Counter("fallback.local"),
+	}
+}
+
+// hist maps a stage name to its pre-resolved histogram.
+func (m *metrics) hist(stage string) *obs.Histogram {
+	switch stage {
+	case obs.StageQuery:
+		return m.query
+	case obs.StageReferenceSearch:
+		return m.refSearch
+	case obs.StageCandidateSearch:
+		return m.candSearch
+	case obs.StageConnectionCulling:
+		return m.culling
+	case obs.StageLocalTGI:
+		return m.localTGI
+	case obs.StageLocalNNI:
+		return m.localNNI
+	case obs.StageKGRI:
+		return m.kgri
+	case obs.StageBatch:
+		return m.batch
+	}
+	return m.reg.Histogram(stage)
+}
+
 // exec is one inference invocation: the shared immutable engine plus this
-// call's private parameter snapshot. All pipeline internals hang off exec,
-// which makes "no shared mutable state" structural — there is simply no
-// field a concurrent call could race on.
+// call's private parameter snapshot and observability sinks. All pipeline
+// internals hang off exec, which makes "no shared mutable state" structural
+// — there is simply no field a concurrent call could race on. (The metrics
+// and trace sinks are internally atomic/locked appenders.)
 type exec struct {
-	eng *Engine
-	p   Params
+	eng   *Engine
+	p     Params
+	met   *metrics   // engine's instruments; nil = don't record
+	trace *obs.Trace // per-query trace; nil = don't trace
+}
+
+// newExec binds one invocation to the engine's instruments and an optional
+// per-query trace.
+func (e *Engine) newExec(p Params, tr *obs.Trace) exec {
+	return exec{eng: e, p: p, met: e.met, trace: tr}
+}
+
+// stageStart returns the wall clock when this invocation is observed, and
+// the zero time otherwise — stageDone treats the zero time as "skip", so
+// the uninstrumented hot path performs no clock reads at all.
+func (x exec) stageStart() time.Time {
+	if x.met == nil && x.trace == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// stageDone closes a stage opened by stageStart: it records the elapsed
+// time into the stage's histogram and, when tracing, appends a span tagged
+// with the pair index (-1 for whole-query stages) and the item count n.
+func (x exec) stageDone(stage string, pair int, t0 time.Time, n int) {
+	if t0.IsZero() {
+		return
+	}
+	d := time.Since(t0)
+	if x.met != nil {
+		x.met.hist(stage).Observe(d)
+	}
+	x.trace.Add(stage, pair, t0, d, n)
 }
 
 // pairWorkers resolves the per-pair worker bound for one InferRoutes call:

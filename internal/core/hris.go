@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/hist"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -55,14 +56,34 @@ type pairOutcome struct {
 // pair order and every pair's computation is deterministic, so the output
 // is identical for any worker count, including 1.
 func (e *Engine) InferRoutes(q *traj.Trajectory, p Params) (*Result, error) {
+	return e.inferRoutes(q, p, nil)
+}
+
+// InferRoutesTraced is InferRoutes with a per-query trace: one span per
+// pipeline-stage occurrence (see package obs for the span semantics). The
+// trace is recorded independently of the engine's registry, so tracing
+// works on uninstrumented engines too. The returned trace is non-nil and
+// finished even when inference fails.
+func (e *Engine) InferRoutesTraced(q *traj.Trajectory, p Params) (*Result, *obs.Trace, error) {
+	tr := obs.StartTrace()
+	res, err := e.inferRoutes(q, p, tr)
+	tr.Finish()
+	return res, tr, err
+}
+
+func (e *Engine) inferRoutes(q *traj.Trajectory, p Params, tr *obs.Trace) (*Result, error) {
 	if q.Len() < 2 {
 		return nil, ErrEmptyQuery
 	}
-	x := exec{eng: e, p: p}
+	x := e.newExec(p, tr)
+	if x.met != nil {
+		x.met.queries.Inc()
+	}
 	n := q.Len() - 1
+	qt0 := x.stageStart()
 	outs := make([]pairOutcome, n)
 	work := func(i int) {
-		outs[i] = x.inferPair(q.Points[i], q.Points[i+1])
+		outs[i] = x.inferPair(i, q.Points[i], q.Points[i+1])
 	}
 	if workers := x.pairWorkers(n); workers <= 1 {
 		for i := 0; i < n; i++ {
@@ -89,14 +110,18 @@ func (e *Engine) InferRoutes(q *traj.Trajectory, p Params) (*Result, error) {
 	res := &Result{Pairs: make([]PairStats, 0, n), Locals: make([][]LocalRoute, 0, n)}
 	for i, out := range outs {
 		if len(out.locals) == 0 {
+			x.stageDone(obs.StageQuery, -1, qt0, 0)
 			return nil, fmt.Errorf("core: pair %d (%v -> %v): %w",
 				i, q.Points[i].Pt, q.Points[i+1].Pt, ErrNoRoutes)
 		}
 		res.Pairs = append(res.Pairs, out.stats)
 		res.Locals = append(res.Locals, out.locals)
 	}
+	kt0 := x.stageStart()
 	res.Routes = kgri(e.g, res.Locals, p.K3, p.AblateTransition)
 	if len(res.Routes) == 0 {
+		x.stageDone(obs.StageKGRI, -1, kt0, 0)
+		x.stageDone(obs.StageQuery, -1, qt0, 0)
 		return nil, ErrNoRoutes
 	}
 	if !p.AblateTrim {
@@ -105,6 +130,8 @@ func (e *Engine) InferRoutes(q *traj.Trajectory, p Params) (*Result, error) {
 				q.Points[0].Pt, q.Points[q.Len()-1].Pt)
 		}
 	}
+	x.stageDone(obs.StageKGRI, -1, kt0, len(res.Routes))
+	x.stageDone(obs.StageQuery, -1, qt0, len(res.Routes))
 	return res, nil
 }
 
@@ -115,15 +142,22 @@ func (e *Engine) Infer(q *traj.Trajectory) (*Result, error) {
 
 // inferPair runs the full per-pair stage for ⟨q_i, q_{i+1}⟩: reference
 // search (memoized), optional temporal filtering, context assembly and
-// local route inference with shortest-path fallback.
-func (x exec) inferPair(qi, qj traj.GPSPoint) pairOutcome {
+// local route inference with shortest-path fallback. pair is the pair index
+// within the query, tagged onto the stage timings.
+func (x exec) inferPair(pair int, qi, qj traj.GPSPoint) pairOutcome {
 	sp := x.searchParams()
+	t0 := x.stageStart()
 	refs := x.eng.refs.References(qi, qj, sp)
 	if x.p.TemporalWeighting {
 		refs = filterByTimeOfDay(refs, qi.T, x.p.TimeWindow)
 	}
-	ctx := x.buildPairContext(qi, qj, refs)
+	x.stageDone(obs.StageReferenceSearch, pair, t0, len(refs))
+	t0 = x.stageStart()
+	ctx := x.buildPairContext(pair, qi, qj, refs)
+	x.stageDone(obs.StageCandidateSearch, pair, t0, len(ctx.points))
+	t0 = x.stageStart()
 	locals, method := x.inferLocal(ctx)
+	x.stageDone(localStage(method), pair, t0, len(locals))
 	st := PairStats{
 		Refs: len(refs), Points: len(ctx.points),
 		Density: ctx.density(), Method: method, Routes: len(locals),
@@ -137,8 +171,19 @@ func (x exec) inferPair(qi, qj traj.GPSPoint) pairOutcome {
 		locals = x.fallbackLocal(ctx)
 		st.UsedFall = true
 		st.Routes = len(locals)
+		if x.met != nil {
+			x.met.fallbacks.Inc()
+		}
 	}
 	return pairOutcome{stats: st, locals: locals}
+}
+
+// localStage maps the local inference method actually used to its stage.
+func localStage(m Method) string {
+	if m == MethodNNI {
+		return obs.StageLocalNNI
+	}
+	return obs.StageLocalTGI
 }
 
 // searchParams derives the reference-search parameters of this call.
@@ -169,10 +214,16 @@ func trimRoute(g *roadnet.Graph, r roadnet.Route, start, end geo.Point) roadnet.
 // safe to run concurrently with any other inference on the same engine.
 func (e *Engine) PairLocalRoutes(qi, qj traj.GPSPoint, m Method, p Params) ([]LocalRoute, PairStats) {
 	p.Method = m
-	x := exec{eng: e, p: p}
+	x := e.newExec(p, nil)
+	t0 := x.stageStart()
 	refs := e.refs.References(qi, qj, x.searchParams())
-	ctx := x.buildPairContext(qi, qj, refs)
+	x.stageDone(obs.StageReferenceSearch, 0, t0, len(refs))
+	t0 = x.stageStart()
+	ctx := x.buildPairContext(0, qi, qj, refs)
+	x.stageDone(obs.StageCandidateSearch, 0, t0, len(ctx.points))
+	t0 = x.stageStart()
 	locals, used := x.inferLocal(ctx)
+	x.stageDone(localStage(used), 0, t0, len(locals))
 	st := PairStats{
 		Refs: len(refs), Points: len(ctx.points),
 		Density: ctx.density(), Method: used, Routes: len(locals),

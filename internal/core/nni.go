@@ -37,16 +37,6 @@ func dedupPoints(pts []refPoint, cell float64) []refPoint {
 // into the transit graph of Figure 5(d) and saving repeated constrained
 // kNN searches; every q_i→q_{i+1} path of that graph is then converted to
 // a physical route by map-matching its point sequence.
-// inferNNI implements Nearest Neighbor based Inference (Algorithm 2): a
-// depth-first recursion that hops from the current position to admissible
-// nearest reference points until q_{i+1} is reached. Two controls shape the
-// hop choice — α, a detour-tolerance budget that shrinks whenever a hop
-// moves away from the destination (guaranteeing eventual arrival), and β,
-// a cap on the relative detour of a hop. With substructure sharing enabled
-// the per-point successor lists are memoized, turning the recursion tree
-// into the transit graph of Figure 5(d) and saving repeated constrained
-// kNN searches; every q_i→q_{i+1} path of that graph is then converted to
-// a physical route by map-matching its point sequence.
 func (x exec) inferNNI(ctx *pairContext) []LocalRoute {
 	p := x.p
 	points, traces := enumerateTransitTraces(ctx.points, ctx.qi.Pt, ctx.qj.Pt, p)

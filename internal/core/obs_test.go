@@ -1,0 +1,209 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/traj"
+)
+
+// obsQueries generates n well-formed batch queries from a test world.
+func obsQueries(t *testing.T, w *world, n int) []*traj.Trajectory {
+	t.Helper()
+	var out []*traj.Trajectory
+	for i := 0; i < n*3 && len(out) < n; i++ {
+		qc, ok := w.ds.GenQuery(6000, 180, 15, w.cfg, w.rng)
+		if !ok {
+			break
+		}
+		if qc.Query.Len() >= 2 {
+			out = append(out, qc.Query)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no queries generated")
+	}
+	return out
+}
+
+// TestObservedInferBatchConsistency drives two concurrent InferBatch calls
+// against one shared registry and checks the books balance: stage counts
+// equal the work actually done, per-stage latency aggregates are internally
+// consistent (no torn reads), and the serial nesting invariant holds —
+// with PairWorkers=1 every sub-stage runs inside the query wall time, so
+// the sub-stage sums cannot exceed the query sum.
+func TestObservedInferBatchConsistency(t *testing.T) {
+	w := newWorld(t, 300, 191)
+	reg := obs.New()
+	eng := NewEngineWithRegistry(w.sys.Engine().Archive(), DefaultParams(), reg)
+	queries := obsQueries(t, w, 6)
+	p := DefaultParams()
+	p.PairWorkers = 1 // serial pairs: enables the nesting-sum invariant
+
+	const batches = 2
+	results := make([][]BatchResult, batches)
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			results[b] = eng.InferBatch(queries, p, 4)
+		}(b)
+	}
+	wg.Wait()
+
+	wantQueries := uint64(batches * len(queries))
+	wantPairs := uint64(0)
+	for _, q := range queries {
+		wantPairs += uint64(q.Len() - 1)
+	}
+	wantPairs *= batches
+
+	s := eng.Metrics()
+	if got := s.Counters["queries"]; got != wantQueries {
+		t.Fatalf("queries counter = %d, want %d", got, wantQueries)
+	}
+	if got := s.Counters["batch.calls"]; got != batches {
+		t.Fatalf("batch.calls = %d, want %d", got, batches)
+	}
+	if got := s.Counters["batch.queries"]; got != wantQueries {
+		t.Fatalf("batch.queries = %d, want %d", got, wantQueries)
+	}
+	if got := s.Stages[obs.StageQuery].Count; got != wantQueries {
+		t.Fatalf("query stage count = %d, want %d", got, wantQueries)
+	}
+	if got := s.Stages[obs.StageBatch].Count; got != batches {
+		t.Fatalf("batch stage count = %d, want %d", got, batches)
+	}
+	for _, stage := range []string{obs.StageReferenceSearch, obs.StageCandidateSearch} {
+		if got := s.Stages[stage].Count; got != wantPairs {
+			t.Fatalf("%s count = %d, want %d", stage, got, wantPairs)
+		}
+	}
+	locals := s.Stages[obs.StageLocalTGI].Count + s.Stages[obs.StageLocalNNI].Count
+	if locals != wantPairs {
+		t.Fatalf("local stage counts = %d, want %d", locals, wantPairs)
+	}
+	// Both batches ran the identical work, so K-GRI ran once per query.
+	if got := s.Stages[obs.StageKGRI].Count; got != wantQueries {
+		t.Fatalf("kgri count = %d, want %d", got, wantQueries)
+	}
+	// Aggregate consistency per stage: p50 ≤ p95 ≤ max ≤ sum, and a
+	// non-empty stage observed real time.
+	for name, st := range s.Stages {
+		if st.Count == 0 {
+			continue
+		}
+		if st.P50 > st.P95 || st.P95 > st.Max || st.Max > st.Sum {
+			t.Fatalf("%s: inconsistent aggregates %+v", name, st)
+		}
+		if st.Sum <= 0 {
+			t.Fatalf("%s: count %d but zero sum", name, st.Count)
+		}
+	}
+	// Serial nesting: every instrumented sub-stage ran inside some query's
+	// wall clock, so their sums cannot exceed the query sum total.
+	sub := s.Stages[obs.StageReferenceSearch].Sum + s.Stages[obs.StageCandidateSearch].Sum +
+		s.Stages[obs.StageLocalTGI].Sum + s.Stages[obs.StageLocalNNI].Sum +
+		s.Stages[obs.StageKGRI].Sum
+	if q := s.Stages[obs.StageQuery].Sum; sub > q {
+		t.Fatalf("sub-stage sums %v exceed query sum %v", sub, q)
+	}
+	// The two concurrent batches must also agree with each other.
+	for i := range results[0] {
+		a, b := results[0][i], results[1][i]
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Fatalf("query %d: batches disagree on error", i)
+		}
+		if a.Err == nil && len(a.Result.Routes) != len(b.Result.Routes) {
+			t.Fatalf("query %d: route counts differ", i)
+		}
+	}
+	// Cache gauges are folded into the same snapshot.
+	if s.Counters["cache.refsearch.hits"]+s.Counters["cache.refsearch.misses"] == 0 {
+		t.Fatal("cache.refsearch gauges missing from snapshot")
+	}
+	if s.Counters["cache.candidates.misses"] == 0 {
+		t.Fatal("cache.candidates gauges missing from snapshot")
+	}
+}
+
+// TestInferRoutesTraced checks the per-query trace: one span per stage
+// occurrence with the right pair tags, on an engine with no registry at all
+// (tracing is independent of engine instrumentation).
+func TestInferRoutesTraced(t *testing.T) {
+	w := newWorld(t, 300, 193)
+	eng := w.sys.Engine()
+	if eng.Registry() != nil {
+		t.Fatal("plain engine unexpectedly instrumented")
+	}
+	queries := obsQueries(t, w, 1)
+	q := queries[0]
+	p := DefaultParams()
+	p.PairWorkers = 1
+
+	res, tr, err := eng.InferRoutesTraced(q, p)
+	if err != nil {
+		t.Fatalf("InferRoutesTraced: %v", err)
+	}
+	if tr.Total() <= 0 {
+		t.Fatalf("trace total = %v", tr.Total())
+	}
+	pairs := q.Len() - 1
+	perStage := map[string]int{}
+	perPair := map[int]int{}
+	for _, sp := range tr.Spans() {
+		perStage[sp.Stage]++
+		if sp.Stage == obs.StageReferenceSearch {
+			perPair[sp.Pair]++
+		}
+		if sp.Dur < 0 || sp.Start < 0 {
+			t.Fatalf("span has negative timing: %+v", sp)
+		}
+	}
+	if perStage[obs.StageQuery] != 1 || perStage[obs.StageKGRI] != 1 {
+		t.Fatalf("query/kgri spans = %d/%d, want 1/1",
+			perStage[obs.StageQuery], perStage[obs.StageKGRI])
+	}
+	if perStage[obs.StageReferenceSearch] != pairs || perStage[obs.StageCandidateSearch] != pairs {
+		t.Fatalf("per-pair spans = %d/%d, want %d",
+			perStage[obs.StageReferenceSearch], perStage[obs.StageCandidateSearch], pairs)
+	}
+	if perStage[obs.StageLocalTGI]+perStage[obs.StageLocalNNI] != pairs {
+		t.Fatalf("local spans = %d, want %d",
+			perStage[obs.StageLocalTGI]+perStage[obs.StageLocalNNI], pairs)
+	}
+	for i := 0; i < pairs; i++ {
+		if perPair[i] != 1 {
+			t.Fatalf("pair %d has %d reference_search spans", i, perPair[i])
+		}
+	}
+	if len(res.Routes) == 0 {
+		t.Fatal("no routes")
+	}
+	// Determinism: the traced call returns the same result as the plain one.
+	plain, err := eng.InferRoutes(q, p)
+	if err != nil || len(plain.Routes) != len(res.Routes) {
+		t.Fatalf("traced result diverges from plain: %v", err)
+	}
+}
+
+// TestMetricsUninstrumented: an engine built without a registry still
+// serves a Metrics snapshot (cache gauges only, no stages), and records
+// nothing anywhere.
+func TestMetricsUninstrumented(t *testing.T) {
+	w := newWorld(t, 200, 197)
+	eng := w.sys.Engine()
+	queries := obsQueries(t, w, 1)
+	if _, err := eng.InferRoutes(queries[0], DefaultParams()); err != nil {
+		t.Fatalf("InferRoutes: %v", err)
+	}
+	s := eng.Metrics()
+	if len(s.Stages) != 0 {
+		t.Fatalf("uninstrumented engine has stage data: %+v", s.Stages)
+	}
+	if s.Counters["cache.refsearch.misses"] == 0 {
+		t.Fatal("cache gauges missing")
+	}
+}

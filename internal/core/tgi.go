@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/graphalg"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 )
 
@@ -80,10 +81,15 @@ func (x exec) inferTGI(ctx *pairContext) []LocalRoute {
 		}
 	}
 
+	// Connectivity work — augmentation plus link culling — is the part of
+	// TGI whose cost scales with λ (Figure 9's local-inference driver), so
+	// it gets its own stage timing.
+	t0 := x.stageStart()
 	augmentStronglyConnected(tg, edges, g)
 	if p.GraphReduction {
 		reduceTraverseGraph(tg)
 	}
+	x.stageDone(obs.StageConnectionCulling, ctx.pair, t0, len(edges))
 
 	// K-shortest paths between every (source, destination) candidate pair
 	// (lines 11–13), projected to physical routes (line 14).

@@ -1,0 +1,40 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// StageBreakdown runs n queries at the given sampling interval (seconds)
+// through a freshly instrumented engine and returns the per-stage cost
+// snapshot — the reproduction of the paper's Figure 9 cost attribution
+// (reference search dominating at large φ, local inference at large λ),
+// measurable for any parameter variant p derived from the world's baseline.
+//
+// A fresh engine (fresh caches, fresh registry) is used so experiment runs
+// don't contaminate each other's numbers; the world's shared engine stays
+// untouched.
+func (w *World) StageBreakdown(p core.Params, intervalSec float64, n int, seed int64) obs.Snapshot {
+	qs := w.Queries(n, intervalSec, w.Cfg.QueryLen, seed)
+	reg := obs.New()
+	eng := core.NewEngineWithRegistry(w.Archive, p, reg)
+	for _, qc := range qs {
+		_, _ = eng.InferRoutes(qc.Query, p)
+	}
+	return eng.Metrics()
+}
+
+// WriteStageBreakdowns renders one per-stage cost table per sampling rate
+// (minutes), the companion readout to every accuracy/time figure.
+func (w *World) WriteStageBreakdowns(out io.Writer, ratesMin []float64, seed int64) {
+	for _, r := range ratesMin {
+		fmt.Fprintf(out, "per-stage cost, sampling interval %g min (%d queries):\n",
+			r, w.Cfg.Queries)
+		snap := w.StageBreakdown(w.P, r*60, w.Cfg.Queries, seed)
+		snap.WriteText(out)
+		fmt.Fprintln(out)
+	}
+}

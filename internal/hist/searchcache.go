@@ -29,7 +29,7 @@ type SearchCache struct {
 	a   *Archive
 	max int
 
-	hits, misses atomic.Uint64
+	hits, misses, resets atomic.Uint64
 
 	mu sync.RWMutex
 	m  map[searchKey][]Reference
@@ -67,7 +67,11 @@ func (c *SearchCache) References(qi, qj traj.GPSPoint, p SearchParams) []Referen
 	v = c.a.References(qi, qj, p)
 	c.mu.Lock()
 	if len(c.m) >= c.max {
+		// Wholesale reset: cheap, but when the working set exceeds max the
+		// cache thrashes — the resets counter makes that visible (it is
+		// surfaced through core.Engine.Metrics) instead of silent.
 		c.m = make(map[searchKey][]Reference)
+		c.resets.Add(1)
 	}
 	c.m[k] = v
 	c.mu.Unlock()
@@ -85,3 +89,8 @@ func (c *SearchCache) Len() int {
 func (c *SearchCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// Resets returns how many times the memo reset wholesale on overflow. A
+// steadily climbing value means the working set exceeds the bound and the
+// cache is thrashing.
+func (c *SearchCache) Resets() uint64 { return c.resets.Load() }

@@ -80,3 +80,25 @@ func TestSearchCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestSearchCacheResetCounter drives the memo past a tiny bound and checks
+// the thrash signal: resets climbs while Len() stays within the bound.
+func TestSearchCacheResetCounter(t *testing.T) {
+	g, _, _ := refWorld()
+	t1 := lineTraj("t1", geo.Pt(0, 10), geo.Pt(200, 10), geo.Pt(400, 10))
+	a := NewArchive(g, []*traj.Trajectory{t1})
+	const max = 4
+	c := NewSearchCache(a, max)
+	sp := DefaultSearchParams()
+	for i := 0; i < 40; i++ {
+		qi := traj.GPSPoint{Pt: geo.Pt(float64(i)*11, float64(i)*3), T: 0}
+		qj := traj.GPSPoint{Pt: geo.Pt(float64(i)*11+200, float64(i)*3+50), T: 300}
+		c.References(qi, qj, sp)
+		if n := c.Len(); n > max {
+			t.Fatalf("Len = %d exceeds max %d", n, max)
+		}
+	}
+	if c.Resets() == 0 {
+		t.Fatal("40 distinct keys through a 4-entry memo but resets stayed 0")
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram's buckets are fixed and log-spaced: bucket i covers
+// durations up to histBase<<i, doubling from 1µs to ~134s, plus one
+// overflow bucket. Fixed buckets keep Observe to two atomic adds and a
+// CAS — no locks, no allocation — at the cost of quantiles quantized to
+// bucket upper bounds (a ≤2× overestimate, fine for the order-of-magnitude
+// stage comparisons of the Figure 9 cost analysis).
+const (
+	histBase    = int64(time.Microsecond)
+	histBuckets = 28 // 1µs<<27 ≈ 134s; longer observations overflow
+)
+
+// Histogram is a concurrency-safe latency histogram. The zero value is
+// ready to use; all methods are nil-safe no-ops on a nil receiver.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [histBuckets + 1]atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	v := int64(d)
+	if v <= histBase {
+		return 0
+	}
+	// Index of the first upper bound histBase<<i ≥ v.
+	i := bits.Len64(uint64((v - 1) / histBase)) // ceil(log2(ceil(v/base)))
+	if i > histBuckets {
+		i = histBuckets
+	}
+	return i
+}
+
+// bucketBound returns bucket i's upper bound (the overflow bucket has none
+// and reports the observed max instead; see Quantile).
+func bucketBound(i int) time.Duration { return time.Duration(histBase << i) }
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketOf(d)].Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the duration elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Quantile returns an upper estimate of the q-quantile (0 < q ≤ 1): the
+// upper bound of the bucket holding the ⌈q·count⌉-th observation, capped at
+// the observed max. Zero when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	// Snapshot bucket counts; concurrent Observes can skew the walk by a
+	// few observations, which is harmless for a monitoring estimate.
+	total := uint64(0)
+	var counts [histBuckets + 1]uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	max := h.Max()
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if b := bucketBound(i); i < histBuckets && b < max {
+				return b
+			}
+			return max
+		}
+	}
+	return max
+}
+
+// Stats summarizes the histogram for a Snapshot.
+func (h *Histogram) Stats() HistStats {
+	if h == nil {
+		return HistStats{}
+	}
+	return HistStats{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		Max:   h.Max(),
+	}
+}
+
+// HistStats is one histogram's summary inside a Snapshot. Durations are
+// nanoseconds in JSON (Go's time.Duration encoding).
+type HistStats struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Mean returns the average observed duration, zero when empty.
+func (s HistStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}

@@ -1,0 +1,40 @@
+// Package obs is the pipeline observability layer: atomic counters,
+// lock-cheap latency histograms and per-query traces, built on the standard
+// library only.
+//
+// The paper's efficiency study (§IV-D, Figure 9) attributes inference cost
+// to specific stages — reference search dominates at large φ, local-route
+// inference at large λ — and this package is what lets the reproduction
+// report the same breakdown: core.Engine times each pipeline stage into a
+// Registry histogram and, per traced query, into a Trace span.
+//
+// Everything is safe for concurrent use and nil-safe: every method on a nil
+// *Registry, *Counter, *Histogram or *Trace is a no-op, so instrumented
+// code needs no "is observability on?" branches at call sites.
+package obs
+
+// Names of the pipeline-stage histograms core.Engine maintains. One span is
+// recorded per stage occurrence; per-pair stages carry the pair index.
+const (
+	// StageQuery is one whole InferRoutes invocation, wall clock.
+	StageQuery = "query"
+	// StageReferenceSearch is the Definition 6/7 reference search of one
+	// query pair (served through hist.SearchCache).
+	StageReferenceSearch = "reference_search"
+	// StageCandidateSearch is the pair-context assembly: the candidate-edge
+	// lookups (Definition 5, served through roadnet.CandidateCache) of every
+	// reference point of one pair.
+	StageCandidateSearch = "candidate_search"
+	// StageConnectionCulling is TGI's traverse-graph connectivity work:
+	// strong-connectivity augmentation plus transitive link reduction.
+	StageConnectionCulling = "connection_culling"
+	// StageLocalTGI / StageLocalNNI is the local route inference of one
+	// pair, keyed by the algorithm actually used (§III-B).
+	StageLocalTGI = "local_tgi"
+	StageLocalNNI = "local_nni"
+	// StageKGRI is the global K-GRI dynamic program plus route trimming —
+	// the serial tail joining the per-pair results (§III-C).
+	StageKGRI = "kgri_global"
+	// StageBatch is one whole InferBatch invocation, wall clock.
+	StageBatch = "batch"
+)

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	h := r.Histogram("y")
+	if c != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	h.Observe(time.Second)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("nil instruments recorded data")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Stages) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+	var tr *Trace
+	tr.Add("s", 0, time.Now(), time.Second, 1)
+	tr.Finish()
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Fatalf("nil trace recorded data")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{10 * time.Minute, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketOf(bucketBound(i)); got != i {
+			t.Errorf("bucketOf(bound %d) = %d", i, got)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	// 99 × 1ms and 1 × 1s: p50 must sit at ~1ms, p95 at ~1ms, max exactly 1s.
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	st := h.Stats()
+	if st.Count != 100 {
+		t.Fatalf("Count = %d, want 100", st.Count)
+	}
+	if want := 99*time.Millisecond + time.Second; st.Sum != want {
+		t.Fatalf("Sum = %v, want %v", st.Sum, want)
+	}
+	if st.Max != time.Second {
+		t.Fatalf("Max = %v, want 1s", st.Max)
+	}
+	// Quantiles are bucket upper bounds: 1ms lands in the 1.024ms bucket.
+	if want := bucketBound(10); st.P50 != want || st.P95 != want {
+		t.Fatalf("P50/P95 = %v/%v, want %v", st.P50, st.P95, want)
+	}
+	if got := h.Quantile(1.0); got != time.Second {
+		t.Fatalf("Quantile(1) = %v, want 1s", got)
+	}
+	if got := st.Mean(); got != (99*time.Millisecond+time.Second)/100 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestHistogramQuantileCappedAtMax(t *testing.T) {
+	var h Histogram
+	h.Observe(1500 * time.Microsecond) // bucket bound 2048µs > max
+	if got := h.Quantile(0.5); got != 1500*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, want observed max", got)
+	}
+}
+
+func TestHistogramNegativeObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation mishandled: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Sum() != workers*per*time.Millisecond {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+func TestRegistrySnapshotAndText(t *testing.T) {
+	r := New()
+	r.Counter("widgets").Add(7)
+	if r.Counter("widgets") != r.Counter("widgets") {
+		t.Fatalf("Counter not memoized")
+	}
+	r.Histogram(StageQuery).Observe(5 * time.Millisecond)
+	snap := r.Snapshot()
+	if snap.Counters["widgets"] != 7 {
+		t.Fatalf("snapshot counter = %d", snap.Counters["widgets"])
+	}
+	if snap.Stages[StageQuery].Count != 1 {
+		t.Fatalf("snapshot stage count = %d", snap.Stages[StageQuery].Count)
+	}
+	var buf bytes.Buffer
+	snap.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"stage", StageQuery, "widgets", "7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text snapshot missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+}
+
+func TestTraceSpansSortedAndTotal(t *testing.T) {
+	tr := StartTrace()
+	base := time.Now()
+	tr.Add(StageLocalTGI, 1, base.Add(2*time.Millisecond), time.Millisecond, 3)
+	tr.Add(StageReferenceSearch, 0, base, time.Millisecond, 10)
+	tr.Finish()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Stage != StageReferenceSearch || spans[1].Stage != StageLocalTGI {
+		t.Fatalf("spans not sorted by start: %+v", spans)
+	}
+	if spans[0].N != 10 || spans[1].Pair != 1 {
+		t.Fatalf("span fields lost: %+v", spans)
+	}
+	if tr.Total() <= 0 {
+		t.Fatalf("Total = %v, want > 0", tr.Total())
+	}
+	var buf bytes.Buffer
+	tr.WriteText(&buf)
+	if !strings.Contains(buf.String(), StageReferenceSearch) || !strings.Contains(buf.String(), "total") {
+		t.Fatalf("trace text missing content:\n%s", buf.String())
+	}
+}
+
+func TestTraceConcurrentAdds(t *testing.T) {
+	tr := StartTrace()
+	var wg sync.WaitGroup
+	const n = 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.Add(StageCandidateSearch, i, time.Now(), time.Microsecond, i)
+		}(i)
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.Spans()); got != n {
+		t.Fatalf("spans = %d, want %d", got, n)
+	}
+}

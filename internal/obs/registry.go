@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of counters and histograms. Lookups are
+// get-or-create and safe for concurrent use; instrumented code normally
+// resolves its instruments once (at engine construction) and then touches
+// only their atomics on the hot path. All methods are nil-safe: a nil
+// *Registry hands out nil instruments, whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments, plus any
+// gauges the caller folds in (core.Engine adds its cache stats). It
+// marshals directly to JSON and renders as text with WriteText.
+type Snapshot struct {
+	Counters map[string]uint64    `json:"counters,omitempty"`
+	Stages   map[string]HistStats `json:"stages,omitempty"`
+}
+
+// Snapshot captures every instrument. Safe to call concurrently with
+// ongoing observations; each instrument is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]uint64{}, Stages: map[string]HistStats{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, h := range hists {
+		s.Stages[n] = h.Stats()
+	}
+	return s
+}
+
+// WriteText renders the snapshot as a fixed-width table: stages sorted by
+// total time (the cost-breakdown view of Figure 9), then counters by name.
+func (s Snapshot) WriteText(w io.Writer) {
+	if len(s.Stages) > 0 {
+		names := make([]string, 0, len(s.Stages))
+		for n := range s.Stages {
+			if s.Stages[n].Count > 0 { // registered but never hit: noise
+				names = append(names, n)
+			}
+		}
+		sort.Slice(names, func(i, j int) bool {
+			a, b := s.Stages[names[i]], s.Stages[names[j]]
+			if a.Sum != b.Sum {
+				return a.Sum > b.Sum
+			}
+			return names[i] < names[j]
+		})
+		fmt.Fprintf(w, "%-20s %8s %12s %10s %10s %10s %10s\n",
+			"stage", "count", "total", "mean", "p50", "p95", "max")
+		for _, n := range names {
+			st := s.Stages[n]
+			fmt.Fprintf(w, "%-20s %8d %12s %10s %10s %10s %10s\n",
+				n, st.Count, fmtDur(st.Sum), fmtDur(st.Mean()),
+				fmtDur(st.P50), fmtDur(st.P95), fmtDur(st.Max))
+		}
+	}
+	if len(s.Counters) > 0 {
+		names := make([]string, 0, len(s.Counters))
+		for n := range s.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%-40s %12s\n", "counter", "value")
+		for _, n := range names {
+			fmt.Fprintf(w, "%-40s %12d\n", n, s.Counters[n])
+		}
+	}
+}
+
+// fmtDur rounds a duration to a display-friendly precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}

@@ -32,7 +32,7 @@ type CandidateCache struct {
 	g   *Graph
 	max int
 
-	hits, misses atomic.Uint64
+	hits, misses, resets atomic.Uint64
 
 	mu sync.RWMutex
 	m  map[candKey][]Candidate
@@ -71,7 +71,11 @@ func (c *CandidateCache) CandidateEdges(p geo.Point, eps float64) []Candidate {
 	v = c.g.CandidateEdges(p, eps)
 	c.mu.Lock()
 	if len(c.m) >= c.max {
+		// Wholesale reset: cheap, but when the working set exceeds max the
+		// cache thrashes — the resets counter makes that visible (it is
+		// surfaced through core.Engine.Metrics) instead of silent.
 		c.m = make(map[candKey][]Candidate)
+		c.resets.Add(1)
 	}
 	c.m[k] = v
 	c.mu.Unlock()
@@ -89,3 +93,8 @@ func (c *CandidateCache) Len() int {
 func (c *CandidateCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// Resets returns how many times the cache reset wholesale on overflow. A
+// steadily climbing value means the working set exceeds the bound and the
+// cache is thrashing.
+func (c *CandidateCache) Resets() uint64 { return c.resets.Load() }

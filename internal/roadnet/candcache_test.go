@@ -82,3 +82,35 @@ func TestCandidateCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCandidateCacheResetCounterConcurrent drives a tiny cache past its
+// bound from several goroutines and checks the thrash signal: the resets
+// counter climbs, the Len() <= max invariant holds throughout, and every
+// lookup is accounted as a hit or a miss.
+func TestCandidateCacheResetCounterConcurrent(t *testing.T) {
+	g := NewGrid(6, 6, 100, 15)
+	const max, workers, per = 8, 4, 200
+	c := NewCandidateCache(g, max)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.CandidateEdges(geo.Pt(float64(i)*7, float64(i)*13), 30+float64(w))
+				if n := c.Len(); n > max {
+					t.Errorf("Len = %d exceeds max %d", n, max)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Resets() == 0 {
+		t.Fatal("working set exceeded max but resets counter stayed 0")
+	}
+	hits, misses := c.Stats()
+	if hits+misses != workers*per {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, workers*per)
+	}
+}

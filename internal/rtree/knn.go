@@ -67,8 +67,12 @@ func (it *NearestIter[T]) Next() (e Entry[T], dist float64, ok bool) {
 	return e, 0, false
 }
 
-// KNN returns the k entries closest to p, ordered by distance.
+// KNN returns the k entries closest to p, ordered by distance. k ≤ 0
+// returns nil.
 func (t *Tree[T]) KNN(p geo.Point, k int) []Entry[T] {
+	if k <= 0 {
+		return nil
+	}
 	it := t.Nearest(p)
 	out := make([]Entry[T], 0, k)
 	for len(out) < k {
@@ -83,7 +87,12 @@ func (t *Tree[T]) KNN(p geo.Point, k int) []Entry[T] {
 
 // WithinRadius returns all entries whose box lies within dist r of p,
 // ordered arbitrarily. For point entries this is an exact radius query.
+// r < 0 returns nil (no distance is negative; an inverted search box must
+// not reach the tree walk).
 func (t *Tree[T]) WithinRadius(p geo.Point, r float64) []Entry[T] {
+	if r < 0 {
+		return nil
+	}
 	var out []Entry[T]
 	t.Visit(geo.BBoxAround(p, r), func(e Entry[T]) bool {
 		if e.Box.DistToPoint(p) <= r {

@@ -87,3 +87,30 @@ func BenchmarkKNN(b *testing.B) {
 		tr.KNN(geo.Pt(5000, 5000), 10)
 	}
 }
+
+// TestKNNNonPositiveK guards the k <= 0 edge: a negative k used to panic in
+// make([]Entry, 0, k); both 0 and negatives must return nil.
+func TestKNNNonPositiveK(t *testing.T) {
+	tr := Bulk(pointEntries(randomPoints(50, 29)))
+	q := geo.Pt(100, 100)
+	for _, k := range []int{0, -1, -100} {
+		if got := tr.KNN(q, k); got != nil {
+			t.Fatalf("KNN(k=%d) = %d entries, want nil", k, len(got))
+		}
+	}
+}
+
+// TestWithinRadiusNegative: a negative radius matches nothing (and must not
+// build an inverted search box).
+func TestWithinRadiusNegative(t *testing.T) {
+	tr := Bulk(pointEntries(randomPoints(50, 31)))
+	if got := tr.WithinRadius(geo.Pt(100, 100), -1); got != nil {
+		t.Fatalf("WithinRadius(r=-1) = %d entries, want nil", len(got))
+	}
+	// r = 0 stays an exact point query, not an error.
+	pts := randomPoints(5, 33)
+	tr = Bulk(pointEntries(pts))
+	if got := tr.WithinRadius(pts[0], 0); len(got) == 0 {
+		t.Fatal("WithinRadius(exact point, 0) found nothing")
+	}
+}

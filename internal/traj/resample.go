@@ -14,15 +14,19 @@ func Downsample(t *Trajectory, interval float64) *Trajectory {
 	}
 	out := &Trajectory{ID: t.ID}
 	last := -1.0
+	kept := -1 // index of the last kept sample
 	for i, p := range t.Points {
 		if i == 0 || p.T-last >= interval {
 			out.Points = append(out.Points, p)
 			last = p.T
+			kept = i
 		}
 	}
-	tail := t.Points[len(t.Points)-1]
-	if n := len(out.Points); out.Points[n-1].T != tail.T {
-		out.Points = append(out.Points, tail)
+	// Compare by index, not timestamp: two distinct points can share the
+	// final timestamp, and a .T comparison would silently drop the true
+	// destination in that case.
+	if kept != len(t.Points)-1 {
+		out.Points = append(out.Points, t.Points[len(t.Points)-1])
 	}
 	return out
 }

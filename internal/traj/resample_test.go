@@ -113,3 +113,33 @@ func TestClipToLength(t *testing.T) {
 		t.Fatal("empty clip")
 	}
 }
+
+// TestDownsampleDuplicateTailTimestamp: when two distinct points share the
+// final timestamp, the true destination (the last point by position) must
+// survive — the old timestamp-equality dedup silently dropped it.
+func TestDownsampleDuplicateTailTimestamp(t *testing.T) {
+	tr := denseTraj(20, 30)
+	// A second, spatially distinct sample at the same final timestamp.
+	last := tr.Points[tr.Len()-1]
+	tr.Points = append(tr.Points, GPSPoint{Pt: geo.Pt(last.Pt.X+500, 120), T: last.T})
+	out := Downsample(tr, 90)
+	gotTail := out.Points[out.Len()-1]
+	wantTail := tr.Points[tr.Len()-1]
+	if gotTail != wantTail {
+		t.Fatalf("destination dropped: tail %+v, want %+v", gotTail, wantTail)
+	}
+}
+
+// TestDownsampleTailNotDuplicated: when the regular cadence already keeps
+// the final point, it must not be appended twice.
+func TestDownsampleTailNotDuplicated(t *testing.T) {
+	tr := denseTraj(10, 100)
+	out := Downsample(tr, 100) // every sample kept, tail included
+	if out.Len() != tr.Len() {
+		t.Fatalf("len = %d, want %d", out.Len(), tr.Len())
+	}
+	n := out.Len()
+	if n >= 2 && out.Points[n-1] == out.Points[n-2] {
+		t.Fatal("tail duplicated")
+	}
+}
