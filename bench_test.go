@@ -8,10 +8,12 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -239,6 +241,27 @@ func BenchmarkHRISQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = w.Eng.InferRoutes(qs[0].Query, w.P)
+	}
+}
+
+// BenchmarkHRISQueryDegraded is the same query with an already-expired
+// deadline: the whole pipeline short-circuits into shortest-path fallbacks
+// plus the greedy K-GRI finish. This is the floor cost of graceful
+// degradation — the acceptance bar is well under 50 ms on this world.
+func BenchmarkHRISQueryDegraded(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 111)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	p := w.P
+	p.Deadline = time.Nanosecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.Eng.InferRoutesCtx(context.Background(), qs[0].Query, p)
+		if err != nil || !res.Degraded {
+			b.Fatalf("expected degraded result, got err=%v", err)
+		}
 	}
 }
 

@@ -27,7 +27,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		quick = flag.Bool("quick", false, "scaled-down sweep")
-		figs  = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages) or all")
+		figs  = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline) or all")
 		seed  = flag.Int64("seed", 7, "world seed")
 		csvD  = flag.String("csv", "", "also write each figure as CSV into this directory")
 	)
@@ -142,6 +142,14 @@ func main() {
 		run("stages (per-stage cost breakdown)", func() {
 			w.WriteStageBreakdowns(os.Stdout, phiRates, *seed)
 		})
+	}
+	if need("deadline") {
+		deadlines := []time.Duration{0, time.Millisecond, 5 * time.Millisecond,
+			20 * time.Millisecond, 100 * time.Millisecond, 500 * time.Millisecond}
+		if *quick {
+			deadlines = []time.Duration{0, time.Millisecond, 20 * time.Millisecond}
+		}
+		run("deadline (graceful degradation)", func() { emit(*csvD, w.DeadlineProfile(deadlines)) })
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -15,21 +15,34 @@
 // total, p50/p95/max per pipeline stage — the paper's Figure 9 cost
 // attribution) after the run; -metrics-json dumps the same snapshot as
 // JSON; -trace prints the query's span timeline. -http starts a debug
-// server exposing /metrics (JSON snapshot), /debug/vars (expvar) and
-// /debug/pprof, and keeps the process alive for scraping.
+// server exposing /metrics (JSON snapshot), /debug/vars (expvar),
+// /debug/pprof and POST /infer (context-aware inference), and keeps the
+// process alive for scraping until SIGINT/SIGTERM, then shuts down
+// gracefully.
+//
+// Deadlines: -deadline bounds each inference's wall clock (e.g.
+// -deadline 50ms). On expiry the engine degrades gracefully — expired
+// pairs fall back to shortest paths and the result is flagged degraded —
+// instead of failing. Ctrl-C during inference cancels it promptly.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -64,15 +77,22 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the per-stage cost breakdown after the run")
 		metricsJ = flag.Bool("metrics-json", false, "dump the metrics snapshot as JSON after the run")
 		trace    = flag.Bool("trace", false, "print the query's per-stage span timeline")
-		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address and stay alive")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars, /debug/pprof and POST /infer on this address and stay alive")
+		deadline = flag.Duration("deadline", 0, "per-query inference budget (e.g. 50ms); on expiry a best-effort degraded result is returned")
 	)
 	flag.Parse()
+
+	// Root context: SIGINT/SIGTERM cancels in-flight inference promptly and
+	// triggers the debug server's graceful shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	g, trajs, truths := loadDataset(*data)
 	arch := hist.NewArchive(g, trajs)
 	params := core.DefaultParams()
 	params.K3 = *k
 	params.Phi = *phi
+	params.Deadline = *deadline
 	switch *method {
 	case "tgi":
 		params.Method = core.MethodTGI
@@ -89,8 +109,9 @@ func main() {
 		reg = obs.New()
 	}
 	eng := core.NewEngineWithRegistry(arch, params, reg)
+	var srv *http.Server
 	if *httpAddr != "" {
-		serveDebug(*httpAddr, eng)
+		srv = serveDebug(*httpAddr, eng, params)
 	}
 
 	var q *traj.Trajectory
@@ -106,9 +127,12 @@ func main() {
 	fmt.Printf("query: %d points, %.1f km span, avg interval %.0f s (low-sampling-rate: %v)\n",
 		q.Len(), q.PathLength()/1000, q.AvgInterval(), q.IsLowSamplingRate())
 
-	res, tr, err := eng.InferRoutesTraced(q, params)
+	res, tr, err := eng.InferRoutesTracedCtx(ctx, q, params)
 	if err != nil {
 		log.Fatalf("inference failed: %v", err)
+	}
+	if res.Degraded {
+		fmt.Printf("note: deadline %v expired mid-inference; routes below are best-effort (degraded)\n", *deadline)
 	}
 	for i, r := range res.Routes {
 		fmt.Printf("route %d: score %.4g, %.1f km, %d segments", i+1, r.Score,
@@ -170,16 +194,27 @@ func main() {
 		}
 		fmt.Printf("%s\n", out)
 	}
-	if *httpAddr != "" {
+	if srv != nil {
 		log.Printf("run complete; serving debug endpoints on %s (ctrl-c to exit)", *httpAddr)
-		select {}
+		<-ctx.Done()
+		stop() // restore default signal handling: a second ctrl-c kills us
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("debug server shutdown: %v", err)
+		} else {
+			log.Printf("debug server stopped")
+		}
 	}
 }
 
 // serveDebug exposes the engine's metrics snapshot plus the standard Go
 // debug surfaces on addr: /metrics (JSON snapshot), /debug/vars (expvar,
-// including the snapshot under the "hris" key) and /debug/pprof.
-func serveDebug(addr string, eng *core.Engine) {
+// including the snapshot under the "hris" key), /debug/pprof and POST
+// /infer. A bind failure is logged and nil is returned — the CLI run still
+// proceeds without the server. The returned server has bounded read/write
+// timeouts and is shut down gracefully by main on SIGINT/SIGTERM.
+func serveDebug(addr string, eng *core.Engine, params core.Params) *http.Server {
 	expvar.Publish("hris", expvar.Func(func() any { return eng.Metrics() }))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -190,18 +225,81 @@ func serveDebug(addr string, eng *core.Engine) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		inferHandler(w, r, eng, params)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: mux,
+		// /debug/pprof/profile and /trace stream for up to their "seconds"
+		// parameter, so the write timeout leaves them headroom.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("debug server: %v; continuing without it", err)
+		return nil
+	}
 	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
-			log.Fatalf("debug server: %v", err)
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("debug server: %v", err)
 		}
 	}()
-	log.Printf("debug server listening on %s", addr)
+	log.Printf("debug server listening on %s", ln.Addr())
+	return srv
+}
+
+// inferHandler runs inference on a POSTed query JSON ({"points":
+// [[x, y, t], ...]}) under the request's context: a client disconnect or
+// server shutdown cancels the inference, and the engine's -deadline budget
+// applies per request, reporting "degraded" when it expires.
+func inferHandler(w http.ResponseWriter, r *http.Request, eng *core.Engine, params core.Params) {
+	if r.Method != http.MethodPost {
+		http.Error(w, `POST a query JSON: {"points": [[x, y, t], ...]}`, http.StatusMethodNotAllowed)
+		return
+	}
+	var qj queryJSON
+	if err := json.NewDecoder(r.Body).Decode(&qj); err != nil {
+		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := &traj.Trajectory{ID: "http-query"}
+	for _, p := range qj.Points {
+		q.Points = append(q.Points, traj.GPSPoint{Pt: geo.Pt(p[0], p[1]), T: p[2]})
+	}
+	res, err := eng.InferRoutesCtx(r.Context(), q, params)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, context.Canceled) {
+			status = http.StatusRequestTimeout // client went away mid-inference
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	type routeJSON struct {
+		Segments roadnet.Route `json:"segments"`
+		Score    float64       `json:"score"`
+	}
+	resp := struct {
+		Routes   []routeJSON `json:"routes"`
+		Degraded bool        `json:"degraded"`
+	}{Degraded: res.Degraded}
+	for _, gr := range res.Routes {
+		resp.Routes = append(resp.Routes, routeJSON{Segments: gr.Route, Score: gr.Score})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("/infer: encode response: %v", err)
+	}
 }
 
 // writeGeoJSON exports the query, ground truth (when known) and suggested

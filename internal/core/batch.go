@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"time"
@@ -31,6 +32,14 @@ func batchWorkers(workers int) int {
 // share it safely; per-query determinism is unaffected by scheduling.
 // workers < 1 uses runtime.GOMAXPROCS(0).
 func (e *Engine) InferBatch(queries []*traj.Trajectory, p Params, workers int) []BatchResult {
+	return e.InferBatchCtx(context.Background(), queries, p, workers)
+}
+
+// InferBatchCtx is InferBatch under a caller-supplied context, shared by
+// every query in the batch: cancelling it makes the remaining queries fail
+// fast with the context error. A Params.Deadline, by contrast, is applied
+// per query — each one gets the full budget.
+func (e *Engine) InferBatchCtx(ctx context.Context, queries []*traj.Trajectory, p Params, workers int) []BatchResult {
 	if e.met != nil {
 		e.met.batchCalls.Inc()
 		e.met.batchQueries.Add(uint64(len(queries)))
@@ -45,7 +54,7 @@ func (e *Engine) InferBatch(queries []*traj.Trajectory, p Params, workers int) [
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := e.InferRoutes(queries[i], p)
+				res, err := e.InferRoutesCtx(ctx, queries[i], p)
 				out[i] = BatchResult{Index: i, Result: res, Err: err}
 			}
 		}()

@@ -14,6 +14,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/hist"
@@ -104,6 +105,15 @@ type Params struct {
 	// serial path. The result is identical for every setting — pairs are
 	// independent and joined in order — so this is purely a latency knob.
 	PairWorkers int
+
+	// Deadline is the per-query wall-clock budget. When > 0, InferRoutes
+	// derives a context.WithTimeout from the caller's context; on expiry
+	// the pipeline degrades gracefully — expired pairs fall back to one
+	// shortest path and the best partial answer is returned with
+	// Result.Degraded set — instead of erroring (see DESIGN.md
+	// "Cancellation & deadlines"). 0 (the default) adds no timeout and no
+	// clock reads.
+	Deadline time.Duration
 }
 
 // DefaultParams returns the Table II defaults: φ=500 m, τ=200/km², λ=4,
@@ -172,6 +182,11 @@ func (x exec) buildPairContext(pair int, qi, qj traj.GPSPoint, refs []hist.Refer
 	ctx := &pairContext{pair: pair, qi: qi, qj: qj, refs: refs,
 		edgeRefs: make(map[roadnet.EdgeID]map[int]struct{})}
 	for _, r := range refs {
+		// Checkpoint per reference: a truncated context is acceptable —
+		// the caller re-checks expiry and degrades the whole pair.
+		if x.expired() {
+			break
+		}
 		srcs := r.SourceIDs()
 		for j, p := range r.Points {
 			ctx.points = append(ctx.points, refPoint{pt: p.Pt, sources: srcs})

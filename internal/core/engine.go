@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"time"
 
+	"repro/internal/graphalg"
 	"repro/internal/hist"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
@@ -112,12 +115,23 @@ type metrics struct {
 
 	query, refSearch, candSearch, culling, localTGI, localNNI, kgri, batch *obs.Histogram
 
-	queries, batchCalls, batchQueries, fallbacks *obs.Counter
+	queries, batchCalls, batchQueries, fallbacks, cancelled, degraded *obs.Counter
+
+	// deadlines maps a stage name to its deadline-hit counter
+	// (obs.DeadlineCounterPrefix + stage), pre-resolved like the histograms.
+	deadlines map[string]*obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
 	if reg == nil {
 		return nil
+	}
+	deadlines := make(map[string]*obs.Counter)
+	for _, stage := range []string{
+		obs.StageQuery, obs.StageReferenceSearch, obs.StageCandidateSearch,
+		obs.StageLocalTGI, obs.StageLocalNNI, obs.StageKGRI,
+	} {
+		deadlines[stage] = reg.Counter(obs.DeadlineCounterPrefix + stage)
 	}
 	return &metrics{
 		reg:          reg,
@@ -133,7 +147,19 @@ func newMetrics(reg *obs.Registry) *metrics {
 		batchCalls:   reg.Counter("batch.calls"),
 		batchQueries: reg.Counter("batch.queries"),
 		fallbacks:    reg.Counter("fallback.local"),
+		cancelled:    reg.Counter(obs.CounterQueryCancelled),
+		degraded:     reg.Counter(obs.CounterQueryDegraded),
+		deadlines:    deadlines,
 	}
+}
+
+// deadlineHit records that budget expiry was first detected in stage.
+func (m *metrics) deadlineHit(stage string) {
+	if c, ok := m.deadlines[stage]; ok {
+		c.Inc()
+		return
+	}
+	m.reg.Counter(obs.DeadlineCounterPrefix + stage).Inc()
 }
 
 // hist maps a stage name to its pre-resolved histogram.
@@ -169,12 +195,57 @@ type exec struct {
 	p     Params
 	met   *metrics   // engine's instruments; nil = don't record
 	trace *obs.Trace // per-query trace; nil = don't trace
+
+	// ctx/done carry this invocation's cancellation signal. done is
+	// ctx.Done(), captured once: context.Background() yields nil, so the
+	// uncancellable path's checkpoints are a nil comparison — no channel
+	// polls, no clock reads. ctx is only consulted after done reports
+	// closed, to distinguish deadline expiry (degrade) from outright
+	// cancellation (abort).
+	ctx  context.Context
+	done <-chan struct{}
 }
 
-// newExec binds one invocation to the engine's instruments and an optional
-// per-query trace.
-func (e *Engine) newExec(p Params, tr *obs.Trace) exec {
-	return exec{eng: e, p: p, met: e.met, trace: tr}
+// newExec binds one invocation to its context, the engine's instruments
+// and an optional per-query trace.
+func (e *Engine) newExec(ctx context.Context, p Params, tr *obs.Trace) exec {
+	return exec{eng: e, p: p, met: e.met, trace: tr, ctx: ctx, done: ctx.Done()}
+}
+
+// expired reports whether this invocation's context is done. This is the
+// checkpoint primitive of the whole pipeline; with no context (done == nil)
+// it is a nil check and nothing more.
+func (x exec) expired() bool { return graphalg.Stopped(x.done) }
+
+// abortErr returns a non-nil error when the invocation must abort: the
+// context was cancelled outright (context.Canceled or a custom cause).
+// Deadline expiry returns nil — it flows through graceful degradation
+// instead of an error. The query.cancelled counter increments here, at the
+// single point where an abort is decided.
+func (x exec) abortErr() error {
+	if !x.expired() {
+		return nil
+	}
+	if err := x.ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		if x.met != nil {
+			x.met.cancelled.Inc()
+		}
+		return err
+	}
+	return nil
+}
+
+// deadlineExpired reports whether the per-query budget lapsed, attributing
+// first detection to stage via its deadline.<stage> counter. Outright
+// cancellation reports false — abortErr handles it.
+func (x exec) deadlineExpired(stage string) bool {
+	if !x.expired() || !errors.Is(x.ctx.Err(), context.DeadlineExceeded) {
+		return false
+	}
+	if x.met != nil {
+		x.met.deadlineHit(stage)
+	}
+	return true
 }
 
 // stageStart returns the wall clock when this invocation is observed, and

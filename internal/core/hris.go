@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,6 +31,9 @@ type PairStats struct {
 	Method   Method  // local algorithm actually used
 	Routes   int     // local routes produced
 	UsedFall bool    // fallback shortest path used
+	// Degraded marks a pair whose inference was cut short by the query
+	// deadline and replaced with the shortest-path fallback.
+	Degraded bool
 }
 
 // Result is the full output of InferRoutes.
@@ -37,13 +41,20 @@ type Result struct {
 	Routes []GlobalRoute // top-K global routes, best first
 	Pairs  []PairStats
 	Locals [][]LocalRoute // per-pair local route sets (after capping)
+	// Degraded reports that the query's deadline (Params.Deadline or the
+	// caller context's) expired mid-inference and the routes are a
+	// best-effort answer: expired pairs carry shortest-path fallbacks (see
+	// Pairs[i].Degraded) and the K-GRI join may have finished greedily.
+	// Every returned route is still a well-formed, connected route.
+	Degraded bool
 }
 
 // pairOutcome is one pair's share of a Result, produced independently of
 // every other pair.
 type pairOutcome struct {
-	stats  PairStats
-	locals []LocalRoute
+	stats    PairStats
+	locals   []LocalRoute
+	degraded bool
 }
 
 // InferRoutes runs the complete HRIS pipeline on a low-sampling-rate query
@@ -56,7 +67,16 @@ type pairOutcome struct {
 // pair order and every pair's computation is deterministic, so the output
 // is identical for any worker count, including 1.
 func (e *Engine) InferRoutes(q *traj.Trajectory, p Params) (*Result, error) {
-	return e.inferRoutes(q, p, nil)
+	return e.inferRoutes(context.Background(), q, p, nil)
+}
+
+// InferRoutesCtx is InferRoutes under a caller-supplied context. Outright
+// cancellation (context.Canceled, or any custom cause) aborts promptly with
+// the context's error; deadline expiry — whether from ctx or from
+// Params.Deadline — instead degrades gracefully and returns a best-effort
+// Result with Degraded set. See DESIGN.md "Cancellation & deadlines".
+func (e *Engine) InferRoutesCtx(ctx context.Context, q *traj.Trajectory, p Params) (*Result, error) {
+	return e.inferRoutes(ctx, q, p, nil)
 }
 
 // InferRoutesTraced is InferRoutes with a per-query trace: one span per
@@ -65,17 +85,34 @@ func (e *Engine) InferRoutes(q *traj.Trajectory, p Params) (*Result, error) {
 // works on uninstrumented engines too. The returned trace is non-nil and
 // finished even when inference fails.
 func (e *Engine) InferRoutesTraced(q *traj.Trajectory, p Params) (*Result, *obs.Trace, error) {
+	return e.InferRoutesTracedCtx(context.Background(), q, p)
+}
+
+// InferRoutesTracedCtx is InferRoutesTraced under a caller-supplied context,
+// with InferRoutesCtx's cancellation and degradation semantics.
+func (e *Engine) InferRoutesTracedCtx(ctx context.Context, q *traj.Trajectory, p Params) (*Result, *obs.Trace, error) {
 	tr := obs.StartTrace()
-	res, err := e.inferRoutes(q, p, tr)
+	res, err := e.inferRoutes(ctx, q, p, tr)
 	tr.Finish()
 	return res, tr, err
 }
 
-func (e *Engine) inferRoutes(q *traj.Trajectory, p Params, tr *obs.Trace) (*Result, error) {
+func (e *Engine) inferRoutes(ctx context.Context, q *traj.Trajectory, p Params, tr *obs.Trace) (*Result, error) {
 	if q.Len() < 2 {
 		return nil, ErrEmptyQuery
 	}
-	x := e.newExec(p, tr)
+	if p.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Deadline)
+		defer cancel()
+	}
+	x := e.newExec(ctx, p, tr)
+	// An already-cancelled context aborts before any work. The check runs
+	// before the queries counter so it stays equal to the query histogram's
+	// sample count (only started queries are counted by either).
+	if err := x.abortErr(); err != nil {
+		return nil, err
+	}
 	if x.met != nil {
 		x.met.queries.Inc()
 	}
@@ -107,6 +144,12 @@ func (e *Engine) inferRoutes(q *traj.Trajectory, p Params, tr *obs.Trace) (*Resu
 		close(jobs)
 		wg.Wait()
 	}
+	// Outright cancellation aborts with the context error at the join,
+	// before the truncated pair outcomes can be mistaken for answers.
+	if err := x.abortErr(); err != nil {
+		x.stageDone(obs.StageQuery, -1, qt0, 0)
+		return nil, err
+	}
 	res := &Result{Pairs: make([]PairStats, 0, n), Locals: make([][]LocalRoute, 0, n)}
 	for i, out := range outs {
 		if len(out.locals) == 0 {
@@ -116,9 +159,21 @@ func (e *Engine) inferRoutes(q *traj.Trajectory, p Params, tr *obs.Trace) (*Resu
 		}
 		res.Pairs = append(res.Pairs, out.stats)
 		res.Locals = append(res.Locals, out.locals)
+		if out.degraded {
+			res.Degraded = true
+		}
 	}
 	kt0 := x.stageStart()
-	res.Routes = kgri(e.g, res.Locals, p.K3, p.AblateTransition)
+	routes, kdeg := kgriDone(e.g, res.Locals, p.K3, p.AblateTransition, x.done)
+	if err := x.abortErr(); err != nil {
+		x.stageDone(obs.StageKGRI, -1, kt0, 0)
+		x.stageDone(obs.StageQuery, -1, qt0, 0)
+		return nil, err
+	}
+	if kdeg && x.deadlineExpired(obs.StageKGRI) {
+		res.Degraded = true
+	}
+	res.Routes = routes
 	if len(res.Routes) == 0 {
 		x.stageDone(obs.StageKGRI, -1, kt0, 0)
 		x.stageDone(obs.StageQuery, -1, qt0, 0)
@@ -130,6 +185,9 @@ func (e *Engine) inferRoutes(q *traj.Trajectory, p Params, tr *obs.Trace) (*Resu
 				q.Points[0].Pt, q.Points[q.Len()-1].Pt)
 		}
 	}
+	if res.Degraded && x.met != nil {
+		x.met.degraded.Inc()
+	}
 	x.stageDone(obs.StageKGRI, -1, kt0, len(res.Routes))
 	x.stageDone(obs.StageQuery, -1, qt0, len(res.Routes))
 	return res, nil
@@ -140,27 +198,63 @@ func (e *Engine) Infer(q *traj.Trajectory) (*Result, error) {
 	return e.InferRoutes(q, e.defaults)
 }
 
+// InferCtx is Infer under a caller-supplied context, with InferRoutesCtx's
+// cancellation and degradation semantics.
+func (e *Engine) InferCtx(ctx context.Context, q *traj.Trajectory) (*Result, error) {
+	return e.InferRoutesCtx(ctx, q, e.defaults)
+}
+
 // inferPair runs the full per-pair stage for ⟨q_i, q_{i+1}⟩: reference
 // search (memoized), optional temporal filtering, context assembly and
 // local route inference with shortest-path fallback. pair is the pair index
 // within the query, tagged onto the stage timings.
+//
+// Deadline handling: each stage boundary checks whether the query budget
+// expired; the first boundary to notice it records a deadline.<stage> hit
+// (at most one per pair) and degrades the pair via degradePair. Outright
+// cancellation instead returns an empty outcome immediately — the join in
+// inferRoutes discards it and aborts the whole query with the context
+// error.
 func (x exec) inferPair(pair int, qi, qj traj.GPSPoint) pairOutcome {
+	if x.deadlineExpired(obs.StageReferenceSearch) {
+		return x.degradePair(x.buildPairContext(pair, qi, qj, nil), x.p.Method)
+	}
+	if x.expired() {
+		return pairOutcome{} // cancelled outright
+	}
 	sp := x.searchParams()
 	t0 := x.stageStart()
-	refs := x.eng.refs.References(qi, qj, sp)
+	refs := x.eng.refs.ReferencesCtx(x.ctx, qi, qj, sp)
 	if x.p.TemporalWeighting {
 		refs = filterByTimeOfDay(refs, qi.T, x.p.TimeWindow)
 	}
 	x.stageDone(obs.StageReferenceSearch, pair, t0, len(refs))
+	if x.deadlineExpired(obs.StageCandidateSearch) {
+		// buildPairContext stops at its first checkpoint when expired, so
+		// this constructs only the shell degradePair needs.
+		return x.degradePair(x.buildPairContext(pair, qi, qj, refs), x.p.Method)
+	}
+	if x.expired() {
+		return pairOutcome{}
+	}
 	t0 = x.stageStart()
-	ctx := x.buildPairContext(pair, qi, qj, refs)
-	x.stageDone(obs.StageCandidateSearch, pair, t0, len(ctx.points))
+	pctx := x.buildPairContext(pair, qi, qj, refs)
+	x.stageDone(obs.StageCandidateSearch, pair, t0, len(pctx.points))
 	t0 = x.stageStart()
-	locals, method := x.inferLocal(ctx)
+	locals, method := x.inferLocal(pctx)
 	x.stageDone(localStage(method), pair, t0, len(locals))
+	if x.deadlineExpired(localStage(method)) {
+		// Expiry during (or right before) local inference: the truncated
+		// route set depends on where the checkpoint fired, so drop it for
+		// the deterministic shortest-path fallback.
+		return x.degradePair(pctx, method)
+	}
+	if x.expired() {
+		return pairOutcome{}
+	}
 	st := PairStats{
-		Refs: len(refs), Points: len(ctx.points),
-		Density: ctx.density(), Method: method, Routes: len(locals),
+		Refs: len(refs), Points: len(pctx.points),
+		Density: pctx.density(), Method: method, Routes: len(locals),
 	}
 	for _, r := range refs {
 		if r.Spliced {
@@ -168,7 +262,7 @@ func (x exec) inferPair(pair int, qi, qj traj.GPSPoint) pairOutcome {
 		}
 	}
 	if len(locals) == 0 {
-		locals = x.fallbackLocal(ctx)
+		locals = x.fallbackLocal(pctx)
 		st.UsedFall = true
 		st.Routes = len(locals)
 		if x.met != nil {
@@ -176,6 +270,29 @@ func (x exec) inferPair(pair int, qi, qj traj.GPSPoint) pairOutcome {
 		}
 	}
 	return pairOutcome{stats: st, locals: locals}
+}
+
+// degradePair finishes an expired pair cheaply: one uncancelled shortest
+// path between the query points (the same fallback used when inference
+// finds nothing), flagged Degraded. The fallback runs without the
+// context on purpose — it is the bounded "finish the current pair" step
+// of graceful degradation and must not itself be cut short.
+func (x exec) degradePair(pctx *pairContext, method Method) pairOutcome {
+	locals := x.fallbackLocal(pctx)
+	st := PairStats{
+		Refs: len(pctx.refs), Points: len(pctx.points),
+		Density: pctx.density(), Method: method, Routes: len(locals),
+		UsedFall: true, Degraded: true,
+	}
+	for _, r := range pctx.refs {
+		if r.Spliced {
+			st.Spliced++
+		}
+	}
+	if x.met != nil {
+		x.met.fallbacks.Inc()
+	}
+	return pairOutcome{stats: st, locals: locals, degraded: true}
 }
 
 // localStage maps the local inference method actually used to its stage.
@@ -213,20 +330,28 @@ func trimRoute(g *roadnet.Graph, r roadnet.Route, start, end geo.Point) roadnet.
 // The method override lives in this call's private Params copy, so it is
 // safe to run concurrently with any other inference on the same engine.
 func (e *Engine) PairLocalRoutes(qi, qj traj.GPSPoint, m Method, p Params) ([]LocalRoute, PairStats) {
+	return e.PairLocalRoutesCtx(context.Background(), qi, qj, m, p)
+}
+
+// PairLocalRoutesCtx is PairLocalRoutes under a caller-supplied context.
+// Cancellation truncates the work promptly and returns whatever was
+// inferred so far (possibly nothing) — the per-pair experiments have no
+// degraded mode, so no fallback is substituted.
+func (e *Engine) PairLocalRoutesCtx(ctx context.Context, qi, qj traj.GPSPoint, m Method, p Params) ([]LocalRoute, PairStats) {
 	p.Method = m
-	x := e.newExec(p, nil)
+	x := e.newExec(ctx, p, nil)
 	t0 := x.stageStart()
-	refs := e.refs.References(qi, qj, x.searchParams())
+	refs := e.refs.ReferencesCtx(ctx, qi, qj, x.searchParams())
 	x.stageDone(obs.StageReferenceSearch, 0, t0, len(refs))
 	t0 = x.stageStart()
-	ctx := x.buildPairContext(0, qi, qj, refs)
-	x.stageDone(obs.StageCandidateSearch, 0, t0, len(ctx.points))
+	pctx := x.buildPairContext(0, qi, qj, refs)
+	x.stageDone(obs.StageCandidateSearch, 0, t0, len(pctx.points))
 	t0 = x.stageStart()
-	locals, used := x.inferLocal(ctx)
+	locals, used := x.inferLocal(pctx)
 	x.stageDone(localStage(used), 0, t0, len(locals))
 	st := PairStats{
-		Refs: len(refs), Points: len(ctx.points),
-		Density: ctx.density(), Method: used, Routes: len(locals),
+		Refs: len(refs), Points: len(pctx.points),
+		Density: pctx.density(), Method: used, Routes: len(locals),
 	}
 	return locals, st
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/graphalg"
 	"repro/internal/roadnet"
 )
 
@@ -43,13 +44,23 @@ func KGRI(g *roadnet.Graph, locals [][]LocalRoute, k int) []GlobalRoute {
 
 // kgri is KGRI with an optional constant-transition ablation.
 func kgri(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition bool) []GlobalRoute {
+	routes, _ := kgriDone(g, locals, k, constantTransition, nil)
+	return routes
+}
+
+// kgriDone is the done-aware dynamic program behind KGRI. At each pair
+// boundary it checks done (nil = uncancellable, a plain nil comparison);
+// once closed it stops the exact DP and finishes greedily via greedyFinish,
+// reporting degraded = true. For a given interruption point the output is
+// deterministic.
+func kgriDone(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition bool, done <-chan struct{}) ([]GlobalRoute, bool) {
 	n := len(locals)
 	if n == 0 || k <= 0 {
-		return nil
+		return nil, false
 	}
 	for _, set := range locals {
 		if len(set) == 0 {
-			return nil // a pair with no local routes breaks every chain
+			return nil, false // a pair with no local routes breaks every chain
 		}
 	}
 	// M[j] for the current pair i.
@@ -58,6 +69,9 @@ func kgri(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition boo
 		M[j] = []partial{{parts: []int{j}, score: lr.Popularity}}
 	}
 	for i := 1; i < n; i++ {
+		if graphalg.Stopped(done) {
+			return greedyFinish(g, locals, M, i), true
+		}
 		next := make([][]partial, len(locals[i]))
 		for j, lr := range locals[i] {
 			var cands []partial
@@ -89,7 +103,35 @@ func kgri(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition boo
 	if len(all) > k {
 		all = all[:k]
 	}
-	return materialize(g, locals, all)
+	return materialize(g, locals, all), false
+}
+
+// greedyFinish completes an interrupted K-GRI run cheaply: the single best
+// partial accumulated so far (covering pairs [0, next)) is extended with
+// each remaining pair's most popular local route — index 0, since
+// capLocalRoutes orders by popularity descending — multiplying in its
+// popularity but skipping the transition factor, whose Refs intersections
+// are exactly the work being cut short. One best-effort route beats none.
+func greedyFinish(g *roadnet.Graph, locals [][]LocalRoute, M [][]partial, next int) []GlobalRoute {
+	best := -1
+	var flat []partial
+	for _, ps := range M {
+		flat = append(flat, ps...)
+	}
+	for i := range flat {
+		if best < 0 || lessPartial(flat[i], flat[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	p := partial{parts: append([]int(nil), flat[best].parts...), score: flat[best].score}
+	for i := next; i < len(locals); i++ {
+		p.parts = append(p.parts, 0)
+		p.score *= locals[i][0].Popularity
+	}
+	return materialize(g, locals, []partial{p})
 }
 
 // BruteForceGlobalRoutes enumerates every combination of local routes and

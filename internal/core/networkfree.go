@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sort"
 
 	"repro/internal/geo"
+	"repro/internal/graphalg"
 	"repro/internal/hist"
 	"repro/internal/traj"
 )
@@ -30,23 +32,38 @@ var ErrNoFreePath = errors.New("core: no network-free path inferred")
 // polylines instead of being map-matched; a K-GRI-style dynamic program
 // over support sets assembles the global paths.
 func InferPathsNetworkFree(a *hist.Archive, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
-	return inferPathsNetworkFree(a.References, q, p, vmax)
+	return inferPathsNetworkFree(context.Background(), a.ReferencesCtx, q, p, vmax)
+}
+
+// InferPathsNetworkFreeCtx is InferPathsNetworkFree under a caller context:
+// cancellation (of any kind — network-free inference has no degraded mode)
+// aborts with the context's error at the next per-pair or DP checkpoint.
+func InferPathsNetworkFreeCtx(ctx context.Context, a *hist.Archive, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
+	return inferPathsNetworkFree(ctx, a.ReferencesCtx, q, p, vmax)
 }
 
 // InferPathsNetworkFree is the engine-backed variant: identical output, but
 // reference searches go through the engine's memo, so repeated pairs across
 // queries are looked up once.
 func (e *Engine) InferPathsNetworkFree(q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
-	return inferPathsNetworkFree(e.refs.References, q, p, vmax)
+	return inferPathsNetworkFree(context.Background(), e.refs.ReferencesCtx, q, p, vmax)
+}
+
+// InferPathsNetworkFreeCtx is the context-aware engine-backed variant, with
+// the package-level InferPathsNetworkFreeCtx's semantics.
+func (e *Engine) InferPathsNetworkFreeCtx(ctx context.Context, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
+	return inferPathsNetworkFree(ctx, e.refs.ReferencesCtx, q, p, vmax)
 }
 
 // inferPathsNetworkFree is the shared implementation, parameterized over
 // the reference search (direct archive scan or engine memo).
-func inferPathsNetworkFree(search func(qi, qj traj.GPSPoint, sp hist.SearchParams) []hist.Reference,
+func inferPathsNetworkFree(ctx context.Context,
+	search func(ctx context.Context, qi, qj traj.GPSPoint, sp hist.SearchParams) []hist.Reference,
 	q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
 	if q.Len() < 2 {
 		return nil, ErrEmptyQuery
 	}
+	done := ctx.Done()
 	sp := hist.SearchParams{
 		Phi: p.Phi, SpliceEps: p.SpliceEps,
 		SpliceMinSimple: p.SpliceMinSimple, VMax: vmax,
@@ -58,8 +75,11 @@ func inferPathsNetworkFree(search func(qi, qj traj.GPSPoint, sp hist.SearchParam
 	}
 	var locals [][]freeLocal
 	for i := 0; i+1 < q.Len(); i++ {
+		if graphalg.Stopped(done) {
+			return nil, ctx.Err()
+		}
 		qi, qj := q.Points[i], q.Points[i+1]
-		refs := search(qi, qj, sp)
+		refs := search(ctx, qi, qj, sp)
 		var pts []refPoint
 		for _, r := range refs {
 			srcs := r.SourceIDs()
@@ -67,7 +87,7 @@ func inferPathsNetworkFree(search func(qi, qj traj.GPSPoint, sp hist.SearchParam
 				pts = append(pts, refPoint{pt: gp.Pt, sources: srcs})
 			}
 		}
-		points, traces := enumerateTransitTraces(pts, qi.Pt, qj.Pt, p)
+		points, traces := enumerateTransitTraces(pts, qi.Pt, qj.Pt, p, done)
 		var cands []freeLocal
 		seen := make(map[string]bool)
 		for _, tr := range traces {
@@ -113,6 +133,9 @@ func inferPathsNetworkFree(search func(qi, qj traj.GPSPoint, sp hist.SearchParam
 		M[j] = []fpartial{{parts: []int{j}, score: float64(len(c.support)) + entropySmoothing}}
 	}
 	for i := 1; i < len(locals); i++ {
+		if graphalg.Stopped(done) {
+			return nil, ctx.Err()
+		}
 		next := make([][]fpartial, len(locals[i]))
 		for j, c := range locals[i] {
 			var cands []fpartial

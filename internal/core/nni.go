@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/geo"
+	"repro/internal/graphalg"
 	"repro/internal/mapmatch"
 	"repro/internal/rtree"
 )
@@ -37,9 +38,9 @@ func dedupPoints(pts []refPoint, cell float64) []refPoint {
 // into the transit graph of Figure 5(d) and saving repeated constrained
 // kNN searches; every q_i→q_{i+1} path of that graph is then converted to
 // a physical route by map-matching its point sequence.
-func (x exec) inferNNI(ctx *pairContext) []LocalRoute {
+func (x exec) inferNNI(pctx *pairContext) []LocalRoute {
 	p := x.p
-	points, traces := enumerateTransitTraces(ctx.points, ctx.qi.Pt, ctx.qj.Pt, p)
+	points, traces := enumerateTransitTraces(pctx.points, pctx.qi.Pt, pctx.qj.Pt, p, x.done)
 	if len(traces) == 0 {
 		return nil
 	}
@@ -50,8 +51,11 @@ func (x exec) inferNNI(ctx *pairContext) []LocalRoute {
 	mprm := mapmatch.DefaultParams()
 	mprm.CandidateRadius = p.CandEps
 	for _, tr := range traces {
-		pts := tracePoints(points, tr, ctx.qi.Pt, ctx.qj.Pt)
-		route, err := mapmatch.ProjectPointSequence(x.eng.g, pts, mprm)
+		if graphalg.Stopped(x.done) {
+			break // partial route set; the caller degrades the pair
+		}
+		pts := tracePoints(points, tr, pctx.qi.Pt, pctx.qj.Pt)
+		route, err := mapmatch.ProjectPointSequenceCtx(x.ctx, x.eng.g, pts, mprm)
 		if err != nil || len(route) == 0 {
 			continue
 		}
@@ -60,7 +64,7 @@ func (x exec) inferNNI(ctx *pairContext) []LocalRoute {
 			continue
 		}
 		seen[key] = true
-		pop, refs := x.scoreRoute(route, ctx.edgeRefs)
+		pop, refs := x.scoreRoute(route, pctx.edgeRefs)
 		out = append(out, LocalRoute{Route: route, Refs: refs, Popularity: pop})
 	}
 	return capLocalRoutes(out, p.MaxLocalRoutes)
@@ -84,8 +88,10 @@ func tracePoints(points []refPoint, trace []int, qi, qj geo.Point) []geo.Point {
 // points and returns the deduplicated point set plus every enumerated
 // q_i→q_{i+1} trace (sequences of indices into the returned point set; the
 // sink q_{i+1} appears as index len(points)). It needs no road network,
-// which is what makes the network-free extension possible.
-func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params) ([]refPoint, [][]int) {
+// which is what makes the network-free extension possible. done (nil =
+// uncancellable) is polled every 256 recursion steps; a stopped enumeration
+// returns the traces completed so far.
+func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params, done <-chan struct{}) ([]refPoint, [][]int) {
 	// Collapse nearby reference points: GPS noise scatters many archive
 	// samples of the same road into a 2D band, and at fine resolution every
 	// node's k nearest neighbors are band-mates — the transit graph would
@@ -179,6 +185,10 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 	dfs = func(node int, alpha float64) {
 		steps++
 		if steps > maxSteps || len(traces) >= p.MaxNNIPaths {
+			return
+		}
+		if steps&255 == 0 && graphalg.Stopped(done) {
+			steps = maxSteps + 1 // poison the budget: unwind the whole tree
 			return
 		}
 		if node == sinkNode {

@@ -66,9 +66,9 @@ func TestQuickTransitionConfidenceBounds(t *testing.T) {
 	}
 }
 
-// TestQuickKGRIEqualsBruteForce: randomized local route sets keep the DP
-// and the enumeration in exact agreement (scores and count).
-func TestQuickKGRIEqualsBruteForce(t *testing.T) {
+// oracleGrid builds the path-shaped road network the K-GRI oracle tests
+// route over, plus a lookup from a vertex pair to its segment.
+func oracleGrid() (*roadnet.Graph, func(u, v roadnet.VertexID) roadnet.EdgeID) {
 	g := roadnet.NewGrid(2, 8, 100, 15)
 	find := func(u, v roadnet.VertexID) roadnet.EdgeID {
 		for i := range g.Segments {
@@ -78,38 +78,76 @@ func TestQuickKGRIEqualsBruteForce(t *testing.T) {
 		}
 		return roadnet.NoEdge
 	}
-	f := func(seed int64, pairsRaw, mRaw, kRaw uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
-		pairs := 1 + int(pairsRaw%5)
-		m := 1 + int(mRaw%4)
-		k := 1 + int(kRaw%6)
-		locals := make([][]LocalRoute, pairs)
-		for i := range locals {
-			for j := 0; j < m; j++ {
-				ids := make([]int, 1+rng.Intn(3))
-				for x := range ids {
-					ids[x] = rng.Intn(6)
-				}
-				locals[i] = append(locals[i], LocalRoute{
-					Route:      roadnet.Route{find(roadnet.VertexID(i), roadnet.VertexID(i+1))},
-					Refs:       refSet(ids...),
-					Popularity: 0.05 + rng.Float64(),
-				})
+	return g, find
+}
+
+// kgriMatchesBruteForce generates random local route sets from (seed,
+// pairs, m, k) and checks KGRI against the brute-force enumeration on both
+// scores and the chosen Parts indices.
+func kgriMatchesBruteForce(g *roadnet.Graph, find func(u, v roadnet.VertexID) roadnet.EdgeID,
+	seed int64, pairs, m, k int) bool {
+	rng := rand.New(rand.NewSource(seed))
+	locals := make([][]LocalRoute, pairs)
+	for i := range locals {
+		for j := 0; j < m; j++ {
+			ids := make([]int, 1+rng.Intn(3))
+			for x := range ids {
+				ids[x] = rng.Intn(6)
 			}
+			locals[i] = append(locals[i], LocalRoute{
+				Route:      roadnet.Route{find(roadnet.VertexID(i), roadnet.VertexID(i+1))},
+				Refs:       refSet(ids...),
+				Popularity: 0.05 + rng.Float64(),
+			})
 		}
-		a := KGRI(g, locals, k)
-		b := BruteForceGlobalRoutes(g, locals, k)
-		if len(a) != len(b) {
+	}
+	a := KGRI(g, locals, k)
+	b := BruteForceGlobalRoutes(g, locals, k)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i].Score-b[i].Score) > 1e-12*math.Max(1, b[i].Score) {
 			return false
 		}
-		for i := range a {
-			if math.Abs(a[i].Score-b[i].Score) > 1e-12*math.Max(1, b[i].Score) {
+		if len(a[i].Parts) != len(b[i].Parts) {
+			return false
+		}
+		for x := range a[i].Parts {
+			if a[i].Parts[x] != b[i].Parts[x] {
 				return false
 			}
 		}
-		return true
+	}
+	return true
+}
+
+// TestQuickKGRIEqualsBruteForce: randomized local route sets keep the DP
+// and the enumeration in exact agreement — count, scores AND the Parts
+// (which local route each pair chose), so tie-breaking matches too.
+func TestQuickKGRIEqualsBruteForce(t *testing.T) {
+	g, find := oracleGrid()
+	f := func(seed int64, pairsRaw, mRaw, kRaw uint8) bool {
+		return kgriMatchesBruteForce(g, find,
+			seed, 1+int(pairsRaw%5), 1+int(mRaw%4), 1+int(kRaw%6))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestKGRIOracleFixedSeeds pins the oracle on a spread of fixed seeds and
+// shapes so any regression reproduces deterministically (testing/quick
+// draws different inputs per run).
+func TestKGRIOracleFixedSeeds(t *testing.T) {
+	g, find := oracleGrid()
+	for seed := int64(1); seed <= 12; seed++ {
+		pairs := 1 + int(seed%5)
+		m := 1 + int(seed%4)
+		k := 1 + int(seed%6)
+		if !kgriMatchesBruteForce(g, find, seed, pairs, m, k) {
+			t.Errorf("KGRI disagrees with brute force for seed=%d pairs=%d m=%d k=%d",
+				seed, pairs, m, k)
+		}
 	}
 }

@@ -20,12 +20,12 @@ import (
 // connected; transitive graph reduction drops redundant links; Yen's
 // K-shortest-path search between every candidate-edge pair yields paths
 // that are finally projected back onto the physical road network.
-func (x exec) inferTGI(ctx *pairContext) []LocalRoute {
+func (x exec) inferTGI(pctx *pairContext) []LocalRoute {
 	g := x.eng.g
 	p := x.p
 
-	srcs := x.queryCandidates(ctx.qi.Pt)
-	dsts := x.queryCandidates(ctx.qj.Pt)
+	srcs := x.queryCandidates(pctx.qi.Pt)
+	dsts := x.queryCandidates(pctx.qj.Pt)
 	if len(srcs) == 0 || len(dsts) == 0 {
 		return nil
 	}
@@ -44,8 +44,8 @@ func (x exec) inferTGI(ctx *pairContext) []LocalRoute {
 	}
 	// Sorted insertion keeps the traverse graph — and with it Yen's
 	// tie-breaking among equal-weight paths — deterministic across runs.
-	traverse := make([]roadnet.EdgeID, 0, len(ctx.edgeRefs))
-	for e := range ctx.edgeRefs {
+	traverse := make([]roadnet.EdgeID, 0, len(pctx.edgeRefs))
+	for e := range pctx.edgeRefs {
 		traverse = append(traverse, e)
 	}
 	sort.Ints(traverse)
@@ -67,7 +67,10 @@ func (x exec) inferTGI(ctx *pairContext) []LocalRoute {
 	// the fewest-hop ones.
 	tg := graphalg.NewGraph(len(edges))
 	for i, r := range edges {
-		hops := g.EdgeHops(r, p.Lambda-1)
+		if graphalg.Stopped(x.done) {
+			break // truncated traverse graph; the caller degrades the pair
+		}
+		hops := g.EdgeHopsCtx(x.ctx, r, p.Lambda-1)
 		rEnd := g.Vertices[g.Seg(r).To].Pt
 		for j, sEdge := range edges {
 			if i == j {
@@ -85,19 +88,22 @@ func (x exec) inferTGI(ctx *pairContext) []LocalRoute {
 	// TGI whose cost scales with λ (Figure 9's local-inference driver), so
 	// it gets its own stage timing.
 	t0 := x.stageStart()
-	augmentStronglyConnected(tg, edges, g)
+	augmentStronglyConnected(tg, edges, g, x.done)
 	if p.GraphReduction {
-		reduceTraverseGraph(tg)
+		reduceTraverseGraph(tg, x.done)
 	}
-	x.stageDone(obs.StageConnectionCulling, ctx.pair, t0, len(edges))
+	x.stageDone(obs.StageConnectionCulling, pctx.pair, t0, len(edges))
 
 	// K-shortest paths between every (source, destination) candidate pair
 	// (lines 11–13), projected to physical routes (line 14).
 	seen := make(map[string]bool)
 	var out []LocalRoute
 	for _, se := range srcs {
+		if graphalg.Stopped(x.done) {
+			break
+		}
 		for _, de := range dsts {
-			paths := graphalg.KShortestPaths(tg, nodeOf[se], nodeOf[de], p.K1)
+			paths := graphalg.KShortestPathsCtx(x.ctx, tg, nodeOf[se], nodeOf[de], p.K1)
 			for _, path := range paths {
 				route, ok := x.projectPath(path.Vertices, edges)
 				if !ok || len(route) == 0 {
@@ -108,7 +114,7 @@ func (x exec) inferTGI(ctx *pairContext) []LocalRoute {
 					continue
 				}
 				seen[key] = true
-				pop, refs := x.scoreRoute(route, ctx.edgeRefs)
+				pop, refs := x.scoreRoute(route, pctx.edgeRefs)
 				out = append(out, LocalRoute{Route: route, Refs: refs, Popularity: pop})
 			}
 		}
@@ -139,14 +145,19 @@ func (x exec) queryCandidates(pt geo.Point) []roadnet.EdgeID {
 // while the traverse graph is not strongly connected, link the closest pair
 // of nodes from different components with two directed arcs (the k=1
 // special case of the connectivity augmentation problem, solved greedily
-// like a minimum spanning tree over components).
-func augmentStronglyConnected(tg *graphalg.Graph, edges []roadnet.EdgeID, g *roadnet.Graph) {
+// like a minimum spanning tree over components). Each augmentation round
+// checks done: an interrupted run leaves the graph only partially
+// connected, which merely loses some K-shortest-path results.
+func augmentStronglyConnected(tg *graphalg.Graph, edges []roadnet.EdgeID, g *roadnet.Graph, done <-chan struct{}) {
 	mid := make([]geo.Point, len(edges))
 	for i, e := range edges {
 		seg := g.Seg(e)
 		mid[i] = seg.Shape.At(seg.Length / 2)
 	}
 	for {
+		if graphalg.Stopped(done) {
+			return
+		}
 		comp, count := graphalg.StronglyConnectedComponents(tg)
 		if count <= 1 {
 			return
@@ -178,7 +189,7 @@ func augmentStronglyConnected(tg *graphalg.Graph, edges []roadnet.EdgeID, g *roa
 // expressed in our hop convention where adjacent edges are 1 hop apart).
 // Removal preserves all shortest-path distances while shrinking the search
 // space of the K-shortest-path stage.
-func reduceTraverseGraph(tg *graphalg.Graph) {
+func reduceTraverseGraph(tg *graphalg.Graph, done <-chan struct{}) {
 	n := tg.N()
 	w := make([]map[int]float64, n)
 	for u := 0; u < n; u++ {
@@ -196,6 +207,11 @@ func reduceTraverseGraph(tg *graphalg.Graph) {
 	// links change path weights by at most this amount.
 	const tol = 30.0 // meters
 	for r := 0; r < n; r++ {
+		// Reduction only ever removes redundant links, so stopping part-way
+		// leaves a valid (just less pruned) traverse graph.
+		if graphalg.Stopped(done) {
+			return
+		}
 		for k, wrk := range w[r] {
 			redundant := false
 			for j, wrj := range w[r] {

@@ -336,6 +336,45 @@ func (w *World) Figure14b(pairCounts []int) *Table {
 	return t
 }
 
+// DeadlineProfile sweeps the per-query deadline budget and reports how
+// gracefully inference degrades: mean accuracy over the query set, the
+// fraction of queries that returned a best-effort Degraded result, and the
+// mean wall clock per query in ms. A deadline of 0 (no budget) is the
+// baseline row. Failed queries (no route at all) score zero accuracy, like
+// everywhere else in the harness.
+func (w *World) DeadlineProfile(deadlines []time.Duration) *Table {
+	t := &Table{Figure: "deadline", Title: "Graceful degradation vs per-query deadline",
+		XLabel: "deadline (ms)", YLabel: "value"}
+	qs := w.Queries(w.Cfg.Queries, 180, w.Cfg.QueryLen, w.Cfg.Seed+977)
+	if len(qs) == 0 {
+		return t
+	}
+	for _, d := range deadlines {
+		p := w.P
+		p.Deadline = d
+		var acc float64
+		degraded := 0
+		start := time.Now()
+		for _, qc := range qs {
+			res, err := w.Eng.InferRoutes(qc.Query, p)
+			if err != nil || len(res.Routes) == 0 {
+				continue
+			}
+			if res.Degraded {
+				degraded++
+			}
+			acc += AccuracyAL(w.Graph(), qc.Truth, res.Routes[0].Route)
+		}
+		elapsed := time.Since(start)
+		x := float64(d.Milliseconds())
+		n := float64(len(qs))
+		t.Add("A_L", x, acc/n)
+		t.Add("degraded", x, float64(degraded)/n)
+		t.Add("ms/query", x, float64(elapsed.Milliseconds())/n)
+	}
+	return t
+}
+
 func seriesSR(sr float64) string {
 	return "SR=" + strconv.FormatFloat(sr, 'g', -1, 64) + "min"
 }

@@ -2,6 +2,7 @@ package graphalg
 
 import (
 	"container/heap"
+	"context"
 	"math"
 )
 
@@ -12,6 +13,17 @@ import (
 // the explored vertex set substantially for the point-to-point queries
 // map-matching issues in bulk.
 func AStar(g *Graph, src, dst int, h func(int) float64) (Path, bool) {
+	return aStar(g, src, dst, h, nil)
+}
+
+// AStarCtx is AStar with a cancellation checkpoint every few hundred heap
+// pops. When ctx is cancelled the search stops early and reports ok=false;
+// callers distinguish "unreachable" from "cancelled" via ctx.Err().
+func AStarCtx(ctx context.Context, g *Graph, src, dst int, h func(int) float64) (Path, bool) {
+	return aStar(g, src, dst, h, ctx.Done())
+}
+
+func aStar(g *Graph, src, dst int, h func(int) float64, done <-chan struct{}) (Path, bool) {
 	n := g.N()
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return Path{}, false
@@ -25,7 +37,11 @@ func AStar(g *Graph, src, dst int, h func(int) float64) (Path, bool) {
 	}
 	dist[src] = 0
 	pqh := pq{{v: src, dist: h(src)}}
+	pops := 0
 	for pqh.Len() > 0 {
+		if pops++; pops&(stride-1) == 0 && Stopped(done) {
+			return Path{}, false
+		}
 		it := heap.Pop(&pqh).(pqItem)
 		v := it.v
 		if closed[v] {

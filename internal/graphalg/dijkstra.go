@@ -2,6 +2,7 @@ package graphalg
 
 import (
 	"container/heap"
+	"context"
 	"math"
 )
 
@@ -18,10 +19,16 @@ type pqItem struct {
 
 type pq []pqItem
 
-func (h pq) Len() int           { return len(h) }
-func (h pq) Less(i, j int) bool { return h[i].dist < h[j].dist }
-func (h pq) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *pq) Push(x any)        { *h = append(*h, x.(pqItem)) }
+func (h pq) Len() int { return len(h) }
+
+// Less orders by distance, then vertex id, so the settle order — and with
+// it every tie-dependent choice downstream — is independent of arc
+// insertion order.
+func (h pq) Less(i, j int) bool {
+	return h[i].dist < h[j].dist || (h[i].dist == h[j].dist && h[i].v < h[j].v)
+}
+func (h pq) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x any)   { *h = append(*h, x.(pqItem)) }
 func (h *pq) Pop() any {
 	old := *h
 	n := len(old)
@@ -33,7 +40,19 @@ func (h *pq) Pop() any {
 // ShortestPath returns the minimum-weight path from src to dst, or ok=false
 // if dst is unreachable. Negative weights are not supported.
 func ShortestPath(g *Graph, src, dst int) (Path, bool) {
-	dist, prev := dijkstra(g, src, dst, nil, nil)
+	return shortestPath(g, src, dst, nil)
+}
+
+// ShortestPathCtx is ShortestPath with a cancellation checkpoint every few
+// hundred heap pops. When ctx is cancelled the search stops early and
+// reports ok=false; callers distinguish "unreachable" from "cancelled" by
+// inspecting ctx.Err().
+func ShortestPathCtx(ctx context.Context, g *Graph, src, dst int) (Path, bool) {
+	return shortestPath(g, src, dst, ctx.Done())
+}
+
+func shortestPath(g *Graph, src, dst int, done <-chan struct{}) (Path, bool) {
+	dist, prev := dijkstra(g, src, dst, nil, nil, done)
 	if math.IsInf(dist[dst], 1) {
 		return Path{}, false
 	}
@@ -43,21 +62,31 @@ func ShortestPath(g *Graph, src, dst int) (Path, bool) {
 // ShortestDist returns only the distance from src to dst (+Inf if
 // unreachable), without path reconstruction bookkeeping beyond prev.
 func ShortestDist(g *Graph, src, dst int) float64 {
-	dist, _ := dijkstra(g, src, dst, nil, nil)
+	dist, _ := dijkstra(g, src, dst, nil, nil, nil)
 	return dist[dst]
 }
 
 // AllDistances returns the shortest distance from src to every vertex
 // (+Inf when unreachable).
 func AllDistances(g *Graph, src int) []float64 {
-	dist, _ := dijkstra(g, src, -1, nil, nil)
+	dist, _ := dijkstra(g, src, -1, nil, nil, nil)
+	return dist
+}
+
+// AllDistancesCtx is AllDistances with cancellation checkpoints. A
+// cancelled search returns the distances settled so far; unsettled
+// vertices stay +Inf.
+func AllDistancesCtx(ctx context.Context, g *Graph, src int) []float64 {
+	dist, _ := dijkstra(g, src, -1, nil, nil, ctx.Done())
 	return dist
 }
 
 // dijkstra runs Dijkstra from src. If dst >= 0 it stops when dst settles.
 // banned vertices and arcs (keyed u*n+v) are skipped — Yen's algorithm uses
-// both to carve the spur graph without copying it.
-func dijkstra(g *Graph, src, dst int, bannedVertex []bool, bannedArc map[[2]int]bool) ([]float64, []int) {
+// both to carve the spur graph without copying it. A non-nil done channel
+// is polled every stride pops; when closed the search stops with whatever
+// has settled (unreached vertices keep +Inf, so callers see "unreachable").
+func dijkstra(g *Graph, src, dst int, bannedVertex []bool, bannedArc map[[2]int]bool, done <-chan struct{}) ([]float64, []int) {
 	n := g.N()
 	dist := make([]float64, n)
 	prev := make([]int, n)
@@ -70,7 +99,11 @@ func dijkstra(g *Graph, src, dst int, bannedVertex []bool, bannedArc map[[2]int]
 	}
 	dist[src] = 0
 	h := pq{{v: src, dist: 0}}
+	pops := 0
 	for h.Len() > 0 {
+		if pops++; pops&(stride-1) == 0 && Stopped(done) {
+			break
+		}
 		it := heap.Pop(&h).(pqItem)
 		if it.dist > dist[it.v] {
 			continue
@@ -85,10 +118,20 @@ func dijkstra(g *Graph, src, dst int, bannedVertex []bool, bannedArc map[[2]int]
 			if bannedArc != nil && bannedArc[[2]int{it.v, a.To}] {
 				continue
 			}
-			if nd := it.dist + a.W; nd < dist[a.To] {
+			nd := it.dist + a.W
+			if nd < dist[a.To] {
 				dist[a.To] = nd
 				prev[a.To] = it.v
 				heap.Push(&h, pqItem{v: a.To, dist: nd})
+			} else if nd == dist[a.To] && a.W > 0 && prev[a.To] >= 0 && it.v < prev[a.To] {
+				// Among equal-weight shortest paths keep the smallest
+				// predecessor: the returned path is then a deterministic
+				// function of the graph's arcs, not of their insertion
+				// order — which Yen's spur searches rely on for stable
+				// equal-weight tie-breaking. The a.W > 0 guard keeps the
+				// predecessor relation acyclic (a prev cycle would need a
+				// zero-weight cycle).
+				prev[a.To] = it.v
 			}
 		}
 	}
@@ -114,6 +157,16 @@ func reconstruct(prev []int, src, dst int) []int {
 // (-1 when unreachable). maxHops < 0 means unlimited; otherwise the search
 // stops expanding past maxHops.
 func BFSHops(g *Graph, src int, maxHops int) []int {
+	return bfsHops(g, src, maxHops, nil)
+}
+
+// BFSHopsCtx is BFSHops with cancellation checkpoints. A cancelled search
+// returns the hop counts discovered so far; unvisited vertices stay -1.
+func BFSHopsCtx(ctx context.Context, g *Graph, src int, maxHops int) []int {
+	return bfsHops(g, src, maxHops, ctx.Done())
+}
+
+func bfsHops(g *Graph, src int, maxHops int, done <-chan struct{}) []int {
 	hops := make([]int, g.N())
 	for i := range hops {
 		hops[i] = -1
@@ -123,7 +176,11 @@ func BFSHops(g *Graph, src int, maxHops int) []int {
 	}
 	hops[src] = 0
 	queue := []int{src}
+	pops := 0
 	for len(queue) > 0 {
+		if pops++; pops&(stride-1) == 0 && Stopped(done) {
+			break
+		}
 		v := queue[0]
 		queue = queue[1:]
 		if maxHops >= 0 && hops[v] >= maxHops {

@@ -1,6 +1,7 @@
 package graphalg
 
 import (
+	"context"
 	"math"
 	"sort"
 )
@@ -10,10 +11,22 @@ import (
 // Dijkstra as the underlying single-pair solver — the K-shortest-path
 // subroutine of the TGI algorithm (Algorithm 1, line 13).
 func KShortestPaths(g *Graph, src, dst, k int) []Path {
+	return kShortestPaths(g, src, dst, k, nil)
+}
+
+// KShortestPathsCtx is KShortestPaths with a cancellation checkpoint at
+// every spur iteration (and inside each spur's Dijkstra). When ctx is
+// cancelled mid-search it returns the complete paths found so far, which
+// remain a valid nondecreasing-weight prefix of the full answer.
+func KShortestPathsCtx(ctx context.Context, g *Graph, src, dst, k int) []Path {
+	return kShortestPaths(g, src, dst, k, ctx.Done())
+}
+
+func kShortestPaths(g *Graph, src, dst, k int, done <-chan struct{}) []Path {
 	if k <= 0 {
 		return nil
 	}
-	first, ok := ShortestPath(g, src, dst)
+	first, ok := shortestPath(g, src, dst, done)
 	if !ok {
 		return nil
 	}
@@ -24,6 +37,9 @@ func KShortestPaths(g *Graph, src, dst, k int) []Path {
 		last := paths[len(paths)-1].Vertices
 		// Each vertex of the previous path (except the last) is a spur node.
 		for i := 0; i < len(last)-1; i++ {
+			if Stopped(done) {
+				return paths
+			}
 			spur := last[i]
 			rootPath := last[:i+1]
 			rootWeight := pathWeight(g, rootPath)
@@ -46,7 +62,7 @@ func KShortestPaths(g *Graph, src, dst, k int) []Path {
 				bannedVertex[v] = true
 			}
 
-			dist, prev := dijkstra(g, spur, dst, bannedVertex, bannedArc)
+			dist, prev := dijkstra(g, spur, dst, bannedVertex, bannedArc, done)
 			if math.IsInf(dist[dst], 1) {
 				continue
 			}
@@ -60,11 +76,29 @@ func KShortestPaths(g *Graph, src, dst, k int) []Path {
 		if len(candidates) == 0 {
 			break
 		}
-		sort.Slice(candidates, func(a, b int) bool { return candidates[a].Weight < candidates[b].Weight })
+		// Equal-weight candidates tie-break lexicographically on their
+		// vertex sequence: which path becomes the k-th result must not
+		// depend on candidate generation order (determinism guarantee).
+		sort.Slice(candidates, func(a, b int) bool {
+			if candidates[a].Weight != candidates[b].Weight {
+				return candidates[a].Weight < candidates[b].Weight
+			}
+			return lexLess(candidates[a].Vertices, candidates[b].Vertices)
+		})
 		paths = append(paths, candidates[0])
 		candidates = candidates[1:]
 	}
 	return paths
+}
+
+// lexLess orders vertex sequences lexicographically, shorter prefix first.
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }
 
 func pathWeight(g *Graph, vs []int) float64 {

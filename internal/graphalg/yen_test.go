@@ -119,6 +119,45 @@ func TestYenPathsLooplessSortedDistinct(t *testing.T) {
 	}
 }
 
+// TestYenEqualWeightTieBreak: with several parallel equal-weight routes,
+// every rank past the first is drawn from the sorted candidate pool, so
+// the results must come out in lexicographic vertex order no matter what
+// order the arcs were inserted — candidate generation order must not leak
+// into which path becomes the k-th result.
+func TestYenEqualWeightTieBreak(t *testing.T) {
+	build := func(mids []int) *Graph {
+		g := NewGraph(6)
+		for _, m := range mids {
+			g.AddArc(0, m, 1)
+			g.AddArc(m, 5, 1)
+		}
+		return g
+	}
+	for _, mids := range [][]int{{1, 2, 3, 4}, {4, 3, 2, 1}, {2, 4, 1, 3}} {
+		g := build(mids)
+		ps := KShortestPaths(g, 0, 5, 4)
+		if len(ps) != 4 {
+			t.Fatalf("mids %v: got %d paths, want 4", mids, len(ps))
+		}
+		seen := map[int]bool{}
+		for _, p := range ps {
+			if p.Weight != 2 || len(p.Vertices) != 3 {
+				t.Fatalf("mids %v: unexpected path %v (w=%v)", mids, p.Vertices, p.Weight)
+			}
+			seen[p.Vertices[1]] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("mids %v: duplicate routes among %v", mids, ps)
+		}
+		for i := 2; i < len(ps); i++ {
+			if !lexLess(ps[i-1].Vertices, ps[i].Vertices) {
+				t.Fatalf("mids %v: rank %d path %v should sort lex-after rank %d path %v",
+					mids, i+1, ps[i].Vertices, i, ps[i-1].Vertices)
+			}
+		}
+	}
+}
+
 func TestYenUnreachableAndDegenerate(t *testing.T) {
 	g := NewGraph(3)
 	g.AddArc(0, 1, 1)

@@ -129,6 +129,49 @@ func TestSplicedReference(t *testing.T) {
 	}
 }
 
+// TestSplicedPlaneSweepDuplicateXAtWindowEdge pins the plane-sweep join's
+// boundary handling: b-side points with duplicate X coordinates sitting
+// exactly on the ε window edges (pa.X−ε and pa.X+ε) must all be examined —
+// the sweep's lower pointer may not skip past equal-X duplicates, and both
+// window edges are inclusive so a pair at Euclidean distance exactly ε
+// splices. Whether a boundary point joins is then decided by the true
+// distance filter, not by which duplicate the sort happened to put first.
+func TestSplicedPlaneSweepDuplicateXAtWindowEdge(t *testing.T) {
+	g, qi, qj := refWorld()
+	// A-side: near qi only; its point (200,10) is the sweep anchor, so with
+	// ε=60 the X window is exactly [140, 260].
+	ta := lineTraj("ta", geo.Pt(40, 10), geo.Pt(200, 10))
+	// Two b-side trajectories share X=140 — duplicates straddling the lower
+	// window edge. lowOK is at distance exactly ε from the anchor (60 m in X,
+	// 0 in Y); lowFar has the same X but is 84.9 m away, past ε.
+	lowOK := lineTraj("lowOK", geo.Pt(140, 10), geo.Pt(350, 20))
+	lowFar := lineTraj("lowFar", geo.Pt(140, 70), geo.Pt(350, 40))
+	// And one at the upper window edge X=260, again at distance exactly ε.
+	upOK := lineTraj("upOK", geo.Pt(260, 10), geo.Pt(350, 30))
+	a := NewArchive(g, []*traj.Trajectory{ta, lowOK, lowFar, upOK})
+
+	refs := a.References(qi, qj, SearchParams{Phi: 60, SpliceEps: 60})
+	if len(refs) != 2 {
+		t.Fatalf("spliced references = %d, want 2 (both exact-ε edge pairs): %+v",
+			len(refs), refs)
+	}
+	got := map[int]bool{}
+	for _, r := range refs {
+		if !r.Spliced || r.SourceA != 0 {
+			t.Fatalf("unexpected reference %+v", r)
+		}
+		got[r.SourceB] = true
+	}
+	if !got[1] || !got[3] {
+		t.Fatalf("spliced partners = %v, want lowOK (1) and upOK (3)", got)
+	}
+	// Shrinking ε below the exact boundary distance drops both pairs: the
+	// two accepted splices really did sit on the window edge.
+	if refs := a.References(qi, qj, SearchParams{Phi: 60, SpliceEps: 59.9}); len(refs) != 0 {
+		t.Fatalf("ε=59.9 should reject the exact-60 m pairs, got %d", len(refs))
+	}
+}
+
 func TestSplicedPairMinimizesDistanceSum(t *testing.T) {
 	g, qi, qj := refWorld()
 	// Ta and Tb overlap at two places; the chosen pair must minimize

@@ -1,10 +1,12 @@
 package hist
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"repro/internal/geo"
+	"repro/internal/graphalg"
 	"repro/internal/traj"
 )
 
@@ -63,6 +65,19 @@ func DefaultSearchParams() SearchParams {
 // splicing is enabled — the spliced references of Definition 7 built from
 // the leftover one-sided candidates.
 func (a *Archive) References(qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	return a.references(qi, qj, p, nil)
+}
+
+// ReferencesCtx is References with cancellation checkpoints in the
+// per-candidate-trajectory loop and the plane-sweep splice join. When ctx
+// is cancelled mid-search the references found so far are returned — a
+// valid (possibly empty) subset of the full answer; the caller decides via
+// ctx.Err() whether to use or discard them.
+func (a *Archive) ReferencesCtx(ctx context.Context, qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	return a.references(qi, qj, p, ctx.Done())
+}
+
+func (a *Archive) references(qi, qj traj.GPSPoint, p SearchParams, done <-chan struct{}) []Reference {
 	vmax := p.VMax
 	if vmax <= 0 {
 		vmax = a.G.MaxSpeed()
@@ -87,6 +102,9 @@ func (a *Archive) References(qi, qj traj.GPSPoint, p SearchParams) []Reference {
 	}
 	sort.Ints(candidates)
 	for _, ti := range candidates {
+		if graphalg.Stopped(done) {
+			return refs
+		}
 		if _, ok := bestJ[ti]; !ok {
 			continue
 		}
@@ -112,7 +130,7 @@ func (a *Archive) References(qi, qj traj.GPSPoint, p SearchParams) []Reference {
 	}
 
 	if p.SpliceEps > 0 && (p.SpliceMinSimple == 0 || len(refs) < p.SpliceMinSimple) {
-		refs = append(refs, a.splicedReferences(qi, qj, p, bestI, bestJ, usedA, vmaxBudget)...)
+		refs = append(refs, a.splicedReferences(qi, qj, p, bestI, bestJ, usedA, vmaxBudget, done)...)
 	}
 
 	if p.MaxRefs > 0 && len(refs) > p.MaxRefs {
@@ -172,7 +190,8 @@ func speedFeasible(pts []traj.GPSPoint, qi, qj geo.Point, budget float64) bool {
 // sets; for each (T_a, T_b) the pair minimizing d(p_a,q_i)+d(p_b,q_{i+1})
 // is kept.
 func (a *Archive) splicedReferences(qi, qj traj.GPSPoint, p SearchParams,
-	bestI, bestJ map[int]PointRef, usedA map[int]bool, vmaxBudget float64) []Reference {
+	bestI, bestJ map[int]PointRef, usedA map[int]bool, vmaxBudget float64,
+	done <-chan struct{}) []Reference {
 
 	type swPoint struct {
 		pt   geo.Point
@@ -238,7 +257,10 @@ func (a *Archive) splicedReferences(qi, qj traj.GPSPoint, p SearchParams,
 	}
 	bestPair := make(map[pairKey]splice)
 	lo := 0
-	for _, pa := range aside {
+	for i, pa := range aside {
+		if i&255 == 0 && graphalg.Stopped(done) {
+			return nil // a partial sweep would bias pair selection; drop it
+		}
 		for lo < len(bside) && bside[lo].pt.X < pa.pt.X-p.SpliceEps {
 			lo++
 		}

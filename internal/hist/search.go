@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/geo"
+	"repro/internal/rtree"
 	"repro/internal/traj"
 )
 
@@ -82,26 +83,22 @@ func DTWMeasure() SimilarityMeasure {
 }
 
 // SimilarTrajectories returns the k archive trajectories most similar to
-// the query under the given measure. Candidates are pruned to trajectories
-// passing within radius of the query's bounding box before the (more
-// expensive) measure runs.
+// the query under the given measure. Candidates are pruned with an R-tree
+// range query over the query's bounding box expanded by radius (the same
+// point index BestConnecting uses), so only trajectories with at least one
+// sample in that box reach the (more expensive) measure.
 func (a *Archive) SimilarTrajectories(q *traj.Trajectory, k int, radius float64, m SimilarityMeasure) []Ranked {
 	if k <= 0 || q.Len() == 0 {
 		return nil
 	}
-	// Prune: any sample of the candidate within radius of the query bbox.
 	box := q.BBox()
 	box.Min = box.Min.Add(geo.Pt(-radius, -radius))
 	box.Max = box.Max.Add(geo.Pt(radius, radius))
 	cands := make(map[int]bool)
-	for ti, tr := range a.Trajs {
-		for _, p := range tr.Points {
-			if box.Contains(p.Pt) {
-				cands[ti] = true
-				break
-			}
-		}
-	}
+	a.index.Visit(box, func(e rtree.Entry[PointRef]) bool {
+		cands[e.Item.Traj] = true
+		return true
+	})
 	ranked := make([]Ranked, 0, len(cands))
 	for ti := range cands {
 		ranked = append(ranked, Ranked{Traj: ti, Score: m(q, a.Trajs[ti])})

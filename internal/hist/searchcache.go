@@ -1,6 +1,7 @@
 package hist
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -55,6 +56,17 @@ func (c *SearchCache) Archive() *Archive { return c.a }
 // References returns Archive.References(qi, qj, p), memoized. Safe for
 // concurrent use; the result must not be modified.
 func (c *SearchCache) References(qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	return c.references(context.Background(), qi, qj, p)
+}
+
+// ReferencesCtx is References with cancellation checkpoints. A search cut
+// short by cancellation returns its partial result but is never memoized —
+// the cache must only ever serve complete answers.
+func (c *SearchCache) ReferencesCtx(ctx context.Context, qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	return c.references(ctx, qi, qj, p)
+}
+
+func (c *SearchCache) references(ctx context.Context, qi, qj traj.GPSPoint, p SearchParams) []Reference {
 	k := searchKey{qi: qi, qj: qj, p: p}
 	c.mu.RLock()
 	v, ok := c.m[k]
@@ -64,7 +76,10 @@ func (c *SearchCache) References(qi, qj traj.GPSPoint, p SearchParams) []Referen
 		return v
 	}
 	c.misses.Add(1)
-	v = c.a.References(qi, qj, p)
+	v = c.a.ReferencesCtx(ctx, qi, qj, p)
+	if ctx.Err() != nil {
+		return v // possibly truncated by cancellation: do not memoize
+	}
 	c.mu.Lock()
 	if len(c.m) >= c.max {
 		// Wholesale reset: cheap, but when the working set exceeds max the

@@ -6,10 +6,12 @@
 package mapmatch
 
 import (
+	"context"
 	"errors"
 	"math"
 
 	"repro/internal/geo"
+	"repro/internal/graphalg"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -24,6 +26,14 @@ type Matcher interface {
 	Name() string
 	// Match returns the matched route for t.
 	Match(t *traj.Trajectory) (roadnet.Route, error)
+}
+
+// CtxMatcher is implemented by matchers whose per-point dynamic programs
+// carry cancellation checkpoints. All matchers in this package implement
+// it; MatchCtx returns ctx.Err() when cancelled mid-match.
+type CtxMatcher interface {
+	Matcher
+	MatchCtx(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error)
 }
 
 // Params are the candidate-search settings shared by all matchers.
@@ -62,17 +72,32 @@ func observation(dist, sigma float64) float64 {
 // are skipped (the later location is dropped), mirroring how practical
 // matchers tolerate outliers. It fails only when no two locations connect.
 func StitchLocations(g *roadnet.Graph, locs []roadnet.Location) (roadnet.Route, error) {
+	return stitchLocations(context.Background(), g, locs)
+}
+
+// StitchLocationsCtx is StitchLocations with a cancellation checkpoint per
+// location (each bridge is a shortest-path search). Returns ctx.Err() when
+// cancelled.
+func StitchLocationsCtx(ctx context.Context, g *roadnet.Graph, locs []roadnet.Location) (roadnet.Route, error) {
+	return stitchLocations(ctx, g, locs)
+}
+
+func stitchLocations(ctx context.Context, g *roadnet.Graph, locs []roadnet.Location) (roadnet.Route, error) {
+	done := ctx.Done()
 	var route roadnet.Route
 	have := false
 	cur := roadnet.Location{}
 	for _, l := range locs {
+		if graphalg.Stopped(done) {
+			return nil, ctx.Err()
+		}
 		if !have {
 			route = roadnet.Route{l.Edge}
 			cur = l
 			have = true
 			continue
 		}
-		part, _, ok := g.PathBetweenLocations(cur, l)
+		part, _, ok := g.PathBetweenLocationsCtx(ctx, cur, l)
 		if !ok {
 			continue
 		}
@@ -96,11 +121,25 @@ func StitchLocations(g *roadnet.Graph, locs []roadnet.Location) (roadnet.Route, 
 // order-of-magnitude lower cost — HRIS's NNI uses it to convert the many
 // enumerated transit-graph traces into physical routes.
 func ProjectPointSequence(g *roadnet.Graph, pts []geo.Point, prm Params) (roadnet.Route, error) {
+	return projectPointSequence(context.Background(), g, pts, prm)
+}
+
+// ProjectPointSequenceCtx is ProjectPointSequence with a cancellation
+// checkpoint per point; returns ctx.Err() when cancelled.
+func ProjectPointSequenceCtx(ctx context.Context, g *roadnet.Graph, pts []geo.Point, prm Params) (roadnet.Route, error) {
+	return projectPointSequence(ctx, g, pts, prm)
+}
+
+func projectPointSequence(ctx context.Context, g *roadnet.Graph, pts []geo.Point, prm Params) (roadnet.Route, error) {
 	if len(pts) == 0 {
 		return nil, ErrNoRoute
 	}
+	done := ctx.Done()
 	locs := make([]roadnet.Location, 0, len(pts))
 	for i, p := range pts {
+		if graphalg.Stopped(done) {
+			return nil, ctx.Err()
+		}
 		cands := candidatesFor(g, p, prm)
 		if len(cands) == 0 {
 			continue
@@ -128,7 +167,7 @@ func ProjectPointSequence(g *roadnet.Graph, pts []geo.Point, prm Params) (roadne
 		}
 		locs = append(locs, roadnet.Location{Edge: best.Edge, Offset: best.Offset})
 	}
-	return StitchLocations(g, locs)
+	return stitchLocations(ctx, g, locs)
 }
 
 // MatchPointSequence map-matches a (reasonably dense) sequence of points
@@ -138,11 +177,17 @@ func ProjectPointSequence(g *roadnet.Graph, pts []geo.Point, prm Params) (roadne
 // techniques", §III-B.2); the preprocessing component uses it to align
 // archive trajectories.
 func MatchPointSequence(g *roadnet.Graph, pts []geo.Point, prm Params) (roadnet.Route, error) {
+	return MatchPointSequenceCtx(context.Background(), g, pts, prm)
+}
+
+// MatchPointSequenceCtx is MatchPointSequence with cancellation
+// checkpoints in the underlying ST-Matching dynamic program.
+func MatchPointSequenceCtx(ctx context.Context, g *roadnet.Graph, pts []geo.Point, prm Params) (roadnet.Route, error) {
 	t := &traj.Trajectory{ID: "seq"}
 	for i, p := range pts {
 		t.Points = append(t.Points, traj.GPSPoint{Pt: p, T: float64(i)})
 	}
 	m := NewSTMatcher(g, prm)
 	m.SkipTemporal = true // synthetic timestamps carry no speed information
-	return m.Match(t)
+	return m.MatchCtx(ctx, t)
 }

@@ -1,8 +1,10 @@
 package mapmatch
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/graphalg"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -34,6 +36,16 @@ func (m *HMM) Name() string { return "hmm" }
 
 // Match implements Matcher.
 func (m *HMM) Match(t *traj.Trajectory) (roadnet.Route, error) {
+	return m.match(context.Background(), t)
+}
+
+// MatchCtx implements CtxMatcher: Match with a cancellation checkpoint per
+// trajectory point in the Viterbi pass. Returns ctx.Err() when cancelled.
+func (m *HMM) MatchCtx(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error) {
+	return m.match(ctx, t)
+}
+
+func (m *HMM) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error) {
 	n := t.Len()
 	if n == 0 {
 		return nil, ErrNoRoute
@@ -61,7 +73,11 @@ func (m *HMM) Match(t *traj.Trajectory) (roadnet.Route, error) {
 		back[0][j] = -1
 	}
 	st := &STMatcher{G: m.G, Params: m.Params}
+	done := ctx.Done()
 	for i := 1; i < n; i++ {
+		if graphalg.Stopped(done) {
+			return nil, ctx.Err()
+		}
 		straight := t.Points[i-1].Pt.Dist(t.Points[i].Pt)
 		score[i] = make([]float64, len(cands[i]))
 		back[i] = make([]int, len(cands[i]))
@@ -74,7 +90,7 @@ func (m *HMM) Match(t *traj.Trajectory) (roadnet.Route, error) {
 				continue
 			}
 			pseg := m.G.Seg(pc.Edge)
-			dists := m.G.VertexDistances(pseg.To)
+			dists := m.G.VertexDistancesCtx(ctx, pseg.To)
 			for j, c := range cands[i] {
 				w := st.networkDist(pc, c, dists)
 				if math.IsInf(w, 1) {
@@ -122,5 +138,5 @@ func (m *HMM) Match(t *traj.Trajectory) (roadnet.Route, error) {
 	for a, b := 0, len(locs)-1; a < b; a, b = a+1, b-1 {
 		locs[a], locs[b] = locs[b], locs[a]
 	}
-	return StitchLocations(m.G, locs)
+	return stitchLocations(ctx, m.G, locs)
 }

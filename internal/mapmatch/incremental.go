@@ -1,9 +1,11 @@
 package mapmatch
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geo"
+	"repro/internal/graphalg"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -30,12 +32,27 @@ func (m *Incremental) Name() string { return "incremental" }
 
 // Match implements Matcher.
 func (m *Incremental) Match(t *traj.Trajectory) (roadnet.Route, error) {
+	return m.match(context.Background(), t)
+}
+
+// MatchCtx implements CtxMatcher: Match with a cancellation checkpoint per
+// trajectory point (each point runs a hop-limited BFS from the previous
+// edge). Returns ctx.Err() when cancelled.
+func (m *Incremental) MatchCtx(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error) {
+	return m.match(ctx, t)
+}
+
+func (m *Incremental) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error) {
 	if t.Len() == 0 {
 		return nil, ErrNoRoute
 	}
+	done := ctx.Done()
 	locs := make([]roadnet.Location, 0, t.Len())
 	prevEdge := roadnet.NoEdge
 	for i, p := range t.Points {
+		if graphalg.Stopped(done) {
+			return nil, ctx.Err()
+		}
 		cands := candidatesFor(m.G, p.Pt, m.Params)
 		if len(cands) == 0 {
 			continue
@@ -51,7 +68,7 @@ func (m *Incremental) Match(t *traj.Trajectory) (roadnet.Route, error) {
 		}
 		var hops []int
 		if prevEdge != roadnet.NoEdge {
-			hops = m.G.EdgeHops(prevEdge, m.HopLimit)
+			hops = m.G.EdgeHopsCtx(ctx, prevEdge, m.HopLimit)
 		}
 		best, bestScore := cands[0], math.Inf(-1)
 		for _, c := range cands {
@@ -63,7 +80,7 @@ func (m *Incremental) Match(t *traj.Trajectory) (roadnet.Route, error) {
 		locs = append(locs, roadnet.Location{Edge: best.Edge, Offset: best.Offset})
 		prevEdge = best.Edge
 	}
-	return StitchLocations(m.G, locs)
+	return stitchLocations(ctx, m.G, locs)
 }
 
 // score combines projection distance, heading agreement and topological

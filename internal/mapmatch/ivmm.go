@@ -1,8 +1,10 @@
 package mapmatch
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/graphalg"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -32,6 +34,17 @@ func (m *IVMM) Name() string { return "ivmm" }
 
 // Match implements Matcher.
 func (m *IVMM) Match(t *traj.Trajectory) (roadnet.Route, error) {
+	return m.match(context.Background(), t)
+}
+
+// MatchCtx implements CtxMatcher: Match with cancellation checkpoints in
+// the score-tensor build and the per-point voting loop (the two O(n·m²)
+// phases). Returns ctx.Err() when cancelled.
+func (m *IVMM) MatchCtx(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error) {
+	return m.match(ctx, t)
+}
+
+func (m *IVMM) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error) {
 	n := t.Len()
 	if n == 0 {
 		return nil, ErrNoRoute
@@ -52,14 +65,18 @@ func (m *IVMM) Match(t *traj.Trajectory) (roadnet.Route, error) {
 	// temporal), with unreachable transitions at -Inf.
 	F := make([][][]float64, n)
 	st := &STMatcher{G: m.G, Params: m.Params}
+	done := ctx.Done()
 	for i := 1; i < n; i++ {
+		if graphalg.Stopped(done) {
+			return nil, ctx.Err()
+		}
 		straight := t.Points[i-1].Pt.Dist(t.Points[i].Pt)
 		dt := t.Points[i].T - t.Points[i-1].T
 		F[i] = make([][]float64, len(cands[i-1]))
 		for pj, pc := range cands[i-1] {
 			F[i][pj] = make([]float64, len(cands[i]))
 			pseg := m.G.Seg(pc.Edge)
-			dists := m.G.VertexDistances(pseg.To)
+			dists := m.G.VertexDistancesCtx(ctx, pseg.To)
 			for j, c := range cands[i] {
 				w := st.networkDist(pc, c, dists)
 				if math.IsInf(w, 1) {
@@ -82,6 +99,9 @@ func (m *IVMM) Match(t *traj.Trajectory) (roadnet.Route, error) {
 	}
 	weights := make([]float64, n)
 	for i := 0; i < n; i++ {
+		if graphalg.Stopped(done) {
+			return nil, ctx.Err()
+		}
 		for tt := 0; tt < n; tt++ {
 			d := t.Points[i].Pt.Dist(t.Points[tt].Pt)
 			weights[tt] = math.Exp(-(d / m.Beta) * (d / m.Beta))
@@ -109,7 +129,7 @@ func (m *IVMM) Match(t *traj.Trajectory) (roadnet.Route, error) {
 		}
 		locs = append(locs, roadnet.Location{Edge: cands[i][best].Edge, Offset: cands[i][best].Offset})
 	}
-	return StitchLocations(m.G, locs)
+	return stitchLocations(ctx, m.G, locs)
 }
 
 // constrainedViterbi finds the best candidate sequence subject to point

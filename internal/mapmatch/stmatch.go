@@ -1,8 +1,10 @@
 package mapmatch
 
 import (
+	"context"
 	"math"
 
+	"repro/internal/graphalg"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -31,6 +33,17 @@ func (m *STMatcher) Name() string { return "st-matching" }
 
 // Match implements Matcher.
 func (m *STMatcher) Match(t *traj.Trajectory) (roadnet.Route, error) {
+	return m.match(context.Background(), t)
+}
+
+// MatchCtx implements CtxMatcher: Match with a cancellation checkpoint per
+// trajectory point in the dynamic program (each point costs one Dijkstra
+// per previous candidate). Returns ctx.Err() when cancelled.
+func (m *STMatcher) MatchCtx(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error) {
+	return m.match(ctx, t)
+}
+
+func (m *STMatcher) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error) {
 	if t.Len() == 0 {
 		return nil, ErrNoRoute
 	}
@@ -56,7 +69,11 @@ func (m *STMatcher) Match(t *traj.Trajectory) (roadnet.Route, error) {
 		score[0][j] = observation(c.Dist, m.Params.GPSSigma)
 		back[0][j] = -1
 	}
+	done := ctx.Done()
 	for i := 1; i < n; i++ {
+		if graphalg.Stopped(done) {
+			return nil, ctx.Err()
+		}
 		score[i] = make([]float64, len(cands[i]))
 		back[i] = make([]int, len(cands[i]))
 		straight := t.Points[i-1].Pt.Dist(t.Points[i].Pt)
@@ -69,7 +86,7 @@ func (m *STMatcher) Match(t *traj.Trajectory) (roadnet.Route, error) {
 		}
 		for pj, pc := range cands[i-1] {
 			pseg := m.G.Seg(pc.Edge)
-			dists := m.G.VertexDistances(pseg.To)
+			dists := m.G.VertexDistancesCtx(ctx, pseg.To)
 			for j, c := range cands[i] {
 				w := m.networkDist(pc, c, dists)
 				if math.IsInf(w, 1) {
@@ -125,7 +142,7 @@ func (m *STMatcher) Match(t *traj.Trajectory) (roadnet.Route, error) {
 	for a, b := 0, len(locs)-1; a < b; a, b = a+1, b-1 {
 		locs[a], locs[b] = locs[b], locs[a]
 	}
-	return StitchLocations(m.G, locs)
+	return stitchLocations(ctx, m.G, locs)
 }
 
 // networkDist computes the driving distance from candidate a to candidate b

@@ -38,3 +38,18 @@ const (
 	// StageBatch is one whole InferBatch invocation, wall clock.
 	StageBatch = "batch"
 )
+
+// Names of the deadline/cancellation counters core.Engine maintains for
+// context-aware inference (the ...Ctx entry points and Params.Deadline).
+const (
+	// CounterQueryCancelled counts queries aborted with an error because
+	// the caller's context was cancelled outright.
+	CounterQueryCancelled = "query.cancelled"
+	// CounterQueryDegraded counts queries that hit their deadline and
+	// returned a best-effort Degraded result instead of an error.
+	CounterQueryDegraded = "query.degraded"
+	// DeadlineCounterPrefix prefixes per-stage deadline-hit counters: a
+	// counter named DeadlineCounterPrefix + stage (e.g. "deadline.local_tgi")
+	// increments when budget expiry is first detected in that stage.
+	DeadlineCounterPrefix = "deadline."
+)

@@ -3,10 +3,19 @@
 # detector over every package. ROADMAP.md's tier-1 line is the vet/build/test
 # steps; the repo-wide -race pass guards the Engine's concurrency contract
 # and the lock-free obs instruments.
+#
+# -timeout caps each package's test binary: with cancellation checkpoints
+# threaded through every search loop, a hang now means a broken checkpoint,
+# and the cap turns it into a fast failure instead of a stuck CI job.
 set -eux
 
 test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
-go test ./...
-go test -race ./...
+go test -timeout 120s ./...
+go test -timeout 300s -race ./...
+
+# Determinism: the Yen equal-weight tie-break and the K-GRI oracle suites
+# must give identical verdicts run-to-run (-count=2 defeats test caching and
+# runs each twice in one binary).
+go test -timeout 120s -count=2 -run 'Yen|KGRI' ./internal/graphalg/ ./internal/core/
