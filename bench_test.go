@@ -17,9 +17,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/graphalg"
 	"repro/internal/hist"
 	"repro/internal/mapmatch"
 	"repro/internal/obs"
+	"repro/internal/roadnet"
 	"repro/internal/sim"
 	"repro/internal/traj"
 )
@@ -27,6 +29,9 @@ import (
 var (
 	benchWorldOnce sync.Once
 	benchWorld     *eval.World
+
+	benchWorldDijOnce sync.Once
+	benchWorldDij     *eval.World
 )
 
 // world returns a shared, lazily built benchmark substrate.
@@ -38,6 +43,19 @@ func world(b *testing.B) *eval.World {
 		benchWorld = eval.NewWorld(cfg)
 	})
 	return benchWorld
+}
+
+// worldDij is the same substrate with the CH oracle disabled (plain
+// Dijkstra/A*), the before/after baseline of the acceleration layer.
+func worldDij(b *testing.B) *eval.World {
+	b.Helper()
+	benchWorldDijOnce.Do(func() {
+		cfg := eval.QuickConfig()
+		cfg.Queries = 3
+		cfg.Accel = roadnet.AccelDijkstra
+		benchWorldDij = eval.NewWorld(cfg)
+	})
+	return benchWorldDij
 }
 
 func BenchmarkFig8aSamplingRate(b *testing.B) {
@@ -241,6 +259,63 @@ func BenchmarkHRISQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = w.Eng.InferRoutes(qs[0].Query, w.P)
+	}
+}
+
+// BenchmarkHRISQueryDijkstra is BenchmarkHRISQuery on the Dijkstra-oracle
+// world: the no-acceleration baseline. Comparing the two shows the CH
+// speedup end to end; this one must stay within noise of the pre-CH seed.
+func BenchmarkHRISQueryDijkstra(b *testing.B) {
+	w := worldDij(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 111)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = w.Eng.InferRoutes(qs[0].Query, w.P)
+	}
+}
+
+// BenchmarkSTMatch measures one ST-Matching run, the heaviest competitor:
+// its candidate-pair distance tables go through the oracle's one-to-many
+// batching, so it is the second headline number of the acceleration layer.
+func BenchmarkSTMatch(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 113)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = w.ST.Match(qs[0].Query)
+	}
+}
+
+// BenchmarkSTMatchDijkstra is BenchmarkSTMatch without the CH oracle.
+func BenchmarkSTMatchDijkstra(b *testing.B) {
+	w := worldDij(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 113)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = w.ST.Match(qs[0].Query)
+	}
+}
+
+// BenchmarkCHBuild measures contraction-hierarchy preprocessing on the
+// benchmark world's road network — the one-off cost the query-time wins
+// amortize.
+func BenchmarkCHBuild(b *testing.B) {
+	w := world(b)
+	g := w.Graph().VertexGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if graphalg.BuildCH(g) == nil {
+			b.Fatal("BuildCH failed")
+		}
 	}
 }
 

@@ -8,6 +8,11 @@
 //
 // -quick runs a scaled-down sweep suitable for a laptop minute; the default
 // (full) run takes several minutes.
+//
+// Beyond the paper's figures, -fig accel profiles the shortest-path
+// acceleration layer (CH oracle vs plain Dijkstra), and -fig bench-json
+// (never part of "all") rewrites the checked-in benchmark snapshot at
+// -benchout (default BENCH_4.json).
 package main
 
 import (
@@ -26,10 +31,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		quick = flag.Bool("quick", false, "scaled-down sweep")
-		figs  = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline) or all")
-		seed  = flag.Int64("seed", 7, "world seed")
-		csvD  = flag.String("csv", "", "also write each figure as CSV into this directory")
+		quick    = flag.Bool("quick", false, "scaled-down sweep")
+		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel) or all; bench-json (explicit only) writes the benchmark snapshot")
+		seed     = flag.Int64("seed", 7, "world seed")
+		csvD     = flag.String("csv", "", "also write each figure as CSV into this directory")
+		benchOut = flag.String("benchout", "BENCH_4.json", "output path for -fig bench-json")
 	)
 	flag.Parse()
 
@@ -77,20 +83,29 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Printf("building world (seed %d, %dx%d city, %d trips)...\n",
-		cfg.Seed, cfg.CityRows, cfg.CityCols, cfg.Trips)
-	w := eval.NewWorld(cfg)
-	fmt.Printf("world ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+	// The shared world is built lazily: accel and bench-json construct
+	// their own worlds (one per oracle mode) and skip this cost entirely.
+	var w *eval.World
+	getW := func() *eval.World {
+		if w == nil {
+			t0 := time.Now()
+			fmt.Printf("building world (seed %d, %dx%d city, %d trips)...\n",
+				cfg.Seed, cfg.CityRows, cfg.CityCols, cfg.Trips)
+			w = eval.NewWorld(cfg)
+			fmt.Printf("world ready in %v\n\n", time.Since(t0).Round(time.Millisecond))
+		}
+		return w
+	}
 
 	if need("8a") {
-		run("8a", func() { emit(*csvD, w.Figure8a(rates)) })
+		run("8a", func() { emit(*csvD, getW().Figure8a(rates)) })
 	}
 	if need("8b") {
-		run("8b", func() { emit(*csvD, w.Figure8b(lengths)) })
+		run("8b", func() { emit(*csvD, getW().Figure8b(lengths)) })
 	}
 	if need("9", "9a", "9b") {
 		run("9", func() {
-			acc, tim := w.Figure9(phis, phiRates)
+			acc, tim := getW().Figure9(phis, phiRates)
 			emit(*csvD, acc)
 			emit(*csvD, tim)
 		})
@@ -104,43 +119,43 @@ func main() {
 	}
 	if need("11", "11a", "11b") {
 		run("11", func() {
-			acc, tim := w.Figure11(lambdas, phiRates)
+			acc, tim := getW().Figure11(lambdas, phiRates)
 			emit(*csvD, acc)
 			emit(*csvD, tim)
 		})
 	}
 	if need("12", "12a", "12b") {
 		run("12", func() {
-			acc, tim := w.Figure12(k1s, phiRates)
+			acc, tim := getW().Figure12(k1s, phiRates)
 			emit(*csvD, acc)
 			emit(*csvD, tim)
 		})
 	}
 	if need("13", "13a", "13b") {
 		run("13", func() {
-			acc, tim := w.Figure13(k2s, phiRates)
+			acc, tim := getW().Figure13(k2s, phiRates)
 			emit(*csvD, acc)
 			emit(*csvD, tim)
 		})
 	}
 	if need("14a") {
-		run("14a", func() { emit(*csvD, w.Figure14a(k3s)) })
+		run("14a", func() { emit(*csvD, getW().Figure14a(k3s)) })
 	}
 	if need("14b") {
-		run("14b", func() { emit(*csvD, w.Figure14b(pairCounts)) })
+		run("14b", func() { emit(*csvD, getW().Figure14b(pairCounts)) })
 	}
 	if need("ablation", "A1") {
-		run("A1 (ablations)", func() { emit(*csvD, w.Ablations(phiRates)) })
+		run("A1 (ablations)", func() { emit(*csvD, getW().Ablations(phiRates)) })
 	}
 	if need("temporal", "E1") {
 		run("E1 (temporal extension)", func() { emit(*csvD, eval.TemporalExtension(cfg, phiRates)) })
 	}
 	if need("networkfree", "E2") {
-		run("E2 (network-free extension)", func() { emit(*csvD, w.NetworkFreeExtension(phiRates)) })
+		run("E2 (network-free extension)", func() { emit(*csvD, getW().NetworkFreeExtension(phiRates)) })
 	}
 	if need("stages") {
 		run("stages (per-stage cost breakdown)", func() {
-			w.WriteStageBreakdowns(os.Stdout, phiRates, *seed)
+			getW().WriteStageBreakdowns(os.Stdout, phiRates, *seed)
 		})
 	}
 	if need("deadline") {
@@ -149,7 +164,25 @@ func main() {
 		if *quick {
 			deadlines = []time.Duration{0, time.Millisecond, 20 * time.Millisecond}
 		}
-		run("deadline (graceful degradation)", func() { emit(*csvD, w.DeadlineProfile(deadlines)) })
+		run("deadline (graceful degradation)", func() { emit(*csvD, getW().DeadlineProfile(deadlines)) })
+	}
+	if need("accel") {
+		run("accel (CH oracle vs Dijkstra)", func() { emit(*csvD, eval.AccelProfile(cfg, phiRates)) })
+	}
+	// bench-json runs only when asked for by name: it re-measures the
+	// acceleration-layer benchmarks with testing.Benchmark and rewrites the
+	// checked-in snapshot.
+	if want["bench-json"] {
+		run("bench-json (benchmark snapshot)", func() {
+			out, err := eval.BenchJSON(cfg)
+			if err != nil {
+				log.Fatalf("bench-json: %v", err)
+			}
+			if err := os.WriteFile(*benchOut, append(out, '\n'), 0o644); err != nil {
+				log.Fatalf("write %s: %v", *benchOut, err)
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+		})
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	hris -data data/ -query query.json [-k 5] [-method hybrid] [-compare]
-//	     [-metrics] [-trace] [-http :6060]
+//	     [-accel ch] [-metrics] [-trace] [-http :6060]
 //
 // The query file holds one trajectory: {"points": [[x, y, t], ...]}.
 // With -demo, a query is synthesized from the archive instead.
@@ -19,6 +19,13 @@
 // /debug/pprof and POST /infer (context-aware inference), and keeps the
 // process alive for scraping until SIGINT/SIGTERM, then shuts down
 // gracefully.
+//
+// Shortest paths: -accel selects the network's distance oracle — "ch"
+// (default) builds a contraction hierarchy once and answers queries from
+// its tiny upward search cones, "dijkstra" keeps the plain Dijkstra/A*
+// fallback. Results are identical either way; the /metrics snapshot
+// reports the oracle mode and, for ch, the preprocessing statistics under
+// the oracle.* counters.
 //
 // Deadlines: -deadline bounds each inference's wall clock (e.g.
 // -deadline 50ms). On expiry the engine degrades gracefully — expired
@@ -71,6 +78,7 @@ func main() {
 		method  = flag.String("method", "hybrid", "local inference: tgi, nni or hybrid")
 		phi     = flag.Float64("phi", 500, "reference search radius (m)")
 		compare = flag.Bool("compare", false, "also run incremental/ST-matching/IVMM")
+		accel   = flag.String("accel", "ch", "shortest-path engine: ch (contraction hierarchies) or dijkstra")
 		seed    = flag.Int64("seed", 1, "seed for -demo")
 		gjOut   = flag.String("geojson", "", "write query + suggested routes as GeoJSON to this file")
 
@@ -88,6 +96,11 @@ func main() {
 	defer stop()
 
 	g, trajs, truths := loadDataset(*data)
+	mode, ok := roadnet.ParseAccelMode(*accel)
+	if !ok {
+		log.Fatalf("unknown -accel %q (want ch or dijkstra)", *accel)
+	}
+	g.SetAccel(mode)
 	arch := hist.NewArchive(g, trajs)
 	params := core.DefaultParams()
 	params.K3 = *k

@@ -104,6 +104,22 @@ func (e *Engine) Metrics() obs.Snapshot {
 	s.Counters["cache.candidates.misses"] = cm
 	s.Counters["cache.candidates.resets"] = e.cands.Resets()
 	s.Counters["cache.candidates.entries"] = uint64(e.cands.Len())
+	// Distance-oracle gauges: which accelerator the network runs and, once
+	// a contraction hierarchy has been built (OracleStats never forces the
+	// lazy build), its preprocessing cost and shortcut counts.
+	if e.g.Accel() == roadnet.AccelCH {
+		s.Counters["oracle.mode.ch"] = 1
+	} else {
+		s.Counters["oracle.mode.dijkstra"] = 1
+	}
+	if st, ok := e.g.OracleStats(); ok {
+		s.Counters["oracle.ch.vertices"] = uint64(st.Vertices)
+		s.Counters["oracle.ch.original_arcs"] = uint64(st.OriginalArcs)
+		s.Counters["oracle.ch.shortcuts"] = uint64(st.Shortcuts)
+		s.Counters["oracle.ch.up_arcs"] = uint64(st.UpArcs)
+		s.Counters["oracle.ch.down_arcs"] = uint64(st.DownArcs)
+		s.Counters["oracle.ch.preprocess_us"] = uint64(st.Build.Microseconds())
+	}
 	return s
 }
 

@@ -63,35 +63,81 @@ func kgriDone(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition
 			return nil, false // a pair with no local routes breaks every chain
 		}
 	}
+	// The transition factor is a Jaccard similarity; iterating Go maps for
+	// every (prev, cur) local-route pair dominates the DP's cost, so each
+	// route's reference set is flattened to a sorted slice once and the
+	// intersections run as linear merges. inter/union come out as the same
+	// integers either way, so every score is bit-identical.
+	var refIDs [][][]int32
+	if !constantTransition {
+		refIDs = make([][][]int32, n)
+		for i, set := range locals {
+			rs := make([][]int32, len(set))
+			for j, lr := range set {
+				rs[j] = sortedRefs(lr.Refs)
+			}
+			refIDs[i] = rs
+		}
+	}
 	// M[j] for the current pair i.
 	M := make([][]partial, len(locals[0]))
 	for j, lr := range locals[0] {
 		M[j] = []partial{{parts: []int{j}, score: lr.Popularity}}
 	}
+	// cand defers the parts copy: the DP generates m·K candidates per local
+	// route but keeps only K, and a candidate is fully identified by its
+	// parent partial plus the current index, so only survivors materialize.
+	type cand struct {
+		pj, pi int
+		score  float64
+	}
+	var cands []cand
 	for i := 1; i < n; i++ {
 		if graphalg.Stopped(done) {
 			return greedyFinish(g, locals, M, i), true
 		}
 		next := make([][]partial, len(locals[i]))
 		for j, lr := range locals[i] {
-			var cands []partial
-			for pj, prev := range locals[i-1] {
+			cands = cands[:0]
+			for pj := range locals[i-1] {
 				gConf := 1.0
 				if !constantTransition {
-					gConf = transitionConfidence(prev.Refs, lr.Refs)
+					gConf = jaccardConf(refIDs[i-1][pj], refIDs[i][j])
 				}
-				for _, p := range M[pj] {
-					cands = append(cands, partial{
-						parts: append(append([]int(nil), p.parts...), j),
-						score: p.score * gConf * lr.Popularity,
-					})
+				for pi, p := range M[pj] {
+					cands = append(cands, cand{pj: pj, pi: pi, score: p.score * gConf * lr.Popularity})
 				}
 			}
-			sort.Slice(cands, func(a, b int) bool { return lessPartial(cands[a], cands[b]) })
+			// Same order as lessPartial over the materialized partials: all
+			// candidates here share the final index j, and parent parts all
+			// have length i, so comparing parents settles every tie. Parts
+			// are unique per partial, making the order total — sort.Slice's
+			// instability can't surface.
+			sort.Slice(cands, func(a, b int) bool {
+				ca, cb := cands[a], cands[b]
+				if ca.score != cb.score {
+					return ca.score > cb.score
+				}
+				pa, pb := M[ca.pj][ca.pi].parts, M[cb.pj][cb.pi].parts
+				for t := range pa {
+					if pa[t] != pb[t] {
+						return pa[t] < pb[t]
+					}
+				}
+				return false
+			})
 			if len(cands) > k {
 				cands = cands[:k]
 			}
-			next[j] = cands
+			out := make([]partial, len(cands))
+			for t, c := range cands {
+				pp := M[c.pj][c.pi].parts
+				parts := make([]int, len(pp)+1)
+				copy(parts, pp)
+				parts[len(pp)] = j
+				out[t] = partial{parts: parts, score: c.score}
+			}
+			next[j] = out
 		}
 		M = next
 	}

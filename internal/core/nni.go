@@ -46,16 +46,20 @@ func (x exec) inferNNI(pctx *pairContext) []LocalRoute {
 	}
 
 	// Convert each trace to a physical route via map-matching (line 3).
+	// The traces overwhelmingly reuse the same reference points and the
+	// same consecutive snaps, so one memoizing projector serves the whole
+	// batch — every candidate search and shortest-path bridge runs once.
 	seen := make(map[string]bool)
 	var out []LocalRoute
 	mprm := mapmatch.DefaultParams()
 	mprm.CandidateRadius = p.CandEps
+	pj := mapmatch.NewProjector(x.eng.g, mprm)
 	for _, tr := range traces {
 		if graphalg.Stopped(x.done) {
 			break // partial route set; the caller degrades the pair
 		}
 		pts := tracePoints(points, tr, pctx.qi.Pt, pctx.qj.Pt)
-		route, err := mapmatch.ProjectPointSequenceCtx(x.ctx, x.eng.g, pts, mprm)
+		route, err := pj.Project(x.ctx, pts)
 		if err != nil || len(route) == 0 {
 			continue
 		}

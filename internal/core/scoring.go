@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/roadnet"
 )
@@ -60,6 +61,41 @@ func popularity(route roadnet.Route, edgeRefs map[roadnet.EdgeID]map[int]struct{
 // transitionConfidence computes g(R_a, R_b) of Equation 2: the Jaccard
 // similarity of the two routes' reference sets mapped through exp(·−1),
 // so identical support gives 1 and disjoint support gives 1/e.
+// sortedRefs flattens a reference set to a sorted id slice for the merge
+// form of the Jaccard computation (jaccardConf).
+func sortedRefs(set map[int]struct{}) []int32 {
+	ids := make([]int32, 0, len(set))
+	for id := range set {
+		ids = append(ids, int32(id))
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// jaccardConf is transitionConfidence over pre-sorted id slices: a linear
+// merge counts the intersection instead of per-element map probes. Both
+// produce the same inter/union integers, hence identical scores.
+func jaccardConf(a, b []int32) float64 {
+	inter := 0
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return math.Exp(-1)
+	}
+	return math.Exp(float64(inter)/float64(union) - 1)
+}
+
 func transitionConfidence(a, b map[int]struct{}) float64 {
 	inter, union := 0, len(b)
 	for id := range a {

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graphalg"
+	"repro/internal/roadnet"
+)
+
+// BenchResult is one measured operation of the benchmark suite, in the
+// units `go test -bench -benchmem` reports.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchReport is the machine-readable benchmark snapshot cmd/experiments
+// -fig bench-json writes (BENCH_4.json). It pins the headline numbers of
+// the shortest-path acceleration layer: end-to-end HRIS inference and
+// ST-Matching with the contraction-hierarchy oracle against the Dijkstra
+// fallback, plus the CH preprocessing cost itself.
+type BenchReport struct {
+	World   string        `json:"world"`
+	Results []BenchResult `json:"results"`
+}
+
+func record(name string, r testing.BenchmarkResult) BenchResult {
+	return BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		MsPerOp:     float64(r.NsPerOp()) / 1e6,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// BenchJSON measures the acceleration-layer benchmark suite on cfg's world
+// and returns the report as indented JSON. Both oracle modes get their own
+// world from the same config, so the measured queries are identical.
+func BenchJSON(cfg WorldConfig) ([]byte, error) {
+	rep := BenchReport{World: "quick"}
+	if cfg.CityRows >= FullConfig().CityRows {
+		rep.World = "full"
+	}
+
+	for _, mode := range []roadnet.AccelMode{roadnet.AccelCH, roadnet.AccelDijkstra} {
+		c := cfg
+		c.Accel = mode
+		w := NewWorld(c)
+		qs := w.Queries(1, 180, c.QueryLen, 111)
+		if len(qs) == 0 {
+			continue
+		}
+		q := qs[0].Query
+		rep.Results = append(rep.Results, record("hris_query/"+mode.String(),
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, _ = w.Eng.InferRoutes(q, w.P)
+				}
+			})))
+		rep.Results = append(rep.Results, record("stmatch/"+mode.String(),
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, _ = w.ST.Match(q)
+				}
+			})))
+	}
+
+	g := benchGraph(3000, 3)
+	rep.Results = append(rep.Results, record("ch_build/n=3000",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if graphalg.BuildCH(g) == nil {
+					b.Fatal("BuildCH failed")
+				}
+			}
+		})))
+
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// benchGraph builds a connected near-planar digraph for the preprocessing
+// benchmark: a √n×√n lattice with perturbed weights plus a sparse set of
+// long-range chords (extraPerMille arcs per thousand vertices). Road
+// networks are near-planar, which is the regime contraction hierarchies
+// are designed for; a uniformly random expander has no hierarchy to
+// exploit and contracts pathologically (every contraction step floods the
+// graph with shortcuts), which would benchmark the wrong thing.
+func benchGraph(n, extraPerMille int) *graphalg.Graph {
+	rng := rand.New(rand.NewSource(42))
+	g := graphalg.NewGraph(n)
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	link := func(a, b int) {
+		g.AddArc(a, b, 10+90*rng.Float64())
+		g.AddArc(b, a, 10+90*rng.Float64())
+	}
+	for v := 0; v < n; v++ {
+		if x := v % cols; x+1 < cols && v+1 < n {
+			link(v, v+1)
+		}
+		if v+cols < n {
+			link(v, v+cols)
+		}
+	}
+	for k := 0; k < n*extraPerMille/1000+1; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			link(a, b)
+		}
+	}
+	return g
+}

@@ -375,6 +375,36 @@ func (w *World) DeadlineProfile(deadlines []time.Duration) *Table {
 	return t
 }
 
+// AccelProfile compares HRIS query latency and accuracy with the
+// contraction-hierarchy oracle against the plain Dijkstra fallback across
+// sampling rates. Each accelerator gets its own world built from the same
+// config (the oracle is fixed at network-build time), so the two series
+// run the exact same query set; accuracies are reported alongside the
+// latencies as a cross-check that the accelerator does not change results.
+func AccelProfile(cfg WorldConfig, ratesMin []float64) *Table {
+	t := &Table{Figure: "accel", Title: "HRIS query latency: CH oracle vs Dijkstra",
+		XLabel: "SR (min)", YLabel: "value"}
+	modes := []roadnet.AccelMode{roadnet.AccelCH, roadnet.AccelDijkstra}
+	for _, mode := range modes {
+		c := cfg
+		c.Accel = mode
+		w := NewWorld(c)
+		for i, sr := range ratesMin {
+			qs := w.Queries(c.Queries, sr*60, c.QueryLen, c.Seed+int64(i)*701)
+			if len(qs) == 0 {
+				continue
+			}
+			start := time.Now()
+			acc := w.meanAccuracy(qs, w.hrisTop1)
+			elapsed := time.Since(start)
+			ms := float64(elapsed.Microseconds()) / 1000 / float64(len(qs))
+			t.Add("ms/query ("+mode.String()+")", sr, ms)
+			t.Add("A_L ("+mode.String()+")", sr, acc)
+		}
+	}
+	return t
+}
+
 func seriesSR(sr float64) string {
 	return "SR=" + strconv.FormatFloat(sr, 'g', -1, 64) + "min"
 }

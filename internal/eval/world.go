@@ -20,6 +20,10 @@ type WorldConfig struct {
 	Queries  int // queries per experiment point
 	QueryLen float64
 	Noise    float64 // GPS noise sigma for queries (m)
+	// Accel selects the road network's shortest-path engine (default:
+	// contraction hierarchies). Applied before any distance query runs,
+	// so the lazy oracle build honours it.
+	Accel roadnet.AccelMode
 }
 
 // QuickConfig is sized for CI and unit tests: a 14×14 city, 400 trips,
@@ -72,6 +76,7 @@ func NewWorld(cfg WorldConfig) *World {
 	ccfg.Rows, ccfg.Cols = cfg.CityRows, cfg.CityCols
 	ccfg.Hotspots = cfg.Hotspots
 	city := sim.GenerateCity(ccfg, cfg.Seed)
+	city.Graph.SetAccel(cfg.Accel)
 	fcfg := sim.DefaultFleetConfig()
 	fcfg.Trips = cfg.Trips
 	fcfg.Seed = cfg.Seed

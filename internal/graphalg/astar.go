@@ -1,9 +1,7 @@
 package graphalg
 
 import (
-	"container/heap"
 	"context"
-	"math"
 )
 
 // AStar returns the minimum-weight path from src to dst guided by the
@@ -28,21 +26,17 @@ func aStar(g *Graph, src, dst int, h func(int) float64, done <-chan struct{}) (P
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return Path{}, false
 	}
-	dist := make([]float64, n)
-	prev := make([]int, n)
-	closed := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
+	s := getScratch(n)
+	defer putScratch(s)
+	dist, prev, closed := s.dist, s.prev, s.closed
 	dist[src] = 0
-	pqh := pq{{v: src, dist: h(src)}}
+	s.h.push(pqItem{v: src, dist: h(src)})
 	pops := 0
-	for pqh.Len() > 0 {
+	for len(s.h) > 0 {
 		if pops++; pops&(stride-1) == 0 && Stopped(done) {
 			return Path{}, false
 		}
-		it := heap.Pop(&pqh).(pqItem)
+		it := s.h.pop()
 		v := it.v
 		if closed[v] {
 			continue
@@ -58,7 +52,7 @@ func aStar(g *Graph, src, dst int, h func(int) float64, done <-chan struct{}) (P
 			if nd := dist[v] + a.W; nd < dist[a.To] {
 				dist[a.To] = nd
 				prev[a.To] = v
-				heap.Push(&pqh, pqItem{v: a.To, dist: nd + h(a.To)})
+				s.h.push(pqItem{v: a.To, dist: nd + h(a.To)})
 			}
 		}
 	}

@@ -1,0 +1,476 @@
+package graphalg
+
+import (
+	"context"
+	"math"
+)
+
+// chWS is the per-query workspace of a CH. All arrays are version-stamped
+// so a fresh query costs two counter bumps, not O(n) clears; workspaces
+// are pooled per CH and safe to hand out concurrently.
+type chWS struct {
+	distF, distB []float64
+	prevF, prevB []int32 // arc id that settled the vertex, -1 at sources
+	verF, verB   []uint32
+	setF, setB   []uint32 // settle stamps (label finality, for biSearch)
+	ver          uint32
+	h, h2        pq      // forward / backward frontier of the p2p query
+	touchF       []int32 // settled vertices, forward / backward
+	touchB       []int32
+	arcbuf       []int32
+
+	// many-to-many buckets: for each vertex settled by a backward
+	// search, (destination group, upward distance to it)
+	bkt      [][]bktEnt
+	bktTouch []int32
+	trees    []map[int32]int32 // pooled backward trees for tableQuery
+}
+
+type bktEnt struct {
+	g int32
+	d float64
+}
+
+func (ch *CH) getWS() *chWS {
+	if w, ok := ch.ws.Get().(*chWS); ok && w != nil {
+		return w
+	}
+	n := ch.n
+	return &chWS{
+		distF: make([]float64, n), distB: make([]float64, n),
+		prevF: make([]int32, n), prevB: make([]int32, n),
+		verF: make([]uint32, n), verB: make([]uint32, n),
+		setF: make([]uint32, n), setB: make([]uint32, n),
+	}
+}
+
+func (ch *CH) putWS(w *chWS) { ch.ws.Put(w) }
+
+// bump advances the version stamp, handling uint32 wraparound.
+func (w *chWS) bump() {
+	w.ver++
+	if w.ver == 0 {
+		clear(w.verF)
+		clear(w.verB)
+		clear(w.setF)
+		clear(w.setB)
+		w.ver = 1
+	}
+}
+
+func (ch *CH) Mode() string { return "ch" }
+
+func (ch *CH) Dist(src, dst int) float64 {
+	return ch.distQuery(src, dst, nil)
+}
+
+func (ch *CH) DistCtx(ctx context.Context, src, dst int) float64 {
+	return ch.distQuery(src, dst, ctx.Done())
+}
+
+func (ch *CH) distQuery(src, dst int, done <-chan struct{}) float64 {
+	// The entry checkpoint makes pre-cancelled queries deterministic: CH
+	// search cones are usually smaller than one stride of pops, so the
+	// in-loop checkpoints alone might never fire.
+	if src < 0 || src >= ch.n || dst < 0 || dst >= ch.n || Stopped(done) {
+		return math.Inf(1)
+	}
+	w := ch.getWS()
+	defer ch.putWS(w)
+	meet := ch.biSearch(w, src, dst, done)
+	if meet < 0 {
+		return math.Inf(1)
+	}
+	d, _ := ch.exactPath(w, int32(meet), nil)
+	return d
+}
+
+func (ch *CH) PathTo(src, dst int) (Path, bool) {
+	return ch.pathQuery(src, dst, nil)
+}
+
+func (ch *CH) PathToCtx(ctx context.Context, src, dst int) (Path, bool) {
+	return ch.pathQuery(src, dst, ctx.Done())
+}
+
+func (ch *CH) pathQuery(src, dst int, done <-chan struct{}) (Path, bool) {
+	if src < 0 || src >= ch.n || dst < 0 || dst >= ch.n || Stopped(done) {
+		return Path{}, false
+	}
+	w := ch.getWS()
+	defer ch.putWS(w)
+	meet := ch.biSearch(w, src, dst, done)
+	if meet < 0 {
+		return Path{}, false
+	}
+	vs := []int{src}
+	d, vs := ch.exactPath(w, int32(meet), vs)
+	return Path{Vertices: vs, Weight: d}, true
+}
+
+// exactPath walks the two search trees through meet, unpacks every
+// shortcut into its original arcs, and re-sums the weights left-to-right
+// along the path. The query's own label (a sum of shortcut weights in
+// meet-outward order) can differ from Dijkstra's in the last float64
+// bits; the re-summed value is bit-identical to Dijkstra's label whenever
+// both pick the same path — which they do whenever the shortest path is
+// unique. When vs is non-nil the unpacked vertex sequence is appended.
+func (ch *CH) exactPath(w *chWS, meet int32, vs []int) (float64, []int) {
+	// shortcut-level chains: forward tree climbs meet→src (reversed),
+	// backward tree walks meet→dst in path order already.
+	buf := w.arcbuf[:0]
+	for v := meet; w.prevF[v] >= 0; {
+		a := w.prevF[v]
+		buf = append(buf, a)
+		v = ch.arcs[a].from
+	}
+	nf := len(buf)
+	for i, j := 0, nf-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	for v := meet; w.prevB[v] >= 0; {
+		a := w.prevB[v]
+		buf = append(buf, a)
+		v = ch.arcs[a].to
+	}
+	w.arcbuf = buf
+	var d float64
+	for _, id := range buf {
+		d, vs = ch.unpackArc(id, d, vs)
+	}
+	return d, vs
+}
+
+// unpackArc recursively expands an arc into original arcs, accumulating
+// their weights left-to-right onto d and, when vs is non-nil, appending
+// the vertex sequence after the arc's from-vertex.
+func (ch *CH) unpackArc(id int32, d float64, vs []int) (float64, []int) {
+	a := ch.arcs[id]
+	if a.a1 < 0 {
+		if vs != nil {
+			vs = append(vs, int(a.to))
+		}
+		return d + a.w, vs
+	}
+	d, vs = ch.unpackArc(a.a1, d, vs)
+	return ch.unpackArc(a.a2, d, vs)
+}
+
+// biSearch runs the two upward searches, alternating between frontiers,
+// and returns the meeting vertex of the best up-down path (-1 when
+// unreachable or cancelled). Equal-label meetings resolve to the smallest
+// vertex id, keeping the returned path deterministic.
+//
+// A direction stops once the smallest key left in its queue exceeds the
+// best meeting found so far: Dijkstra settles in nondecreasing label
+// order, so everything still queued can only produce strictly worse
+// meetings. Every vertex of an equal-or-better meeting has both labels
+// ≤ best and therefore settles in both directions before either cutoff,
+// so the candidate set — and with it the (weight, vertex-id) argmin and
+// its equal-weight tie-breaks — is exactly that of the exhaustive search.
+// Meetings are only counted between settled (final) labels; a candidate
+// seen while the opposite label is still tentative is re-examined, with
+// the final label, when the opposite side settles it.
+func (ch *CH) biSearch(w *chWS, src, dst int, done <-chan struct{}) int {
+	w.bump()
+	w.distF[src], w.verF[src], w.prevF[src] = 0, w.ver, -1
+	w.distB[dst], w.verB[dst], w.prevB[dst] = 0, w.ver, -1
+	w.h = w.h[:0]
+	w.h2 = w.h2[:0]
+	w.h.push(pqItem{v: src, dist: 0})
+	w.h2.push(pqItem{v: dst, dist: 0})
+	best, meet := math.Inf(1), -1
+	activeF, activeB := true, true
+	fwd := true
+	pops := 0
+	for activeF || activeB {
+		f := fwd
+		if f && !activeF {
+			f = false
+		} else if !f && !activeB {
+			f = true
+		}
+		fwd = !f
+
+		h, dist, ver, set, prev := &w.h, w.distF, w.verF, w.setF, w.prevF
+		oDist, oSet := w.distB, w.setB
+		off, to, wt, arc := ch.upOff, ch.upTo, ch.upW, ch.upArc
+		soff, sto, swt := ch.dnOff, ch.dnTo, ch.dnW
+		if !f {
+			h, dist, ver, set, prev = &w.h2, w.distB, w.verB, w.setB, w.prevB
+			oDist, oSet = w.distF, w.setF
+			off, to, wt, arc = ch.dnOff, ch.dnTo, ch.dnW, ch.dnArc
+			soff, sto, swt = ch.upOff, ch.upTo, ch.upW
+		}
+		if len(*h) == 0 || (*h)[0].dist > best {
+			if f {
+				activeF = false
+			} else {
+				activeB = false
+			}
+			continue
+		}
+		if pops++; pops&(stride-1) == 0 && Stopped(done) {
+			break
+		}
+		it := h.pop()
+		v := int32(it.v)
+		if it.dist > dist[v] {
+			continue
+		}
+		set[v] = w.ver
+		if oSet[v] == w.ver {
+			if d := it.dist + oDist[v]; d < best || (d == best && int(v) < meet) {
+				best, meet = d, int(v)
+			}
+		}
+		// stall-on-demand: scan the opposite-direction arcs into v; a
+		// shorter label through a higher-ranked neighbour means v is not
+		// on any shortest up-down path, so don't expand it. (It stays a
+		// valid, merely suboptimal, meeting candidate.)
+		stalled := false
+		for i := soff[v]; i < soff[v+1]; i++ {
+			u := sto[i]
+			if ver[u] == w.ver && dist[u]+swt[i] < it.dist {
+				stalled = true
+				break
+			}
+		}
+		if stalled {
+			continue
+		}
+		for i := off[v]; i < off[v+1]; i++ {
+			u := to[i]
+			nd := it.dist + wt[i]
+			if ver[u] != w.ver || nd < dist[u] {
+				dist[u] = nd
+				ver[u] = w.ver
+				prev[u] = arc[i]
+				h.push(pqItem{v: int(u), dist: nd})
+			}
+		}
+	}
+	return meet
+}
+
+// upwardSearch is one exhaustive search cone of the many-to-many query: a
+// Dijkstra over the upward (fwd) or downward-reversed (!fwd) CSR graph,
+// with stall-on-demand pruning — a vertex provably reached shorter via a
+// higher-ranked neighbour settles but does not relax, cutting the cone it
+// would have expanded. The point-to-point query (biSearch) prunes further
+// with a best-meeting cutoff; the table query needs full cones because a
+// backward cone is met by every later forward search, so it keeps this
+// un-truncated form. Cancellation leaves the search partial; unsettled
+// vertices read as unreachable.
+func (ch *CH) upwardSearch(w *chWS, src int, fwd bool, done <-chan struct{}) {
+	dist, ver, prev, touch := w.distF, w.verF, w.prevF, w.touchF[:0]
+	off, to, wt, arc := ch.upOff, ch.upTo, ch.upW, ch.upArc
+	soff, sto, swt := ch.dnOff, ch.dnTo, ch.dnW
+	if !fwd {
+		dist, ver, prev, touch = w.distB, w.verB, w.prevB, w.touchB[:0]
+		off, to, wt, arc = ch.dnOff, ch.dnTo, ch.dnW, ch.dnArc
+		soff, sto, swt = ch.upOff, ch.upTo, ch.upW
+	}
+	dist[src] = 0
+	ver[src] = w.ver
+	prev[src] = -1
+	w.h = w.h[:0]
+	w.h.push(pqItem{v: src, dist: 0})
+	pops := 0
+	for len(w.h) > 0 {
+		if pops++; pops&(stride-1) == 0 && Stopped(done) {
+			break
+		}
+		it := w.h.pop()
+		v := int32(it.v)
+		if it.dist > dist[v] {
+			continue
+		}
+		touch = append(touch, v)
+		// stall-on-demand: scan the opposite-direction arcs into v; a
+		// shorter label through a higher-ranked neighbour means v is not
+		// on any shortest up-down path, so don't expand it. (It stays a
+		// valid, merely suboptimal, meeting candidate.)
+		stalled := false
+		for i := soff[v]; i < soff[v+1]; i++ {
+			u := sto[i]
+			if ver[u] == w.ver && dist[u]+swt[i] < it.dist {
+				stalled = true
+				break
+			}
+		}
+		if stalled {
+			continue
+		}
+		for i := off[v]; i < off[v+1]; i++ {
+			u := to[i]
+			nd := it.dist + wt[i]
+			if ver[u] != w.ver || nd < dist[u] {
+				dist[u] = nd
+				ver[u] = w.ver
+				prev[u] = arc[i]
+				w.h.push(pqItem{v: int(u), dist: nd})
+			}
+		}
+	}
+	if fwd {
+		w.touchF = touch
+	} else {
+		w.touchB = touch
+	}
+}
+
+func (ch *CH) Table(srcs, dsts []int) [][]float64 {
+	return ch.tableQuery(srcs, dsts, nil)
+}
+
+func (ch *CH) TableCtx(ctx context.Context, srcs, dsts []int) [][]float64 {
+	return ch.tableQuery(srcs, dsts, ctx.Done())
+}
+
+// tableQuery is the bucket-based many-to-many query [Knopp et al. 2007]:
+// one backward search per distinct destination deposits (dest, distance)
+// entries at every vertex it settles; one forward search per distinct
+// source then scans the buckets of the vertices it settles, so every
+// (src,dst) pair is combined at its meeting vertices without any per-pair
+// search. Each finite entry is then re-summed along its unpacked path
+// (see exactPath) so the matrix agrees bit-for-bit with per-pair queries.
+func (ch *CH) tableQuery(srcs, dsts []int, done <-chan struct{}) [][]float64 {
+	out := make([][]float64, len(srcs))
+	for i := range out {
+		row := make([]float64, len(dsts))
+		for j := range row {
+			row[j] = math.Inf(1)
+		}
+		out[i] = row
+	}
+	if len(srcs) == 0 || len(dsts) == 0 {
+		return out
+	}
+	w := ch.getWS()
+	defer ch.putWS(w)
+	if w.bkt == nil {
+		w.bkt = make([][]bktEnt, ch.n)
+	}
+
+	// Group duplicate vertices so each distinct one is searched once.
+	dstGroups, dstCols := groupVerts(dsts)
+	srcGroups, srcRows := groupVerts(srcs)
+
+	// Backward phase: bucket every settled vertex, and keep each group's
+	// search tree (prev arcs of its settled cone) for path unpacking. The
+	// trees are pooled with the workspace — clear() keeps a map's buckets
+	// allocated, so steady-state table probes stop allocating here.
+	for len(w.trees) < len(dstGroups) {
+		w.trees = append(w.trees, nil)
+	}
+	prevB := w.trees[:len(dstGroups)]
+	for gi, t := range dstGroups {
+		if t < 0 || t >= ch.n || Stopped(done) {
+			continue
+		}
+		w.bump()
+		ch.upwardSearch(w, t, false, done)
+		tree := prevB[gi]
+		if tree == nil {
+			tree = make(map[int32]int32, len(w.touchB))
+			prevB[gi] = tree
+		} else {
+			clear(tree)
+		}
+		for _, v := range w.touchB {
+			tree[v] = w.prevB[v]
+			if len(w.bkt[v]) == 0 {
+				w.bktTouch = append(w.bktTouch, v)
+			}
+			w.bkt[v] = append(w.bkt[v], bktEnt{g: int32(gi), d: w.distB[v]})
+		}
+	}
+
+	type best struct {
+		d    float64
+		meet int32
+	}
+	bests := make([]best, len(dstGroups))
+	for _, s := range srcGroups {
+		for j := range bests {
+			bests[j] = best{d: math.Inf(1), meet: -1}
+		}
+		if s >= 0 && s < ch.n && !Stopped(done) {
+			w.bump()
+			ch.upwardSearch(w, s, true, done)
+			for _, v := range w.touchF {
+				ds := w.distF[v]
+				for _, e := range w.bkt[v] {
+					b := &bests[e.g]
+					if d := ds + e.d; d < b.d || (d == b.d && v < b.meet) {
+						b.d, b.meet = d, v
+					}
+				}
+			}
+		}
+		for gj, t := range dstGroups {
+			d := math.Inf(1)
+			if m := bests[gj].meet; m >= 0 {
+				// restore the meeting group's backward chain into prevB
+				// view expected by exactPath
+				d = ch.exactVia(w, prevB[gj], m)
+			}
+			for _, r := range srcRows[s] {
+				for _, c := range dstCols[t] {
+					out[r][c] = d
+				}
+			}
+		}
+	}
+
+	for _, v := range w.bktTouch {
+		w.bkt[v] = w.bkt[v][:0]
+	}
+	w.bktTouch = w.bktTouch[:0]
+	return out
+}
+
+// exactVia re-sums the path through meet, reading the backward chain from
+// a retained tree instead of the workspace arrays (which only hold the
+// latest backward search).
+func (ch *CH) exactVia(w *chWS, treeB map[int32]int32, meet int32) float64 {
+	buf := w.arcbuf[:0]
+	for v := meet; w.prevF[v] >= 0; {
+		a := w.prevF[v]
+		buf = append(buf, a)
+		v = ch.arcs[a].from
+	}
+	for i, j := 0, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	for v := meet; ; {
+		a, ok := treeB[v]
+		if !ok || a < 0 {
+			break
+		}
+		buf = append(buf, a)
+		v = ch.arcs[a].to
+	}
+	w.arcbuf = buf
+	var d float64
+	for _, id := range buf {
+		d, _ = ch.unpackArc(id, d, nil)
+	}
+	return d
+}
+
+// groupVerts deduplicates a vertex list, returning the distinct vertices
+// in first-appearance order and, per distinct vertex, the positions it
+// occupies in the original list.
+func groupVerts(vs []int) ([]int, map[int][]int) {
+	pos := make(map[int][]int, len(vs))
+	var distinct []int
+	for i, v := range vs {
+		if _, ok := pos[v]; !ok {
+			distinct = append(distinct, v)
+		}
+		pos[v] = append(pos[v], i)
+	}
+	return distinct, pos
+}

@@ -1,7 +1,6 @@
 package graphalg
 
 import (
-	"container/heap"
 	"context"
 	"math"
 )
@@ -17,24 +16,56 @@ type pqItem struct {
 	dist float64
 }
 
+// pq is a binary min-heap of (dist, v) pairs with hand-rolled sift
+// operations: going through container/heap would box every pqItem into an
+// interface value, and the push/pop pair sits on the hottest loop of every
+// search in this package.
 type pq []pqItem
 
-func (h pq) Len() int { return len(h) }
-
-// Less orders by distance, then vertex id, so the settle order — and with
+// less orders by distance, then vertex id, so the settle order — and with
 // it every tie-dependent choice downstream — is independent of arc
 // insertion order.
-func (h pq) Less(i, j int) bool {
+func (h pq) less(i, j int) bool {
 	return h[i].dist < h[j].dist || (h[i].dist == h[j].dist && h[i].v < h[j].v)
 }
-func (h pq) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pq) Push(x any)   { *h = append(*h, x.(pqItem)) }
-func (h *pq) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *pq) push(it pqItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *pq) pop() pqItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s.less(r, c) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }
 
 // ShortestPath returns the minimum-weight path from src to dst, or ok=false
@@ -52,59 +83,67 @@ func ShortestPathCtx(ctx context.Context, g *Graph, src, dst int) (Path, bool) {
 }
 
 func shortestPath(g *Graph, src, dst int, done <-chan struct{}) (Path, bool) {
-	dist, prev := dijkstra(g, src, dst, nil, nil, done)
-	if math.IsInf(dist[dst], 1) {
+	s := getScratch(g.N())
+	defer putScratch(s)
+	dijkstra(s, g, src, dst, nil, nil, done)
+	if math.IsInf(s.dist[dst], 1) {
 		return Path{}, false
 	}
-	return Path{Vertices: reconstruct(prev, src, dst), Weight: dist[dst]}, true
+	return Path{Vertices: reconstruct(s.prev, src, dst), Weight: s.dist[dst]}, true
 }
 
 // ShortestDist returns only the distance from src to dst (+Inf if
-// unreachable), without path reconstruction bookkeeping beyond prev.
+// unreachable), without path reconstruction.
 func ShortestDist(g *Graph, src, dst int) float64 {
-	dist, _ := dijkstra(g, src, dst, nil, nil, nil)
-	return dist[dst]
+	s := getScratch(g.N())
+	defer putScratch(s)
+	dijkstra(s, g, src, dst, nil, nil, nil)
+	return s.dist[dst]
 }
 
 // AllDistances returns the shortest distance from src to every vertex
 // (+Inf when unreachable).
 func AllDistances(g *Graph, src int) []float64 {
-	dist, _ := dijkstra(g, src, -1, nil, nil, nil)
-	return dist
+	return allDistances(g, src, nil)
 }
 
 // AllDistancesCtx is AllDistances with cancellation checkpoints. A
 // cancelled search returns the distances settled so far; unsettled
 // vertices stay +Inf.
 func AllDistancesCtx(ctx context.Context, g *Graph, src int) []float64 {
-	dist, _ := dijkstra(g, src, -1, nil, nil, ctx.Done())
-	return dist
+	return allDistances(g, src, ctx.Done())
 }
 
-// dijkstra runs Dijkstra from src. If dst >= 0 it stops when dst settles.
-// banned vertices and arcs (keyed u*n+v) are skipped — Yen's algorithm uses
-// both to carve the spur graph without copying it. A non-nil done channel
-// is polled every stride pops; when closed the search stops with whatever
-// has settled (unreached vertices keep +Inf, so callers see "unreachable").
-func dijkstra(g *Graph, src, dst int, bannedVertex []bool, bannedArc map[[2]int]bool, done <-chan struct{}) ([]float64, []int) {
+func allDistances(g *Graph, src int, done <-chan struct{}) []float64 {
+	s := getScratch(g.N())
+	defer putScratch(s)
+	dijkstra(s, g, src, -1, nil, nil, done)
+	out := make([]float64, len(s.dist))
+	copy(out, s.dist)
+	return out
+}
+
+// dijkstra runs Dijkstra from src, writing distances and predecessors into
+// s.dist and s.prev (s must be freshly reset). If dst >= 0 it stops when
+// dst settles. banned vertices and arcs (keyed [from,to]) are skipped —
+// Yen's algorithm uses both to carve the spur graph without copying it. A
+// non-nil done channel is polled every stride pops; when closed the search
+// stops with whatever has settled (unreached vertices keep +Inf, so
+// callers see "unreachable").
+func dijkstra(s *searchScratch, g *Graph, src, dst int, bannedVertex []bool, bannedArc map[[2]int]bool, done <-chan struct{}) {
 	n := g.N()
-	dist := make([]float64, n)
-	prev := make([]int, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
 	if src < 0 || src >= n || (bannedVertex != nil && bannedVertex[src]) {
-		return dist, prev
+		return
 	}
+	dist, prev := s.dist, s.prev
 	dist[src] = 0
-	h := pq{{v: src, dist: 0}}
+	s.h.push(pqItem{v: src, dist: 0})
 	pops := 0
-	for h.Len() > 0 {
+	for len(s.h) > 0 {
 		if pops++; pops&(stride-1) == 0 && Stopped(done) {
 			break
 		}
-		it := heap.Pop(&h).(pqItem)
+		it := s.h.pop()
 		if it.dist > dist[it.v] {
 			continue
 		}
@@ -122,7 +161,7 @@ func dijkstra(g *Graph, src, dst int, bannedVertex []bool, bannedArc map[[2]int]
 			if nd < dist[a.To] {
 				dist[a.To] = nd
 				prev[a.To] = it.v
-				heap.Push(&h, pqItem{v: a.To, dist: nd})
+				s.h.push(pqItem{v: a.To, dist: nd})
 			} else if nd == dist[a.To] && a.W > 0 && prev[a.To] >= 0 && it.v < prev[a.To] {
 				// Among equal-weight shortest paths keep the smallest
 				// predecessor: the returned path is then a deterministic
@@ -135,20 +174,18 @@ func dijkstra(g *Graph, src, dst int, bannedVertex []bool, bannedArc map[[2]int]
 			}
 		}
 	}
-	return dist, prev
 }
 
 func reconstruct(prev []int, src, dst int) []int {
-	var rev []int
-	for v := dst; v != -1; v = prev[v] {
-		rev = append(rev, v)
-		if v == src {
-			break
-		}
+	n := 1
+	for v := dst; v != src && prev[v] != -1; v = prev[v] {
+		n++
 	}
-	out := make([]int, len(rev))
-	for i, v := range rev {
-		out[len(rev)-1-i] = v
+	out := make([]int, n)
+	v := dst
+	for i := n - 1; i >= 0; i-- {
+		out[i] = v
+		v = prev[v]
 	}
 	return out
 }

@@ -33,6 +33,13 @@ func kShortestPaths(g *Graph, src, dst, k int, done <-chan struct{}) []Path {
 	paths := []Path{first}
 	var candidates []Path
 
+	// One scratch, one ban buffer, and one ban map serve every spur
+	// search; they are reset in place between iterations.
+	s := getScratch(g.N())
+	defer putScratch(s)
+	bannedVertex := make([]bool, g.N())
+	bannedArc := make(map[[2]int]bool)
+
 	for len(paths) < k {
 		last := paths[len(paths)-1].Vertices
 		// Each vertex of the previous path (except the last) is a spur node.
@@ -46,7 +53,7 @@ func kShortestPaths(g *Graph, src, dst, k int, done <-chan struct{}) []Path {
 
 			// Ban arcs that would recreate an already-found path with the
 			// same root, and ban root vertices to keep paths loopless.
-			bannedArc := make(map[[2]int]bool)
+			clear(bannedArc)
 			for _, p := range paths {
 				if len(p.Vertices) > i && equalPrefix(p.Vertices, rootPath) {
 					bannedArc[[2]int{p.Vertices[i], p.Vertices[i+1]}] = true
@@ -57,16 +64,20 @@ func kShortestPaths(g *Graph, src, dst, k int, done <-chan struct{}) []Path {
 					bannedArc[[2]int{c.Vertices[i], c.Vertices[i+1]}] = true
 				}
 			}
-			bannedVertex := make([]bool, g.N())
 			for _, v := range rootPath[:len(rootPath)-1] {
 				bannedVertex[v] = true
 			}
 
-			dist, prev := dijkstra(g, spur, dst, bannedVertex, bannedArc, done)
-			if math.IsInf(dist[dst], 1) {
+			s.reset()
+			dijkstra(s, g, spur, dst, bannedVertex, bannedArc, done)
+			for _, v := range rootPath[:len(rootPath)-1] {
+				bannedVertex[v] = false
+			}
+			if math.IsInf(s.dist[dst], 1) {
 				continue
 			}
-			spurPath := reconstruct(prev, spur, dst)
+			spurPath := reconstruct(s.prev, spur, dst)
+			dist := s.dist
 			total := append(append([]int(nil), rootPath[:len(rootPath)-1]...), spurPath...)
 			cand := Path{Vertices: total, Weight: rootWeight + dist[dst]}
 			if !containsPath(paths, cand) && !containsPath(candidates, cand) {

@@ -83,6 +83,21 @@ func StitchLocationsCtx(ctx context.Context, g *roadnet.Graph, locs []roadnet.Lo
 }
 
 func stitchLocations(ctx context.Context, g *roadnet.Graph, locs []roadnet.Location) (roadnet.Route, error) {
+	return stitchWith(ctx, g, locs, plainBridge(g))
+}
+
+// bridgeFn produces the shortest-path bridge between two locations;
+// implementations may memoize (see Projector).
+type bridgeFn func(ctx context.Context, done <-chan struct{}, a, b roadnet.Location) (roadnet.Route, bool)
+
+func plainBridge(g *roadnet.Graph) bridgeFn {
+	return func(ctx context.Context, _ <-chan struct{}, a, b roadnet.Location) (roadnet.Route, bool) {
+		part, _, ok := g.PathBetweenLocationsCtx(ctx, a, b)
+		return part, ok
+	}
+}
+
+func stitchWith(ctx context.Context, g *roadnet.Graph, locs []roadnet.Location, bridge bridgeFn) (roadnet.Route, error) {
 	done := ctx.Done()
 	var route roadnet.Route
 	have := false
@@ -97,11 +112,11 @@ func stitchLocations(ctx context.Context, g *roadnet.Graph, locs []roadnet.Locat
 			have = true
 			continue
 		}
-		part, _, ok := g.PathBetweenLocationsCtx(ctx, cur, l)
+		part, ok := bridge(ctx, done, cur, l)
 		if !ok {
 			continue
 		}
-		joined, ok := route.Concat(g, part)
+		joined, ok := appendConcat(g, route, part)
 		if !ok {
 			continue
 		}
@@ -111,7 +126,7 @@ func stitchLocations(ctx context.Context, g *roadnet.Graph, locs []roadnet.Locat
 	if !have || len(route) == 0 {
 		return nil, ErrNoRoute
 	}
-	return route.Dedup(), nil
+	return route, nil
 }
 
 // ProjectPointSequence converts a point sequence to a route cheaply: each
@@ -131,6 +146,56 @@ func ProjectPointSequenceCtx(ctx context.Context, g *roadnet.Graph, pts []geo.Po
 }
 
 func projectPointSequence(ctx context.Context, g *roadnet.Graph, pts []geo.Point, prm Params) (roadnet.Route, error) {
+	return projectWith(ctx, g, pts,
+		func(p, o geo.Point, m snapMode) (roadnet.Location, bool) {
+			return snapPoint(g, prm, candidatesFor(g, p, prm), p, o, m)
+		},
+		plainBridge(g))
+}
+
+// snapMode says which neighbour supplies the travel heading for a snap:
+// the next point (the usual case), the previous one (last point of the
+// sequence), or none (single-point sequence).
+type snapMode uint8
+
+const (
+	snapLone snapMode = iota
+	snapToNext
+	snapFromPrev
+)
+
+// snapFn snaps point p to a network location, orienting by its neighbour
+// o per mode m; ok=false when p has no candidate edges.
+type snapFn func(p, o geo.Point, m snapMode) (roadnet.Location, bool)
+
+// snapPoint picks the best direction-compatible candidate: heading
+// agreement (cosine of the angle difference) minus a distance penalty.
+func snapPoint(g *roadnet.Graph, prm Params, cands []roadnet.Candidate, p, o geo.Point, m snapMode) (roadnet.Location, bool) {
+	if len(cands) == 0 {
+		return roadnet.Location{}, false
+	}
+	best := cands[0]
+	if m != snapLone {
+		var heading float64
+		if m == snapToNext {
+			heading = p.Heading(o)
+		} else {
+			heading = o.Heading(p)
+		}
+		bestScore := math.Inf(-1)
+		for _, c := range cands {
+			seg := g.Seg(c.Edge)
+			segHeading := seg.Shape[0].Heading(seg.Shape[len(seg.Shape)-1])
+			score := math.Cos(geo.AngleDiff(heading, segHeading)) - c.Dist/(prm.GPSSigma*4)
+			if score > bestScore {
+				best, bestScore = c, score
+			}
+		}
+	}
+	return roadnet.Location{Edge: best.Edge, Offset: best.Offset}, true
+}
+
+func projectWith(ctx context.Context, g *roadnet.Graph, pts []geo.Point, snap snapFn, bridge bridgeFn) (roadnet.Route, error) {
 	if len(pts) == 0 {
 		return nil, ErrNoRoute
 	}
@@ -140,34 +205,22 @@ func projectPointSequence(ctx context.Context, g *roadnet.Graph, pts []geo.Point
 		if graphalg.Stopped(done) {
 			return nil, ctx.Err()
 		}
-		cands := candidatesFor(g, p, prm)
-		if len(cands) == 0 {
+		var loc roadnet.Location
+		var ok bool
+		switch {
+		case i+1 < len(pts):
+			loc, ok = snap(p, pts[i+1], snapToNext)
+		case i > 0:
+			loc, ok = snap(p, pts[i-1], snapFromPrev)
+		default:
+			loc, ok = snap(p, p, snapLone)
+		}
+		if !ok {
 			continue
 		}
-		var heading float64
-		hasHeading := false
-		if i+1 < len(pts) {
-			heading = p.Heading(pts[i+1])
-			hasHeading = true
-		} else if i > 0 {
-			heading = pts[i-1].Heading(p)
-			hasHeading = true
-		}
-		best := cands[0]
-		if hasHeading {
-			bestScore := math.Inf(-1)
-			for _, c := range cands {
-				seg := g.Seg(c.Edge)
-				segHeading := seg.Shape[0].Heading(seg.Shape[len(seg.Shape)-1])
-				score := math.Cos(geo.AngleDiff(heading, segHeading)) - c.Dist/(prm.GPSSigma*4)
-				if score > bestScore {
-					best, bestScore = c, score
-				}
-			}
-		}
-		locs = append(locs, roadnet.Location{Edge: best.Edge, Offset: best.Offset})
+		locs = append(locs, loc)
 	}
-	return stitchLocations(ctx, g, locs)
+	return stitchWith(ctx, g, locs, bridge)
 }
 
 // MatchPointSequence map-matches a (reasonably dense) sequence of points

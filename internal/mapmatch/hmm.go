@@ -72,7 +72,6 @@ func (m *HMM) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, err
 		score[0][j] = logEmission(c)
 		back[0][j] = -1
 	}
-	st := &STMatcher{G: m.G, Params: m.Params}
 	done := ctx.Done()
 	for i := 1; i < n; i++ {
 		if graphalg.Stopped(done) {
@@ -85,14 +84,13 @@ func (m *HMM) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, err
 			score[i][j] = math.Inf(-1)
 			back[i][j] = -1
 		}
-		for pj, pc := range cands[i-1] {
+		wtbl := candidateDistTable(ctx, m.G, cands[i-1], cands[i])
+		for pj := range cands[i-1] {
 			if math.IsInf(score[i-1][pj], -1) {
 				continue
 			}
-			pseg := m.G.Seg(pc.Edge)
-			dists := m.G.VertexDistancesCtx(ctx, pseg.To)
 			for j, c := range cands[i] {
-				w := st.networkDist(pc, c, dists)
+				w := wtbl[pj][j]
 				if math.IsInf(w, 1) {
 					continue
 				}

@@ -72,24 +72,7 @@ func (m *IVMM) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, er
 		}
 		straight := t.Points[i-1].Pt.Dist(t.Points[i].Pt)
 		dt := t.Points[i].T - t.Points[i-1].T
-		F[i] = make([][]float64, len(cands[i-1]))
-		for pj, pc := range cands[i-1] {
-			F[i][pj] = make([]float64, len(cands[i]))
-			pseg := m.G.Seg(pc.Edge)
-			dists := m.G.VertexDistancesCtx(ctx, pseg.To)
-			for j, c := range cands[i] {
-				w := st.networkDist(pc, c, dists)
-				if math.IsInf(w, 1) {
-					F[i][pj][j] = math.Inf(-1)
-					continue
-				}
-				f := observation(c.Dist, m.Params.GPSSigma) * transmission(straight, w)
-				if dt > 0 && w > 0 {
-					f *= st.temporal(pc, c, w/dt)
-				}
-				F[i][pj][j] = f
-			}
-		}
+		F[i] = st.transitionScores(ctx, cands[i-1], cands[i], straight, dt)
 	}
 
 	// Interactive voting.

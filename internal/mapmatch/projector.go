@@ -1,0 +1,130 @@
+package mapmatch
+
+import (
+	"context"
+
+	"repro/internal/geo"
+	"repro/internal/graphalg"
+	"repro/internal/roadnet"
+)
+
+// Projector amortizes point-sequence projections that share a graph and
+// params. HRIS's NNI converts dozens of transit-graph traces between the
+// same query point pair, and those traces revisit the same reference
+// points and the same consecutive location pairs over and over; the
+// projector memoizes the two expensive primitives — the candidate search
+// per point and the shortest-path bridge per location pair — so each is
+// computed once per inference instead of once per trace. The memo is
+// transparent: the graph is immutable and both primitives deterministic,
+// so a projected route is identical to an uncached one.
+//
+// A Projector is not safe for concurrent use; create one per goroutine.
+type Projector struct {
+	g       *roadnet.Graph
+	prm     Params
+	cands   map[geo.Point][]roadnet.Candidate
+	snaps   map[snapKey]snapVal
+	bridges map[[2]roadnet.Location]bridge
+}
+
+type bridge struct {
+	part roadnet.Route
+	ok   bool
+}
+
+// snapKey identifies a snap: the point, the neighbour the heading comes
+// from, and which side that neighbour is on.
+type snapKey struct {
+	p, o geo.Point
+	m    snapMode
+}
+
+type snapVal struct {
+	loc roadnet.Location
+	ok  bool
+}
+
+// NewProjector returns a projector over g with the given matching params.
+func NewProjector(g *roadnet.Graph, prm Params) *Projector {
+	return &Projector{
+		g: g, prm: prm,
+		cands:   make(map[geo.Point][]roadnet.Candidate),
+		snaps:   make(map[snapKey]snapVal),
+		bridges: make(map[[2]roadnet.Location]bridge),
+	}
+}
+
+func (pj *Projector) candidates(p geo.Point) []roadnet.Candidate {
+	if c, ok := pj.cands[p]; ok {
+		return c
+	}
+	c := candidatesFor(pj.g, p, pj.prm)
+	pj.cands[p] = c
+	return c
+}
+
+func (pj *Projector) snap(p, o geo.Point, m snapMode) (roadnet.Location, bool) {
+	k := snapKey{p: p, o: o, m: m}
+	if v, hit := pj.snaps[k]; hit {
+		return v.loc, v.ok
+	}
+	loc, ok := snapPoint(pj.g, pj.prm, pj.candidates(p), p, o, m)
+	pj.snaps[k] = snapVal{loc: loc, ok: ok}
+	return loc, ok
+}
+
+// bridgeBetween is PathBetweenLocationsCtx through the memo. A failure
+// observed while the context is cancelled is not cached — it means
+// "aborted", not "unreachable", and must not outlive the cancellation.
+func (pj *Projector) bridgeBetween(ctx context.Context, done <-chan struct{}, a, b roadnet.Location) (roadnet.Route, bool) {
+	k := [2]roadnet.Location{a, b}
+	if br, hit := pj.bridges[k]; hit {
+		return br.part, br.ok
+	}
+	part, _, ok := pj.g.PathBetweenLocationsCtx(ctx, a, b)
+	if !ok && graphalg.Stopped(done) {
+		return nil, false
+	}
+	pj.bridges[k] = bridge{part: part, ok: ok}
+	return part, ok
+}
+
+// Project converts a point sequence to a route exactly like
+// ProjectPointSequenceCtx, serving candidate searches and bridges from
+// the memo.
+func (pj *Projector) Project(ctx context.Context, pts []geo.Point) (roadnet.Route, error) {
+	return projectWith(ctx, pj.g, pts, pj.snap, pj.bridgeBetween)
+}
+
+// appendConcat is Route.Concat ∘ Dedup with dst's backing array reused:
+// the stitch loop grows one route location by location, and the
+// copy-on-concat of the value-semantics Concat is quadratic there. dst
+// must be free of immediately repeated segments (the loop's invariant);
+// ok=false leaves dst unchanged.
+func appendConcat(g *roadnet.Graph, dst, s roadnet.Route) (roadnet.Route, bool) {
+	if len(dst) == 0 {
+		return appendDedup(dst, s), true
+	}
+	if len(s) == 0 {
+		return dst, true
+	}
+	if g.Seg(s[0]).From == dst.End(g) || s[0] == dst[len(dst)-1] {
+		return appendDedup(dst, s), true
+	}
+	br, _, ok := g.EdgePathBetweenVertices(dst.End(g), g.Seg(s[0]).From)
+	if !ok {
+		return dst, false
+	}
+	return appendDedup(appendDedup(dst, br), s), true
+}
+
+// appendDedup appends s to dst, dropping segments that repeat the one
+// before them.
+func appendDedup(dst, s roadnet.Route) roadnet.Route {
+	for _, e := range s {
+		if len(dst) == 0 || e != dst[len(dst)-1] {
+			dst = append(dst, e)
+		}
+	}
+	return dst
+}

@@ -37,8 +37,8 @@ func (m *STMatcher) Match(t *traj.Trajectory) (roadnet.Route, error) {
 }
 
 // MatchCtx implements CtxMatcher: Match with a cancellation checkpoint per
-// trajectory point in the dynamic program (each point costs one Dijkstra
-// per previous candidate). Returns ctx.Err() when cancelled.
+// trajectory point in the dynamic program (each point costs one batched
+// oracle probe over its candidate pair). Returns ctx.Err() when cancelled.
 func (m *STMatcher) MatchCtx(ctx context.Context, t *traj.Trajectory) (roadnet.Route, error) {
 	return m.match(ctx, t)
 }
@@ -78,26 +78,17 @@ func (m *STMatcher) match(ctx context.Context, t *traj.Trajectory) (roadnet.Rout
 		back[i] = make([]int, len(cands[i]))
 		straight := t.Points[i-1].Pt.Dist(t.Points[i].Pt)
 		dt := t.Points[i].T - t.Points[i-1].T
-		// One Dijkstra per previous candidate: distances from its end
-		// vertex serve all current candidates.
 		for j := range score[i] {
 			score[i][j] = math.Inf(-1)
 			back[i][j] = -1
 		}
-		for pj, pc := range cands[i-1] {
-			pseg := m.G.Seg(pc.Edge)
-			dists := m.G.VertexDistancesCtx(ctx, pseg.To)
-			for j, c := range cands[i] {
-				w := m.networkDist(pc, c, dists)
-				if math.IsInf(w, 1) {
+		f := m.transitionScores(ctx, cands[i-1], cands[i], straight, dt)
+		for pj := range cands[i-1] {
+			for j := range cands[i] {
+				if math.IsInf(f[pj][j], -1) {
 					continue
 				}
-				trans := transmission(straight, w)
-				f := observation(c.Dist, m.Params.GPSSigma) * trans
-				if !m.SkipTemporal && dt > 0 && w > 0 {
-					f *= m.temporal(pc, c, w/dt)
-				}
-				if s := score[i-1][pj] + f; s > score[i][j] {
+				if s := score[i-1][pj] + f[pj][j]; s > score[i][j] {
 					score[i][j] = s
 					back[i][j] = pj
 				}
@@ -145,18 +136,70 @@ func (m *STMatcher) match(ctx context.Context, t *traj.Trajectory) (roadnet.Rout
 	return stitchLocations(ctx, m.G, locs)
 }
 
-// networkDist computes the driving distance from candidate a to candidate b
-// given precomputed vertex distances from a's segment end.
-func (m *STMatcher) networkDist(a, b roadnet.Candidate, distsFromAEnd []float64) float64 {
-	if a.Edge == b.Edge && b.Offset >= a.Offset {
-		return b.Offset - a.Offset
+// transitionScores returns the ST-Matching transition matrix f[pj][j]:
+// the score for entering candidate j of the current point from candidate
+// pj of the previous one. Network distances come from a single batched
+// oracle probe per point pair (candidateDistTable) instead of one full
+// Dijkstra per previous candidate; unreachable transitions are explicit
+// -Inf entries, and neither the transmission term nor the temporal
+// speed-constraint cosine (with its denominator) is computed for them.
+// The observation term and the speed-limit lookups are hoisted out of the
+// transition loop.
+func (m *STMatcher) transitionScores(ctx context.Context, prev, cur []roadnet.Candidate, straight, dt float64) [][]float64 {
+	f := candidateDistTable(ctx, m.G, prev, cur)
+	obs := make([]float64, len(cur))
+	u2 := make([]float64, len(cur))
+	for j, c := range cur {
+		obs[j] = observation(c.Dist, m.Params.GPSSigma)
+		u2[j] = m.G.Seg(c.Edge).Speed
 	}
-	sa, sb := m.G.Seg(a.Edge), m.G.Seg(b.Edge)
-	mid := distsFromAEnd[sb.From]
-	if math.IsInf(mid, 1) {
-		return mid
+	for pj, pc := range prev {
+		u1 := m.G.Seg(pc.Edge).Speed
+		row := f[pj]
+		for j := range cur {
+			w := row[j]
+			if math.IsInf(w, 1) {
+				row[j] = math.Inf(-1)
+				continue
+			}
+			s := obs[j] * transmission(straight, w)
+			if !m.SkipTemporal && dt > 0 && w > 0 {
+				s *= temporalCos(u1, u2[j], w/dt)
+			}
+			row[j] = s
+		}
 	}
-	return (sa.Length - a.Offset) + mid + b.Offset
+	return f
+}
+
+// candidateDistTable returns the driving distance from every candidate of
+// prev to every candidate of cur (+Inf when unreachable), resolving the
+// vertex-to-vertex legs with one batched oracle query.
+func candidateDistTable(ctx context.Context, g *roadnet.Graph, prev, cur []roadnet.Candidate) [][]float64 {
+	srcs := make([]roadnet.VertexID, len(prev))
+	for pj, pc := range prev {
+		srcs[pj] = g.Seg(pc.Edge).To
+	}
+	dsts := make([]roadnet.VertexID, len(cur))
+	for j, c := range cur {
+		dsts[j] = g.Seg(c.Edge).From
+	}
+	tbl := g.VertexDistanceTableCtx(ctx, srcs, dsts)
+	for pj, pc := range prev {
+		sa := g.Seg(pc.Edge)
+		row := tbl[pj]
+		for j, c := range cur {
+			if pc.Edge == c.Edge && c.Offset >= pc.Offset {
+				row[j] = c.Offset - pc.Offset
+				continue
+			}
+			if math.IsInf(row[j], 1) {
+				continue
+			}
+			row[j] = (sa.Length - pc.Offset) + row[j] + c.Offset
+		}
+	}
+	return tbl
 }
 
 // transmission is the ST-Matching transmission probability: straight-line
@@ -172,16 +215,13 @@ func transmission(straight, network float64) float64 {
 	return v
 }
 
-// temporal is the ST-Matching temporal analysis term: the cosine similarity
-// between the speed-limit vector along the transition and the (constant)
-// actual travel speed. Transitions whose implied speed matches the road
-// class score higher.
-func (m *STMatcher) temporal(a, b roadnet.Candidate, actualSpeed float64) float64 {
-	// Use the two endpoint segments as the speed-limit sample; the paper
-	// uses every segment on the sub-path, which the two ends dominate for
-	// the short transitions map-matching sees.
-	u1 := m.G.Seg(a.Edge).Speed
-	u2 := m.G.Seg(b.Edge).Speed
+// temporalCos is the ST-Matching temporal analysis term: the cosine
+// similarity between the speed-limit vector along the transition (sampled
+// at the two endpoint segments, u1 and u2 — the paper uses every segment
+// on the sub-path, which the two ends dominate for the short transitions
+// map-matching sees) and the constant actual travel speed. Transitions
+// whose implied speed matches the road class score higher.
+func temporalCos(u1, u2, actualSpeed float64) float64 {
 	num := u1*actualSpeed + u2*actualSpeed
 	den := math.Sqrt(u1*u1+u2*u2) * math.Sqrt(2*actualSpeed*actualSpeed)
 	if den == 0 {

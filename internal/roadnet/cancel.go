@@ -20,16 +20,13 @@ func (g *Graph) VertexDistancesCtx(ctx context.Context, src VertexID) []float64 
 	return graphalg.AllDistancesCtx(ctx, g.vertexG, src)
 }
 
-// VertexPathCtx is VertexPath with cancellation checkpoints in the A* pop
-// loop.
+// VertexPathCtx is VertexPath with cancellation checkpoints in the
+// oracle's search loops.
 func (g *Graph) VertexPathCtx(ctx context.Context, u, v VertexID) ([]VertexID, float64, bool) {
 	if u < 0 || u >= len(g.Vertices) || v < 0 || v >= len(g.Vertices) {
 		return nil, 0, false
 	}
-	dst := g.Vertices[v].Pt
-	p, ok := graphalg.AStarCtx(ctx, g.vertexG, u, v, func(w int) float64 {
-		return g.Vertices[w].Pt.Dist(dst)
-	})
+	p, ok := g.Oracle().PathToCtx(ctx, u, v)
 	if !ok {
 		return nil, 0, false
 	}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geo"
 	"repro/internal/graphalg"
@@ -61,6 +63,14 @@ type Graph struct {
 	// cheapest[u] sorted by (to, length) is implicit in vertexG arc order;
 	// edgeByPair resolves a (from,to) vertex pair to the shortest segment.
 	edgeByPair map[[2]VertexID]EdgeID
+
+	// Shortest-path oracle (see accel.go): built lazily on first use so
+	// graphs that never run distance queries pay nothing.
+	accel       AccelMode
+	oracleOnce  sync.Once
+	oracle      graphalg.DistanceOracle
+	oracleStats *graphalg.CHStats
+	oracleUp    atomic.Bool
 }
 
 // Builder accumulates vertices and segments, then finalizes them into a
@@ -255,17 +265,14 @@ func (g *Graph) VertexDistances(src VertexID) []float64 {
 }
 
 // VertexPath returns the shortest vertex path and distance from u to v.
-// Point-to-point queries run A* with the straight-line lower bound, which
-// prunes most of the search space on planar road networks while remaining
-// exact (segment lengths can never beat the straight line).
+// Point-to-point queries go through the distance oracle: a bidirectional
+// contraction-hierarchy search by default, or A* with the straight-line
+// lower bound in AccelDijkstra mode (both exact).
 func (g *Graph) VertexPath(u, v VertexID) ([]VertexID, float64, bool) {
 	if u < 0 || u >= len(g.Vertices) || v < 0 || v >= len(g.Vertices) {
 		return nil, 0, false
 	}
-	dst := g.Vertices[v].Pt
-	p, ok := graphalg.AStar(g.vertexG, u, v, func(w int) float64 {
-		return g.Vertices[w].Pt.Dist(dst)
-	})
+	p, ok := g.Oracle().PathTo(u, v)
 	if !ok {
 		return nil, 0, false
 	}
@@ -306,7 +313,7 @@ func (g *Graph) NetworkDistance(a, b Location) float64 {
 	}
 	sa, sb := g.Seg(a.Edge), g.Seg(b.Edge)
 	head := sa.Length - a.Offset
-	mid := graphalg.ShortestDist(g.vertexG, sa.To, sb.From)
+	mid := g.Oracle().Dist(sa.To, sb.From)
 	if math.IsInf(mid, 1) {
 		return mid
 	}

@@ -1,8 +1,7 @@
 package roadnet
 
 import (
-	"fmt"
-	"strings"
+	"strconv"
 
 	"repro/internal/geo"
 )
@@ -125,14 +124,14 @@ func (r Route) Equal(s Route) bool {
 
 // Key returns a compact map key for the route.
 func (r Route) Key() string {
-	var b strings.Builder
+	b := make([]byte, 0, len(r)*6)
 	for i, e := range r {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", e)
+		b = strconv.AppendInt(b, int64(e), 10)
 	}
-	return b.String()
+	return string(b)
 }
 
 // String implements fmt.Stringer.

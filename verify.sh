@@ -19,3 +19,9 @@ go test -timeout 300s -race ./...
 # must give identical verdicts run-to-run (-count=2 defeats test caching and
 # runs each twice in one binary).
 go test -timeout 120s -count=2 -run 'Yen|KGRI' ./internal/graphalg/ ./internal/core/
+
+# Bench smoke: the acceleration-layer benchmarks (end-to-end HRIS query,
+# ST-Matching, CH build — each in both oracle modes where applicable) must
+# run one iteration without failing. Real numbers come from
+# `go test -bench -benchmem` and cmd/experiments -fig bench-json.
+go test -timeout 300s -run '^$' -bench 'HRISQuery|STMatch|CH' -benchtime 1x .
