@@ -10,6 +10,7 @@ package repro
 import (
 	"context"
 	"math/rand"
+	"sort"
 	"strconv"
 	"sync"
 	"testing"
@@ -96,7 +97,7 @@ func BenchmarkFig9bPhiTime(b *testing.B) {
 			sp := hist.SearchParams{Phi: phi, SpliceEps: 200, SpliceMinSimple: 8}
 			for i := 0; i < b.N; i++ {
 				for j := 1; j < q.Len(); j++ {
-					w.Archive.References(q.Points[j-1], q.Points[j], sp)
+					hist.References(w.Archive, q.Points[j-1], q.Points[j], sp)
 				}
 			}
 		})
@@ -277,6 +278,68 @@ func BenchmarkHRISQueryDijkstra(b *testing.B) {
 	}
 }
 
+// BenchmarkHRISQueryStore is BenchmarkHRISQuery against a live store that
+// ingested the same archive in batches and then compacted — the LSM steady
+// state a long-running service converges to. It must stay within noise of
+// the bulk-archive number: after compaction both serve one STR-packed tree.
+func BenchmarkHRISQueryStore(b *testing.B) {
+	w := world(b)
+	st := hist.NewStore(w.Graph(), nil, hist.StoreConfig{CompactSegments: 1 << 30})
+	const batch = 25
+	for lo := 0; lo < len(w.DS.Archive); lo += batch {
+		hi := lo + batch
+		if hi > len(w.DS.Archive) {
+			hi = len(w.DS.Archive)
+		}
+		st.IngestTrips(w.DS.Archive[lo:hi]...)
+	}
+	st.Compact()
+	eng := core.NewEngine(st, core.DefaultParams())
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 111)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = eng.InferRoutes(qs[0].Query, w.P)
+	}
+}
+
+// BenchmarkIngest measures admitting one 10-trip batch into a live store —
+// memtable indexing plus snapshot publication, with background compaction
+// running at its default cadence. The tail matters more than the mean for a
+// live feed, so the p95 per-batch latency is reported alongside ns/op.
+func BenchmarkIngest(b *testing.B) {
+	ccfg := sim.DefaultCityConfig()
+	ccfg.Rows, ccfg.Cols = 12, 12
+	city := sim.GenerateCity(ccfg, 1)
+	fcfg := sim.DefaultFleetConfig()
+	fcfg.Seed = 1
+	trips, _ := sim.NewTripEmitter(city, fcfg).Emit(500)
+	const batch = 10
+	lat := make([]time.Duration, 0, b.N)
+	st := hist.NewStore(city.Graph, nil, hist.StoreConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Periodically restart from an empty store (outside the timer) so
+		// the benchmark measures steady-state batches, not unbounded growth.
+		if i > 0 && i%64 == 0 {
+			b.StopTimer()
+			st.Wait()
+			st = hist.NewStore(city.Graph, nil, hist.StoreConfig{})
+			b.StartTimer()
+		}
+		lo := (i * batch) % (len(trips) - batch)
+		start := time.Now()
+		st.IngestTrips(trips[lo : lo+batch]...)
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	st.Wait()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)*95/100].Nanoseconds()), "p95-ns/op")
+}
+
 // BenchmarkSTMatch measures one ST-Matching run, the heaviest competitor:
 // its candidate-pair distance tables go through the oracle's one-to-many
 // batching, so it is the second headline number of the acceleration layer.
@@ -350,7 +413,7 @@ func BenchmarkHRISQueryObserved(b *testing.B) {
 	if len(qs) == 0 {
 		b.Skip("no query")
 	}
-	eng := core.NewEngineWithRegistry(w.Archive, w.P, obs.New())
+	eng := core.NewEngineWithRegistry(w.Eng.Source(), w.P, obs.New())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = eng.InferRoutes(qs[0].Query, w.P)
@@ -450,7 +513,7 @@ func BenchmarkReferenceSearchRoot(b *testing.B) {
 	sp := hist.DefaultSearchParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w.Archive.References(qc.Query.Points[0], qc.Query.Points[1], sp)
+		hist.References(w.Archive, qc.Query.Points[0], qc.Query.Points[1], sp)
 	}
 }
 

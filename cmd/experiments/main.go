@@ -10,9 +10,10 @@
 // (full) run takes several minutes.
 //
 // Beyond the paper's figures, -fig accel profiles the shortest-path
-// acceleration layer (CH oracle vs plain Dijkstra), and -fig bench-json
-// (never part of "all") rewrites the checked-in benchmark snapshot at
-// -benchout (default BENCH_4.json).
+// acceleration layer (CH oracle vs plain Dijkstra), -fig freshness streams
+// trips into a live store and profiles accuracy against archive size, and
+// -fig bench-json (never part of "all") rewrites the checked-in benchmark
+// snapshot at -benchout (default BENCH_5.json).
 package main
 
 import (
@@ -32,10 +33,10 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		quick    = flag.Bool("quick", false, "scaled-down sweep")
-		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel) or all; bench-json (explicit only) writes the benchmark snapshot")
+		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel,freshness) or all; bench-json (explicit only) writes the benchmark snapshot")
 		seed     = flag.Int64("seed", 7, "world seed")
 		csvD     = flag.String("csv", "", "also write each figure as CSV into this directory")
-		benchOut = flag.String("benchout", "BENCH_4.json", "output path for -fig bench-json")
+		benchOut = flag.String("benchout", "BENCH_5.json", "output path for -fig bench-json")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 	k2s := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	k3s := []int{1, 2, 3, 4, 5, 6, 8, 10}
 	pairCounts := []int{2, 3, 4, 5, 6, 7}
+	freshCounts := []int{100, 300, 600, 1000, 1500}
 	if *quick {
 		cfg = eval.QuickConfig()
 		rates = []float64{3, 9, 15}
@@ -62,6 +64,7 @@ func main() {
 		k2s = []int{2, 4, 6}
 		k3s = []int{1, 3, 5, 8}
 		pairCounts = []int{2, 3, 4, 5}
+		freshCounts = []int{50, 150, 400}
 	}
 	cfg.Seed = *seed
 
@@ -168,6 +171,9 @@ func main() {
 	}
 	if need("accel") {
 		run("accel (CH oracle vs Dijkstra)", func() { emit(*csvD, eval.AccelProfile(cfg, phiRates)) })
+	}
+	if need("freshness") {
+		run("freshness (live archive warm-up)", func() { emit(*csvD, eval.FreshnessProfile(cfg, freshCounts)) })
 	}
 	// bench-json runs only when asked for by name: it re-measures the
 	// acceleration-layer benchmarks with testing.Benchmark and rewrites the

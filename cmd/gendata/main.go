@@ -5,15 +5,24 @@
 // Usage:
 //
 //	gendata -out data/ [-seed 7] [-rows 22] [-cols 22] [-trips 1200]
+//	        [-stream 100]
+//
+// With -stream N, after the dataset files are written the same fleet
+// simulation continues for N more trips, emitted as NDJSON on stdout
+// ({"id": "...", "points": [[x, y, t], ...]} per line) — fresh trips the
+// archive has not seen, ready to pipe into `hris -follow`. Informational
+// output moves to stderr so the stream stays clean.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
 
+	"repro/internal/roadnet"
 	"repro/internal/sim"
 	"repro/internal/traj"
 )
@@ -22,26 +31,44 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gendata: ")
 	var (
-		out   = flag.String("out", "data", "output directory")
-		seed  = flag.Int64("seed", 7, "random seed")
-		rows  = flag.Int("rows", 22, "city grid rows")
-		cols  = flag.Int("cols", 22, "city grid columns")
-		trips = flag.Int("trips", 1200, "archive trips to simulate")
-		hot   = flag.Int("hotspots", 10, "number of trip hotspots")
+		out    = flag.String("out", "data", "output directory")
+		seed   = flag.Int64("seed", 7, "random seed")
+		rows   = flag.Int("rows", 22, "city grid rows")
+		cols   = flag.Int("cols", 22, "city grid columns")
+		trips  = flag.Int("trips", 1200, "archive trips to simulate")
+		hot    = flag.Int("hotspots", 10, "number of trip hotspots")
+		stream = flag.Int("stream", 0, "after the archive, emit this many extra trips as NDJSON on stdout")
 	)
 	flag.Parse()
+
+	infoW := os.Stdout
+	if *stream > 0 {
+		infoW = os.Stderr
+	}
+	info := func(format string, a ...any) { fmt.Fprintf(infoW, format, a...) }
 
 	ccfg := sim.DefaultCityConfig()
 	ccfg.Rows, ccfg.Cols, ccfg.Hotspots = *rows, *cols, *hot
 	city := sim.GenerateCity(ccfg, *seed)
-	fmt.Printf("generated %v\n", city)
-	fmt.Printf("network: %v\n", city.Graph.ComputeStats())
+	info("generated %v\n", city)
+	info("network: %v\n", city.Graph.ComputeStats())
 
 	fcfg := sim.DefaultFleetConfig()
 	fcfg.Trips = *trips
 	fcfg.Seed = *seed
-	ds := sim.BuildDataset(city, fcfg)
-	fmt.Printf("simulated %d archive trips (%d requested)\n", len(ds.Archive), *trips)
+	// The explicit emitter loop (rather than BuildDataset) lets -stream
+	// continue the exact same simulation past the archive.
+	em := sim.NewTripEmitter(city, fcfg)
+	ds := &sim.Dataset{City: city, Truth: make(map[string]roadnet.Route, *trips)}
+	for i := 0; i < *trips; i++ {
+		tr, route, ok := em.Next()
+		if !ok {
+			continue
+		}
+		ds.Archive = append(ds.Archive, tr)
+		ds.Truth[tr.ID] = route
+	}
+	info("simulated %d archive trips (%d requested)\n", len(ds.Archive), *trips)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("mkdir: %v", err)
@@ -82,7 +109,25 @@ func main() {
 			low++
 		}
 	}
-	fmt.Printf("wrote %s (%d vertices, %d segments)\n", netPath, city.Graph.NumVertices(), city.Graph.NumSegments())
-	fmt.Printf("wrote %s (%d trips, %d GPS points, %d%% low-sampling-rate)\n",
+	info("wrote %s (%d vertices, %d segments)\n", netPath, city.Graph.NumVertices(), city.Graph.NumSegments())
+	info("wrote %s (%d trips, %d GPS points, %d%% low-sampling-rate)\n",
 		archPath, len(ds.Archive), points, 100*low/len(ds.Archive))
+
+	if *stream > 0 {
+		extra, _ := em.Emit(*stream)
+		enc := json.NewEncoder(os.Stdout)
+		for _, tr := range extra {
+			line := struct {
+				ID     string       `json:"id"`
+				Points [][3]float64 `json:"points"`
+			}{ID: tr.ID}
+			for _, p := range tr.Points {
+				line.Points = append(line.Points, [3]float64{p.Pt.X, p.Pt.Y, p.T})
+			}
+			if err := enc.Encode(line); err != nil {
+				log.Fatalf("stream: %v", err)
+			}
+		}
+		info("streamed %d extra trips as NDJSON\n", len(extra))
+	}
 }

@@ -6,10 +6,18 @@
 // Usage:
 //
 //	hris -data data/ -query query.json [-k 5] [-method hybrid] [-compare]
-//	     [-accel ch] [-metrics] [-trace] [-http :6060]
+//	     [-accel ch] [-metrics] [-trace] [-http :6060] [-follow]
 //
 // The query file holds one trajectory: {"points": [[x, y, t], ...]}.
 // With -demo, a query is synthesized from the archive instead.
+//
+// Live archive: the loaded dataset seeds a versioned store that keeps
+// admitting trips while queries run. With -follow, the process reads NDJSON
+// trips from stdin ({"id": "...", "points": [[x, y, t], ...]} per line,
+// e.g. piped from gendata -stream) and ingests each one; every admitted
+// batch becomes visible atomically in a new epoch. With -http, POST /ingest
+// accepts {"trips": [...]} in the same trip shape and returns the admit
+// stats plus the archive summary.
 //
 // Observability: -metrics prints the per-stage cost breakdown (count,
 // total, p50/p95/max per pipeline stage — the paper's Figure 9 cost
@@ -34,6 +42,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -67,6 +76,24 @@ type queryJSON struct {
 	Truth  []int        `json:"truth,omitempty"`
 }
 
+// tripJSON is one archive trip on the ingestion surfaces (-follow lines and
+// POST /ingest elements).
+type tripJSON struct {
+	ID     string       `json:"id"`
+	Points [][3]float64 `json:"points"`
+}
+
+func (tj tripJSON) trajectory(fallbackID string) *traj.Trajectory {
+	tr := &traj.Trajectory{ID: tj.ID}
+	if tr.ID == "" {
+		tr.ID = fallbackID
+	}
+	for _, p := range tj.Points {
+		tr.Points = append(tr.Points, traj.GPSPoint{Pt: geo.Pt(p[0], p[1]), T: p[2]})
+	}
+	return tr
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hris: ")
@@ -85,8 +112,9 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the per-stage cost breakdown after the run")
 		metricsJ = flag.Bool("metrics-json", false, "dump the metrics snapshot as JSON after the run")
 		trace    = flag.Bool("trace", false, "print the query's per-stage span timeline")
-		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars, /debug/pprof and POST /infer on this address and stay alive")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars, /debug/pprof, POST /infer and POST /ingest on this address and stay alive")
 		deadline = flag.Duration("deadline", 0, "per-query inference budget (e.g. 50ms); on expiry a best-effort degraded result is returned")
+		follow   = flag.Bool("follow", false, "read NDJSON trips from stdin and ingest them into the live archive")
 	)
 	flag.Parse()
 
@@ -101,7 +129,6 @@ func main() {
 		log.Fatalf("unknown -accel %q (want ch or dijkstra)", *accel)
 	}
 	g.SetAccel(mode)
-	arch := hist.NewArchive(g, trajs)
 	params := core.DefaultParams()
 	params.K3 = *k
 	params.Phi = *phi
@@ -121,10 +148,13 @@ func main() {
 	if observe {
 		reg = obs.New()
 	}
-	eng := core.NewEngineWithRegistry(arch, params, reg)
+	// The dataset seeds a live store; -follow and POST /ingest grow it while
+	// the engine answers queries against pinned snapshots.
+	st := hist.NewStore(g, trajs, hist.StoreConfig{Registry: reg})
+	eng := core.NewEngineWithRegistry(st, params, reg)
 	var srv *http.Server
 	if *httpAddr != "" {
-		srv = serveDebug(*httpAddr, eng, params)
+		srv = serveDebug(*httpAddr, eng, st, params)
 	}
 
 	var q *traj.Trajectory
@@ -134,66 +164,74 @@ func main() {
 		q, truth = demoQuery(g, trajs, truths, *seed)
 	case *query != "":
 		q, truth = loadQuery(*query)
+	case *follow || *httpAddr != "":
+		// Live-ingestion modes need no one-shot query.
 	default:
-		log.Fatal("need -query FILE or -demo")
+		log.Fatal("need -query FILE, -demo, -follow or -http")
 	}
-	fmt.Printf("query: %d points, %.1f km span, avg interval %.0f s (low-sampling-rate: %v)\n",
-		q.Len(), q.PathLength()/1000, q.AvgInterval(), q.IsLowSamplingRate())
+	if q != nil {
+		fmt.Printf("query: %d points, %.1f km span, avg interval %.0f s (low-sampling-rate: %v)\n",
+			q.Len(), q.PathLength()/1000, q.AvgInterval(), q.IsLowSamplingRate())
 
-	res, tr, err := eng.InferRoutesTracedCtx(ctx, q, params)
-	if err != nil {
-		log.Fatalf("inference failed: %v", err)
-	}
-	if res.Degraded {
-		fmt.Printf("note: deadline %v expired mid-inference; routes below are best-effort (degraded)\n", *deadline)
-	}
-	for i, r := range res.Routes {
-		fmt.Printf("route %d: score %.4g, %.1f km, %d segments", i+1, r.Score,
-			r.Route.Length(g)/1000, len(r.Route))
-		if truth != nil {
-			fmt.Printf(", A_L %.3f", eval.AccuracyAL(g, truth, r.Route))
+		res, tr, err := eng.InferRoutesTracedCtx(ctx, q, params)
+		if err != nil {
+			log.Fatalf("inference failed: %v", err)
 		}
-		fmt.Println()
-	}
-	refs, spliced := 0, 0
-	for _, ps := range res.Pairs {
-		refs += ps.Refs
-		spliced += ps.Spliced
-	}
-	fmt.Printf("references used: %d (%d spliced) across %d pairs\n", refs, spliced, len(res.Pairs))
-
-	if *trace {
-		fmt.Println("\nquery trace (one span per pipeline stage):")
-		tr.WriteText(os.Stdout)
-	}
-
-	if *gjOut != "" {
-		if err := writeGeoJSON(*gjOut, g, q, truth, res); err != nil {
-			log.Fatalf("geojson: %v", err)
+		if res.Degraded {
+			fmt.Printf("note: deadline %v expired mid-inference; routes below are best-effort (degraded)\n", *deadline)
 		}
-		fmt.Printf("wrote %s\n", *gjOut)
-	}
-
-	if *compare {
-		prm := mapmatch.DefaultParams()
-		for _, m := range []mapmatch.Matcher{
-			mapmatch.NewPointToCurve(g, prm),
-			mapmatch.NewIncremental(g, prm),
-			mapmatch.NewSTMatcher(g, prm),
-			mapmatch.NewIVMM(g, prm),
-			mapmatch.NewHMM(g, prm),
-		} {
-			r, err := m.Match(q)
-			if err != nil {
-				fmt.Printf("%-15s failed: %v\n", m.Name()+":", err)
-				continue
-			}
-			fmt.Printf("%-15s %.1f km", m.Name()+":", r.Length(g)/1000)
+		for i, r := range res.Routes {
+			fmt.Printf("route %d: score %.4g, %.1f km, %d segments", i+1, r.Score,
+				r.Route.Length(g)/1000, len(r.Route))
 			if truth != nil {
-				fmt.Printf(", A_L %.3f", eval.AccuracyAL(g, truth, r))
+				fmt.Printf(", A_L %.3f", eval.AccuracyAL(g, truth, r.Route))
 			}
 			fmt.Println()
 		}
+		refs, spliced := 0, 0
+		for _, ps := range res.Pairs {
+			refs += ps.Refs
+			spliced += ps.Spliced
+		}
+		fmt.Printf("references used: %d (%d spliced) across %d pairs\n", refs, spliced, len(res.Pairs))
+
+		if *trace {
+			fmt.Println("\nquery trace (one span per pipeline stage):")
+			tr.WriteText(os.Stdout)
+		}
+
+		if *gjOut != "" {
+			if err := writeGeoJSON(*gjOut, g, q, truth, res); err != nil {
+				log.Fatalf("geojson: %v", err)
+			}
+			fmt.Printf("wrote %s\n", *gjOut)
+		}
+
+		if *compare {
+			prm := mapmatch.DefaultParams()
+			for _, m := range []mapmatch.Matcher{
+				mapmatch.NewPointToCurve(g, prm),
+				mapmatch.NewIncremental(g, prm),
+				mapmatch.NewSTMatcher(g, prm),
+				mapmatch.NewIVMM(g, prm),
+				mapmatch.NewHMM(g, prm),
+			} {
+				r, err := m.Match(q)
+				if err != nil {
+					fmt.Printf("%-15s failed: %v\n", m.Name()+":", err)
+					continue
+				}
+				fmt.Printf("%-15s %.1f km", m.Name()+":", r.Length(g)/1000)
+				if truth != nil {
+					fmt.Printf(", A_L %.3f", eval.AccuracyAL(g, truth, r))
+				}
+				fmt.Println()
+			}
+		}
+	}
+
+	if *follow {
+		followStdin(ctx, st)
 	}
 
 	if *metrics {
@@ -223,11 +261,12 @@ func main() {
 
 // serveDebug exposes the engine's metrics snapshot plus the standard Go
 // debug surfaces on addr: /metrics (JSON snapshot), /debug/vars (expvar,
-// including the snapshot under the "hris" key), /debug/pprof and POST
-// /infer. A bind failure is logged and nil is returned — the CLI run still
-// proceeds without the server. The returned server has bounded read/write
-// timeouts and is shut down gracefully by main on SIGINT/SIGTERM.
-func serveDebug(addr string, eng *core.Engine, params core.Params) *http.Server {
+// including the snapshot under the "hris" key), /debug/pprof, POST /infer
+// and POST /ingest (live trip admission). A bind failure is logged and nil
+// is returned — the CLI run still proceeds without the server. The returned
+// server has bounded read/write timeouts and is shut down gracefully by
+// main on SIGINT/SIGTERM.
+func serveDebug(addr string, eng *core.Engine, st *hist.Store, params core.Params) *http.Server {
 	expvar.Publish("hris", expvar.Func(func() any { return eng.Metrics() }))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -240,6 +279,9 @@ func serveDebug(addr string, eng *core.Engine, params core.Params) *http.Server 
 	})
 	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
 		inferHandler(w, r, eng, params)
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		ingestHandler(w, r, st)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -313,6 +355,73 @@ func inferHandler(w http.ResponseWriter, r *http.Request, eng *core.Engine, para
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("/infer: encode response: %v", err)
 	}
+}
+
+// ingestHandler admits POSTed trips ({"trips": [{"id": "...", "points":
+// [[x, y, t], ...]}, ...]}) into the live store through the preprocessing
+// pipeline and reports what was admitted plus the resulting archive state.
+// Queries running concurrently keep their pinned snapshot; the next query
+// sees the new epoch.
+func ingestHandler(w http.ResponseWriter, r *http.Request, st *hist.Store) {
+	if r.Method != http.MethodPost {
+		http.Error(w, `POST trips JSON: {"trips": [{"id": "...", "points": [[x, y, t], ...]}, ...]}`, http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Trips []tripJSON `json:"trips"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad trips: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	logs := make([]*traj.Trajectory, 0, len(req.Trips))
+	for i, tj := range req.Trips {
+		logs = append(logs, tj.trajectory(fmt.Sprintf("ingest-%d", i)))
+	}
+	stats := st.Ingest(logs...)
+	resp := struct {
+		Admitted hist.IngestStats `json:"admitted"`
+		Archive  hist.StoreStats  `json:"archive"`
+	}{Admitted: stats, Archive: st.Stats()}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("/ingest: encode response: %v", err)
+	}
+}
+
+// followStdin streams NDJSON trips from stdin into the live store, one line
+// per trip, until EOF or interrupt. Each admitted line publishes a new
+// epoch; malformed lines are skipped with a note so a long-running feed
+// survives the occasional bad record.
+func followStdin(ctx context.Context, st *hist.Store) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lines, admitted := 0, 0
+	for sc.Scan() {
+		if ctx.Err() != nil {
+			break
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		var tj tripJSON
+		if err := json.Unmarshal(line, &tj); err != nil {
+			log.Printf("follow: skipping line %d: %v", lines, err)
+			continue
+		}
+		stats := st.Ingest(tj.trajectory(fmt.Sprintf("follow-%d", lines)))
+		admitted += stats.Trips
+		fmt.Printf("follow: +%d trips / %d points (epoch %d)\n", stats.Trips, stats.Points, stats.Epoch)
+	}
+	if err := sc.Err(); err != nil {
+		log.Printf("follow: stdin: %v", err)
+	}
+	st.Wait()
+	s := st.Stats()
+	fmt.Printf("follow done: %d lines, %d trips admitted; archive now %d trips / %d points in %d segments (epoch %d, %d compactions)\n",
+		lines, admitted, s.Trajs, s.Points, s.Segments, s.Epoch, s.Compactions)
 }
 
 // writeGeoJSON exports the query, ground truth (when known) and suggested

@@ -13,10 +13,10 @@ func TestAblateEntropyScoring(t *testing.T) {
 	w := newWorld(t, 50, 121)
 	er := edgeRefs(map[roadnet.EdgeID][]int{0: {1, 2}, 1: {3}})
 	route := roadnet.Route{0, 1}
-	w.sys.Params.AblateEntropy = false
-	full, refs := w.sys.snapshot().scoreRoute(route, er)
-	w.sys.Params.AblateEntropy = true
-	bare, refs2 := w.sys.snapshot().scoreRoute(route, er)
+	w.p.AblateEntropy = false
+	full, refs := w.exec().scoreRoute(route, er)
+	w.p.AblateEntropy = true
+	bare, refs2 := w.exec().scoreRoute(route, er)
 	if len(refs) != 3 || len(refs2) != 3 {
 		t.Fatalf("refs: %d, %d", len(refs), len(refs2))
 	}

@@ -24,13 +24,13 @@ func TestInferBatchMatchesSequential(t *testing.T) {
 	_ = truths
 	seq := make([]*Result, len(queries))
 	for i, q := range queries {
-		res, err := w.sys.InferRoutes(q)
+		res, err := w.eng.InferRoutes(q, w.p)
 		if err != nil {
 			t.Fatalf("sequential inference %d: %v", i, err)
 		}
 		seq[i] = res
 	}
-	batch := w.sys.InferBatch(queries, 4)
+	batch := w.eng.InferBatch(queries, w.p, 4)
 	if len(batch) != len(queries) {
 		t.Fatalf("batch results = %d", len(batch))
 	}
@@ -62,11 +62,11 @@ func TestInferBatchWorkerClamping(t *testing.T) {
 	if !ok {
 		t.Fatal("GenQuery failed")
 	}
-	res := w.sys.InferBatch([]*traj.Trajectory{qc.Query}, 0)
+	res := w.eng.InferBatch([]*traj.Trajectory{qc.Query}, w.p, 0)
 	if len(res) != 1 || res[0].Err != nil {
 		t.Fatalf("workers=0: %+v", res)
 	}
-	if got := w.sys.InferBatch(nil, 4); len(got) != 0 {
+	if got := w.eng.InferBatch(nil, w.p, 4); len(got) != 0 {
 		t.Fatal("empty batch")
 	}
 }

@@ -16,7 +16,7 @@ import (
 func TestInferRoutesCtxPreCancelled(t *testing.T) {
 	w := newWorld(t, 200, 211)
 	reg := obs.New()
-	eng := NewEngineWithRegistry(w.sys.Engine().Archive(), DefaultParams(), reg)
+	eng := NewEngineWithRegistry(w.eng.Archive(), DefaultParams(), reg)
 	q := obsQueries(t, w, 1)[0]
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -53,7 +53,7 @@ func TestInferRoutesCtxPreCancelled(t *testing.T) {
 func TestInferRoutesDeadlineDegrades(t *testing.T) {
 	w := newWorld(t, 300, 223)
 	reg := obs.New()
-	eng := NewEngineWithRegistry(w.sys.Engine().Archive(), DefaultParams(), reg)
+	eng := NewEngineWithRegistry(w.eng.Archive(), DefaultParams(), reg)
 	q := obsQueries(t, w, 1)[0]
 	p := DefaultParams()
 	p.Deadline = time.Nanosecond // expired before the first checkpoint
@@ -135,7 +135,7 @@ func TestInferRoutesDeadlineDegrades(t *testing.T) {
 // cancellation and reports the context error with no result.
 func TestInferRoutesCtxMidFlightCancel(t *testing.T) {
 	w := newWorld(t, 400, 227)
-	eng := w.sys.Engine()
+	eng := w.eng
 	queries := obsQueries(t, w, 4)
 	p := DefaultParams()
 
@@ -168,7 +168,7 @@ func TestInferRoutesCtxMidFlightCancel(t *testing.T) {
 // with the context error rather than hanging or panicking the worker pool.
 func TestInferBatchCtxPreCancelled(t *testing.T) {
 	w := newWorld(t, 200, 229)
-	eng := w.sys.Engine()
+	eng := w.eng
 	queries := obsQueries(t, w, 3)
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -188,7 +188,7 @@ func TestInferBatchCtxPreCancelled(t *testing.T) {
 // no degraded mode — any cancellation, deadline included, errors out.
 func TestInferPathsNetworkFreeCtxPreCancelled(t *testing.T) {
 	w := newWorld(t, 200, 233)
-	eng := w.sys.Engine()
+	eng := w.eng
 	q := obsQueries(t, w, 1)[0]
 
 	ctx, cancel := context.WithCancel(context.Background())

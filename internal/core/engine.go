@@ -21,39 +21,45 @@ import (
 //
 // Concurrency model (see DESIGN.md "Engine architecture & concurrency
 // model"): all fields are set at construction and never reassigned; the
-// graph and archive are immutable after their own construction; the two
-// caches are internally locked read-through memos whose hits and misses
-// return byte-identical results, so caching never changes an outcome.
+// graph is immutable after its own construction; the archive source yields
+// immutable epoch-numbered snapshots (a frozen *hist.Archive is its own
+// constant source, a live *hist.Store publishes a new one per ingest), and
+// every inference call pins exactly one snapshot for its whole lifetime;
+// the two caches are internally locked read-through memos whose hits and
+// misses return byte-identical results, so caching never changes an
+// outcome.
 type Engine struct {
 	g        *roadnet.Graph
-	archive  *hist.Archive
+	src      hist.Source
 	defaults Params
 
-	refs  *hist.SearchCache       // reference-search memo (per query pair)
+	refs  *hist.SearchCache       // reference-search memo (per epoch × query pair)
 	cands *roadnet.CandidateCache // candidate-edge cache (per point × ε)
 
 	met *metrics // nil when built without a registry: zero-cost no-op
 }
 
-// NewEngine builds an engine over the archive. The defaults are frozen into
-// the engine for Infer and for callers that want a baseline via Defaults;
-// they never change after construction. The engine is uninstrumented — see
+// NewEngine builds an engine over an archive source — a frozen
+// *hist.Archive or a live *hist.Store. The defaults are frozen into the
+// engine for Infer and for callers that want a baseline via Defaults; they
+// never change after construction. The engine is uninstrumented — see
 // NewEngineWithRegistry for the observed variant.
-func NewEngine(a *hist.Archive, defaults Params) *Engine {
-	return NewEngineWithRegistry(a, defaults, nil)
+func NewEngine(src hist.Source, defaults Params) *Engine {
+	return NewEngineWithRegistry(src, defaults, nil)
 }
 
 // NewEngineWithRegistry is NewEngine with pipeline observability: every
 // inference records per-stage latency histograms and counters (see package
 // obs for the stage names) into reg. A nil reg yields an uninstrumented
 // engine whose hot path skips all clock reads.
-func NewEngineWithRegistry(a *hist.Archive, defaults Params, reg *obs.Registry) *Engine {
+func NewEngineWithRegistry(src hist.Source, defaults Params, reg *obs.Registry) *Engine {
+	g := src.Current().Graph()
 	return &Engine{
-		g:        a.G,
-		archive:  a,
+		g:        g,
+		src:      src,
 		defaults: defaults,
-		refs:     hist.NewSearchCache(a, 0),
-		cands:    roadnet.NewCandidateCache(a.G, 0),
+		refs:     hist.NewSearchCache(src, 0),
+		cands:    roadnet.NewCandidateCache(g, 0),
 		met:      newMetrics(reg),
 	}
 }
@@ -61,8 +67,13 @@ func NewEngineWithRegistry(a *hist.Archive, defaults Params, reg *obs.Registry) 
 // Graph returns the road network the engine infers over.
 func (e *Engine) Graph() *roadnet.Graph { return e.g }
 
-// Archive returns the indexed historical archive.
-func (e *Engine) Archive() *hist.Archive { return e.archive }
+// Archive returns the current generation of the historical archive. With a
+// live Store source this advances between calls; inference internals never
+// call it twice — they pin one snapshot per invocation.
+func (e *Engine) Archive() *hist.Archive { return e.src.Current() }
+
+// Source returns the archive source the engine reads from.
+func (e *Engine) Source() hist.Source { return e.src }
 
 // Defaults returns a copy of the engine's frozen default parameters.
 func (e *Engine) Defaults() Params { return e.defaults }
@@ -98,7 +109,18 @@ func (e *Engine) Metrics() obs.Snapshot {
 	s.Counters["cache.refsearch.hits"] = rh
 	s.Counters["cache.refsearch.misses"] = rm
 	s.Counters["cache.refsearch.resets"] = e.refs.Resets()
+	s.Counters["cache.refsearch.invalidations"] = e.refs.Invalidations()
 	s.Counters["cache.refsearch.entries"] = uint64(e.refs.Len())
+	// Archive gauges: which generation queries currently pin and how much
+	// history backs them; a live Store adds its segment/compaction state.
+	snap := e.src.Current()
+	s.Counters["archive.epoch"] = snap.Epoch()
+	s.Counters["archive.trajs"] = uint64(snap.NumTrajs())
+	s.Counters["archive.points"] = uint64(snap.NumPoints())
+	s.Counters["archive.segments"] = uint64(snap.Segments())
+	if st, ok := e.src.(*hist.Store); ok {
+		s.Counters["store.compactions"] = st.Stats().Compactions
+	}
 	ch, cm := e.cands.Stats()
 	s.Counters["cache.candidates.hits"] = ch
 	s.Counters["cache.candidates.misses"] = cm
@@ -212,6 +234,11 @@ type exec struct {
 	met   *metrics   // engine's instruments; nil = don't record
 	trace *obs.Trace // per-query trace; nil = don't trace
 
+	// snap is the archive generation pinned for this invocation: captured
+	// once at entry, consulted everywhere below, so one inference sees one
+	// consistent epoch even while a live Store keeps publishing new ones.
+	snap *hist.Snapshot
+
 	// ctx/done carry this invocation's cancellation signal. done is
 	// ctx.Done(), captured once: context.Background() yields nil, so the
 	// uncancellable path's checkpoints are a nil comparison — no channel
@@ -225,7 +252,7 @@ type exec struct {
 // newExec binds one invocation to its context, the engine's instruments
 // and an optional per-query trace.
 func (e *Engine) newExec(ctx context.Context, p Params, tr *obs.Trace) exec {
-	return exec{eng: e, p: p, met: e.met, trace: tr, ctx: ctx, done: ctx.Done()}
+	return exec{eng: e, p: p, met: e.met, trace: tr, snap: e.src.Current(), ctx: ctx, done: ctx.Done()}
 }
 
 // expired reports whether this invocation's context is done. This is the

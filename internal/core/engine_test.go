@@ -31,14 +31,14 @@ func TestConcurrentBatchAndPairLocalRoutes(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		w.sys.InferBatch(queries, 2)
+		w.eng.InferBatch(queries, w.p, 2)
 	}()
 	for i := 0; i < 10; i++ {
 		m := MethodTGI
 		if i%2 == 1 {
 			m = MethodNNI
 		}
-		locals, st := w.sys.PairLocalRoutes(qi, qj, m)
+		locals, st := w.eng.PairLocalRoutes(qi, qj, m, w.p)
 		if st.Method != m && !st.UsedFall && len(locals) > 0 {
 			t.Fatalf("iteration %d: asked for %v, stats report %v", i, m, st.Method)
 		}
@@ -54,8 +54,8 @@ func TestInferRoutesWorkerDeterminism(t *testing.T) {
 	if !ok {
 		t.Fatal("GenQuery failed")
 	}
-	eng := w.sys.Engine()
-	base := w.sys.Params
+	eng := w.eng
+	base := w.p
 	base.PairWorkers = 1
 	want, err := eng.InferRoutes(qc.Query, base)
 	if err != nil {
@@ -113,7 +113,7 @@ func TestPairWorkersResolution(t *testing.T) {
 // reach into the engine.
 func TestEngineDefaultsFrozen(t *testing.T) {
 	w := newWorld(t, 100, 177)
-	eng := w.sys.Engine()
+	eng := w.eng
 	d := eng.Defaults()
 	d.K3 = 99
 	if eng.Defaults().K3 == 99 {
@@ -129,7 +129,7 @@ func TestEngineCacheStats(t *testing.T) {
 	if !ok {
 		t.Fatal("GenQuery failed")
 	}
-	eng := w.sys.Engine()
+	eng := w.eng
 	first, err := eng.Infer(qc.Query)
 	if err != nil {
 		t.Fatalf("first inference: %v", err)

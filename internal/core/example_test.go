@@ -28,14 +28,14 @@ func Example() {
 		archive = append(archive, tr)
 	}
 
-	sys := core.NewSystem(hist.NewArchive(g, archive), core.DefaultParams())
+	eng := core.NewEngine(hist.NewArchive(g, archive), core.DefaultParams())
 
 	// A query with just two samples 3 minutes apart.
 	query := &traj.Trajectory{ID: "q", Points: []traj.GPSPoint{
 		{Pt: geo.Pt(10, 2), T: 0},
 		{Pt: geo.Pt(390, -2), T: 180},
 	}}
-	res, err := sys.InferRoutes(query)
+	res, err := eng.Infer(query)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -224,7 +224,7 @@ func (x exec) inferPair(pair int, qi, qj traj.GPSPoint) pairOutcome {
 	}
 	sp := x.searchParams()
 	t0 := x.stageStart()
-	refs := x.eng.refs.ReferencesCtx(x.ctx, qi, qj, sp)
+	refs := x.eng.refs.ReferencesOn(x.ctx, x.snap, qi, qj, sp)
 	if x.p.TemporalWeighting {
 		refs = filterByTimeOfDay(refs, qi.T, x.p.TimeWindow)
 	}
@@ -341,7 +341,7 @@ func (e *Engine) PairLocalRoutesCtx(ctx context.Context, qi, qj traj.GPSPoint, m
 	p.Method = m
 	x := e.newExec(ctx, p, nil)
 	t0 := x.stageStart()
-	refs := e.refs.ReferencesCtx(ctx, qi, qj, x.searchParams())
+	refs := e.refs.ReferencesOn(ctx, x.snap, qi, qj, x.searchParams())
 	x.stageDone(obs.StageReferenceSearch, 0, t0, len(refs))
 	t0 = x.stageStart()
 	pctx := x.buildPairContext(0, qi, qj, refs)

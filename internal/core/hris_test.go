@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -10,10 +11,14 @@ import (
 	"repro/internal/traj"
 )
 
-// world bundles a simulated dataset with an HRIS instance for tests.
+// world bundles a simulated dataset with an HRIS engine for tests. p is the
+// parameter set tests pass (and may tweak) per call — the engine itself is
+// immutable.
 type world struct {
 	ds  *sim.Dataset
-	sys *System
+	eng *Engine
+	g   *roadnet.Graph
+	p   Params
 	rng *rand.Rand
 	cfg sim.FleetConfig
 }
@@ -31,10 +36,18 @@ func newWorld(t testing.TB, trips int, seed int64) *world {
 	arch := hist.NewArchive(city.Graph, ds.Archive)
 	return &world{
 		ds:  ds,
-		sys: NewSystem(arch, DefaultParams()),
+		eng: NewEngine(arch, DefaultParams()),
+		g:   city.Graph,
+		p:   DefaultParams(),
 		rng: rand.New(rand.NewSource(seed + 1000)),
 		cfg: fcfg,
 	}
+}
+
+// exec builds a one-off invocation context for tests poking at pipeline
+// internals directly.
+func (w *world) exec() exec {
+	return w.eng.newExec(context.Background(), w.p, nil)
 }
 
 // accuracy is the A_L metric restated locally (full version in internal/eval):
@@ -70,7 +83,7 @@ func TestInferRoutesEndToEnd(t *testing.T) {
 		if !ok {
 			t.Fatal("GenQuery failed")
 		}
-		res, err := w.sys.InferRoutes(qc.Query)
+		res, err := w.eng.InferRoutes(qc.Query, w.p)
 		if err != nil {
 			t.Fatalf("InferRoutes: %v", err)
 		}
@@ -78,10 +91,10 @@ func TestInferRoutesEndToEnd(t *testing.T) {
 			t.Fatal("no routes")
 		}
 		top := res.Routes[0]
-		if !top.Route.Valid(w.sys.G) {
+		if !top.Route.Valid(w.g) {
 			t.Fatal("top route invalid")
 		}
-		accSum += accuracy(w.sys.G, qc.Truth, top.Route)
+		accSum += accuracy(w.g, qc.Truth, top.Route)
 		n++
 		// Scores are sorted.
 		for i := 1; i < len(res.Routes); i++ {
@@ -111,29 +124,29 @@ func TestHRISBeatsShortestPathBaseline(t *testing.T) {
 		if !ok {
 			continue
 		}
-		res, err := w.sys.InferRoutes(qc.Query)
+		res, err := w.eng.InferRoutes(qc.Query, w.p)
 		if err != nil {
 			continue
 		}
-		hrisSum += accuracy(w.sys.G, qc.Truth, res.Routes[0].Route)
+		hrisSum += accuracy(w.g, qc.Truth, res.Routes[0].Route)
 		// Baseline: stitch query points with shortest paths.
 		var locs []roadnet.Location
 		for _, p := range qc.Query.Points {
-			if l, ok := w.sys.G.LocationOf(p.Pt); ok {
+			if l, ok := w.g.LocationOf(p.Pt); ok {
 				locs = append(locs, l)
 			}
 		}
 		var sp roadnet.Route
 		for i := 1; i < len(locs); i++ {
-			part, _, ok := w.sys.G.PathBetweenLocations(locs[i-1], locs[i])
+			part, _, ok := w.g.PathBetweenLocations(locs[i-1], locs[i])
 			if !ok {
 				continue
 			}
-			if joined, ok := sp.Concat(w.sys.G, part); ok {
+			if joined, ok := sp.Concat(w.g, part); ok {
 				sp = joined
 			}
 		}
-		spSum += accuracy(w.sys.G, qc.Truth, sp)
+		spSum += accuracy(w.g, qc.Truth, sp)
 		n++
 	}
 	if n == 0 {
@@ -147,11 +160,11 @@ func TestHRISBeatsShortestPathBaseline(t *testing.T) {
 
 func TestInferRoutesDegenerate(t *testing.T) {
 	w := newWorld(t, 50, 65)
-	if _, err := w.sys.InferRoutes(&traj.Trajectory{}); err == nil {
+	if _, err := w.eng.InferRoutes(&traj.Trajectory{}, w.p); err == nil {
 		t.Fatal("empty query accepted")
 	}
 	one := &traj.Trajectory{Points: []traj.GPSPoint{{T: 0}}}
-	if _, err := w.sys.InferRoutes(one); err == nil {
+	if _, err := w.eng.InferRoutes(one, w.p); err == nil {
 		t.Fatal("single-point query accepted")
 	}
 }
@@ -163,7 +176,7 @@ func TestInferRoutesEmptyArchive(t *testing.T) {
 	ccfg.Rows, ccfg.Cols = 10, 10
 	city := sim.GenerateCity(ccfg, 67)
 	arch := hist.NewArchive(city.Graph, nil)
-	sys := NewSystem(arch, DefaultParams())
+	eng := NewEngine(arch, DefaultParams())
 	rng := rand.New(rand.NewSource(9))
 	route, ok := city.TripOfLength(4000, 2, 1.5, rng)
 	if !ok {
@@ -172,7 +185,7 @@ func TestInferRoutesEmptyArchive(t *testing.T) {
 	motion := sim.DefaultMotion()
 	motion.Interval = 240
 	q := sim.SimulateTrip(city.Graph, route, "q", 0, motion, rng)
-	res, err := sys.InferRoutes(q)
+	res, err := eng.InferRoutes(q, DefaultParams())
 	if err != nil {
 		t.Fatalf("InferRoutes on empty archive: %v", err)
 	}
@@ -205,13 +218,13 @@ func TestInferRoutesOnCurvedCity(t *testing.T) {
 	fcfg.Trips = 300
 	fcfg.Seed = 171
 	ds := sim.BuildDataset(city, fcfg)
-	sys := NewSystem(hist.NewArchive(city.Graph, ds.Archive), DefaultParams())
+	eng := NewEngine(hist.NewArchive(city.Graph, ds.Archive), DefaultParams())
 	rng := rand.New(rand.NewSource(9))
 	qc, ok := ds.GenQuery(6000, 180, 15, fcfg, rng)
 	if !ok {
 		t.Fatal("GenQuery failed")
 	}
-	res, err := sys.InferRoutes(qc.Query)
+	res, err := eng.InferRoutes(qc.Query, DefaultParams())
 	if err != nil {
 		t.Fatalf("InferRoutes on curved city: %v", err)
 	}

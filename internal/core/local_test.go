@@ -18,7 +18,7 @@ func pickPair(t *testing.T, w *world, interval float64, minRefs int) (traj.GPSPo
 		}
 		for i := 1; i < qc.Query.Len(); i++ {
 			qi, qj := qc.Query.Points[i-1], qc.Query.Points[i]
-			_, st := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+			_, st := w.eng.PairLocalRoutes(qi, qj, MethodTGI, w.p)
 			if st.Refs >= minRefs {
 				return qi, qj
 			}
@@ -31,7 +31,7 @@ func pickPair(t *testing.T, w *world, interval float64, minRefs int) (traj.GPSPo
 func TestTGIProducesConnectedLocalRoutes(t *testing.T) {
 	w := newWorld(t, 400, 71)
 	qi, qj := pickPair(t, w, 180, 3)
-	locals, st := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+	locals, st := w.eng.PairLocalRoutes(qi, qj, MethodTGI, w.p)
 	if len(locals) == 0 {
 		t.Fatal("TGI produced no local routes")
 	}
@@ -39,7 +39,7 @@ func TestTGIProducesConnectedLocalRoutes(t *testing.T) {
 		t.Fatal("stats method wrong")
 	}
 	for _, lr := range locals {
-		if !lr.Route.Valid(w.sys.G) {
+		if !lr.Route.Valid(w.g) {
 			t.Fatalf("invalid TGI route %v", lr.Route)
 		}
 		if lr.Popularity < 0 {
@@ -47,12 +47,12 @@ func TestTGIProducesConnectedLocalRoutes(t *testing.T) {
 		}
 		// Route actually connects the query pair's neighborhoods: its first
 		// edge is near qi, its last near qj.
-		first := w.sys.G.Seg(lr.Route[0])
-		last := w.sys.G.Seg(lr.Route[len(lr.Route)-1])
-		if first.Shape.Dist(qi.Pt) > w.sys.Params.Phi {
+		first := w.g.Seg(lr.Route[0])
+		last := w.g.Seg(lr.Route[len(lr.Route)-1])
+		if first.Shape.Dist(qi.Pt) > w.p.Phi {
 			t.Fatalf("route starts %0.f m from qi", first.Shape.Dist(qi.Pt))
 		}
-		if last.Shape.Dist(qj.Pt) > w.sys.Params.Phi {
+		if last.Shape.Dist(qj.Pt) > w.p.Phi {
 			t.Fatalf("route ends %0.f m from qj", last.Shape.Dist(qj.Pt))
 		}
 	}
@@ -67,7 +67,7 @@ func TestTGIProducesConnectedLocalRoutes(t *testing.T) {
 func TestNNIProducesConnectedLocalRoutes(t *testing.T) {
 	w := newWorld(t, 400, 73)
 	qi, qj := pickPair(t, w, 180, 3)
-	locals, st := w.sys.PairLocalRoutes(qi, qj, MethodNNI)
+	locals, st := w.eng.PairLocalRoutes(qi, qj, MethodNNI, w.p)
 	if len(locals) == 0 {
 		t.Fatal("NNI produced no local routes")
 	}
@@ -75,7 +75,7 @@ func TestNNIProducesConnectedLocalRoutes(t *testing.T) {
 		t.Fatal("stats method wrong")
 	}
 	for _, lr := range locals {
-		if !lr.Route.Valid(w.sys.G) {
+		if !lr.Route.Valid(w.g) {
 			t.Fatalf("invalid NNI route %v", lr.Route)
 		}
 	}
@@ -86,8 +86,8 @@ func TestNNIProducesConnectedLocalRoutes(t *testing.T) {
 func TestTGIAndNNIAgreeOnTopRoute(t *testing.T) {
 	w := newWorld(t, 600, 75)
 	qi, qj := pickPair(t, w, 180, 6)
-	tgi, _ := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
-	nni, _ := w.sys.PairLocalRoutes(qi, qj, MethodNNI)
+	tgi, _ := w.eng.PairLocalRoutes(qi, qj, MethodTGI, w.p)
+	nni, _ := w.eng.PairLocalRoutes(qi, qj, MethodNNI, w.p)
 	if len(tgi) == 0 || len(nni) == 0 {
 		t.Skip("one method found nothing")
 	}
@@ -95,7 +95,7 @@ func TestTGIAndNNIAgreeOnTopRoute(t *testing.T) {
 	// best route appears (substantially) somewhere in TGI's route set.
 	best := 0.0
 	for _, lr := range tgi {
-		if ov := accuracy(w.sys.G, lr.Route, nni[0].Route); ov > best {
+		if ov := accuracy(w.g, lr.Route, nni[0].Route); ov > best {
 			best = ov
 		}
 	}
@@ -108,17 +108,17 @@ func TestHybridSwitchesOnDensity(t *testing.T) {
 	w := newWorld(t, 400, 77)
 	qi, qj := pickPair(t, w, 180, 2)
 	// Force hybrid with extreme thresholds and observe the method choice.
-	w.sys.Params.Tau = 0 // every density >= 0: always TGI
-	_, st := w.sys.PairLocalRoutes(qi, qj, MethodHybrid)
+	w.p.Tau = 0 // every density >= 0: always TGI
+	_, st := w.eng.PairLocalRoutes(qi, qj, MethodHybrid, w.p)
 	if st.Method != MethodTGI {
 		t.Fatalf("tau=0 chose %v", st.Method)
 	}
-	w.sys.Params.Tau = math.Inf(1) // never dense enough: always NNI
-	_, st = w.sys.PairLocalRoutes(qi, qj, MethodHybrid)
+	w.p.Tau = math.Inf(1) // never dense enough: always NNI
+	_, st = w.eng.PairLocalRoutes(qi, qj, MethodHybrid, w.p)
 	if st.Method != MethodNNI {
 		t.Fatalf("tau=inf chose %v", st.Method)
 	}
-	w.sys.Params.Tau = DefaultParams().Tau
+	w.p.Tau = DefaultParams().Tau
 }
 
 // TestGraphReductionPreservesResults: reduction is a performance
@@ -127,10 +127,10 @@ func TestHybridSwitchesOnDensity(t *testing.T) {
 func TestGraphReductionPreservesTopRoute(t *testing.T) {
 	w := newWorld(t, 400, 79)
 	qi, qj := pickPair(t, w, 180, 3)
-	w.sys.Params.GraphReduction = true
-	withRed, _ := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
-	w.sys.Params.GraphReduction = false
-	withoutRed, _ := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+	w.p.GraphReduction = true
+	withRed, _ := w.eng.PairLocalRoutes(qi, qj, MethodTGI, w.p)
+	w.p.GraphReduction = false
+	withoutRed, _ := w.eng.PairLocalRoutes(qi, qj, MethodTGI, w.p)
 	if len(withRed) == 0 || len(withoutRed) == 0 {
 		t.Skip("no routes to compare")
 	}
@@ -139,7 +139,7 @@ func TestGraphReductionPreservesTopRoute(t *testing.T) {
 	// intermediate traverse edge, so the projected physical routes can
 	// differ in detail. The top routes must still be substantially the
 	// same corridor.
-	if ov := accuracy(w.sys.G, withoutRed[0].Route, withRed[0].Route); ov < 0.5 {
+	if ov := accuracy(w.g, withoutRed[0].Route, withRed[0].Route); ov < 0.5 {
 		t.Errorf("reduction changed the top route (overlap %.2f)", ov)
 	}
 }
@@ -149,10 +149,10 @@ func TestGraphReductionPreservesTopRoute(t *testing.T) {
 func TestSubstructureSharingPreservesRoutes(t *testing.T) {
 	w := newWorld(t, 400, 81)
 	qi, qj := pickPair(t, w, 180, 3)
-	w.sys.Params.ShareSubstructures = true
-	shared, _ := w.sys.PairLocalRoutes(qi, qj, MethodNNI)
-	w.sys.Params.ShareSubstructures = false
-	unshared, _ := w.sys.PairLocalRoutes(qi, qj, MethodNNI)
+	w.p.ShareSubstructures = true
+	shared, _ := w.eng.PairLocalRoutes(qi, qj, MethodNNI, w.p)
+	w.p.ShareSubstructures = false
+	unshared, _ := w.eng.PairLocalRoutes(qi, qj, MethodNNI, w.p)
 	if len(shared) == 0 || len(unshared) == 0 {
 		t.Skip("no routes to compare")
 	}
@@ -162,7 +162,7 @@ func TestSubstructureSharingPreservesRoutes(t *testing.T) {
 	// substantially within the unshared run's set.
 	best := 0.0
 	for _, lr := range unshared {
-		if ov := accuracy(w.sys.G, lr.Route, shared[0].Route); ov > best {
+		if ov := accuracy(w.g, lr.Route, shared[0].Route); ov > best {
 			best = ov
 		}
 	}
@@ -174,7 +174,7 @@ func TestSubstructureSharingPreservesRoutes(t *testing.T) {
 func TestPairStatsDensity(t *testing.T) {
 	w := newWorld(t, 300, 83)
 	qi, qj := pickPair(t, w, 180, 1)
-	_, st := w.sys.PairLocalRoutes(qi, qj, MethodTGI)
+	_, st := w.eng.PairLocalRoutes(qi, qj, MethodTGI, w.p)
 	if st.Points > 0 && st.Density <= 0 {
 		t.Fatalf("density = %v with %d points", st.Density, st.Points)
 	}

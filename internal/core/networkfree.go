@@ -46,13 +46,18 @@ func InferPathsNetworkFreeCtx(ctx context.Context, a *hist.Archive, q *traj.Traj
 // reference searches go through the engine's memo, so repeated pairs across
 // queries are looked up once.
 func (e *Engine) InferPathsNetworkFree(q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
-	return inferPathsNetworkFree(context.Background(), e.refs.ReferencesCtx, q, p, vmax)
+	return e.InferPathsNetworkFreeCtx(context.Background(), q, p, vmax)
 }
 
 // InferPathsNetworkFreeCtx is the context-aware engine-backed variant, with
-// the package-level InferPathsNetworkFreeCtx's semantics.
+// the package-level InferPathsNetworkFreeCtx's semantics. Like every other
+// engine entry point it pins one archive snapshot for the whole call.
 func (e *Engine) InferPathsNetworkFreeCtx(ctx context.Context, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
-	return inferPathsNetworkFree(ctx, e.refs.ReferencesCtx, q, p, vmax)
+	snap := e.src.Current()
+	search := func(ctx context.Context, qi, qj traj.GPSPoint, sp hist.SearchParams) []hist.Reference {
+		return e.refs.ReferencesOn(ctx, snap, qi, qj, sp)
+	}
+	return inferPathsNetworkFree(ctx, search, q, p, vmax)
 }
 
 // inferPathsNetworkFree is the shared implementation, parameterized over

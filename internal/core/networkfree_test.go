@@ -15,8 +15,8 @@ func TestInferPathsNetworkFree(t *testing.T) {
 	if !ok {
 		t.Fatal("GenQuery failed")
 	}
-	truth := qc.Truth.Points(w.sys.G)
-	paths, err := InferPathsNetworkFree(w.sys.Archive, qc.Query, w.sys.Params, w.sys.G.MaxSpeed())
+	truth := qc.Truth.Points(w.g)
+	paths, err := InferPathsNetworkFree(w.eng.Archive(), qc.Query, w.p, w.g.MaxSpeed())
 	if err != nil {
 		t.Fatalf("InferPathsNetworkFree: %v", err)
 	}
@@ -58,8 +58,8 @@ func TestInferPathsNetworkFreeEmptyArchive(t *testing.T) {
 	if !ok {
 		t.Fatal("GenQuery failed")
 	}
-	empty := hist.NewArchive(w.sys.G, nil)
-	paths, err := InferPathsNetworkFree(empty, qc.Query, w.sys.Params, w.sys.G.MaxSpeed())
+	empty := hist.NewArchive(w.g, nil)
+	paths, err := InferPathsNetworkFree(empty, qc.Query, w.p, w.g.MaxSpeed())
 	if err != nil {
 		t.Fatalf("empty archive: %v", err)
 	}
@@ -74,7 +74,7 @@ func TestInferPathsNetworkFreeEmptyArchive(t *testing.T) {
 
 func TestInferPathsNetworkFreeDegenerate(t *testing.T) {
 	w := newWorld(t, 50, 95)
-	if _, err := InferPathsNetworkFree(w.sys.Archive, &traj.Trajectory{}, w.sys.Params, 20); err == nil {
+	if _, err := InferPathsNetworkFree(w.eng.Archive(), &traj.Trajectory{}, w.p, 20); err == nil {
 		t.Fatal("empty query accepted")
 	}
 }

@@ -36,7 +36,7 @@ func obsQueries(t *testing.T, w *world, n int) []*traj.Trajectory {
 func TestObservedInferBatchConsistency(t *testing.T) {
 	w := newWorld(t, 300, 191)
 	reg := obs.New()
-	eng := NewEngineWithRegistry(w.sys.Engine().Archive(), DefaultParams(), reg)
+	eng := NewEngineWithRegistry(w.eng.Archive(), DefaultParams(), reg)
 	queries := obsQueries(t, w, 6)
 	p := DefaultParams()
 	p.PairWorkers = 1 // serial pairs: enables the nesting-sum invariant
@@ -134,7 +134,7 @@ func TestObservedInferBatchConsistency(t *testing.T) {
 // (tracing is independent of engine instrumentation).
 func TestInferRoutesTraced(t *testing.T) {
 	w := newWorld(t, 300, 193)
-	eng := w.sys.Engine()
+	eng := w.eng
 	if eng.Registry() != nil {
 		t.Fatal("plain engine unexpectedly instrumented")
 	}
@@ -194,7 +194,7 @@ func TestInferRoutesTraced(t *testing.T) {
 // nothing anywhere.
 func TestMetricsUninstrumented(t *testing.T) {
 	w := newWorld(t, 200, 197)
-	eng := w.sys.Engine()
+	eng := w.eng
 	queries := obsQueries(t, w, 1)
 	if _, err := eng.InferRoutes(queries[0], DefaultParams()); err != nil {
 		t.Fatalf("InferRoutes: %v", err)

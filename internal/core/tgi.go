@@ -212,7 +212,18 @@ func reduceTraverseGraph(tg *graphalg.Graph, done <-chan struct{}) {
 		if graphalg.Stopped(done) {
 			return
 		}
-		for k, wrk := range w[r] {
+		// Removal order matters — deleting r→k can destroy the witness that
+		// made another link redundant — so candidates go in sorted order to
+		// keep the reduced graph (and the K-shortest-path results on it)
+		// identical across runs. The witness scan below is order-free: it
+		// only produces a boolean.
+		ks := make([]int, 0, len(w[r]))
+		for k := range w[r] {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			wrk := w[r][k]
 			redundant := false
 			for j, wrj := range w[r] {
 				if j == k {

@@ -103,10 +103,10 @@ func TestReduceTraverseGraphPreservesDistances(t *testing.T) {
 
 func TestProjectPathBridgesGaps(t *testing.T) {
 	w := newWorld(t, 50, 151)
-	g := w.sys.G
+	g := w.g
 	// Two far-apart edges: projection must produce a valid bridged route.
 	edges := []roadnet.EdgeID{0, roadnet.EdgeID(g.NumSegments() / 2)}
-	route, ok := w.sys.snapshot().projectPath([]int{0, 1}, edges)
+	route, ok := w.exec().projectPath([]int{0, 1}, edges)
 	if !ok {
 		t.Skip("no path between the fixture edges in this seed")
 	}
@@ -117,18 +117,18 @@ func TestProjectPathBridgesGaps(t *testing.T) {
 		t.Fatal("projected route endpoints wrong")
 	}
 	// Empty input.
-	if _, ok := w.sys.snapshot().projectPath(nil, edges); ok {
+	if _, ok := w.exec().projectPath(nil, edges); ok {
 		t.Fatal("empty path accepted")
 	}
 }
 
 func TestQueryCandidatesWidening(t *testing.T) {
 	w := newWorld(t, 50, 153)
-	g := w.sys.G
+	g := w.g
 	// A point far from any road still gets candidates via widening.
 	bb := g.BBox()
 	far := bb.Max.Add(pt(3000, 3000))
-	cands := w.sys.snapshot().queryCandidates(far)
+	cands := w.exec().queryCandidates(far)
 	if len(cands) == 0 {
 		t.Fatal("no candidates for a far point")
 	}

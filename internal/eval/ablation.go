@@ -59,9 +59,10 @@ func TemporalExtension(cfg WorldConfig, ratesMin []float64) *Table {
 	fcfg.TimeOfDayPatterns = true
 	ds := sim.BuildDataset(city, fcfg)
 	w := &World{Cfg: cfg, DS: ds, Fleet: fcfg}
-	w.Archive = newArchive(ds)
+	arch := newArchive(ds)
+	w.Archive = arch
 	base := core.DefaultParams()
-	w.Eng = core.NewEngine(w.Archive, base)
+	w.Eng = core.NewEngine(arch, base)
 	w.P = base
 
 	const pmStart = 61200.0 // 17:00

@@ -96,7 +96,7 @@ func TestAccelProfile(t *testing.T) {
 	}
 }
 
-// TestBenchReportShape covers the BENCH_4.json plumbing without paying for
+// TestBenchReportShape covers the bench-json snapshot plumbing without paying for
 // a full testing.Benchmark run: the random benchmark graph must be
 // CH-buildable and the report must round-trip through JSON.
 func TestBenchReportShape(t *testing.T) {

@@ -20,7 +20,7 @@ import (
 func (w *World) StageBreakdown(p core.Params, intervalSec float64, n int, seed int64) obs.Snapshot {
 	qs := w.Queries(n, intervalSec, w.Cfg.QueryLen, seed)
 	reg := obs.New()
-	eng := core.NewEngineWithRegistry(w.Archive, p, reg)
+	eng := core.NewEngineWithRegistry(w.Eng.Source(), p, reg)
 	for _, qc := range qs {
 		_, _ = eng.InferRoutes(qc.Query, p)
 	}

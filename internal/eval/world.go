@@ -52,7 +52,7 @@ func FullConfig() WorldConfig {
 type World struct {
 	Cfg     WorldConfig
 	DS      *sim.Dataset
-	Archive *hist.Archive
+	Archive hist.View // read-only: a Snapshot here, but nothing in eval may assume so
 	Eng     *core.Engine
 	P       core.Params // baseline parameters for experiments
 	Fleet   sim.FleetConfig

@@ -60,12 +60,12 @@ func DefaultSearchParams() SearchParams {
 	return SearchParams{Phi: 500, SpliceEps: 200, SpliceMinSimple: 8, MaxRefs: 0}
 }
 
-// References finds all reference trajectories for the pair ⟨qi, qj⟩
+// References finds all reference trajectories in v for the pair ⟨qi, qj⟩
 // (qj = q_{i+1}): first the simple references of Definition 6, then — when
 // splicing is enabled — the spliced references of Definition 7 built from
 // the leftover one-sided candidates.
-func (a *Archive) References(qi, qj traj.GPSPoint, p SearchParams) []Reference {
-	return a.references(qi, qj, p, nil)
+func References(v View, qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	return references(v, qi, qj, p, nil)
 }
 
 // ReferencesCtx is References with cancellation checkpoints in the
@@ -73,34 +73,47 @@ func (a *Archive) References(qi, qj traj.GPSPoint, p SearchParams) []Reference {
 // is cancelled mid-search the references found so far are returned — a
 // valid (possibly empty) subset of the full answer; the caller decides via
 // ctx.Err() whether to use or discard them.
-func (a *Archive) ReferencesCtx(ctx context.Context, qi, qj traj.GPSPoint, p SearchParams) []Reference {
-	return a.references(qi, qj, p, ctx.Done())
+func ReferencesCtx(ctx context.Context, v View, qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	return references(v, qi, qj, p, ctx.Done())
 }
 
-func (a *Archive) references(qi, qj traj.GPSPoint, p SearchParams, done <-chan struct{}) []Reference {
+// References is the snapshot-method form of the package-level References.
+func (s *Snapshot) References(qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	return references(s, qi, qj, p, nil)
+}
+
+// ReferencesCtx is the snapshot-method form of the package-level
+// ReferencesCtx.
+func (s *Snapshot) ReferencesCtx(ctx context.Context, qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	return references(s, qi, qj, p, ctx.Done())
+}
+
+func references(v View, qi, qj traj.GPSPoint, p SearchParams, done <-chan struct{}) []Reference {
 	vmax := p.VMax
 	if vmax <= 0 {
-		vmax = a.G.MaxSpeed()
+		vmax = v.Graph().MaxSpeed()
 	}
 	vmaxBudget := (qj.T - qi.T) * vmax
 
-	nearI := a.WithinRadius(qi.Pt, p.Phi)
-	nearJ := a.WithinRadius(qj.Pt, p.Phi)
+	nearI := v.WithinRadius(qi.Pt, p.Phi)
+	nearJ := v.WithinRadius(qj.Pt, p.Phi)
 
 	// Group range hits per trajectory, keeping the nearest hit.
-	bestI := nearestPerTraj(a, nearI, qi.Pt)
-	bestJ := nearestPerTraj(a, nearJ, qj.Pt)
+	bestI := nearestPerTraj(v, nearI, qi.Pt)
+	bestJ := nearestPerTraj(v, nearJ, qj.Pt)
 
 	var refs []Reference
 	usedA := make(map[int]bool) // trajectories already simple references
-	// Iterate candidate trajectories in index order: the reference list
-	// order feeds tie-breaking downstream (R-tree packing, kNN streams),
-	// so it must be deterministic.
+	// Iterate candidate trajectories in canonical content order: the
+	// reference list order feeds tie-breaking downstream (R-tree packing,
+	// kNN streams), so it must be deterministic AND independent of the
+	// archive's storage order — a live Store ingesting the same trips in any
+	// order must infer identical routes.
 	candidates := make([]int, 0, len(bestI))
 	for ti := range bestI {
 		candidates = append(candidates, ti)
 	}
-	sort.Ints(candidates)
+	sortTrajsCanonical(v, candidates)
 	for _, ti := range candidates {
 		if graphalg.Stopped(done) {
 			return refs
@@ -108,7 +121,7 @@ func (a *Archive) references(qi, qj traj.GPSPoint, p SearchParams, done <-chan s
 		if _, ok := bestJ[ti]; !ok {
 			continue
 		}
-		tr := a.Trajs[ti]
+		tr := v.Traj(ti)
 		m := tr.NearestPointIndex(qi.Pt)
 		n := tr.NearestPointIndex(qj.Pt)
 		if m < 0 || n < 0 || m > n {
@@ -130,11 +143,11 @@ func (a *Archive) references(qi, qj traj.GPSPoint, p SearchParams, done <-chan s
 	}
 
 	if p.SpliceEps > 0 && (p.SpliceMinSimple == 0 || len(refs) < p.SpliceMinSimple) {
-		refs = append(refs, a.splicedReferences(qi, qj, p, bestI, bestJ, usedA, vmaxBudget, done)...)
+		refs = append(refs, splicedReferences(v, qi, qj, p, bestI, bestJ, usedA, vmaxBudget, done)...)
 	}
 
 	if p.MaxRefs > 0 && len(refs) > p.MaxRefs {
-		sort.Slice(refs, func(x, y int) bool {
+		sort.SliceStable(refs, func(x, y int) bool {
 			return refDist(refs[x], qi.Pt, qj.Pt) < refDist(refs[y], qi.Pt, qj.Pt)
 		})
 		refs = refs[:p.MaxRefs]
@@ -150,22 +163,23 @@ func refDist(r Reference, qi, qj geo.Point) float64 {
 	return r.Points[0].Pt.Dist(qi) + r.Points[len(r.Points)-1].Pt.Dist(qj)
 }
 
-// sortedKeys returns the map's trajectory indices in ascending order.
-func sortedKeys(m map[int]PointRef) []int {
+// canonicalKeys returns the map's trajectory indices in canonical content
+// order (see canonKey).
+func canonicalKeys(v View, m map[int]PointRef) []int {
 	out := make([]int, 0, len(m))
 	for k := range m {
 		out = append(out, k)
 	}
-	sort.Ints(out)
+	sortTrajsCanonical(v, out)
 	return out
 }
 
 // nearestPerTraj keeps, per trajectory, the range hit closest to q.
-func nearestPerTraj(a *Archive, hits []PointRef, q geo.Point) map[int]PointRef {
+func nearestPerTraj(v View, hits []PointRef, q geo.Point) map[int]PointRef {
 	best := make(map[int]PointRef)
 	for _, h := range hits {
 		cur, ok := best[h.Traj]
-		if !ok || a.Point(h).Pt.Dist2(q) < a.Point(cur).Pt.Dist2(q) {
+		if !ok || v.Point(h).Pt.Dist2(q) < v.Point(cur).Pt.Dist2(q) {
 			best[h.Traj] = h
 		}
 	}
@@ -189,7 +203,7 @@ func speedFeasible(pts []traj.GPSPoint, qi, qj geo.Point, budget float64) bool {
 // are found with a plane-sweep spatial join over the two candidate point
 // sets; for each (T_a, T_b) the pair minimizing d(p_a,q_i)+d(p_b,q_{i+1})
 // is kept.
-func (a *Archive) splicedReferences(qi, qj traj.GPSPoint, p SearchParams,
+func splicedReferences(v View, qi, qj traj.GPSPoint, p SearchParams,
 	bestI, bestJ map[int]PointRef, usedA map[int]bool, vmaxBudget float64,
 	done <-chan struct{}) []Reference {
 
@@ -199,16 +213,17 @@ func (a *Archive) splicedReferences(qi, qj traj.GPSPoint, p SearchParams,
 		idx  int
 	}
 	// A-side: points after nn(q_i, T_a) on trajectories near q_i only.
-	// (Sorted trajectory order keeps plane-sweep tie-breaking stable.)
+	// (Canonical trajectory order keeps plane-sweep tie-breaking stable and
+	// storage-order independent.)
 	var aside []swPoint
-	for _, ti := range sortedKeys(bestI) {
+	for _, ti := range canonicalKeys(v, bestI) {
 		if usedA[ti] {
 			continue
 		}
 		if _, alsoJ := bestJ[ti]; alsoJ {
 			continue // failed Definition 6 for another reason; skip
 		}
-		tr := a.Trajs[ti]
+		tr := v.Traj(ti)
 		m := tr.NearestPointIndex(qi.Pt)
 		if m < 0 || tr.Points[m].Pt.Dist(qi.Pt) > p.Phi {
 			continue
@@ -223,14 +238,14 @@ func (a *Archive) splicedReferences(qi, qj traj.GPSPoint, p SearchParams,
 	}
 	// B-side: points before nn(q_{i+1}, T_b) on trajectories near q_{i+1}.
 	var bside []swPoint
-	for _, tj := range sortedKeys(bestJ) {
+	for _, tj := range canonicalKeys(v, bestJ) {
 		if usedA[tj] {
 			continue
 		}
 		if _, alsoI := bestI[tj]; alsoI {
 			continue
 		}
-		tr := a.Trajs[tj]
+		tr := v.Traj(tj)
 		n := tr.NearestPointIndex(qj.Pt)
 		if n < 0 || tr.Points[n].Pt.Dist(qj.Pt) > p.Phi {
 			continue
@@ -248,8 +263,8 @@ func (a *Archive) splicedReferences(qi, qj traj.GPSPoint, p SearchParams,
 	}
 
 	// Plane-sweep join on X with window e [Arge et al. 1998].
-	sort.Slice(aside, func(x, y int) bool { return aside[x].pt.X < aside[y].pt.X })
-	sort.Slice(bside, func(x, y int) bool { return bside[x].pt.X < bside[y].pt.X })
+	sort.SliceStable(aside, func(x, y int) bool { return aside[x].pt.X < aside[y].pt.X })
+	sort.SliceStable(bside, func(x, y int) bool { return bside[x].pt.X < bside[y].pt.X })
 	type pairKey struct{ a, b int }
 	type splice struct {
 		pa, pb swPoint
@@ -283,11 +298,26 @@ func (a *Archive) splicedReferences(qi, qj traj.GPSPoint, p SearchParams,
 		}
 	}
 
+	// Emit spliced references in canonical (key-of-A, key-of-B) order so
+	// the output is independent of trajectory storage order.
 	keys := make([]pairKey, 0, len(bestPair))
+	canon := make(map[int]canonKey)
 	for key := range bestPair {
 		keys = append(keys, key)
+		if _, ok := canon[key.a]; !ok {
+			canon[key.a] = canonKeyOf(v.Traj(key.a))
+		}
+		if _, ok := canon[key.b]; !ok {
+			canon[key.b] = canonKeyOf(v.Traj(key.b))
+		}
 	}
 	sort.Slice(keys, func(x, y int) bool {
+		if c := canon[keys[x].a].compare(canon[keys[y].a]); c != 0 {
+			return c < 0
+		}
+		if c := canon[keys[x].b].compare(canon[keys[y].b]); c != 0 {
+			return c < 0
+		}
 		if keys[x].a != keys[y].a {
 			return keys[x].a < keys[y].a
 		}
@@ -296,7 +326,7 @@ func (a *Archive) splicedReferences(qi, qj traj.GPSPoint, p SearchParams,
 	var out []Reference
 	for _, key := range keys {
 		sp := bestPair[key]
-		ta, tb := a.Trajs[key.a], a.Trajs[key.b]
+		ta, tb := v.Traj(key.a), v.Traj(key.b)
 		m := ta.NearestPointIndex(qi.Pt)
 		n := tb.NearestPointIndex(qj.Pt)
 		if m < 0 || n < 0 || sp.pa.idx < m || sp.pb.idx > n {

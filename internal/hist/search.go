@@ -5,14 +5,32 @@ import (
 	"sort"
 
 	"repro/internal/geo"
-	"repro/internal/rtree"
 	"repro/internal/traj"
 )
 
 // Ranked is a scored archive trajectory returned by the search utilities.
 type Ranked struct {
-	Traj  int // index into Archive.Trajs
+	Traj  int // index into the archive's trajectory list
 	Score float64
+}
+
+// sortRanked orders by score descending, breaking ties canonically by
+// trajectory content (storage index last) so rankings are independent of
+// ingestion order.
+func sortRanked(v View, ranked []Ranked) {
+	keys := make(map[int]canonKey, len(ranked))
+	for _, r := range ranked {
+		keys[r.Traj] = canonKeyOf(v.Traj(r.Traj))
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		if c := keys[ranked[i].Traj].compare(keys[ranked[j].Traj]); c != 0 {
+			return c < 0
+		}
+		return ranked[i].Traj < ranked[j].Traj
+	})
 }
 
 // BestConnecting implements the k-BCT query of Chen et al. [SIGMOD 2010]
@@ -21,9 +39,10 @@ type Ranked struct {
 // score is Σ_q exp(−d(q, T)) over the query points, where d(q, T) is the
 // distance from q to T's nearest sample (distances scaled by the decay
 // parameter, meters). The R-tree prunes to trajectories with at least one
-// sample within the cutoff radius of some query point.
-func (a *Archive) BestConnecting(points []geo.Point, k int, decay float64) []Ranked {
-	if k <= 0 || len(points) == 0 || decay <= 0 {
+// sample within the cutoff radius of some query point. An empty archive
+// yields nil.
+func BestConnecting(v View, points []geo.Point, k int, decay float64) []Ranked {
+	if k <= 0 || len(points) == 0 || decay <= 0 || v.NumTrajs() == 0 {
 		return nil
 	}
 	// exp(-r/decay) < 1e-4 contributes nothing: cutoff at ~9.2 decays.
@@ -31,8 +50,8 @@ func (a *Archive) BestConnecting(points []geo.Point, k int, decay float64) []Ran
 	// nearest[t][i] = min distance from query point i to trajectory t.
 	nearest := make(map[int][]float64)
 	for i, q := range points {
-		for _, ref := range a.WithinRadius(q, cutoff) {
-			d := a.Point(ref).Pt.Dist(q)
+		for _, ref := range v.WithinRadius(q, cutoff) {
+			d := v.Point(ref).Pt.Dist(q)
 			row, ok := nearest[ref.Traj]
 			if !ok {
 				row = make([]float64, len(points))
@@ -56,16 +75,16 @@ func (a *Archive) BestConnecting(points []geo.Point, k int, decay float64) []Ran
 		}
 		ranked = append(ranked, Ranked{Traj: t, Score: score})
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].Score != ranked[j].Score {
-			return ranked[i].Score > ranked[j].Score
-		}
-		return ranked[i].Traj < ranked[j].Traj
-	})
+	sortRanked(v, ranked)
 	if len(ranked) > k {
 		ranked = ranked[:k]
 	}
 	return ranked
+}
+
+// BestConnecting is the snapshot-method form of the package-level function.
+func (s *Snapshot) BestConnecting(points []geo.Point, k int, decay float64) []Ranked {
+	return BestConnecting(s, points, k, decay)
 }
 
 // SimilarityMeasure scores a candidate archive trajectory against a query
@@ -86,31 +105,33 @@ func DTWMeasure() SimilarityMeasure {
 // the query under the given measure. Candidates are pruned with an R-tree
 // range query over the query's bounding box expanded by radius (the same
 // point index BestConnecting uses), so only trajectories with at least one
-// sample in that box reach the (more expensive) measure.
-func (a *Archive) SimilarTrajectories(q *traj.Trajectory, k int, radius float64, m SimilarityMeasure) []Ranked {
-	if k <= 0 || q.Len() == 0 {
+// sample in that box reach the (more expensive) measure. A negative radius
+// selects nothing and yields nil, matching the kNN r<0 convention.
+func SimilarTrajectories(v View, q *traj.Trajectory, k int, radius float64, m SimilarityMeasure) []Ranked {
+	if k <= 0 || q.Len() == 0 || radius < 0 {
 		return nil
 	}
 	box := q.BBox()
 	box.Min = box.Min.Add(geo.Pt(-radius, -radius))
 	box.Max = box.Max.Add(geo.Pt(radius, radius))
 	cands := make(map[int]bool)
-	a.index.Visit(box, func(e rtree.Entry[PointRef]) bool {
-		cands[e.Item.Traj] = true
+	v.VisitBox(box, func(r PointRef) bool {
+		cands[r.Traj] = true
 		return true
 	})
 	ranked := make([]Ranked, 0, len(cands))
 	for ti := range cands {
-		ranked = append(ranked, Ranked{Traj: ti, Score: m(q, a.Trajs[ti])})
+		ranked = append(ranked, Ranked{Traj: ti, Score: m(q, v.Traj(ti))})
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].Score != ranked[j].Score {
-			return ranked[i].Score > ranked[j].Score
-		}
-		return ranked[i].Traj < ranked[j].Traj
-	})
+	sortRanked(v, ranked)
 	if len(ranked) > k {
 		ranked = ranked[:k]
 	}
 	return ranked
+}
+
+// SimilarTrajectories is the snapshot-method form of the package-level
+// function.
+func (s *Snapshot) SimilarTrajectories(q *traj.Trajectory, k int, radius float64, m SimilarityMeasure) []Ranked {
+	return SimilarTrajectories(s, q, k, radius, m)
 }

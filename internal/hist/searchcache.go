@@ -8,79 +8,103 @@ import (
 	"repro/internal/traj"
 )
 
-// searchKey identifies one References call: the query pair (both GPS points
-// carry only coordinates and a timestamp, so the struct is comparable) and
-// the complete search parameter set.
+// searchKey identifies one References call: the epoch of the archive
+// generation answered against, the query pair (both GPS points carry only
+// coordinates and a timestamp, so the struct is comparable) and the complete
+// search parameter set.
 type searchKey struct {
+	epoch  uint64
 	qi, qj traj.GPSPoint
 	p      SearchParams
 }
 
-// SearchCache is a concurrency-safe read-through memo over
-// Archive.References. Reference search dominates the per-pair cost of
-// inference at large φ (Figure 9b), and production workloads repeat query
-// pairs — popular origin/destination corridors, benchmark reruns, and the
-// per-pair stage of a batch re-visiting the same archive neighborhoods —
-// so memoizing by (q_i, q_{i+1}, params) converts repeats into map hits.
+// SearchCache is a concurrency-safe read-through memo over the reference
+// search. Reference search dominates the per-pair cost of inference at
+// large φ (Figure 9b), and production workloads repeat query pairs —
+// popular origin/destination corridors, benchmark reruns, and the per-pair
+// stage of a batch re-visiting the same archive neighborhoods — so
+// memoizing by (epoch, q_i, q_{i+1}, params) converts repeats into map
+// hits.
+//
+// Entries are epoch-tagged: a query answered against epoch e can only hit
+// a memo recorded at epoch e, so a Store publishing a new snapshot
+// implicitly invalidates every older memo. When the cache first observes a
+// key from a newer epoch it drops the stale generation wholesale (counted
+// by Invalidations) rather than letting dead entries squat in the bound.
 //
 // Returned slices are shared between callers and MUST be treated as
-// read-only. An Archive is immutable after construction, so cached entries
-// never go stale.
+// read-only. Snapshots are immutable, so entries for a given epoch never
+// go stale within that epoch.
 type SearchCache struct {
-	a   *Archive
+	src Source
 	max int
 
-	hits, misses, resets atomic.Uint64
+	hits, misses, resets, invalidations atomic.Uint64
 
-	mu sync.RWMutex
-	m  map[searchKey][]Reference
+	mu    sync.RWMutex
+	m     map[searchKey][]Reference
+	epoch uint64 // newest epoch seen; older-epoch queries bypass the memo
 }
 
 // DefaultSearchCacheSize bounds the memo; one entry per distinct
 // (query pair, params) combination.
 const DefaultSearchCacheSize = 1 << 14
 
-// NewSearchCache wraps a with a memo holding at most max entries (max <= 0
-// uses DefaultSearchCacheSize). On overflow the memo resets wholesale, like
-// roadnet.CandidateCache.
-func NewSearchCache(a *Archive, max int) *SearchCache {
+// NewSearchCache wraps src with a memo holding at most max entries
+// (max <= 0 uses DefaultSearchCacheSize). On overflow the memo resets
+// wholesale, like roadnet.CandidateCache.
+func NewSearchCache(src Source, max int) *SearchCache {
 	if max <= 0 {
 		max = DefaultSearchCacheSize
 	}
-	return &SearchCache{a: a, max: max, m: make(map[searchKey][]Reference)}
+	return &SearchCache{src: src, max: max, m: make(map[searchKey][]Reference)}
 }
 
-// Archive returns the underlying archive.
-func (c *SearchCache) Archive() *Archive { return c.a }
+// Archive returns the current archive generation.
+func (c *SearchCache) Archive() *Snapshot { return c.src.Current() }
 
-// References returns Archive.References(qi, qj, p), memoized. Safe for
-// concurrent use; the result must not be modified.
+// References returns References(qi, qj, p) against the current generation,
+// memoized. Safe for concurrent use; the result must not be modified.
 func (c *SearchCache) References(qi, qj traj.GPSPoint, p SearchParams) []Reference {
-	return c.references(context.Background(), qi, qj, p)
+	return c.ReferencesOn(context.Background(), c.src.Current(), qi, qj, p)
 }
 
 // ReferencesCtx is References with cancellation checkpoints. A search cut
 // short by cancellation returns its partial result but is never memoized —
 // the cache must only ever serve complete answers.
 func (c *SearchCache) ReferencesCtx(ctx context.Context, qi, qj traj.GPSPoint, p SearchParams) []Reference {
-	return c.references(ctx, qi, qj, p)
+	return c.ReferencesOn(ctx, c.src.Current(), qi, qj, p)
 }
 
-func (c *SearchCache) references(ctx context.Context, qi, qj traj.GPSPoint, p SearchParams) []Reference {
-	k := searchKey{qi: qi, qj: qj, p: p}
+// ReferencesOn answers against a caller-pinned view v — the form the
+// engine uses so that one inference call sees a single archive generation
+// even while the underlying Store keeps publishing new ones. Results are
+// memoized under v's epoch.
+func (c *SearchCache) ReferencesOn(ctx context.Context, v View, qi, qj traj.GPSPoint, p SearchParams) []Reference {
+	k := searchKey{epoch: v.Epoch(), qi: qi, qj: qj, p: p}
 	c.mu.RLock()
-	v, ok := c.m[k]
+	val, ok := c.m[k]
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
-		return v
+		return val
 	}
 	c.misses.Add(1)
-	v = c.a.ReferencesCtx(ctx, qi, qj, p)
+	val = ReferencesCtx(ctx, v, qi, qj, p)
 	if ctx.Err() != nil {
-		return v // possibly truncated by cancellation: do not memoize
+		return val // possibly truncated by cancellation: do not memoize
 	}
 	c.mu.Lock()
+	if k.epoch > c.epoch {
+		// A newer generation exists: every memo recorded for older epochs
+		// can never be hit again by current readers. Drop them in one sweep
+		// rather than evicting lazily.
+		if len(c.m) > 0 {
+			c.m = make(map[searchKey][]Reference)
+			c.invalidations.Add(1)
+		}
+		c.epoch = k.epoch
+	}
 	if len(c.m) >= c.max {
 		// Wholesale reset: cheap, but when the working set exceeds max the
 		// cache thrashes — the resets counter makes that visible (it is
@@ -88,9 +112,9 @@ func (c *SearchCache) references(ctx context.Context, qi, qj traj.GPSPoint, p Se
 		c.m = make(map[searchKey][]Reference)
 		c.resets.Add(1)
 	}
-	c.m[k] = v
+	c.m[k] = val
 	c.mu.Unlock()
-	return v
+	return val
 }
 
 // Len returns the number of memoized entries.
@@ -109,3 +133,7 @@ func (c *SearchCache) Stats() (hits, misses uint64) {
 // steadily climbing value means the working set exceeds the bound and the
 // cache is thrashing.
 func (c *SearchCache) Resets() uint64 { return c.resets.Load() }
+
+// Invalidations returns how many times a newly observed epoch purged the
+// previous generation's memos.
+func (c *SearchCache) Invalidations() uint64 { return c.invalidations.Load() }

@@ -1,0 +1,327 @@
+package hist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/traj"
+)
+
+// storeTrips builds a small set of distinct trips around the refWorld query
+// pair: some full references, some one-sided candidates.
+func storeTrips() []*traj.Trajectory {
+	return []*traj.Trajectory{
+		lineTraj("t1", geo.Pt(0, 10), geo.Pt(100, 10), geo.Pt(200, 10), geo.Pt(300, 10), geo.Pt(400, 10)),
+		lineTraj("t2", geo.Pt(40, 20), geo.Pt(40, 200), geo.Pt(40, 400)),
+		lineTraj("t3", geo.Pt(50, 30), geo.Pt(150, 30), geo.Pt(250, 30), geo.Pt(350, 30)),
+		lineTraj("t4", geo.Pt(40, 10), geo.Pt(120, 10), geo.Pt(200, 10)),
+		lineTraj("t5", geo.Pt(210, 20), geo.Pt(280, 10), geo.Pt(350, 15)),
+		lineTraj("t6", geo.Pt(390, 200), geo.Pt(390, 100), geo.Pt(350, 40)),
+	}
+}
+
+// refEqual compares references by content (the storage indices in
+// SourceA/SourceB legitimately differ across ingest orders).
+func refEqual(a, b Reference) bool {
+	if a.Spliced != b.Spliced || len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStoreIngestVisibility: each ingest publishes a new epoch whose readers
+// see the new trips, while previously pinned snapshots stay frozen.
+func TestStoreIngestVisibility(t *testing.T) {
+	g, qi, _ := refWorld()
+	st := NewStore(g, nil, StoreConfig{})
+	empty := st.Current()
+	if empty.Epoch() != 0 || empty.NumTrajs() != 0 {
+		t.Fatalf("fresh store: epoch %d, trajs %d", empty.Epoch(), empty.NumTrajs())
+	}
+
+	trips := storeTrips()
+	stats := st.IngestTrips(trips[0], trips[1])
+	if stats.Trips != 2 || stats.Epoch != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	snap1 := st.Current()
+	if snap1.Epoch() != 1 || snap1.NumTrajs() != 2 {
+		t.Fatalf("after first batch: epoch %d, trajs %d", snap1.Epoch(), snap1.NumTrajs())
+	}
+	if got := len(snap1.WithinRadius(qi.Pt, 60)); got == 0 {
+		t.Fatal("ingested points not visible to range query")
+	}
+	// The pinned empty snapshot is unchanged.
+	if empty.NumTrajs() != 0 || empty.NumPoints() != 0 {
+		t.Fatal("earlier snapshot mutated by ingest")
+	}
+	if got := len(empty.WithinRadius(qi.Pt, 60)); got != 0 {
+		t.Fatalf("earlier snapshot sees %d new points", got)
+	}
+
+	st.IngestTrips(trips[2:]...)
+	snap2 := st.Current()
+	if snap2.Epoch() != 2 || snap2.NumTrajs() != len(trips) {
+		t.Fatalf("after second batch: epoch %d, trajs %d", snap2.Epoch(), snap2.NumTrajs())
+	}
+	// Batches that admit nothing publish nothing.
+	if stats := st.IngestTrips(nil, &traj.Trajectory{ID: "empty"}); stats.Trips != 0 || stats.Epoch != 2 {
+		t.Fatalf("empty batch stats = %+v", stats)
+	}
+	if st.Current() != snap2 {
+		t.Fatal("empty batch published a new snapshot")
+	}
+}
+
+// TestStoreMatchesArchive: a store that ingested the same trips — any order,
+// any batching, before or after compaction — answers the reference search
+// and the rankings identically (by content) to the bulk archive.
+func TestStoreMatchesArchive(t *testing.T) {
+	g, qi, qj := refWorld()
+	trips := storeTrips()
+	arch := NewArchive(g, trips)
+	sp := SearchParams{Phi: 60, SpliceEps: 50}
+	want := arch.References(qi, qj, sp)
+	if len(want) == 0 {
+		t.Fatal("fixture yields no references")
+	}
+	wantBC := arch.BestConnecting([]geo.Point{qi.Pt, qj.Pt}, 3, 100)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		perm := rng.Perm(len(trips))
+		st := NewStore(g, nil, StoreConfig{})
+		for _, i := range perm {
+			st.IngestTrips(trips[i])
+		}
+		if trial%2 == 1 {
+			st.Compact()
+			if segs := st.Current().Segments(); segs != 1 {
+				t.Fatalf("post-compaction segments = %d", segs)
+			}
+		}
+		snap := st.Current()
+		got := snap.References(qi, qj, sp)
+		if len(got) != len(want) {
+			t.Fatalf("perm %v: %d refs, want %d", perm, len(got), len(want))
+		}
+		for i := range got {
+			if !refEqual(got[i], want[i]) {
+				t.Fatalf("perm %v: ref %d differs", perm, i)
+			}
+		}
+		gotBC := snap.BestConnecting([]geo.Point{qi.Pt, qj.Pt}, 3, 100)
+		if len(gotBC) != len(wantBC) {
+			t.Fatalf("perm %v: BestConnecting %d vs %d", perm, len(gotBC), len(wantBC))
+		}
+		for i := range gotBC {
+			if gotBC[i].Score != wantBC[i].Score ||
+				snap.Traj(gotBC[i].Traj).ID != arch.Traj(wantBC[i].Traj).ID {
+				t.Fatalf("perm %v: BestConnecting[%d] = %+v (id %s), want %+v (id %s)",
+					perm, i, gotBC[i], snap.Traj(gotBC[i].Traj).ID,
+					wantBC[i], arch.Traj(wantBC[i].Traj).ID)
+			}
+		}
+	}
+}
+
+// TestStoreAutoCompaction: hitting CompactSegments triggers the background
+// merge; compaction preserves content and epoch.
+func TestStoreAutoCompaction(t *testing.T) {
+	g, qi, _ := refWorld()
+	st := NewStore(g, nil, StoreConfig{CompactSegments: 3})
+	trips := storeTrips()
+	for _, tr := range trips {
+		st.IngestTrips(tr)
+		st.Wait() // serialize so every trigger observes the full stack
+	}
+	st.Compact()
+	stats := st.Stats()
+	if stats.Segments != 1 {
+		t.Fatalf("segments = %d after compaction", stats.Segments)
+	}
+	if stats.Compactions == 0 {
+		t.Fatal("auto compaction never ran")
+	}
+	if stats.Epoch != uint64(len(trips)) {
+		t.Fatalf("epoch = %d, want %d (compaction must not bump it)", stats.Epoch, len(trips))
+	}
+	if stats.Trajs != len(trips) {
+		t.Fatalf("trajs = %d", stats.Trajs)
+	}
+	if got := len(st.Current().WithinRadius(qi.Pt, 60)); got == 0 {
+		t.Fatal("points lost in compaction")
+	}
+}
+
+// TestStorePreprocessingIngest: Ingest runs the §II-B.1 pipeline — a raw log
+// with a stay point splits into trips, short fragments are dropped.
+func TestStorePreprocessingIngest(t *testing.T) {
+	g, _, _ := refWorld()
+	log := &traj.Trajectory{ID: "raw"}
+	add := func(x, y, ts float64) {
+		log.Points = append(log.Points, traj.GPSPoint{Pt: geo.Pt(x, y), T: ts})
+	}
+	// Drive, dwell 700 s within 50 m, drive again.
+	for i := 0; i < 5; i++ {
+		add(float64(i)*200, 0, float64(i)*30)
+	}
+	for i := 0; i < 8; i++ {
+		add(1000+float64(i%2)*10, 0, 150+float64(i)*100)
+	}
+	for i := 0; i < 5; i++ {
+		add(1000+float64(i+1)*200, 0, 900+float64(i)*30)
+	}
+	st := NewStore(g, nil, StoreConfig{
+		StayPoint: traj.StayPointParams{DistThreshold: 150, TimeThreshold: 600},
+		MinPoints: 3,
+	})
+	stats := st.Ingest(log)
+	if stats.Trips != 2 {
+		t.Fatalf("Ingest admitted %d trips, want 2 (stay point must split)", stats.Trips)
+	}
+	if st.Current().NumTrajs() != 2 {
+		t.Fatalf("store holds %d trajs", st.Current().NumTrajs())
+	}
+}
+
+// TestStoreObs: ingest and compaction land in the registry.
+func TestStoreObs(t *testing.T) {
+	g, _, _ := refWorld()
+	reg := obs.New()
+	st := NewStore(g, nil, StoreConfig{Registry: reg})
+	for _, tr := range storeTrips() {
+		st.IngestTrips(tr)
+	}
+	st.Compact()
+	snap := reg.Snapshot()
+	if snap.Counters[obs.CounterIngestBatches] != 6 || snap.Counters[obs.CounterIngestTrips] != 6 {
+		t.Fatalf("ingest counters = %+v", snap.Counters)
+	}
+	if snap.Counters[obs.CounterIngestPoints] == 0 {
+		t.Fatal("no ingest points counted")
+	}
+	if snap.Stages[obs.StageIngest].Count != 6 {
+		t.Fatalf("ingest histogram count = %d", snap.Stages[obs.StageIngest].Count)
+	}
+	if snap.Counters[obs.CounterCompactions] != 1 || snap.Stages[obs.StageCompaction].Count != 1 {
+		t.Fatalf("compaction instrumentation = %+v", snap.Counters)
+	}
+}
+
+// TestSearchCacheEpochInvalidation: memos are epoch-tagged — an ingest
+// invalidates them, identical queries within an epoch still hit.
+func TestSearchCacheEpochInvalidation(t *testing.T) {
+	g, qi, qj := refWorld()
+	st := NewStore(g, nil, StoreConfig{})
+	st.IngestTrips(storeTrips()[:3]...)
+	c := NewSearchCache(st, 0)
+	sp := SearchParams{Phi: 60, SpliceEps: 50}
+
+	before := c.References(qi, qj, sp)
+	if h, m := c.Stats(); h != 0 || m != 1 {
+		t.Fatalf("stats after first call: %d/%d", h, m)
+	}
+	c.References(qi, qj, sp)
+	if h, _ := c.Stats(); h != 1 {
+		t.Fatal("repeat within epoch did not hit")
+	}
+
+	st.IngestTrips(storeTrips()[3:]...)
+	after := c.References(qi, qj, sp)
+	if h, m := c.Stats(); h != 1 || m != 2 {
+		t.Fatalf("stats after ingest: %d/%d (stale memo served?)", h, m)
+	}
+	if c.Invalidations() != 1 {
+		t.Fatalf("invalidations = %d", c.Invalidations())
+	}
+	if len(after) == len(before) {
+		// The extra trips add references for this pair in the fixture.
+		t.Fatal("post-ingest answer identical to stale answer")
+	}
+	c.References(qi, qj, sp)
+	if h, _ := c.Stats(); h != 2 {
+		t.Fatal("repeat in new epoch did not hit")
+	}
+}
+
+// TestStoreConcurrentIngestAndSearch is a -race smoke test: readers pin
+// snapshots and search while writers ingest and compact.
+func TestStoreConcurrentIngestAndSearch(t *testing.T) {
+	g, qi, qj := refWorld()
+	st := NewStore(g, nil, StoreConfig{CompactSegments: 2})
+	c := NewSearchCache(st, 0)
+	trips := storeTrips()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(trips); i += 2 {
+				st.IngestTrips(trips[i])
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap := st.Current()
+				n := snap.NumTrajs()
+				refs := snap.References(qi, qj, SearchParams{Phi: 60, SpliceEps: 50})
+				for _, ref := range refs {
+					for _, id := range ref.SourceIDs() {
+						if id < 0 || id >= n {
+							t.Errorf("reference source %d out of range %d", id, n)
+							return
+						}
+					}
+				}
+				c.ReferencesCtx(t.Context(), qi, qj, SearchParams{Phi: 60, SpliceEps: 50})
+			}
+		}()
+	}
+	wg.Wait()
+	st.Wait()
+	if st.Current().NumTrajs() != len(trips) {
+		t.Fatalf("store holds %d trajs, want %d", st.Current().NumTrajs(), len(trips))
+	}
+}
+
+// TestBestConnectingEmptyArchive: guard regression — an empty archive (or
+// empty store) yields nil instead of ranking phantom trajectories.
+func TestBestConnectingEmptyArchive(t *testing.T) {
+	g, qi, qj := refWorld()
+	empty := NewArchive(g, nil)
+	if got := empty.BestConnecting([]geo.Point{qi.Pt, qj.Pt}, 3, 100); got != nil {
+		t.Fatalf("empty archive BestConnecting = %v, want nil", got)
+	}
+	if got := NewStore(g, nil, StoreConfig{}).Current().BestConnecting([]geo.Point{qi.Pt}, 1, 100); got != nil {
+		t.Fatalf("empty store BestConnecting = %v, want nil", got)
+	}
+}
+
+// TestSimilarTrajectoriesNegativeRadius: guard regression — a negative
+// radius selects nothing and yields nil instead of an inverted search box.
+func TestSimilarTrajectoriesNegativeRadius(t *testing.T) {
+	g, _, _ := refWorld()
+	trips := storeTrips()
+	a := NewArchive(g, trips)
+	q := lineTraj("q", geo.Pt(0, 10), geo.Pt(100, 10), geo.Pt(200, 10))
+	if got := a.SimilarTrajectories(q, 3, -1, LCSSMeasure(100)); got != nil {
+		t.Fatalf("negative radius returned %v, want nil", got)
+	}
+	// Sanity: a zero radius is still a valid (tight) search box.
+	if got := a.SimilarTrajectories(q, 3, 0, LCSSMeasure(100)); len(got) == 0 {
+		t.Fatal("zero radius should still consider on-box trajectories")
+	}
+}

@@ -1,0 +1,131 @@
+package hist
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// View is the read-only surface of one archive generation. Everything that
+// consumes historical trajectories — the reference search, BestConnecting,
+// SimilarTrajectories, the SearchCache and core.Engine — works against this
+// interface, so a frozen Snapshot and the latest generation of a live Store
+// are interchangeable. A View is immutable: all methods may be called
+// concurrently and return identical answers for the lifetime of the value.
+type View interface {
+	// Graph returns the road network the archive is collected over.
+	Graph() *roadnet.Graph
+	// Epoch identifies this archive generation. A Store increments it on
+	// every published mutation; epoch-tagged caches (SearchCache) use it to
+	// recognize stale entries. Bulk-built snapshots are epoch 0.
+	Epoch() uint64
+	// NumPoints returns the number of indexed GPS points.
+	NumPoints() int
+	// NumTrajs returns the number of archived trajectories.
+	NumTrajs() int
+	// Traj returns archived trajectory i (0 <= i < NumTrajs).
+	Traj(i int) *traj.Trajectory
+	// Point resolves a PointRef.
+	Point(r PointRef) traj.GPSPoint
+	// WithinRadius returns the archive points within radius r of p, in
+	// arbitrary order.
+	WithinRadius(p geo.Point, r float64) []PointRef
+	// VisitBox calls fn for every archive point whose location intersects
+	// box, in arbitrary order; fn returning false stops the traversal.
+	VisitBox(box geo.BBox, fn func(PointRef) bool)
+}
+
+// Source yields the current archive generation. A *Snapshot is its own
+// (constant) Source; a *Store returns the latest published snapshot. Readers
+// that need a consistent view across several operations — an inference
+// pinning one generation for its whole lifetime — call Current once and hold
+// the snapshot.
+type Source interface {
+	Current() *Snapshot
+}
+
+// canonKey orders archive trajectories by content rather than storage
+// position. Reference-search candidate iteration feeds tie-breaking all the
+// way down the inference pipeline (traverse-graph construction, Yen's
+// equal-weight paths, K-GRI partial ordering), so iterating in storage-index
+// order would make inference results depend on ingestion history. Sorting
+// candidates by this key instead makes a live Store's answers byte-identical
+// to a bulk-built archive holding the same trips in any order, as long as
+// trajectory identities (ID plus start point) are distinct — the storage
+// index remains only as the final tie-break for truly indistinguishable
+// trajectories.
+type canonKey struct {
+	id         string
+	t0, x0, y0 float64
+	n          int
+}
+
+func canonKeyOf(tr *traj.Trajectory) canonKey {
+	k := canonKey{id: tr.ID, n: tr.Len()}
+	if tr.Len() > 0 {
+		p := tr.Points[0]
+		k.t0, k.x0, k.y0 = p.T, p.Pt.X, p.Pt.Y
+	}
+	return k
+}
+
+// compare returns -1, 0 or +1 ordering k against o.
+func (k canonKey) compare(o canonKey) int {
+	switch {
+	case k.id != o.id:
+		if k.id < o.id {
+			return -1
+		}
+		return 1
+	case k.t0 != o.t0:
+		if k.t0 < o.t0 {
+			return -1
+		}
+		return 1
+	case k.x0 != o.x0:
+		if k.x0 < o.x0 {
+			return -1
+		}
+		return 1
+	case k.y0 != o.y0:
+		if k.y0 < o.y0 {
+			return -1
+		}
+		return 1
+	case k.n != o.n:
+		if k.n < o.n {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// sortTrajsCanonical sorts trajectory indices into canonical content order
+// (storage index as the final tie-break).
+func sortTrajsCanonical(v View, idx []int) {
+	keys := make([]canonKey, len(idx))
+	for i, ti := range idx {
+		keys[i] = canonKeyOf(v.Traj(ti))
+	}
+	sort.Sort(&canonSorter{idx: idx, keys: keys})
+}
+
+type canonSorter struct {
+	idx  []int
+	keys []canonKey
+}
+
+func (s *canonSorter) Len() int { return len(s.idx) }
+func (s *canonSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+func (s *canonSorter) Less(i, j int) bool {
+	if c := s.keys[i].compare(s.keys[j]); c != 0 {
+		return c < 0
+	}
+	return s.idx[i] < s.idx[j]
+}

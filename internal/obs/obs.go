@@ -39,6 +39,27 @@ const (
 	StageBatch = "batch"
 )
 
+// Names of the live-archive instrumentation hist.Store maintains (ingest is
+// the hot online path, so its latency distribution — p95 especially — is the
+// service-level number; compaction is the background amortizer).
+const (
+	// StageIngest is one Store.Ingest call end to end: preprocessing, memtable
+	// build and snapshot publication.
+	StageIngest = "ingest"
+	// StageCompaction is one background segment-merge pass.
+	StageCompaction = "compaction"
+	// CounterIngestTrips counts trips admitted into the archive (post
+	// preprocessing; rejected fragments don't count).
+	CounterIngestTrips = "ingest.trips"
+	// CounterIngestPoints counts GPS points admitted into the archive.
+	CounterIngestPoints = "ingest.points"
+	// CounterIngestBatches counts Ingest/IngestTrips calls that published a
+	// new snapshot.
+	CounterIngestBatches = "ingest.batches"
+	// CounterCompactions counts completed background compaction passes.
+	CounterCompactions = "compactions"
+)
+
 // Names of the deadline/cancellation counters core.Engine maintains for
 // context-aware inference (the ...Ctx entry points and Params.Deadline).
 const (

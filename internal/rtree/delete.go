@@ -18,7 +18,7 @@ func (t *Tree[T]) Delete(box geo.BBox, match func(T) bool) bool {
 
 	// Condense: walk from the root again, dissolving underfull nodes.
 	var orphans []Entry[T]
-	t.root = condense(t.root, &orphans)
+	t.root = condense(t.root, &orphans, true)
 	if t.root == nil {
 		t.root = &node[T]{leaf: true, box: geo.EmptyBBox()}
 	}
@@ -54,15 +54,16 @@ func findLeaf[T any](nd *node[T], box geo.BBox, match func(T) bool) (*node[T], i
 	return nil, -1
 }
 
-// condense rebuilds boxes bottom-up, removing empty/underfull leaves and
-// gathering their entries for reinsertion. Returns nil when the subtree
-// dissolves entirely.
-func condense[T any](nd *node[T], orphans *[]Entry[T]) *node[T] {
+// condense rebuilds boxes bottom-up, dissolving underfull nodes — leaves
+// AND internal nodes — and gathering the affected leaf entries for
+// reinsertion. The root is exempt from the minimum-fanout rule. Returns nil
+// when the subtree dissolves entirely.
+func condense[T any](nd *node[T], orphans *[]Entry[T], isRoot bool) *node[T] {
 	if nd.leaf {
 		if len(nd.entries) == 0 {
 			return nil
 		}
-		if len(nd.entries) < minEntries {
+		if !isRoot && len(nd.entries) < minEntries {
 			*orphans = append(*orphans, nd.entries...)
 			return nil
 		}
@@ -71,7 +72,7 @@ func condense[T any](nd *node[T], orphans *[]Entry[T]) *node[T] {
 	}
 	kept := nd.children[:0]
 	for _, c := range nd.children {
-		if cc := condense(c, orphans); cc != nil {
+		if cc := condense(c, orphans, false); cc != nil {
 			kept = append(kept, cc)
 		}
 	}
@@ -79,6 +80,24 @@ func condense[T any](nd *node[T], orphans *[]Entry[T]) *node[T] {
 	if len(nd.children) == 0 {
 		return nil
 	}
+	if !isRoot && len(nd.children) < minEntries {
+		// An internal node that fell below the minimum fanout dissolves:
+		// its surviving leaf entries rejoin the tree through reinsertion,
+		// keeping every remaining node within the fanout invariants.
+		collectLeafEntries(nd, orphans)
+		return nil
+	}
 	nd.recomputeBox()
 	return nd
+}
+
+// collectLeafEntries appends every leaf entry under nd to out.
+func collectLeafEntries[T any](nd *node[T], out *[]Entry[T]) {
+	if nd.leaf {
+		*out = append(*out, nd.entries...)
+		return
+	}
+	for _, c := range nd.children {
+		collectLeafEntries(c, out)
+	}
 }

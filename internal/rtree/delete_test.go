@@ -87,6 +87,85 @@ func TestDeleteAllThenReuse(t *testing.T) {
 	}
 }
 
+// TestDeleteToSingleLeaf shrinks a multi-level tree until fewer entries
+// remain than two minimum-fanout leaves could hold; condensation must
+// collapse the structure back to a single leaf root while every survivor
+// stays findable.
+func TestDeleteToSingleLeaf(t *testing.T) {
+	pts := randomPoints(600, 51)
+	tr := Bulk(pointEntries(pts))
+	if tr.Height() < 2 {
+		t.Fatalf("fixture too small: height %d", tr.Height())
+	}
+	keep := 2*minEntries - 1
+	rng := rand.New(rand.NewSource(52))
+	order := rng.Perm(len(pts))
+	for _, id := range order[:len(pts)-keep] {
+		p := pts[id]
+		want := id
+		if !tr.Delete(geo.BBox{Min: p, Max: p}, func(x int) bool { return x == want }) {
+			t.Fatalf("Delete(%d) failed", id)
+		}
+	}
+	if tr.Len() != keep {
+		t.Fatalf("Len = %d, want %d", tr.Len(), keep)
+	}
+	if h := tr.Height(); h != 1 {
+		t.Fatalf("tree height %d after shrinking below one node's fanout, want 1", h)
+	}
+	checkNode(t, tr.root, true)
+	var survivors []int
+	for _, id := range order[len(pts)-keep:] {
+		survivors = append(survivors, id)
+	}
+	sort.Ints(survivors)
+	got := sortedItems(tr.Search(tr.root.box, nil))
+	if !equalInts(got, survivors) {
+		t.Fatalf("survivors %v, want %v", got, survivors)
+	}
+}
+
+// TestDeleteThenReinsert mass-deletes most of the tree, reinserts the same
+// entries one by one, and cross-checks range queries against brute force —
+// the condense/reinsert path must leave a tree that later Inserts keep valid.
+func TestDeleteThenReinsert(t *testing.T) {
+	pts := randomPoints(800, 53)
+	tr := Bulk(pointEntries(pts))
+	rng := rand.New(rand.NewSource(54))
+	order := rng.Perm(len(pts))
+	victims := order[:700]
+	for _, id := range victims {
+		p := pts[id]
+		want := id
+		if !tr.Delete(geo.BBox{Min: p, Max: p}, func(x int) bool { return x == want }) {
+			t.Fatalf("Delete(%d) failed", id)
+		}
+	}
+	checkNode(t, tr.root, true)
+	for _, id := range victims {
+		p := pts[id]
+		tr.Insert(geo.BBox{Min: p, Max: p}, id)
+	}
+	if tr.Len() != len(pts) {
+		t.Fatalf("Len = %d after reinsertion, want %d", tr.Len(), len(pts))
+	}
+	checkNode(t, tr.root, true)
+	for trial := 0; trial < 30; trial++ {
+		q := geo.BBoxAround(geo.Pt(rng.Float64()*10000, rng.Float64()*10000), rng.Float64()*2000)
+		var want []int
+		for i, p := range pts {
+			if q.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(want)
+		got := sortedItems(tr.Search(q, nil))
+		if !equalInts(got, want) {
+			t.Fatalf("post-reinsert search mismatch: %d vs %d", len(got), len(want))
+		}
+	}
+}
+
 func TestDeleteKNNConsistency(t *testing.T) {
 	pts := randomPoints(300, 37)
 	tr := Bulk(pointEntries(pts))

@@ -240,6 +240,20 @@ func splitInternal[T any](nd *node[T]) (*node[T], *node[T]) {
 		if i == seedA || i == seedB {
 			continue
 		}
+		// Honor minimum fill first (as assignEntry does for leaves): a side
+		// that could not reach minEntries even with every remaining child
+		// takes this one unconditionally.
+		remain := maxEntries + 1 - len(a.children) - len(b.children)
+		if len(a.children)+remain <= minEntries {
+			a.children = append(a.children, c)
+			a.box = a.box.Extend(c.box)
+			continue
+		}
+		if len(b.children)+remain <= minEntries {
+			b.children = append(b.children, c)
+			b.box = b.box.Extend(c.box)
+			continue
+		}
 		da := a.box.EnlargementNeeded(c.box)
 		db := b.box.EnlargementNeeded(c.box)
 		if da < db || (da == db && len(a.children) <= len(b.children)) {

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"math/rand"
 
 	"repro/internal/roadnet"
@@ -55,31 +54,18 @@ type Dataset struct {
 // sensor quality is drawn from the configured mix; every trajectory gets
 // Gaussian GPS noise. The generating routes are retained as ground truth
 // (the simulator's equivalent of map-matched high-rate GeoLife traces).
+// It is the batch form of TripEmitter: cfg.Trips generation iterations,
+// keeping the successful ones.
 func BuildDataset(city *City, cfg FleetConfig) *Dataset {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	em := NewTripEmitter(city, cfg)
 	ds := &Dataset{City: city, Truth: make(map[string]roadnet.Route, cfg.Trips)}
 	for i := 0; i < cfg.Trips; i++ {
-		t0 := rng.Float64() * 86400
-		route, ok := ds.randomTripRoute(cfg, t0, rng)
-		if !ok || len(route) == 0 {
+		tr, route, ok := em.Next()
+		if !ok {
 			continue
-		}
-		id := fmt.Sprintf("taxi-%05d", i)
-		motion := DefaultMotion()
-		if rng.Float64() < cfg.HighRateFrac {
-			motion.Interval = 20 + rng.Float64()*40 // 20–60 s
-		} else {
-			motion.Interval = cfg.LowRateMin + rng.Float64()*(cfg.LowRateMax-cfg.LowRateMin)
-		}
-		tr := SimulateTrip(city.Graph, route, id, t0, motion, rng)
-		if tr.Len() < 2 {
-			continue
-		}
-		if cfg.NoiseSigma > 0 {
-			tr = traj.AddNoise(tr, cfg.NoiseSigma, rng)
 		}
 		ds.Archive = append(ds.Archive, tr)
-		ds.Truth[id] = route
+		ds.Truth[tr.ID] = route
 	}
 	return ds
 }
@@ -87,8 +73,7 @@ func BuildDataset(city *City, cfg FleetConfig) *Dataset {
 // randomTripRoute draws one trip's route: usually between hotspots with the
 // skewed route choice, sometimes between uniformly random vertices (the
 // long tail of taxi demand).
-func (ds *Dataset) randomTripRoute(cfg FleetConfig, t0 float64, rng *rand.Rand) (roadnet.Route, bool) {
-	city := ds.City
+func randomTripRoute(city *City, cfg FleetConfig, t0 float64, rng *rand.Rand) (roadnet.Route, bool) {
 	if rng.Float64() < cfg.HotspotFrac {
 		o, d, ok := city.RandomHotspotPair(rng)
 		if !ok {

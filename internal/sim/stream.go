@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// TripEmitter generates fleet trips one at a time — the streaming form of
+// BuildDataset, for driving a live archive (hist.Store ingestion, the
+// cmd/hris -follow mode, the freshness experiment). BuildDataset is
+// implemented on top of it, so an emitter with the same city and config
+// replays exactly the dataset BuildDataset would batch up: Next consumes
+// precisely one generation iteration's random draws, successful or not.
+type TripEmitter struct {
+	city *City
+	cfg  FleetConfig
+	rng  *rand.Rand
+	n    int // iteration counter: trip ids are taxi-<iteration>
+}
+
+// NewTripEmitter starts a deterministic trip stream over city (seeded by
+// cfg.Seed). The emitter is unbounded; cfg.Trips only bounds BuildDataset.
+func NewTripEmitter(city *City, cfg FleetConfig) *TripEmitter {
+	return &TripEmitter{city: city, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Next runs one generation iteration: draw a start time, a route from the
+// demand model, a sensor quality, then simulate and noise the trace. Not
+// every iteration yields a trip — route planning between a uniform OD pair
+// can fail, and a degenerate simulation is dropped — in which case ok is
+// false and the caller simply calls Next again.
+func (e *TripEmitter) Next() (tr *traj.Trajectory, truth roadnet.Route, ok bool) {
+	i := e.n
+	e.n++
+	rng := e.rng
+	t0 := rng.Float64() * 86400
+	route, ok := randomTripRoute(e.city, e.cfg, t0, rng)
+	if !ok || len(route) == 0 {
+		return nil, nil, false
+	}
+	id := fmt.Sprintf("taxi-%05d", i)
+	motion := DefaultMotion()
+	if rng.Float64() < e.cfg.HighRateFrac {
+		motion.Interval = 20 + rng.Float64()*40 // 20–60 s
+	} else {
+		motion.Interval = e.cfg.LowRateMin + rng.Float64()*(e.cfg.LowRateMax-e.cfg.LowRateMin)
+	}
+	tr = SimulateTrip(e.city.Graph, route, id, t0, motion, rng)
+	if tr.Len() < 2 {
+		return nil, nil, false
+	}
+	if e.cfg.NoiseSigma > 0 {
+		tr = traj.AddNoise(tr, e.cfg.NoiseSigma, rng)
+	}
+	return tr, route, true
+}
+
+// Emit generates the next n trips (skipping failed iterations), returning
+// them alongside their ground-truth routes keyed by trajectory id.
+func (e *TripEmitter) Emit(n int) ([]*traj.Trajectory, map[string]roadnet.Route) {
+	trips := make([]*traj.Trajectory, 0, n)
+	truth := make(map[string]roadnet.Route, n)
+	for len(trips) < n {
+		tr, route, ok := e.Next()
+		if !ok {
+			continue
+		}
+		trips = append(trips, tr)
+		truth[tr.ID] = route
+	}
+	return trips, truth
+}

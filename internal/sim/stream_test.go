@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestEmitterReplaysBuildDataset: a TripEmitter with the same city and
+// config consumes exactly the random draws BuildDataset does, so streaming
+// the trips one at a time reproduces the batch dataset byte for byte.
+func TestEmitterReplaysBuildDataset(t *testing.T) {
+	city := GenerateCity(DefaultCityConfig(), 41)
+	cfg := DefaultFleetConfig()
+	cfg.Trips = 120
+	cfg.Seed = 41
+	ds := BuildDataset(city, cfg)
+
+	em := NewTripEmitter(city, cfg)
+	got := 0
+	for i := 0; i < cfg.Trips; i++ {
+		tr, route, ok := em.Next()
+		if !ok {
+			continue
+		}
+		if got >= len(ds.Archive) {
+			t.Fatalf("emitter yielded more trips than BuildDataset (%d)", len(ds.Archive))
+		}
+		want := ds.Archive[got]
+		if tr.ID != want.ID || tr.Len() != want.Len() {
+			t.Fatalf("trip %d: got %s/%d points, want %s/%d", got, tr.ID, tr.Len(), want.ID, want.Len())
+		}
+		for k := range tr.Points {
+			if tr.Points[k] != want.Points[k] {
+				t.Fatalf("trip %s point %d differs: %+v vs %+v", tr.ID, k, tr.Points[k], want.Points[k])
+			}
+		}
+		truth := ds.Truth[tr.ID]
+		if len(route) != len(truth) {
+			t.Fatalf("trip %s truth length %d vs %d", tr.ID, len(route), len(truth))
+		}
+		for k := range route {
+			if route[k] != truth[k] {
+				t.Fatalf("trip %s truth edge %d differs", tr.ID, k)
+			}
+		}
+		got++
+	}
+	if got != len(ds.Archive) {
+		t.Fatalf("emitter yielded %d trips, BuildDataset %d", got, len(ds.Archive))
+	}
+}
+
+// TestEmitterEmitSkipsFailures: Emit(n) returns exactly n trips with their
+// truth routes even when some generation iterations fail.
+func TestEmitterEmitSkipsFailures(t *testing.T) {
+	city := GenerateCity(DefaultCityConfig(), 42)
+	cfg := DefaultFleetConfig()
+	cfg.Seed = 42
+	trips, truth := NewTripEmitter(city, cfg).Emit(25)
+	if len(trips) != 25 {
+		t.Fatalf("Emit(25) returned %d trips", len(trips))
+	}
+	for _, tr := range trips {
+		if tr.Len() < 2 {
+			t.Fatalf("trip %s has %d points", tr.ID, tr.Len())
+		}
+		if len(truth[tr.ID]) == 0 {
+			t.Fatalf("trip %s missing truth route", tr.ID)
+		}
+	}
+}

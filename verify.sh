@@ -15,6 +15,11 @@ go build ./...
 go test -timeout 120s ./...
 go test -timeout 300s -race ./...
 
+# Order independence: tests must not rely on each other's side effects or on
+# package-level iteration order — shuffle execution order (also defeats the
+# test cache, so everything actually reruns).
+go test -timeout 120s -shuffle=on ./...
+
 # Determinism: the Yen equal-weight tie-break and the K-GRI oracle suites
 # must give identical verdicts run-to-run (-count=2 defeats test caching and
 # runs each twice in one binary).
@@ -24,4 +29,4 @@ go test -timeout 120s -count=2 -run 'Yen|KGRI' ./internal/graphalg/ ./internal/c
 # ST-Matching, CH build — each in both oracle modes where applicable) must
 # run one iteration without failing. Real numbers come from
 # `go test -bench -benchmem` and cmd/experiments -fig bench-json.
-go test -timeout 300s -run '^$' -bench 'HRISQuery|STMatch|CH' -benchtime 1x .
+go test -timeout 300s -run '^$' -bench 'HRISQuery|STMatch|CH|Ingest' -benchtime 1x .
