@@ -367,10 +367,19 @@ func ingestHandler(w http.ResponseWriter, r *http.Request, st *hist.Store) {
 		http.Error(w, `POST trips JSON: {"trips": [{"id": "...", "points": [[x, y, t], ...]}, ...]}`, http.StatusMethodNotAllowed)
 		return
 	}
+	// Unlike /infer, admitted trips are retained in the live store for good,
+	// so an unbounded body is a memory-exhaustion hazard. 32 MiB is far above
+	// any reasonable batch (a trip point is three JSON numbers).
+	body := http.MaxBytesReader(w, r.Body, 32<<20)
 	var req struct {
 		Trips []tripJSON `json:"trips"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "bad trips: "+err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad trips: "+err.Error(), http.StatusBadRequest)
 		return
 	}

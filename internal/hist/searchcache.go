@@ -30,7 +30,11 @@ type searchKey struct {
 // a memo recorded at epoch e, so a Store publishing a new snapshot
 // implicitly invalidates every older memo. When the cache first observes a
 // key from a newer epoch it drops the stale generation wholesale (counted
-// by Invalidations) rather than letting dead entries squat in the bound.
+// by Invalidations) rather than letting dead entries squat in the bound,
+// and results computed against epochs older than the newest seen are not
+// inserted afterwards — readers still pinned to an old snapshot recompute
+// on miss instead of repopulating the map with entries no current reader
+// will ever hit.
 //
 // Returned slices are shared between callers and MUST be treated as
 // read-only. Snapshots are immutable, so entries for a given epoch never
@@ -43,7 +47,7 @@ type SearchCache struct {
 
 	mu    sync.RWMutex
 	m     map[searchKey][]Reference
-	epoch uint64 // newest epoch seen; older-epoch queries bypass the memo
+	epoch uint64 // newest epoch seen; results for older epochs are not memoized
 }
 
 // DefaultSearchCacheSize bounds the memo; one entry per distinct
@@ -104,6 +108,13 @@ func (c *SearchCache) ReferencesOn(ctx context.Context, v View, qi, qj traj.GPSP
 			c.invalidations.Add(1)
 		}
 		c.epoch = k.epoch
+	} else if k.epoch < c.epoch {
+		// A reader still pinned to an old snapshot: its answer is correct
+		// but no current reader can ever hit this key, so inserting it
+		// would only let stale entries squat in the bound until the next
+		// reset. Serve it unmemoized.
+		c.mu.Unlock()
+		return val
 	}
 	if len(c.m) >= c.max {
 		// Wholesale reset: cheap, but when the working set exceeds max the

@@ -81,6 +81,44 @@ func TestSearchCacheConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSearchCacheStaleEpochNotMemoized: a reader still pinned to an old
+// snapshot recomputes on miss but must not repopulate the memo with
+// entries no current reader can hit.
+func TestSearchCacheStaleEpochNotMemoized(t *testing.T) {
+	g, qi, qj := refWorld()
+	st := NewStore(g, nil, StoreConfig{})
+	st.IngestTrips(storeTrips()[:3]...)
+	old := st.Current() // pin epoch 1
+	c := NewSearchCache(st, 0)
+	sp := SearchParams{Phi: 60, SpliceEps: 50}
+
+	st.IngestTrips(storeTrips()[3:]...)
+	c.References(qi, qj, sp) // observe epoch 2
+	if c.Len() != 1 {
+		t.Fatalf("memo holds %d entries, want 1", c.Len())
+	}
+
+	want := old.References(qi, qj, sp)
+	got := c.ReferencesOn(t.Context(), old, qi, qj, sp)
+	if len(got) != len(want) {
+		t.Fatalf("pinned-view answer has %d refs, want %d", len(got), len(want))
+	}
+	if c.Len() != 1 {
+		t.Fatalf("stale-epoch result was memoized: memo holds %d entries", c.Len())
+	}
+	if _, m := c.Stats(); m != 2 {
+		t.Fatalf("misses = %d, want 2", m)
+	}
+	// Repeating the pinned-view query misses again (never memoized) but
+	// still answers correctly.
+	if again := c.ReferencesOn(t.Context(), old, qi, qj, sp); len(again) != len(want) {
+		t.Fatalf("repeat pinned-view answer has %d refs, want %d", len(again), len(want))
+	}
+	if h, m := c.Stats(); h != 0 || m != 3 {
+		t.Fatalf("stats = %d/%d, want 0/3", h, m)
+	}
+}
+
 // TestSearchCacheResetCounter drives the memo past a tiny bound and checks
 // the thrash signal: resets climbs while Len() stays within the bound.
 func TestSearchCacheResetCounter(t *testing.T) {

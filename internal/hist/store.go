@@ -72,6 +72,7 @@ type Store struct {
 
 	mu sync.Mutex // serializes snapshot publication (writers only)
 
+	compactMu   sync.Mutex  // serializes whole compactions (background and Compact)
 	compacting  atomic.Bool // single-flight guard for background compaction
 	wg          sync.WaitGroup
 	compactions atomic.Uint64
@@ -193,7 +194,8 @@ func (s *Store) triggerCompact() {
 
 // Compact synchronously merges all segments into one bulk-loaded base tree.
 // It is a no-op when the snapshot is already fully compacted, and safe to
-// call concurrently with ingest and readers.
+// call concurrently with ingest, readers, and other compactions (all merges
+// are serialized on one mutex, so overlapping calls simply run in turn).
 func (s *Store) Compact() {
 	s.compact()
 }
@@ -205,7 +207,21 @@ func (s *Store) Wait() {
 	s.wg.Wait()
 }
 
+// compactBeforePublish, when set, runs after a compaction builds its merged
+// base tree and before it publishes. Test-only seam: it holds a merge open
+// so regression tests can deterministically schedule a second compaction
+// against the same segment stack (the race does not reproduce by chance on
+// a single-CPU machine).
+var compactBeforePublish func()
+
 func (s *Store) compact() {
+	// One merge in flight at a time: a synchronous Compact racing the
+	// background compaction would otherwise load the same pre snapshot and
+	// the loser would splice cur.segs against a base that already absorbed
+	// them (negative capacity, or an index missing memtable segments).
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
 	pre := s.cur.Load()
 	if len(pre.segs) <= 1 {
 		return
@@ -219,6 +235,9 @@ func (s *Store) compact() {
 	// so pre.segs is exactly the prefix of any later snapshot's segs and
 	// indexes exactly the points of pre.Trajs.
 	merged := rtree.Bulk(pointEntries(pre.Trajs, 0))
+	if compactBeforePublish != nil {
+		compactBeforePublish()
+	}
 
 	s.mu.Lock()
 	cur := s.cur.Load()

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/obs"
@@ -294,6 +295,74 @@ func TestStoreConcurrentIngestAndSearch(t *testing.T) {
 	st.Wait()
 	if st.Current().NumTrajs() != len(trips) {
 		t.Fatalf("store holds %d trajs, want %d", st.Current().NumTrajs(), len(trips))
+	}
+}
+
+// TestStoreConcurrentCompaction: synchronous Compact racing the background
+// compaction (and other Compact calls) must serialize. Before the fix, two
+// overlapping merges loaded the same pre snapshot; the losing merge then
+// spliced cur.segs against a base that had already absorbed them and either
+// panicked on a negative slice capacity or published an index silently
+// missing memtable segments. The schedule is forced through the
+// compactBeforePublish seam (a single-CPU machine never preempts inside the
+// merge window, so the overlap cannot be provoked by load alone): compactor
+// A builds its merge and parks before publishing; a second compaction and
+// an ingest then run to completion against the same stack; A resumes.
+func TestStoreConcurrentCompaction(t *testing.T) {
+	g, _, _ := refWorld()
+	trips := storeTrips()
+	wantPoints := 0
+	for _, tr := range trips {
+		wantPoints += tr.Len()
+	}
+
+	// Auto-compaction off: the test owns the compaction schedule.
+	st := NewStore(g, nil, StoreConfig{CompactSegments: 1 << 30})
+	for _, tr := range trips[:len(trips)-1] {
+		st.IngestTrips(tr)
+	}
+
+	reached := make(chan struct{}, 8)
+	resume := make(chan struct{})
+	compactBeforePublish = func() {
+		reached <- struct{}{}
+		<-resume
+	}
+	defer func() { compactBeforePublish = nil }()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // compactor A: parks at the seam with its merge built
+		defer wg.Done()
+		st.Compact()
+	}()
+	<-reached
+	go func() { // compactor B: with the fix it waits its turn behind A
+		defer wg.Done()
+		st.Compact()
+	}()
+	// Give B its chance to overlap (unfixed it runs straight through the
+	// seam's already-signaled channel and publishes under A's feet), land
+	// one more memtable, then release everyone.
+	st.IngestTrips(trips[len(trips)-1])
+	time.Sleep(50 * time.Millisecond)
+	close(resume)
+	wg.Wait()
+	st.Wait()
+	compactBeforePublish = nil
+
+	st.Compact()
+	snap := st.Current()
+	if snap.Segments() != 1 {
+		t.Fatalf("%d segments after final compaction", snap.Segments())
+	}
+	if snap.NumPoints() != wantPoints {
+		t.Fatalf("snapshot counts %d points, want %d", snap.NumPoints(), wantPoints)
+	}
+	// Every ingested point must still be reachable through the index — a
+	// lost merge drops whole memtable segments from the published tree.
+	if got := len(snap.WithinRadius(geo.Pt(200, 100), 1e6)); got != wantPoints {
+		t.Fatalf("index holds %d points, want %d", got, wantPoints)
 	}
 }
 

@@ -58,16 +58,29 @@ func (e *TripEmitter) Next() (tr *traj.Trajectory, truth roadnet.Route, ok bool)
 	return tr, route, true
 }
 
+// emitMaxConsecutiveFailures bounds how long Emit retries without a single
+// successful iteration before concluding the configuration is degenerate.
+// Healthy city/fleet configs fail a few percent of iterations at most, so
+// the cap is orders of magnitude above anything a working setup hits.
+const emitMaxConsecutiveFailures = 1000
+
 // Emit generates the next n trips (skipping failed iterations), returning
-// them alongside their ground-truth routes keyed by trajectory id.
+// them alongside their ground-truth routes keyed by trajectory id. A
+// degenerate configuration where iterations never succeed (e.g. a city with
+// no routable OD pairs) does not spin forever: after
+// emitMaxConsecutiveFailures failed iterations in a row Emit returns
+// whatever was produced so far, possibly fewer than n trips.
 func (e *TripEmitter) Emit(n int) ([]*traj.Trajectory, map[string]roadnet.Route) {
 	trips := make([]*traj.Trajectory, 0, n)
 	truth := make(map[string]roadnet.Route, n)
-	for len(trips) < n {
+	fails := 0
+	for len(trips) < n && fails < emitMaxConsecutiveFailures {
 		tr, route, ok := e.Next()
 		if !ok {
+			fails++
 			continue
 		}
+		fails = 0
 		trips = append(trips, tr)
 		truth[tr.ID] = route
 	}

@@ -49,6 +49,22 @@ func TestEmitterReplaysBuildDataset(t *testing.T) {
 	}
 }
 
+// TestEmitterEmitDegenerateConfig: a config where no iteration can ever
+// succeed (all-hotspot demand over a city with no hotspots) must not spin
+// Emit forever — it gives up after the consecutive-failure cap and returns
+// what it produced.
+func TestEmitterEmitDegenerateConfig(t *testing.T) {
+	city := GenerateCity(DefaultCityConfig(), 43)
+	city.Hotspots = nil
+	cfg := DefaultFleetConfig()
+	cfg.Seed = 43
+	cfg.HotspotFrac = 1 // every draw needs a hotspot pair; none exist
+	trips, truth := NewTripEmitter(city, cfg).Emit(5)
+	if len(trips) != 0 || len(truth) != 0 {
+		t.Fatalf("degenerate config produced %d trips, %d truth routes", len(trips), len(truth))
+	}
+}
+
 // TestEmitterEmitSkipsFailures: Emit(n) returns exactly n trips with their
 // truth routes even when some generation iterations fail.
 func TestEmitterEmitSkipsFailures(t *testing.T) {
