@@ -305,6 +305,39 @@ func BenchmarkHRISQueryStore(b *testing.B) {
 	}
 }
 
+// BenchmarkHRISQuerySharded is BenchmarkHRISQueryStore through the sharded
+// composite at four shards: the same archive, batch ingest, compaction and
+// query, but every range query goes through the partition's scatter-gather
+// path (or the single-shard fast path when the box fits a halo cell). The
+// gap against BenchmarkHRISQueryStore is the spatial-sharding overhead.
+func BenchmarkHRISQuerySharded(b *testing.B) {
+	w := world(b)
+	st := hist.NewShardedStore(w.Graph(), nil, hist.ShardedConfig{
+		StoreConfig: hist.StoreConfig{CompactSegments: 1 << 30},
+		Shards:      4,
+		Halo:        w.P.Phi,
+	})
+	const batch = 25
+	for lo := 0; lo < len(w.DS.Archive); lo += batch {
+		hi := lo + batch
+		if hi > len(w.DS.Archive) {
+			hi = len(w.DS.Archive)
+		}
+		st.IngestTrips(w.DS.Archive[lo:hi]...)
+	}
+	st.Compact()
+	st.Wait()
+	eng := core.NewEngine(st, core.DefaultParams())
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 111)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = eng.InferRoutes(qs[0].Query, w.P)
+	}
+}
+
 // BenchmarkIngest measures admitting one 10-trip batch into a live store —
 // memtable indexing plus snapshot publication, with background compaction
 // running at its default cadence. The tail matters more than the mean for a

@@ -11,9 +11,11 @@
 //
 // Beyond the paper's figures, -fig accel profiles the shortest-path
 // acceleration layer (CH oracle vs plain Dijkstra), -fig freshness streams
-// trips into a live store and profiles accuracy against archive size, and
-// -fig bench-json (never part of "all") rewrites the checked-in benchmark
-// snapshot at -benchout (default BENCH_5.json).
+// trips into a live store and profiles accuracy against archive size,
+// -fig shards profiles query latency and ingest throughput of the sharded
+// live archive against shard count, and -fig bench-json (never part of
+// "all") rewrites the checked-in benchmark snapshot at -benchout (default
+// BENCH_6.json).
 package main
 
 import (
@@ -33,10 +35,10 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		quick    = flag.Bool("quick", false, "scaled-down sweep")
-		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel,freshness) or all; bench-json (explicit only) writes the benchmark snapshot")
+		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel,freshness,shards) or all; bench-json (explicit only) writes the benchmark snapshot")
 		seed     = flag.Int64("seed", 7, "world seed")
 		csvD     = flag.String("csv", "", "also write each figure as CSV into this directory")
-		benchOut = flag.String("benchout", "BENCH_5.json", "output path for -fig bench-json")
+		benchOut = flag.String("benchout", "BENCH_6.json", "output path for -fig bench-json")
 	)
 	flag.Parse()
 
@@ -52,6 +54,7 @@ func main() {
 	k3s := []int{1, 2, 3, 4, 5, 6, 8, 10}
 	pairCounts := []int{2, 3, 4, 5, 6, 7}
 	freshCounts := []int{100, 300, 600, 1000, 1500}
+	shardCounts := []int{1, 2, 4, 9, 16}
 	if *quick {
 		cfg = eval.QuickConfig()
 		rates = []float64{3, 9, 15}
@@ -65,6 +68,7 @@ func main() {
 		k3s = []int{1, 3, 5, 8}
 		pairCounts = []int{2, 3, 4, 5}
 		freshCounts = []int{50, 150, 400}
+		shardCounts = []int{1, 2, 4, 9}
 	}
 	cfg.Seed = *seed
 
@@ -174,6 +178,13 @@ func main() {
 	}
 	if need("freshness") {
 		run("freshness (live archive warm-up)", func() { emit(*csvD, eval.FreshnessProfile(cfg, freshCounts)) })
+	}
+	if need("shards") {
+		run("shards (sharded archive scaling)", func() {
+			q, ing := eval.ShardProfile(cfg, shardCounts)
+			emit(*csvD, q)
+			emit(*csvD, ing)
+		})
 	}
 	// bench-json runs only when asked for by name: it re-measures the
 	// acceleration-layer benchmarks with testing.Benchmark and rewrites the

@@ -19,6 +19,15 @@
 // accepts {"trips": [...]} in the same trip shape and returns the admit
 // stats plus the archive summary.
 //
+// Sharding: -shards N partitions the live archive into N spatially
+// independent stores (uniform grid over the network bbox, each with its own
+// memtable stack and compaction loop); ingest routes trips to the shards
+// whose halo cells their points touch, and queries scatter-gather across
+// shards with exact dedup, so results are byte-identical to -shards 1. The
+// halo margin defaults to the -phi search radius (override with -halo);
+// /metrics reports per-shard shard.<i>.* gauges and the scatter.* routing
+// counters.
+//
 // Observability: -metrics prints the per-stage cost breakdown (count,
 // total, p50/p95/max per pipeline stage — the paper's Figure 9 cost
 // attribution) after the run; -metrics-json dumps the same snapshot as
@@ -115,6 +124,8 @@ func main() {
 		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars, /debug/pprof, POST /infer and POST /ingest on this address and stay alive")
 		deadline = flag.Duration("deadline", 0, "per-query inference budget (e.g. 50ms); on expiry a best-effort degraded result is returned")
 		follow   = flag.Bool("follow", false, "read NDJSON trips from stdin and ingest them into the live archive")
+		shards   = flag.Int("shards", 1, "spatial shards for the live archive (1 = single store)")
+		halo     = flag.Float64("halo", -1, "shard halo margin in meters (< 0 uses -phi)")
 	)
 	flag.Parse()
 
@@ -149,8 +160,22 @@ func main() {
 		reg = obs.New()
 	}
 	// The dataset seeds a live store; -follow and POST /ingest grow it while
-	// the engine answers queries against pinned snapshots.
-	st := hist.NewStore(g, trajs, hist.StoreConfig{Registry: reg})
+	// the engine answers queries against pinned snapshots. With -shards > 1
+	// the store is spatially partitioned behind the same Ingester surface.
+	var st hist.Ingester
+	if *shards > 1 {
+		h := *halo
+		if h < 0 {
+			h = *phi
+		}
+		st = hist.NewShardedStore(g, trajs, hist.ShardedConfig{
+			StoreConfig: hist.StoreConfig{Registry: reg},
+			Shards:      *shards,
+			Halo:        h,
+		})
+	} else {
+		st = hist.NewStore(g, trajs, hist.StoreConfig{Registry: reg})
+	}
 	eng := core.NewEngineWithRegistry(st, params, reg)
 	var srv *http.Server
 	if *httpAddr != "" {
@@ -266,7 +291,7 @@ func main() {
 // is returned — the CLI run still proceeds without the server. The returned
 // server has bounded read/write timeouts and is shut down gracefully by
 // main on SIGINT/SIGTERM.
-func serveDebug(addr string, eng *core.Engine, st *hist.Store, params core.Params) *http.Server {
+func serveDebug(addr string, eng *core.Engine, st hist.Ingester, params core.Params) *http.Server {
 	expvar.Publish("hris", expvar.Func(func() any { return eng.Metrics() }))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -362,7 +387,7 @@ func inferHandler(w http.ResponseWriter, r *http.Request, eng *core.Engine, para
 // pipeline and reports what was admitted plus the resulting archive state.
 // Queries running concurrently keep their pinned snapshot; the next query
 // sees the new epoch.
-func ingestHandler(w http.ResponseWriter, r *http.Request, st *hist.Store) {
+func ingestHandler(w http.ResponseWriter, r *http.Request, st hist.Ingester) {
 	if r.Method != http.MethodPost {
 		http.Error(w, `POST trips JSON: {"trips": [{"id": "...", "points": [[x, y, t], ...]}, ...]}`, http.StatusMethodNotAllowed)
 		return
@@ -402,7 +427,7 @@ func ingestHandler(w http.ResponseWriter, r *http.Request, st *hist.Store) {
 // per trip, until EOF or interrupt. Each admitted line publishes a new
 // epoch; malformed lines are skipped with a note so a long-running feed
 // survives the occasional bad record.
-func followStdin(ctx context.Context, st *hist.Store) {
+func followStdin(ctx context.Context, st hist.Ingester) {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	lines, admitted := 0, 0

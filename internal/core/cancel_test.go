@@ -16,7 +16,7 @@ import (
 func TestInferRoutesCtxPreCancelled(t *testing.T) {
 	w := newWorld(t, 200, 211)
 	reg := obs.New()
-	eng := NewEngineWithRegistry(w.eng.Archive(), DefaultParams(), reg)
+	eng := NewEngineWithRegistry(w.eng.Source(), DefaultParams(), reg)
 	q := obsQueries(t, w, 1)[0]
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -53,7 +53,7 @@ func TestInferRoutesCtxPreCancelled(t *testing.T) {
 func TestInferRoutesDeadlineDegrades(t *testing.T) {
 	w := newWorld(t, 300, 223)
 	reg := obs.New()
-	eng := NewEngineWithRegistry(w.eng.Archive(), DefaultParams(), reg)
+	eng := NewEngineWithRegistry(w.eng.Source(), DefaultParams(), reg)
 	q := obsQueries(t, w, 1)[0]
 	p := DefaultParams()
 	p.Deadline = time.Nanosecond // expired before the first checkpoint

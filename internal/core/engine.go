@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/graphalg"
@@ -68,9 +69,9 @@ func NewEngineWithRegistry(src hist.Source, defaults Params, reg *obs.Registry) 
 func (e *Engine) Graph() *roadnet.Graph { return e.g }
 
 // Archive returns the current generation of the historical archive. With a
-// live Store source this advances between calls; inference internals never
-// call it twice — they pin one snapshot per invocation.
-func (e *Engine) Archive() *hist.Archive { return e.src.Current() }
+// live Store or ShardedStore source this advances between calls; inference
+// internals never call it twice — they pin one generation per invocation.
+func (e *Engine) Archive() hist.View { return e.src.Current() }
 
 // Source returns the archive source the engine reads from.
 func (e *Engine) Source() hist.Source { return e.src }
@@ -118,8 +119,24 @@ func (e *Engine) Metrics() obs.Snapshot {
 	s.Counters["archive.trajs"] = uint64(snap.NumTrajs())
 	s.Counters["archive.points"] = uint64(snap.NumPoints())
 	s.Counters["archive.segments"] = uint64(snap.Segments())
-	if st, ok := e.src.(*hist.Store); ok {
+	switch st := e.src.(type) {
+	case *hist.Store:
 		s.Counters["store.compactions"] = st.Stats().Compactions
+	case *hist.ShardedStore:
+		stats := st.Stats()
+		s.Counters["store.compactions"] = stats.Compactions
+		s.Counters["store.shards"] = uint64(len(stats.Shards))
+		// Per-shard gauges, namespaced like the per-shard ingest counters,
+		// so /metrics exposes skew (trip/point replication per shard) and
+		// each shard's compaction progress.
+		for i, ss := range stats.Shards {
+			prefix := obs.ShardPrefix + strconv.Itoa(i) + "."
+			s.Counters[prefix+"epoch"] = ss.Epoch
+			s.Counters[prefix+"trajs"] = uint64(ss.Trajs)
+			s.Counters[prefix+"points"] = uint64(ss.Points)
+			s.Counters[prefix+"segments"] = uint64(ss.Segments)
+			s.Counters[prefix+"compactions"] = ss.Compactions
+		}
 	}
 	ch, cm := e.cands.Stats()
 	s.Counters["cache.candidates.hits"] = ch
@@ -237,7 +254,9 @@ type exec struct {
 	// snap is the archive generation pinned for this invocation: captured
 	// once at entry, consulted everywhere below, so one inference sees one
 	// consistent epoch even while a live Store keeps publishing new ones.
-	snap *hist.Snapshot
+	// With a sharded source this is a composite ShardedSnapshot, pinning
+	// every shard's generation at once.
+	snap hist.View
 
 	// ctx/done carry this invocation's cancellation signal. done is
 	// ctx.Done(), captured once: context.Background() yields nil, so the

@@ -31,15 +31,18 @@ var ErrNoFreePath = errors.New("core: no network-free path inferred")
 // transit-graph recursion NNI uses, but the enumerated traces are kept as
 // polylines instead of being map-matched; a K-GRI-style dynamic program
 // over support sets assembles the global paths.
-func InferPathsNetworkFree(a *hist.Archive, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
-	return inferPathsNetworkFree(context.Background(), a.ReferencesCtx, q, p, vmax)
+func InferPathsNetworkFree(a hist.View, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
+	return InferPathsNetworkFreeCtx(context.Background(), a, q, p, vmax)
 }
 
 // InferPathsNetworkFreeCtx is InferPathsNetworkFree under a caller context:
 // cancellation (of any kind — network-free inference has no degraded mode)
 // aborts with the context's error at the next per-pair or DP checkpoint.
-func InferPathsNetworkFreeCtx(ctx context.Context, a *hist.Archive, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
-	return inferPathsNetworkFree(ctx, a.ReferencesCtx, q, p, vmax)
+func InferPathsNetworkFreeCtx(ctx context.Context, a hist.View, q *traj.Trajectory, p Params, vmax float64) ([]FreeRoute, error) {
+	search := func(ctx context.Context, qi, qj traj.GPSPoint, sp hist.SearchParams) []hist.Reference {
+		return hist.ReferencesCtx(ctx, a, qi, qj, sp)
+	}
+	return inferPathsNetworkFree(ctx, search, q, p, vmax)
 }
 
 // InferPathsNetworkFree is the engine-backed variant: identical output, but

@@ -36,7 +36,7 @@ func obsQueries(t *testing.T, w *world, n int) []*traj.Trajectory {
 func TestObservedInferBatchConsistency(t *testing.T) {
 	w := newWorld(t, 300, 191)
 	reg := obs.New()
-	eng := NewEngineWithRegistry(w.eng.Archive(), DefaultParams(), reg)
+	eng := NewEngineWithRegistry(w.eng.Source(), DefaultParams(), reg)
 	queries := obsQueries(t, w, 6)
 	p := DefaultParams()
 	p.PairWorkers = 1 // serial pairs: enables the nesting-sum invariant

@@ -30,12 +30,14 @@ type BenchResult struct {
 }
 
 // BenchReport is the machine-readable benchmark snapshot cmd/experiments
-// -fig bench-json writes (BENCH_5.json). It pins the headline numbers of
+// -fig bench-json writes (BENCH_6.json). It pins the headline numbers of
 // the shortest-path acceleration layer — end-to-end HRIS inference and
 // ST-Matching with the contraction-hierarchy oracle against the Dijkstra
 // fallback, plus the CH preprocessing cost — and of the live archive:
 // per-batch ingest latency (mean and p95) and query time against a
-// compacted store.
+// compacted store, single-node (hris_query/store) and through the sharded
+// composite at one shard (hris_query/sharded — the scatter-gather
+// abstraction overhead).
 type BenchReport struct {
 	World   string        `json:"world"`
 	Results []BenchResult `json:"results"`
@@ -161,6 +163,30 @@ func liveStoreBench(cfg WorldConfig) []BenchResult {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					_, _ = eng.InferRoutes(qc.Query, p)
+				}
+			})))
+
+		// The same query against the sharded composite at one shard — the
+		// abstraction-overhead baseline the acceptance criterion bounds at
+		// 10% of hris_query/store (one shard means every range query takes
+		// the single-shard fast path; the extra cost is the composite's
+		// PointRef translation).
+		sst := hist.NewShardedStore(city.Graph, nil, hist.ShardedConfig{Shards: 1, Halo: p.Phi})
+		for lo := 0; lo < len(trips); lo += batch {
+			hi := lo + batch
+			if hi > len(trips) {
+				hi = len(trips)
+			}
+			sst.Ingest(trips[lo:hi]...)
+		}
+		sst.Wait()
+		sst.Compact()
+		seng := core.NewEngine(sst, core.DefaultParams())
+		out = append(out, record("hris_query/sharded",
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_, _ = seng.InferRoutes(qc.Query, p)
 				}
 			})))
 	}

@@ -126,7 +126,7 @@ func (s *Snapshot) VisitBox(box geo.BBox, fn func(PointRef) bool) {
 }
 
 // Current implements Source: a snapshot is its own, constant, generation.
-func (s *Snapshot) Current() *Snapshot { return s }
+func (s *Snapshot) Current() View { return s }
 
 // Preprocess runs the offline preprocessing of §II-B.1 on raw GPS logs:
 // speed-infeasible outlier fixes are removed (vmax in m/s; pass 0 to

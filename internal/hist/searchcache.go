@@ -9,11 +9,13 @@ import (
 )
 
 // searchKey identifies one References call: the epoch of the archive
-// generation answered against, the query pair (both GPS points carry only
-// coordinates and a timestamp, so the struct is comparable) and the complete
-// search parameter set.
+// generation answered against (plus, for composite sharded views, the
+// fingerprint of the per-shard epoch vector — see Fingerprinted), the query
+// pair (both GPS points carry only coordinates and a timestamp, so the
+// struct is comparable) and the complete search parameter set.
 type searchKey struct {
 	epoch  uint64
+	fp     uint64
 	qi, qj traj.GPSPoint
 	p      SearchParams
 }
@@ -65,7 +67,7 @@ func NewSearchCache(src Source, max int) *SearchCache {
 }
 
 // Archive returns the current archive generation.
-func (c *SearchCache) Archive() *Snapshot { return c.src.Current() }
+func (c *SearchCache) Archive() View { return c.src.Current() }
 
 // References returns References(qi, qj, p) against the current generation,
 // memoized. Safe for concurrent use; the result must not be modified.
@@ -85,7 +87,8 @@ func (c *SearchCache) ReferencesCtx(ctx context.Context, qi, qj traj.GPSPoint, p
 // even while the underlying Store keeps publishing new ones. Results are
 // memoized under v's epoch.
 func (c *SearchCache) ReferencesOn(ctx context.Context, v View, qi, qj traj.GPSPoint, p SearchParams) []Reference {
-	k := searchKey{epoch: v.Epoch(), qi: qi, qj: qj, p: p}
+	ep, fp := epochKey(v)
+	k := searchKey{epoch: ep, fp: fp, qi: qi, qj: qj, p: p}
 	c.mu.RLock()
 	val, ok := c.m[k]
 	c.mu.RUnlock()

@@ -98,7 +98,7 @@ func TestSearchCacheStaleEpochNotMemoized(t *testing.T) {
 		t.Fatalf("memo holds %d entries, want 1", c.Len())
 	}
 
-	want := old.References(qi, qj, sp)
+	want := References(old, qi, qj, sp)
 	got := c.ReferencesOn(t.Context(), old, qi, qj, sp)
 	if len(got) != len(want) {
 		t.Fatalf("pinned-view answer has %d refs, want %d", len(got), len(want))

@@ -1,0 +1,321 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// shardedWorldTrips builds trips that straddle the 2×2 partition lines of
+// refWorld's bbox, with points exactly ON partition lines and exactly AT
+// halo edges — the floating-point worst case for ownership dedup.
+func shardedWorldTrips(lineX, lineY, halo float64) []*traj.Trajectory {
+	return []*traj.Trajectory{
+		// Horizontal crossing with a point exactly on the vertical line.
+		lineTraj("bx", geo.Pt(lineX-150, 10), geo.Pt(lineX, 10), geo.Pt(lineX+150, 10)),
+		// Vertical crossing with a point exactly on the horizontal line.
+		lineTraj("by", geo.Pt(40, lineY-150), geo.Pt(40, lineY), geo.Pt(40, lineY+150)),
+		// Points exactly at the halo edges on both sides of the line.
+		lineTraj("bh", geo.Pt(lineX-halo, 20), geo.Pt(lineX, 20), geo.Pt(lineX+halo, 20)),
+		// A point exactly on the grid's corner crossing.
+		lineTraj("bc", geo.Pt(lineX-60, lineY-60), geo.Pt(lineX, lineY), geo.Pt(lineX+60, lineY+60)),
+		// Fully inside one cell (control).
+		lineTraj("in", geo.Pt(50, 30), geo.Pt(150, 30), geo.Pt(250, 30)),
+	}
+}
+
+func sortRefs(refs []PointRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Traj != refs[j].Traj {
+			return refs[i].Traj < refs[j].Traj
+		}
+		return refs[i].Idx < refs[j].Idx
+	})
+}
+
+// TestShardedBoundaryDedup: points on partition lines and at halo edges are
+// returned exactly once by WithinRadius and VisitBox, matching a single
+// Store over the same trips, for queries centered on the boundaries.
+func TestShardedBoundaryDedup(t *testing.T) {
+	g, _, _ := refWorld()
+	bb := g.BBox()
+	for _, n := range []int{2, 4, 9} {
+		for _, halo := range []float64{0, 60} {
+			part := NewPartition(bb, n, halo)
+			nx, ny := part.Dims()
+			lineX := bb.Min.X + (bb.Max.X-bb.Min.X)/float64(max(nx, 1))
+			lineY := bb.Min.Y + (bb.Max.Y-bb.Min.Y)/float64(max(ny, 1))
+			if nx == 1 {
+				lineX = bb.Min.X + 100 // no vertical line: arbitrary interior x
+			}
+			if ny == 1 {
+				lineY = bb.Min.Y + 100
+			}
+			trips := shardedWorldTrips(lineX, lineY, halo)
+
+			oracle := NewStore(g, nil, StoreConfig{})
+			oracle.IngestTrips(trips...)
+			sh := NewShardedStore(g, nil, ShardedConfig{Shards: n, Halo: halo})
+			sh.IngestTrips(trips...)
+
+			centers := []geo.Point{
+				geo.Pt(lineX, 10), geo.Pt(lineX, 20), geo.Pt(40, lineY),
+				geo.Pt(lineX, lineY), geo.Pt(lineX-halo, 20), geo.Pt(lineX+halo, 20),
+			}
+			radii := []float64{1, halo / 2, halo, halo + 1, 2*halo + 10, 500}
+			ov, sv := oracle.Current(), sh.Current()
+			for _, c := range centers {
+				for _, r := range radii {
+					if r <= 0 {
+						continue
+					}
+					want := ov.WithinRadius(c, r)
+					got := sv.WithinRadius(c, r)
+					sortRefs(want)
+					sortRefs(got)
+					if len(got) != len(want) {
+						t.Fatalf("n=%d halo=%v WithinRadius(%v,%v): %d refs, want %d",
+							n, halo, c, r, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("n=%d halo=%v WithinRadius(%v,%v): ref %d = %v, want %v",
+								n, halo, c, r, i, got[i], want[i])
+						}
+					}
+					for i := 1; i < len(got); i++ {
+						if got[i] == got[i-1] {
+							t.Fatalf("n=%d halo=%v WithinRadius(%v,%v): duplicate ref %v",
+								n, halo, c, r, got[i])
+						}
+					}
+
+					box := geo.BBoxAround(c, r)
+					var wantV, gotV []PointRef
+					ov.VisitBox(box, func(pr PointRef) bool { wantV = append(wantV, pr); return true })
+					sv.VisitBox(box, func(pr PointRef) bool { gotV = append(gotV, pr); return true })
+					sortRefs(wantV)
+					sortRefs(gotV)
+					if len(gotV) != len(wantV) {
+						t.Fatalf("n=%d halo=%v VisitBox(%v): %d refs, want %d",
+							n, halo, box, len(gotV), len(wantV))
+					}
+					for i := range gotV {
+						if gotV[i] != wantV[i] {
+							t.Fatalf("n=%d halo=%v VisitBox(%v): ref %d = %v, want %v",
+								n, halo, box, i, gotV[i], wantV[i])
+						}
+					}
+					// Early-stop contract: the traversal halts after one point.
+					seen := 0
+					sv.VisitBox(box, func(PointRef) bool { seen++; return false })
+					if len(gotV) > 0 && seen != 1 {
+						t.Fatalf("n=%d halo=%v VisitBox early stop visited %d points", n, halo, seen)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedStoreMatchesStoreSearch: the composite answers the reference
+// search and connection ranking identically (by content) to a bulk archive,
+// for every required shard count, a zero and a query-sized halo, random
+// ingest orders, and before/after compaction.
+func TestShardedStoreMatchesStoreSearch(t *testing.T) {
+	g, qi, qj := refWorld()
+	trips := storeTrips()
+	arch := NewArchive(g, trips)
+	sp := SearchParams{Phi: 60, SpliceEps: 50}
+	want := arch.References(qi, qj, sp)
+	if len(want) == 0 {
+		t.Fatal("fixture yields no references")
+	}
+	wantBC := arch.BestConnecting([]geo.Point{qi.Pt, qj.Pt}, 3, 100)
+
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 4, 9} {
+		for _, halo := range []float64{0, 60} {
+			perm := rng.Perm(len(trips))
+			st := NewShardedStore(g, nil, ShardedConfig{Shards: n, Halo: halo})
+			for _, i := range perm {
+				st.IngestTrips(trips[i])
+			}
+			for phase := 0; phase < 2; phase++ {
+				snap := st.Current()
+				got := References(snap, qi, qj, sp)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d halo=%v phase %d: %d refs, want %d", n, halo, phase, len(got), len(want))
+				}
+				for i := range got {
+					if !refEqual(got[i], want[i]) {
+						t.Fatalf("n=%d halo=%v phase %d: ref %d differs", n, halo, phase, i)
+					}
+				}
+				gotBC := BestConnecting(snap, []geo.Point{qi.Pt, qj.Pt}, 3, 100)
+				if len(gotBC) != len(wantBC) {
+					t.Fatalf("n=%d halo=%v phase %d: BestConnecting %d vs %d",
+						n, halo, phase, len(gotBC), len(wantBC))
+				}
+				for i := range gotBC {
+					if snap.Traj(gotBC[i].Traj).ID != arch.Traj(wantBC[i].Traj).ID ||
+						gotBC[i].Score != wantBC[i].Score {
+						t.Fatalf("n=%d halo=%v phase %d: ranking %d differs", n, halo, phase, i)
+					}
+				}
+				st.Compact()
+				st.Wait()
+			}
+		}
+	}
+}
+
+// TestShardedStoreStats: composite counts are global (replicas not double
+// counted), per-shard summaries expose the replication, and compaction
+// collapses every shard to its single base segment.
+func TestShardedStoreStats(t *testing.T) {
+	g, _, _ := refWorld()
+	st := NewShardedStore(g, nil, ShardedConfig{Shards: 4, Halo: 120})
+	trips := storeTrips()
+	points := 0
+	for _, tr := range trips {
+		points += tr.Len()
+	}
+	ist := st.IngestTrips(trips...)
+	if ist.Trips != len(trips) || ist.Points != points {
+		t.Fatalf("ingest stats %+v, want %d trips / %d points", ist, len(trips), points)
+	}
+	snap := st.CurrentSharded()
+	if snap.NumTrajs() != len(trips) || snap.NumPoints() != points {
+		t.Fatalf("composite holds %d/%d, want %d/%d",
+			snap.NumTrajs(), snap.NumPoints(), len(trips), points)
+	}
+	stats := st.Stats()
+	if len(stats.Shards) != 4 {
+		t.Fatalf("stats report %d shards", len(stats.Shards))
+	}
+	repTrips := 0
+	for _, ss := range stats.Shards {
+		repTrips += ss.Trajs
+	}
+	if repTrips < len(trips) {
+		t.Fatalf("per-shard trips sum %d < %d global", repTrips, len(trips))
+	}
+	if stats.Trajs != len(trips) || stats.Points != points {
+		t.Fatalf("composite stats %+v", stats)
+	}
+	st.Compact()
+	st.Wait()
+	if segs := st.Current().Segments(); segs != 4 {
+		t.Fatalf("post-compaction segments = %d, want 4 (one per shard)", segs)
+	}
+}
+
+// TestShardedEpochFingerprint: distinct shard-epoch vectors fingerprint
+// differently even when their scalar sums collide, and the composite epoch
+// advances exactly once per admitted batch.
+func TestShardedEpochFingerprint(t *testing.T) {
+	fps := map[uint64][]uint64{}
+	for _, v := range [][]uint64{{2, 0}, {1, 1}, {0, 2}, {2, 0, 0}, {0, 0, 2}} {
+		fp := epochFingerprint(v)
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("vectors %v and %v collide on fingerprint %x", prev, v, fp)
+		}
+		fps[fp] = v
+	}
+
+	g, _, _ := refWorld()
+	st := NewShardedStore(g, nil, ShardedConfig{Shards: 4, Halo: 0})
+	s0 := st.CurrentSharded()
+	// Two batches localized to opposite corners: different shards ingest.
+	st.IngestTrips(lineTraj("a", geo.Pt(10, 10), geo.Pt(20, 10)))
+	s1 := st.CurrentSharded()
+	st.IngestTrips(lineTraj("b", geo.Pt(590, 390), geo.Pt(580, 390)))
+	s2 := st.CurrentSharded()
+	if s1.Epoch() != s0.Epoch()+1 || s2.Epoch() != s1.Epoch()+1 {
+		t.Fatalf("epochs %d,%d,%d", s0.Epoch(), s1.Epoch(), s2.Epoch())
+	}
+	if s0.EpochFingerprint() == s1.EpochFingerprint() || s1.EpochFingerprint() == s2.EpochFingerprint() {
+		t.Fatal("fingerprint did not change across single-shard ingests")
+	}
+	if ep, fp := epochKey(s2); ep != s2.Epoch() || fp != s2.EpochFingerprint() {
+		t.Fatalf("epochKey = (%d,%x)", ep, fp)
+	}
+	if _, fp := epochKey(NewArchive(g, nil)); fp != 0 {
+		t.Fatalf("plain snapshot fingerprint = %x, want 0", fp)
+	}
+}
+
+// TestShardedSearchCacheComposite: the memo distinguishes composite
+// generations — a reader pinned to an old composite is served unmemoized
+// after a sibling-shard ingest, and current-generation queries miss (never
+// serving stale results) then re-memoize.
+func TestShardedSearchCacheComposite(t *testing.T) {
+	g, qi, qj := refWorld()
+	st := NewShardedStore(g, nil, ShardedConfig{Shards: 4, Halo: 60})
+	st.IngestTrips(storeTrips()[:3]...)
+	old := st.Current()
+	c := NewSearchCache(st, 0)
+	sp := SearchParams{Phi: 60, SpliceEps: 50}
+
+	c.References(qi, qj, sp)
+	if c.Len() != 1 {
+		t.Fatalf("memo holds %d entries, want 1", c.Len())
+	}
+	// Ingest far from the query corridor: only a sibling shard's epoch
+	// moves, but the composite generation — and thus the cache key — must
+	// change anyway.
+	st.IngestTrips(lineTraj("far", geo.Pt(590, 390), geo.Pt(580, 380)))
+	c.References(qi, qj, sp)
+	if _, m := c.Stats(); m != 2 {
+		t.Fatalf("misses = %d, want 2 (stale generation must not hit)", m)
+	}
+	want := References(old, qi, qj, sp)
+	got := c.ReferencesOn(t.Context(), old, qi, qj, sp)
+	if len(got) != len(want) {
+		t.Fatalf("pinned-composite answer has %d refs, want %d", len(got), len(want))
+	}
+	if c.Len() != 1 {
+		t.Fatalf("stale composite result was memoized: %d entries", c.Len())
+	}
+}
+
+// TestShardedRefreshAfterCompaction: a background shard compaction republishes
+// the composite with the shards' fresh physical snapshots while preserving
+// epoch, fingerprint and content.
+func TestShardedRefreshAfterCompaction(t *testing.T) {
+	g, qi, _ := refWorld()
+	st := NewShardedStore(g, nil, ShardedConfig{Shards: 2, Halo: 60,
+		StoreConfig: StoreConfig{CompactSegments: 1 << 30}})
+	for _, tr := range storeTrips() {
+		st.IngestTrips(tr)
+	}
+	before := st.CurrentSharded()
+	segsBefore := before.Segments()
+	st.Compact()
+	st.Wait()
+	after := st.CurrentSharded()
+	if after == before {
+		t.Fatal("composite not refreshed after shard compaction")
+	}
+	if after.Epoch() != before.Epoch() || after.EpochFingerprint() != before.EpochFingerprint() {
+		t.Fatal("compaction changed the composite generation identity")
+	}
+	if after.Segments() >= segsBefore || after.Segments() != 2 {
+		t.Fatalf("segments %d -> %d, want 2", segsBefore, after.Segments())
+	}
+	a, b := before.WithinRadius(qi.Pt, 200), after.WithinRadius(qi.Pt, 200)
+	sortRefs(a)
+	sortRefs(b)
+	if len(a) != len(b) {
+		t.Fatalf("content changed across refresh: %d vs %d hits", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d changed across refresh: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

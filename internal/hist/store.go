@@ -42,13 +42,16 @@ type IngestStats struct {
 	Epoch  uint64 `json:"epoch"`  // epoch of the snapshot the batch became visible in
 }
 
-// StoreStats is a point-in-time summary of the store.
+// StoreStats is a point-in-time summary of the store. A ShardedStore
+// reports its composite totals in the top-level fields and each shard's
+// own summary under Shards (empty for a plain Store).
 type StoreStats struct {
-	Epoch       uint64 `json:"epoch"`
-	Trajs       int    `json:"trajs"`
-	Points      int    `json:"points"`
-	Segments    int    `json:"segments"`
-	Compactions uint64 `json:"compactions"`
+	Epoch       uint64       `json:"epoch"`
+	Trajs       int          `json:"trajs"`
+	Points      int          `json:"points"`
+	Segments    int          `json:"segments"`
+	Compactions uint64       `json:"compactions"`
+	Shards      []StoreStats `json:"shards,omitempty"`
 }
 
 // Store is the live archive: an LSM-style stack of R-tree segments that
@@ -97,7 +100,12 @@ func NewStore(g *roadnet.Graph, seed []*traj.Trajectory, cfg StoreConfig) *Store
 }
 
 // Current implements Source: the latest published snapshot.
-func (s *Store) Current() *Snapshot { return s.cur.Load() }
+func (s *Store) Current() View { return s.cur.Load() }
+
+// Snapshot returns the latest published generation as its concrete type —
+// the same value Current yields, for callers that need Snapshot-only
+// surface (ShardedStore's pointer comparisons, tests pinning a generation).
+func (s *Store) Snapshot() *Snapshot { return s.cur.Load() }
 
 // Graph returns the road network the store is collected over.
 func (s *Store) Graph() *roadnet.Graph { return s.g }

@@ -110,7 +110,7 @@ func TestStoreMatchesArchive(t *testing.T) {
 			}
 		}
 		snap := st.Current()
-		got := snap.References(qi, qj, sp)
+		got := References(snap, qi, qj, sp)
 		if len(got) != len(want) {
 			t.Fatalf("perm %v: %d refs, want %d", perm, len(got), len(want))
 		}
@@ -119,7 +119,7 @@ func TestStoreMatchesArchive(t *testing.T) {
 				t.Fatalf("perm %v: ref %d differs", perm, i)
 			}
 		}
-		gotBC := snap.BestConnecting([]geo.Point{qi.Pt, qj.Pt}, 3, 100)
+		gotBC := BestConnecting(snap, []geo.Point{qi.Pt, qj.Pt}, 3, 100)
 		if len(gotBC) != len(wantBC) {
 			t.Fatalf("perm %v: BestConnecting %d vs %d", perm, len(gotBC), len(wantBC))
 		}
@@ -278,7 +278,7 @@ func TestStoreConcurrentIngestAndSearch(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				snap := st.Current()
 				n := snap.NumTrajs()
-				refs := snap.References(qi, qj, SearchParams{Phi: 60, SpliceEps: 50})
+				refs := References(snap, qi, qj, SearchParams{Phi: 60, SpliceEps: 50})
 				for _, ref := range refs {
 					for _, id := range ref.SourceIDs() {
 						if id < 0 || id >= n {
@@ -374,7 +374,7 @@ func TestBestConnectingEmptyArchive(t *testing.T) {
 	if got := empty.BestConnecting([]geo.Point{qi.Pt, qj.Pt}, 3, 100); got != nil {
 		t.Fatalf("empty archive BestConnecting = %v, want nil", got)
 	}
-	if got := NewStore(g, nil, StoreConfig{}).Current().BestConnecting([]geo.Point{qi.Pt}, 1, 100); got != nil {
+	if got := BestConnecting(NewStore(g, nil, StoreConfig{}).Current(), []geo.Point{qi.Pt}, 1, 100); got != nil {
 		t.Fatalf("empty store BestConnecting = %v, want nil", got)
 	}
 }

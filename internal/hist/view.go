@@ -23,6 +23,10 @@ type View interface {
 	Epoch() uint64
 	// NumPoints returns the number of indexed GPS points.
 	NumPoints() int
+	// Segments returns the number of R-tree segments backing the view (1
+	// after a bulk build or full compaction, one extra per un-compacted
+	// ingest batch; a sharded view reports the sum over its shards).
+	Segments() int
 	// NumTrajs returns the number of archived trajectories.
 	NumTrajs() int
 	// Traj returns archived trajectory i (0 <= i < NumTrajs).
@@ -37,13 +41,35 @@ type View interface {
 	VisitBox(box geo.BBox, fn func(PointRef) bool)
 }
 
-// Source yields the current archive generation. A *Snapshot is its own
-// (constant) Source; a *Store returns the latest published snapshot. Readers
-// that need a consistent view across several operations — an inference
-// pinning one generation for its whole lifetime — call Current once and hold
-// the snapshot.
+// Source yields the current archive generation. A *Snapshot (or a composite
+// *ShardedSnapshot) is its own, constant, Source; a *Store or *ShardedStore
+// returns the latest published generation. Readers that need a consistent
+// view across several operations — an inference pinning one generation for
+// its whole lifetime — call Current once and hold the view.
 type Source interface {
-	Current() *Snapshot
+	Current() View
+}
+
+// Fingerprinted is implemented by composite views whose generation identity
+// is a vector of per-shard epochs rather than one scalar. Epoch() alone
+// stays monotonic on such views (the composite publication counter), but two
+// different shard-epoch vectors could in principle be observed under one
+// scalar if shards were mutated outside the composite publication path; the
+// fingerprint folds the whole vector into cache keys so a stale shard can
+// never satisfy a memo recorded against a sibling's newer generation.
+type Fingerprinted interface {
+	// EpochFingerprint hashes the per-shard epoch vector of this generation.
+	EpochFingerprint() uint64
+}
+
+// epochKey returns the (scalar epoch, composite fingerprint) pair that
+// identifies v's generation in epoch-tagged caches. Single-snapshot views
+// have fingerprint 0.
+func epochKey(v View) (uint64, uint64) {
+	if f, ok := v.(Fingerprinted); ok {
+		return v.Epoch(), f.EpochFingerprint()
+	}
+	return v.Epoch(), 0
 }
 
 // canonKey orders archive trajectories by content rather than storage

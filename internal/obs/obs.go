@@ -60,6 +60,25 @@ const (
 	CounterCompactions = "compactions"
 )
 
+// Names of the sharded-archive instrumentation hist.ShardedStore maintains.
+// Per-shard ingest counters are namespaced ShardPrefix + index + "." + name
+// (e.g. "shard.3.ingest.trips"); they count replicas, so their sum exceeds
+// the composite counters by the halo replication factor.
+const (
+	// CounterQueryFastPath counts range queries answered from a single
+	// shard because the search box fit inside one halo cell.
+	CounterQueryFastPath = "scatter.fastpath"
+	// CounterQueryScatter counts range queries that scattered across the
+	// shards overlapping the search box and gathered with ownership dedup.
+	CounterQueryScatter = "scatter.queries"
+	// HistScatterFanout is the shards-contacted-per-range-query
+	// distribution, recorded as a pseudo-duration of 1µs per shard so the
+	// log-spaced buckets resolve fan-outs of 1, 2, ≤4, ≤8, … shards.
+	HistScatterFanout = "scatter.fanout"
+	// ShardPrefix namespaces per-shard counters.
+	ShardPrefix = "shard."
+)
+
 // Names of the deadline/cancellation counters core.Engine maintains for
 // context-aware inference (the ...Ctx entry points and Params.Deadline).
 const (

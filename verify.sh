@@ -20,6 +20,12 @@ go test -timeout 300s -race ./...
 # test cache, so everything actually reruns).
 go test -timeout 120s -shuffle=on ./...
 
+# Sharded-archive smoke: the scatter-gather equivalence, boundary-dedup and
+# concurrent ingest/inference suites under the race detector, twice in one
+# binary (-count=2 defeats caching and catches epoch/fingerprint state that
+# leaks between runs).
+go test -timeout 300s -race -count=2 -run Sharded ./internal/hist/ ./internal/core/
+
 # Determinism: the Yen equal-weight tie-break and the K-GRI oracle suites
 # must give identical verdicts run-to-run (-count=2 defeats test caching and
 # runs each twice in one binary).
