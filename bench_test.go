@@ -373,6 +373,50 @@ func BenchmarkIngest(b *testing.B) {
 	b.ReportMetric(float64(lat[len(lat)*95/100].Nanoseconds()), "p95-ns/op")
 }
 
+// BenchmarkIngestDurable is BenchmarkIngest with the write-ahead log on and
+// fsynced per batch (SyncAlways) — the durability tax a live feed pays for
+// acknowledged-means-on-disk. Compare against BenchmarkIngest for the
+// in-memory baseline.
+func BenchmarkIngestDurable(b *testing.B) {
+	ccfg := sim.DefaultCityConfig()
+	ccfg.Rows, ccfg.Cols = 12, 12
+	city := sim.GenerateCity(ccfg, 1)
+	fcfg := sim.DefaultFleetConfig()
+	fcfg.Seed = 1
+	trips, _ := sim.NewTripEmitter(city, fcfg).Emit(500)
+	const batch = 10
+	lat := make([]time.Duration, 0, b.N)
+	open := func() *hist.Store {
+		st, _, err := hist.OpenStore(b.TempDir(), city.Graph, nil, hist.StoreConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	st := open()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%64 == 0 {
+			b.StopTimer()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			st = open()
+			b.StartTimer()
+		}
+		lo := (i * batch) % (len(trips) - batch)
+		start := time.Now()
+		st.IngestTrips(trips[lo : lo+batch]...)
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)*95/100].Nanoseconds()), "p95-ns/op")
+}
+
 // BenchmarkSTMatch measures one ST-Matching run, the heaviest competitor:
 // its candidate-pair distance tables go through the oracle's one-to-many
 // batching, so it is the second headline number of the acceleration layer.

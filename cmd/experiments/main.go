@@ -38,7 +38,7 @@ func main() {
 		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel,freshness,shards) or all; bench-json (explicit only) writes the benchmark snapshot")
 		seed     = flag.Int64("seed", 7, "world seed")
 		csvD     = flag.String("csv", "", "also write each figure as CSV into this directory")
-		benchOut = flag.String("benchout", "BENCH_6.json", "output path for -fig bench-json")
+		benchOut = flag.String("benchout", "BENCH_7.json", "output path for -fig bench-json")
 	)
 	flag.Parse()
 

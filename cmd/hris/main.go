@@ -28,6 +28,18 @@
 // /metrics reports per-shard shard.<i>.* gauges and the scatter.* routing
 // counters.
 //
+// Durability: -data-dir DIR makes the live archive survive restarts — every
+// ingested batch is appended to a write-ahead log under DIR before it
+// becomes visible, and compactions persist the merged base as checksummed
+// segment files. On startup the store recovers from the newest valid
+// segment plus the log (tolerating a torn final record) and resumes at the
+// recovered epoch. -wal-sync picks the log's fsync policy: "always"
+// (default; every batch is on disk before ingest returns), "interval"
+// (background fsync every 200ms; a crash may lose the last interval) or
+// "off" (fsync only at rotation/shutdown). With -shards N each shard keeps
+// its segment files in its own subdirectory while a single root log covers
+// whole composite batches.
+//
 // Observability: -metrics prints the per-stage cost breakdown (count,
 // total, p50/p95/max per pipeline stage — the paper's Figure 9 cost
 // attribution) after the run; -metrics-json dumps the same snapshot as
@@ -52,13 +64,16 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -126,8 +141,20 @@ func main() {
 		follow   = flag.Bool("follow", false, "read NDJSON trips from stdin and ingest them into the live archive")
 		shards   = flag.Int("shards", 1, "spatial shards for the live archive (1 = single store)")
 		halo     = flag.Float64("halo", -1, "shard halo margin in meters (< 0 uses -phi)")
+		dataDir  = flag.String("data-dir", "", "persist the live archive under this directory (WAL + segment files); empty = in-memory only")
+		walSync  = flag.String("wal-sync", "always", "WAL fsync policy with -data-dir: always, interval or off")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1 (got %d)", *shards)
+	}
+	if math.IsNaN(*halo) {
+		log.Fatalf("-halo must be a number (use a negative value to default to -phi)")
+	}
+	syncPolicy, err := hist.ParseSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
 
 	// Root context: SIGINT/SIGTERM cancels in-flight inference promptly and
 	// triggers the debug server's graceful shutdown.
@@ -161,20 +188,38 @@ func main() {
 	}
 	// The dataset seeds a live store; -follow and POST /ingest grow it while
 	// the engine answers queries against pinned snapshots. With -shards > 1
-	// the store is spatially partitioned behind the same Ingester surface.
+	// the store is spatially partitioned behind the same Ingester surface;
+	// with -data-dir the store is durable and recovers its post-seed history
+	// before serving.
+	sc := hist.StoreConfig{Registry: reg, WALSync: syncPolicy}
+	h := *halo
+	if h < 0 {
+		h = *phi
+	}
 	var st hist.Ingester
-	if *shards > 1 {
-		h := *halo
-		if h < 0 {
-			h = *phi
-		}
-		st = hist.NewShardedStore(g, trajs, hist.ShardedConfig{
-			StoreConfig: hist.StoreConfig{Registry: reg},
-			Shards:      *shards,
-			Halo:        h,
+	switch {
+	case *dataDir != "" && *shards > 1:
+		dst, rs, err := hist.OpenShardedStore(*dataDir, g, trajs, hist.ShardedConfig{
+			StoreConfig: sc, Shards: *shards, Halo: h,
 		})
-	} else {
-		st = hist.NewStore(g, trajs, hist.StoreConfig{Registry: reg})
+		if err != nil {
+			log.Fatalf("open sharded store: %v", err)
+		}
+		logRecovery(rs)
+		st = dst
+	case *dataDir != "":
+		dst, rs, err := hist.OpenStore(*dataDir, g, trajs, sc)
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
+		logRecovery(rs)
+		st = dst
+	case *shards > 1:
+		st = hist.NewShardedStore(g, trajs, hist.ShardedConfig{
+			StoreConfig: sc, Shards: *shards, Halo: h,
+		})
+	default:
+		st = hist.NewStore(g, trajs, sc)
 	}
 	eng := core.NewEngineWithRegistry(st, params, reg)
 	var srv *http.Server
@@ -256,7 +301,7 @@ func main() {
 	}
 
 	if *follow {
-		followStdin(ctx, st)
+		followStdin(ctx, st, reg)
 	}
 
 	if *metrics {
@@ -282,6 +327,24 @@ func main() {
 			log.Printf("debug server stopped")
 		}
 	}
+	// Flush and close the store last — the debug server is down, so no new
+	// ingests can race the final WAL sync.
+	if err := st.Close(); err != nil {
+		log.Fatalf("close store: %v", err)
+	}
+}
+
+// logRecovery summarizes what OpenStore/OpenShardedStore restored.
+func logRecovery(rs hist.RecoveryStats) {
+	if rs.Epoch == 0 && rs.SegmentTrips == 0 && rs.WALBatches == 0 {
+		return // virgin data directory
+	}
+	msg := fmt.Sprintf("recovered epoch %d (%d segment trips, %d wal batches / %d trips)",
+		rs.Epoch, rs.SegmentTrips, rs.WALBatches, rs.WALTrips)
+	if rs.TornBytes > 0 {
+		msg += fmt.Sprintf("; dropped %d bytes of torn wal tail", rs.TornBytes)
+	}
+	log.Print(msg)
 }
 
 // serveDebug exposes the engine's metrics snapshot plus the standard Go
@@ -387,6 +450,15 @@ func inferHandler(w http.ResponseWriter, r *http.Request, eng *core.Engine, para
 // pipeline and reports what was admitted plus the resulting archive state.
 // Queries running concurrently keep their pinned snapshot; the next query
 // sees the new epoch.
+//
+// Durability contract: the store's Ingest only returns after the batch is
+// handled per the configured -wal-sync policy, so under "always" a 200
+// means the batch is fsynced ("durability": "synced" in the response).
+// Under "interval"/"off" a 200 only means the batch was logged to the OS
+// ("logged" — a crash inside the sync window can lose it), and without
+// -data-dir it is in memory only ("memory"). A WAL write failure returns
+// 500 with the batch still admitted in memory, and the store refuses
+// further WAL appends ("failed") until reopened.
 func ingestHandler(w http.ResponseWriter, r *http.Request, st hist.Ingester) {
 	if r.Method != http.MethodPost {
 		http.Error(w, `POST trips JSON: {"trips": [{"id": "...", "points": [[x, y, t], ...]}, ...]}`, http.StatusMethodNotAllowed)
@@ -412,50 +484,114 @@ func ingestHandler(w http.ResponseWriter, r *http.Request, st hist.Ingester) {
 	for i, tj := range req.Trips {
 		logs = append(logs, tj.trajectory(fmt.Sprintf("ingest-%d", i)))
 	}
+	// Ingest returns only after the batch is handled per the -wal-sync
+	// policy, so under "always" writing the 200 below implies the batch is
+	// already fsynced. The response's admitted.durability spells out the
+	// weaker guarantees: "logged" (interval/off — a crash inside the sync
+	// window can lose the batch) and "memory" (no -data-dir).
 	stats := st.Ingest(logs...)
 	resp := struct {
 		Admitted hist.IngestStats `json:"admitted"`
 		Archive  hist.StoreStats  `json:"archive"`
 	}{Admitted: stats, Archive: st.Stats()}
 	w.Header().Set("Content-Type", "application/json")
+	if stats.Durability == hist.DurabilityFailed {
+		// The batch is visible in memory but its WAL append failed: it will
+		// not survive a restart, which breaks the durability contract the
+		// client configured. Surface that as a server error, stats included.
+		w.WriteHeader(http.StatusInternalServerError)
+	}
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("/ingest: encode response: %v", err)
 	}
 }
 
+// maxFollowLine bounds one NDJSON trip line — far above any realistic trip
+// (a point is three JSON numbers), so hitting it means a broken producer.
+const maxFollowLine = 1 << 24
+
+// errLineTooLong reports an oversized -follow line (consumed and skipped).
+var errLineTooLong = errors.New("line exceeds size limit")
+
+// readLine returns the next newline-terminated line from br, without the
+// terminator. A line longer than max is consumed to its end and reported as
+// errLineTooLong so the stream can continue at the next record. A final
+// unterminated line comes back alongside io.EOF — the caller decides its
+// fate.
+func readLine(br *bufio.Reader, max int) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if err == bufio.ErrBufferFull {
+			if len(buf) > max {
+				for err == bufio.ErrBufferFull {
+					_, err = br.ReadSlice('\n')
+				}
+				return nil, errLineTooLong
+			}
+			continue
+		}
+		if err != nil {
+			return buf, err
+		}
+		return buf[:len(buf)-1], nil
+	}
+}
+
 // followStdin streams NDJSON trips from stdin into the live store, one line
 // per trip, until EOF or interrupt. Each admitted line publishes a new
-// epoch; malformed lines are skipped with a note so a long-running feed
-// survives the occasional bad record.
-func followStdin(ctx context.Context, st hist.Ingester) {
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	lines, admitted := 0, 0
-	for sc.Scan() {
-		if ctx.Err() != nil {
+// epoch. Malformed and oversized lines are logged, counted under the
+// ingest.rejected metric and skipped — a long-running feed survives the
+// occasional bad record instead of aborting — and a trailing partial line
+// at EOF is rejected rather than ingested as a truncated trip (the producer
+// may have died mid-record).
+func followStdin(ctx context.Context, st hist.Ingester, reg *obs.Registry) {
+	br := bufio.NewReaderSize(os.Stdin, 1<<20)
+	lines, admitted, rejected := 0, 0, 0
+	reject := func(format string, args ...any) {
+		rejected++
+		reg.Counter(obs.CounterIngestRejected).Inc()
+		log.Printf("follow: "+format, args...)
+	}
+	for ctx.Err() == nil {
+		line, err := readLine(br, maxFollowLine)
+		if err == errLineTooLong {
+			lines++
+			reject("skipping line %d: %v (%d bytes max)", lines, err, maxFollowLine)
+			continue
+		}
+		if err == io.EOF && len(bytes.TrimSpace(line)) > 0 {
+			lines++
+			reject("dropping unterminated final line %d (%d bytes): refusing to ingest a possibly truncated trip", lines, len(line))
+		}
+		if err != nil {
+			if err != io.EOF {
+				log.Printf("follow: stdin: %v", err)
+			}
 			break
 		}
-		line := sc.Bytes()
-		if len(line) == 0 {
+		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
 		lines++
 		var tj tripJSON
 		if err := json.Unmarshal(line, &tj); err != nil {
-			log.Printf("follow: skipping line %d: %v", lines, err)
+			reject("skipping line %d: %v", lines, err)
+			continue
+		}
+		if len(tj.Points) == 0 {
+			reject("skipping line %d: trip has no points", lines)
 			continue
 		}
 		stats := st.Ingest(tj.trajectory(fmt.Sprintf("follow-%d", lines)))
 		admitted += stats.Trips
-		fmt.Printf("follow: +%d trips / %d points (epoch %d)\n", stats.Trips, stats.Points, stats.Epoch)
-	}
-	if err := sc.Err(); err != nil {
-		log.Printf("follow: stdin: %v", err)
+		fmt.Printf("follow: +%d trips / %d points (epoch %d, %s)\n", stats.Trips, stats.Points, stats.Epoch, stats.Durability)
 	}
 	st.Wait()
 	s := st.Stats()
-	fmt.Printf("follow done: %d lines, %d trips admitted; archive now %d trips / %d points in %d segments (epoch %d, %d compactions)\n",
-		lines, admitted, s.Trajs, s.Points, s.Segments, s.Epoch, s.Compactions)
+	fmt.Printf("follow done: %d lines (%d rejected), %d trips admitted; archive now %d trips / %d points in %d segments (epoch %d, %d compactions)\n",
+		lines, rejected, admitted, s.Trajs, s.Points, s.Segments, s.Epoch, s.Compactions)
 }
 
 // writeGeoJSON exports the query, ground truth (when known) and suggested

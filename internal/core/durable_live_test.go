@@ -1,0 +1,222 @@
+package core
+
+// Crash-recovery equivalence suite for the durable live archive: a store
+// killed at an injected point — between ingest and compaction, or in the
+// middle of a compaction — and reopened from its data directory must answer
+// InferRoutes byte-identically to an uninterrupted store holding the
+// durable prefix of trips, at the same epoch (and, sharded, the same epoch
+// fingerprint), so epoch-tagged caches stay coherent across the restart.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hist"
+	"repro/internal/traj"
+)
+
+// durableBatches partitions the dataset's archive into the random ingest
+// batches both the durable store and its uninterrupted oracle replay.
+func durableBatches(trips []*traj.Trajectory, permSeed int64) [][]*traj.Trajectory {
+	rng := rand.New(rand.NewSource(permSeed))
+	perm := rng.Perm(len(trips))
+	var batches [][]*traj.Trajectory
+	for lo := 0; lo < len(perm); {
+		hi := lo + 1 + rng.Intn(25)
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		b := make([]*traj.Trajectory, 0, hi-lo)
+		for _, i := range perm[lo:hi] {
+			b = append(b, trips[i])
+		}
+		batches = append(batches, b)
+		lo = hi
+	}
+	return batches
+}
+
+// crashPlan says where the kill lands: after crashAt batches (with a
+// compaction flush after compactAt when >= 0, and the kill optionally
+// injected mid-compaction through the CompactBeforePublish seam).
+type crashPlan struct {
+	name          string
+	crashAt       int
+	compactAt     int
+	midCompaction bool
+}
+
+func plans(n int) []crashPlan {
+	return []crashPlan{
+		{name: "before-any-compact", crashAt: n / 3, compactAt: -1},
+		{name: "between-compact-and-ingest", crashAt: n - 1, compactAt: n / 2},
+		{name: "mid-compaction", crashAt: n / 2, compactAt: n / 2, midCompaction: true},
+		{name: "all-ingested", crashAt: n, compactAt: n / 4},
+	}
+}
+
+// runCrash drives st through the plan and kills it. The returned epoch is
+// the store's epoch at the kill; under SyncAlways every admitted batch is
+// on disk, so it is also the epoch recovery must reach.
+func runCrash(t *testing.T, st hist.Ingester, batches [][]*traj.Trajectory, plan crashPlan, kill func()) uint64 {
+	t.Helper()
+	for i := 0; i < plan.crashAt; i++ {
+		if stats := st.IngestTrips(batches[i]...); stats.Durability != hist.DurabilitySynced {
+			t.Fatalf("batch %d durability %q, want synced", i, stats.Durability)
+		}
+		if i+1 == plan.compactAt {
+			if plan.midCompaction {
+				// Kill between the WAL append and the segment flush: the
+				// compaction has merged but neither published nor flushed.
+				hist.CompactBeforePublish = kill
+				st.Compact()
+				hist.CompactBeforePublish = nil
+				return uint64(plan.crashAt)
+			}
+			st.Compact()
+			st.Wait()
+		}
+	}
+	kill()
+	return uint64(plan.crashAt)
+}
+
+// oracleFor replays the same batch prefix into an uninterrupted in-memory
+// store of the same shape.
+func oracleFor(ds interface {
+	IngestTrips(...*traj.Trajectory) hist.IngestStats
+}, batches [][]*traj.Trajectory, upTo uint64) {
+	for i := uint64(0); i < upTo; i++ {
+		ds.IngestTrips(batches[i]...)
+	}
+}
+
+// checkRecoveredInference asserts byte-identical InferRoutes output between
+// the recovered store and its oracle over every query.
+func checkRecoveredInference(t *testing.T, rec, oracle hist.Ingester, queries []*traj.Trajectory) {
+	t.Helper()
+	engR := NewEngine(rec, DefaultParams())
+	engO := NewEngine(oracle, DefaultParams())
+	vR, vO := rec.Current(), oracle.Current()
+	if vR.Epoch() != vO.Epoch() {
+		t.Fatalf("recovered epoch %d, oracle epoch %d", vR.Epoch(), vO.Epoch())
+	}
+	for i, q := range queries {
+		resR, err := engR.InferRoutes(q, DefaultParams())
+		if err != nil {
+			t.Fatalf("recovered inference: %v", err)
+		}
+		resO, err := engO.InferRoutes(q, DefaultParams())
+		if err != nil {
+			t.Fatalf("oracle inference: %v", err)
+		}
+		if got, want := encodeFull(vR, resR), encodeFull(vO, resO); got != want {
+			t.Fatalf("query %d: recovered store result differs from uninterrupted oracle\nrecovered:\n%s\noracle:\n%s", i, got, want)
+		}
+	}
+}
+
+func TestDurableStoreCrashRecoveryEquivalence(t *testing.T) {
+	ds, queries := liveWorld(140, 11)
+	batches := durableBatches(ds.Archive, 77)
+	cfg := hist.StoreConfig{CompactSegments: 1 << 30}
+	for _, plan := range plans(len(batches)) {
+		t.Run(plan.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, _, err := hist.OpenStore(dir, ds.City.Graph, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEpoch := runCrash(t, st, batches, plan, st.CloseAbrupt)
+
+			rec, rs, err := hist.OpenStore(dir, ds.City.Graph, nil, cfg)
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer rec.Close()
+			if rs.Epoch != wantEpoch {
+				t.Fatalf("recovered epoch %d, want %d (stats %+v)", rs.Epoch, wantEpoch, rs)
+			}
+			oracle := hist.NewStore(ds.City.Graph, nil, cfg)
+			oracleFor(oracle, batches, wantEpoch)
+			checkRecoveredInference(t, rec, oracle, queries)
+		})
+	}
+}
+
+func TestDurableShardedCrashRecoveryEquivalence(t *testing.T) {
+	ds, queries := liveWorld(140, 23)
+	batches := durableBatches(ds.Archive, 91)
+	cfg := hist.ShardedConfig{
+		StoreConfig: hist.StoreConfig{CompactSegments: 1 << 30},
+		Shards:      4,
+		Halo:        500,
+	}
+	for _, plan := range plans(len(batches)) {
+		t.Run(plan.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, _, err := hist.OpenShardedStore(dir, ds.City.Graph, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEpoch := runCrash(t, st, batches, plan, st.CloseAbrupt)
+
+			rec, rs, err := hist.OpenShardedStore(dir, ds.City.Graph, nil, cfg)
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer rec.Close()
+			if rs.Epoch != wantEpoch {
+				t.Fatalf("recovered epoch %d, want %d (stats %+v)", rs.Epoch, wantEpoch, rs)
+			}
+			oracle := hist.NewShardedStore(ds.City.Graph, nil, cfg)
+			oracleFor(oracle, batches, wantEpoch)
+			if rf, of := rec.CurrentSharded().EpochFingerprint(), oracle.CurrentSharded().EpochFingerprint(); rf != of {
+				t.Fatalf("recovered fingerprint %x, oracle %x", rf, of)
+			}
+			checkRecoveredInference(t, rec, oracle, queries)
+		})
+	}
+}
+
+// TestDurableStoreSyncOffPrefix: under SyncOff the acknowledged-but-unsynced
+// tail is genuinely lost on a crash, and the recovered store equals an
+// uninterrupted store over just the segment-covered prefix — never a
+// torn mixture.
+func TestDurableStoreSyncOffPrefix(t *testing.T) {
+	ds, queries := liveWorld(140, 31)
+	batches := durableBatches(ds.Archive, 55)
+	if len(batches) < 4 {
+		t.Fatalf("need at least 4 batches, got %d", len(batches))
+	}
+	cfg := hist.StoreConfig{CompactSegments: 1 << 30, WALSync: hist.SyncOff}
+	dir := t.TempDir()
+	st, _, err := hist.OpenStore(dir, ds.City.Graph, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := len(batches) / 2
+	for i := 0; i < durable; i++ {
+		st.IngestTrips(batches[i]...)
+	}
+	st.Compact() // flushes a segment covering epochs 1..durable
+	st.Wait()
+	for i := durable; i < len(batches); i++ {
+		if stats := st.IngestTrips(batches[i]...); stats.Durability != hist.DurabilityLogged {
+			t.Fatalf("batch %d durability %q, want logged", i, stats.Durability)
+		}
+	}
+	st.CloseAbrupt()
+
+	rec, rs, err := hist.OpenStore(dir, ds.City.Graph, nil, cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer rec.Close()
+	if rs.Epoch != uint64(durable) {
+		t.Fatalf("recovered epoch %d, want the segment-covered prefix %d", rs.Epoch, durable)
+	}
+	oracle := hist.NewStore(ds.City.Graph, nil, cfg)
+	oracleFor(oracle, batches, uint64(durable))
+	checkRecoveredInference(t, rec, oracle, queries)
+}

@@ -121,11 +121,14 @@ func (e *Engine) Metrics() obs.Snapshot {
 	s.Counters["archive.segments"] = uint64(snap.Segments())
 	switch st := e.src.(type) {
 	case *hist.Store:
-		s.Counters["store.compactions"] = st.Stats().Compactions
+		stats := st.Stats()
+		s.Counters["store.compactions"] = stats.Compactions
+		foldDiskGauges(s.Counters, stats)
 	case *hist.ShardedStore:
 		stats := st.Stats()
 		s.Counters["store.compactions"] = stats.Compactions
 		s.Counters["store.shards"] = uint64(len(stats.Shards))
+		foldDiskGauges(s.Counters, stats)
 		// Per-shard gauges, namespaced like the per-shard ingest counters,
 		// so /metrics exposes skew (trip/point replication per shard) and
 		// each shard's compaction progress.
@@ -160,6 +163,26 @@ func (e *Engine) Metrics() obs.Snapshot {
 		s.Counters["oracle.ch.preprocess_us"] = uint64(st.Build.Microseconds())
 	}
 	return s
+}
+
+// foldDiskGauges adds a durable store's on-disk state to the snapshot:
+// live WAL and segment bytes plus the active fsync policy (in-memory
+// stores report none of them, so the gauges double as a durability flag).
+func foldDiskGauges(counters map[string]uint64, stats hist.StoreStats) {
+	if stats.WALBytes > 0 || stats.Durability != "" {
+		counters["store.disk.wal_bytes"] = uint64(stats.WALBytes)
+	}
+	if stats.SegmentBytes > 0 {
+		counters["store.disk.segment_bytes"] = uint64(stats.SegmentBytes)
+	}
+	switch stats.Durability {
+	case "always":
+		counters["store.disk.sync.always"] = 1
+	case "interval":
+		counters["store.disk.sync.interval"] = 1
+	case "off":
+		counters["store.disk.sync.off"] = 1
+	}
 }
 
 // metrics holds the engine's pre-resolved instruments so the hot path

@@ -40,6 +40,15 @@ type Snapshot struct {
 	segs   []*rtree.Tree[PointRef]
 	points int
 	epoch  uint64
+
+	// anns, when non-nil, annotates each Trajs entry with its global
+	// identity in a sharded composite (tripAnn); a durable shard's segment
+	// files persist them so recovery can rebuild the composite batch
+	// history. Plain stores leave anns nil. Queries never read it.
+	anns []tripAnn
+	// basePts is how many of points the base segment covers; points-basePts
+	// is the memtable backlog the CompactPoints threshold watches.
+	basePts int
 }
 
 // Archive is the historical name of Snapshot, kept as an alias so bulk
@@ -50,10 +59,11 @@ type Archive = Snapshot
 func NewArchive(g *roadnet.Graph, trajs []*traj.Trajectory) *Archive {
 	entries := pointEntries(trajs, 0)
 	return &Snapshot{
-		G:      g,
-		Trajs:  trajs,
-		segs:   []*rtree.Tree[PointRef]{rtree.Bulk(entries)},
-		points: len(entries),
+		G:       g,
+		Trajs:   trajs,
+		segs:    []*rtree.Tree[PointRef]{rtree.Bulk(entries)},
+		points:  len(entries),
+		basePts: len(entries),
 	}
 }
 

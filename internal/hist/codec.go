@@ -1,0 +1,160 @@
+package hist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// On-disk encoding shared by the write-ahead log and the segment files.
+//
+// Everything on disk is built from one primitive, the framed record:
+//
+//	[u32 payload length][u32 CRC32-C of payload][payload]
+//
+// all little-endian. A reader that finds a short frame, an impossible
+// length or a checksum mismatch knows the record — and, in an append-only
+// log, everything after it — is not trustworthy. CRC32-C (Castagnoli) is
+// the standard storage polynomial; the Go runtime accelerates it in
+// hardware on amd64/arm64.
+//
+// A trip is encoded as
+//
+//	[u32 id length][id bytes][u32 point count][points: x, y, t float64 bits]
+//
+// optionally prefixed (segment files in annotated mode) by
+//
+//	[u64 global trajectory index][u64 batch epoch]
+//
+// which is what lets a sharded composite reconstruct the global batch
+// history from shard-local files.
+
+// castagnoli is the CRC32-C table used for every on-disk checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	// frameHeaderSize is the framed-record prefix: payload length + CRC.
+	frameHeaderSize = 8
+	// maxFramePayload bounds a single frame (64 MiB). A length above this is
+	// treated as corruption rather than an allocation request.
+	maxFramePayload = 64 << 20
+	// maxTripPoints bounds a single decoded trip, for the same reason.
+	maxTripPoints = 1 << 24
+)
+
+// appendFrame appends a framed record holding payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// readFrame decodes the framed record at the start of b, returning the
+// payload and the remaining bytes. Any truncation or checksum mismatch
+// returns an error — the caller decides whether that means "torn tail,
+// truncate here" (WAL) or "reject the file" (segment).
+func readFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) < frameHeaderSize {
+		return nil, nil, fmt.Errorf("hist: frame truncated: %d header bytes", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if n > maxFramePayload {
+		return nil, nil, fmt.Errorf("hist: frame length %d exceeds limit", n)
+	}
+	if len(b) < frameHeaderSize+int(n) {
+		return nil, nil, fmt.Errorf("hist: frame truncated: want %d payload bytes, have %d", n, len(b)-frameHeaderSize)
+	}
+	payload = b[frameHeaderSize : frameHeaderSize+int(n)]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, nil, fmt.Errorf("hist: frame checksum mismatch")
+	}
+	return payload, b[frameHeaderSize+int(n):], nil
+}
+
+// tripAnn annotates one stored trip with its identity in the composite
+// archive: the global trajectory index and the ingest batch (composite
+// epoch) that admitted it. Plain stores leave annotations empty; a sharded
+// composite threads them through its shards so recovery can rebuild the
+// global batch history from shard-local segment files.
+type tripAnn struct {
+	GI    int    // global trajectory index
+	Batch uint64 // composite batch epoch (0 = seed)
+}
+
+// appendTrip appends the trip encoding of tr to buf.
+func appendTrip(buf []byte, tr *traj.Trajectory) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tr.ID)))
+	buf = append(buf, tr.ID...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tr.Points)))
+	for _, p := range tr.Points {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Pt.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Pt.Y))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.T))
+	}
+	return buf
+}
+
+// readTrip decodes one trip from the front of b.
+func readTrip(b []byte) (*traj.Trajectory, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("hist: trip truncated")
+	}
+	idLen := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if idLen > maxFramePayload || len(b) < int(idLen)+4 {
+		return nil, nil, fmt.Errorf("hist: trip id truncated")
+	}
+	id := string(b[:idLen])
+	b = b[idLen:]
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if n > maxTripPoints || len(b) < int(n)*24 {
+		return nil, nil, fmt.Errorf("hist: trip points truncated")
+	}
+	tr := &traj.Trajectory{ID: id, Points: make([]traj.GPSPoint, n)}
+	for i := range tr.Points {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+		t := math.Float64frombits(binary.LittleEndian.Uint64(b[16:]))
+		tr.Points[i] = traj.GPSPoint{Pt: geo.Pt(x, y), T: t}
+		b = b[24:]
+	}
+	return tr, b, nil
+}
+
+// seedFingerprint folds the identity of a seed trip set — per trip: id,
+// first sample, length — into one FNV-1a hash. OpenStore records it in the
+// manifest and refuses to marry a data directory to a different seed: the
+// seed is re-supplied by the caller on every open (it is the caller's
+// dataset, already durable elsewhere), so recovery correctness depends on
+// it being the same seed.
+func seedFingerprint(seed []*traj.Trajectory) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (v >> shift) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(len(seed)))
+	for _, tr := range seed {
+		for i := 0; i < len(tr.ID); i++ {
+			h ^= uint64(tr.ID[i])
+			h *= prime
+		}
+		mix(uint64(tr.Len()))
+		if tr.Len() > 0 {
+			p := tr.Points[0]
+			mix(math.Float64bits(p.Pt.X))
+			mix(math.Float64bits(p.Pt.Y))
+			mix(math.Float64bits(p.T))
+		}
+	}
+	return h
+}

@@ -1,0 +1,518 @@
+package hist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/roadnet"
+	"repro/internal/rtree"
+	"repro/internal/traj"
+)
+
+// This file is the durability layer of the live archive: a Store opened with
+// OpenStore (instead of NewStore) writes every admitted batch to a
+// write-ahead log before publishing it, lets compaction additionally flush
+// the merged trip set to a segment file, and rebuilds itself from those two
+// artifacts on the next open — at the same epoch, with byte-identical
+// inference answers over the durable prefix of trips. Readers are untouched:
+// the View/Snapshot contract, the canonical result ordering and the
+// epoch-tagged caches all work unchanged over a recovered store, because
+// recovery replays batches through the exact construction path ingest uses.
+
+// SyncPolicy selects when WAL records reach stable storage. The zero value
+// is SyncAlways — a durable store is safe by default.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the log before an ingest returns: an acknowledged
+	// batch survives both process death and machine crash.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background tick (StoreConfig.WALSyncEvery):
+	// an acknowledged batch may be lost if a crash beats the next tick.
+	SyncInterval
+	// SyncOff never fsyncs during operation (only at clean Close): records
+	// sit in a user-space buffer and the page cache, so a crash loses
+	// everything since the last compaction flush.
+	SyncOff
+)
+
+// ParseSyncPolicy maps the flag spellings "always", "interval" and "off".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return SyncAlways, fmt.Errorf("hist: unknown sync policy %q (want always, interval or off)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return "always"
+}
+
+// DefaultWALSyncInterval is the SyncInterval tick when WALSyncEvery is zero.
+const DefaultWALSyncInterval = 200 * time.Millisecond
+
+// Durability values reported in IngestStats: how far the batch had
+// provably traveled when the ingest call returned.
+const (
+	// DurabilitySynced: the WAL record was fsynced (SyncAlways).
+	DurabilitySynced = "synced"
+	// DurabilityLogged: the record reached the log buffer, not yet stable
+	// storage (SyncInterval / SyncOff).
+	DurabilityLogged = "logged"
+	// DurabilityMemory: the store has no persistence (NewStore).
+	DurabilityMemory = "memory"
+	// DurabilityFailed: the WAL append or sync errored; the batch is visible
+	// in memory but will not survive a restart.
+	DurabilityFailed = "failed"
+)
+
+// RecoveryStats summarizes what OpenStore / OpenShardedStore rebuilt.
+type RecoveryStats struct {
+	Epoch        uint64 `json:"epoch"`         // store epoch after recovery
+	SegmentTrips int    `json:"segment_trips"` // trips loaded from segment files
+	WALBatches   int    `json:"wal_batches"`   // batch records replayed from the log
+	WALTrips     int    `json:"wal_trips"`     // trips replayed from the log
+	TornBytes    int64  `json:"torn_bytes"`    // log bytes discarded (torn tail etc.)
+}
+
+const (
+	manifestName    = "MANIFEST.json"
+	manifestVersion = 1
+)
+
+// manifest pins a data directory to the configuration that created it.
+// Reopening with a different shard count, halo or seed would silently
+// reinterpret the files, so any mismatch is an error, not a migration.
+type manifest struct {
+	Version   int     `json:"version"`
+	Kind      string  `json:"kind"` // "store", "sharded", or "shard" (subdirectory)
+	Shards    int     `json:"shards,omitempty"`
+	Halo      float64 `json:"halo,omitempty"`
+	SeedTrips int     `json:"seed_trips,omitempty"`
+	SeedFP    string  `json:"seed_fp,omitempty"`
+}
+
+// checkManifest writes want into a virgin directory and verifies an exact
+// match against an existing one.
+func checkManifest(dir string, want manifest) error {
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		buf, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return err
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+		syncDir(dir)
+		return nil
+	}
+	var have manifest
+	if err := json.Unmarshal(data, &have); err != nil {
+		return fmt.Errorf("hist: %s: %w", path, err)
+	}
+	if have != want {
+		return fmt.Errorf("hist: data directory %s belongs to a different store (manifest %+v, want %+v)", dir, have, want)
+	}
+	return nil
+}
+
+func fpString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+func fileSize(path string) int64 {
+	if fi, err := os.Stat(path); err == nil {
+		return fi.Size()
+	}
+	return 0
+}
+
+// persist is a store's attachment to its data directory. A plain durable
+// Store owns a WAL plus segment files; a shard of a durable ShardedStore
+// owns annotated segment files only (w == nil — the composite's root WAL
+// already makes its batches durable); the composite itself owns the root
+// WAL only (flush is never called on it).
+type persist struct {
+	dir       string
+	policy    SyncPolicy
+	every     time.Duration
+	reg       *obs.Registry
+	annotated bool               // segment files carry tripAnn prefixes (shard mode)
+	onFlush   func(batch uint64) // composite coverage callback (shard mode)
+
+	mu        sync.Mutex
+	w         *walWriter
+	lastEpoch uint64 // newest epoch appended to the WAL
+	walBytes  int64  // live WAL bytes (appends minus truncations)
+	segGen    uint64 // newest segment generation on disk
+	segEpoch  uint64 // store epoch covered by that generation
+	prevEpoch uint64 // epoch covered by the previous retained generation
+	segBytes  int64  // size of the newest segment file
+	failed    bool   // sticky: the last WAL append/sync failed
+	closed    bool
+
+	stop chan struct{} // SyncInterval ticker lifecycle
+	done chan struct{}
+}
+
+// appendBatch logs one admitted batch per the sync policy and reports how
+// durable it is. Callers already serialize batches (the store's write
+// mutex); p.mu additionally fences the ticker and flush paths.
+func (p *persist) appendBatch(epoch uint64, trips []*traj.Trajectory) string {
+	if p == nil || p.w == nil {
+		return DurabilityMemory
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.w == nil {
+		return DurabilityMemory
+	}
+	n, err := p.w.append(epoch, trips)
+	if err == nil {
+		p.lastEpoch = epoch
+		p.walBytes += int64(n)
+		if p.policy == SyncAlways {
+			err = p.w.sync()
+		}
+	}
+	if err != nil {
+		p.failed = true
+		if p.reg != nil {
+			p.reg.Counter(obs.CounterWALErrors).Inc()
+		}
+		return DurabilityFailed
+	}
+	p.failed = false
+	if p.reg != nil {
+		p.reg.Counter(obs.CounterWALRecords).Inc()
+		p.reg.Counter(obs.CounterWALBytes).Add(uint64(n))
+		if p.policy == SyncAlways {
+			p.reg.Counter(obs.CounterWALFsyncs).Inc()
+		}
+	}
+	if p.policy == SyncAlways {
+		return DurabilitySynced
+	}
+	return DurabilityLogged
+}
+
+// flush serializes snap's post-seed trips to the next segment generation and
+// retires the WAL prefix the previous generation makes redundant. Called by
+// compaction after publishing (serialized by the store's compaction mutex).
+//
+// Truncation deliberately lags one generation: the WAL keeps everything past
+// the previous segment's epoch, so if the newest segment file is ever
+// unreadable, recovery falls back to the previous one and replays the rest
+// from the log.
+func (p *persist) flush(snap *Snapshot, seedLen int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	closed, gen := p.closed, p.segGen+1
+	p.mu.Unlock()
+	if closed {
+		return
+	}
+	trips := snap.Trajs[seedLen:]
+	batch := snap.epoch
+	var anns []tripAnn
+	if p.annotated {
+		anns = snap.anns[seedLen:]
+		batch = 0
+		for _, a := range anns {
+			if a.Batch > batch {
+				batch = a.Batch
+			}
+		}
+	}
+	hdr := segHeader{Epoch: snap.epoch, BatchEpoch: batch, Annotated: p.annotated}
+	size, err := writeSegment(p.dir, gen, hdr, trips, anns)
+	if err != nil {
+		if p.reg != nil {
+			p.reg.Counter(obs.CounterWALErrors).Inc()
+		}
+		return
+	}
+	p.mu.Lock()
+	p.prevEpoch, p.segEpoch, p.segGen, p.segBytes = p.segEpoch, snap.epoch, gen, size
+	if p.w != nil && !p.closed {
+		if p.prevEpoch >= p.w.start && p.lastEpoch >= p.w.start {
+			p.w.rotate(p.lastEpoch + 1)
+		}
+		p.walBytes -= dropWALThrough(p.dir, p.prevEpoch)
+	}
+	cb := p.onFlush
+	p.mu.Unlock()
+	dropOldSegments(p.dir, gen-1)
+	if p.reg != nil {
+		p.reg.Counter(obs.CounterSegmentFlushes).Inc()
+		p.reg.Counter(obs.CounterSegmentBytes).Add(uint64(size))
+	}
+	if cb != nil {
+		cb(batch)
+	}
+}
+
+// startSyncLoop runs the SyncInterval background fsync tick.
+func (p *persist) startSyncLoop() {
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.every)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.syncNow()
+			}
+		}
+	}()
+}
+
+// syncNow drains and fsyncs the WAL if it has unsynced bytes.
+func (p *persist) syncNow() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.w == nil || p.closed || !p.w.dirty {
+		return
+	}
+	if err := p.w.sync(); err != nil {
+		p.failed = true
+		if p.reg != nil {
+			p.reg.Counter(obs.CounterWALErrors).Inc()
+		}
+		return
+	}
+	if p.reg != nil {
+		p.reg.Counter(obs.CounterWALFsyncs).Inc()
+	}
+}
+
+// close stops the ticker and cleanly syncs and closes the WAL.
+func (p *persist) close() error {
+	if p == nil {
+		return nil
+	}
+	if p.stop != nil {
+		close(p.stop)
+		<-p.done
+		p.stop = nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.w == nil {
+		return nil
+	}
+	err := p.w.close()
+	p.w = nil
+	return err
+}
+
+// abandon is the crash seam: it drops the WAL's user-space buffer and
+// closes the descriptor without flushing, so unsynced records are genuinely
+// lost — exactly what SIGKILL would do to the process.
+func (p *persist) abandon() {
+	if p == nil {
+		return
+	}
+	if p.stop != nil {
+		close(p.stop)
+		<-p.done
+		p.stop = nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.w != nil {
+		p.w.abandon()
+		p.w = nil
+	}
+}
+
+// fold merges the on-disk gauges into a StoreStats.
+func (p *persist) fold(st *StoreStats) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	st.WALBytes += p.walBytes
+	st.SegmentBytes += p.segBytes
+	if p.w != nil {
+		st.Durability = p.policy.String()
+	}
+	p.mu.Unlock()
+}
+
+// attachWAL opens the active WAL file for a store recovered to epoch. When
+// the log's newest record is exactly the recovered epoch, the existing tail
+// file continues; otherwise everything on disk is redundant (covered by the
+// recovered segment) and a fresh file starting at epoch+1 replaces it — an
+// append into the old file would sit after an epoch gap and be discarded by
+// the next recovery.
+func (p *persist) attachWAL(scan walScanResult, epoch uint64) error {
+	lastDisk := uint64(0)
+	if len(scan.Batches) > 0 {
+		lastDisk = scan.Batches[len(scan.Batches)-1].Epoch
+	}
+	if lastDisk > 0 && lastDisk == epoch {
+		_, starts, err := listWALFiles(p.dir)
+		if err != nil {
+			return err
+		}
+		w, err := openWAL(p.dir, starts[len(starts)-1])
+		if err != nil {
+			return err
+		}
+		p.w, p.lastEpoch, p.walBytes = w, lastDisk, scan.Bytes
+		return nil
+	}
+	removeWALFiles(p.dir)
+	w, err := openWAL(p.dir, epoch+1)
+	if err != nil {
+		return err
+	}
+	p.w = w
+	return nil
+}
+
+// foldRecovery records recovery counters.
+func foldRecovery(reg *obs.Registry, rs RecoveryStats) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(obs.CounterRecoveryBatches).Add(uint64(rs.WALBatches))
+	reg.Counter(obs.CounterRecoveryTrips).Add(uint64(rs.SegmentTrips + rs.WALTrips))
+	reg.Counter(obs.CounterRecoveryTornBytes).Add(uint64(rs.TornBytes))
+}
+
+// OpenStore opens a durable live archive in dir: a Store whose batches are
+// written ahead to a log and whose compactions flush segment files, and
+// which on reopen rebuilds the archive those files describe. The seed is
+// re-supplied by the caller on every open (it is the caller's dataset,
+// durable elsewhere); a fingerprint in the directory's manifest refuses a
+// different seed. Recovery loads the newest valid segment file, replays the
+// log's trustworthy prefix through the normal ingest path — truncating a
+// torn final record at the first bad checksum — and resumes at the exact
+// epoch the durable prefix reached, so epoch-tagged caches built against a
+// pre-crash store are coherent with the recovered one.
+func OpenStore(dir string, g *roadnet.Graph, seed []*traj.Trajectory, cfg StoreConfig) (*Store, RecoveryStats, error) {
+	var rs RecoveryStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rs, err
+	}
+	want := manifest{Version: manifestVersion, Kind: "store", SeedTrips: len(seed), SeedFP: fpString(seedFingerprint(seed))}
+	if err := checkManifest(dir, want); err != nil {
+		return nil, rs, err
+	}
+	scan, err := scanWAL(dir)
+	if err != nil {
+		return nil, rs, err
+	}
+	rs.TornBytes = scan.TornBytes
+
+	s := NewStore(g, seed, cfg)
+	hdr, gen, segTrips, _, haveSeg := newestValidSegment(dir)
+	if haveSeg {
+		if hdr.Annotated {
+			return nil, rs, fmt.Errorf("hist: %s holds sharded segment files; open it with OpenShardedStore", dir)
+		}
+		// Rebuild the base generation directly at the segment's epoch: seed +
+		// segment trips in one bulk tree — the same snapshot a compaction of
+		// the uninterrupted store would have published.
+		trajs := make([]*traj.Trajectory, 0, len(seed)+len(segTrips))
+		trajs = append(trajs, seed...)
+		trajs = append(trajs, segTrips...)
+		entries := pointEntries(trajs, 0)
+		s.cur.Store(&Snapshot{
+			G:       g,
+			Trajs:   trajs,
+			segs:    []*rtree.Tree[PointRef]{rtree.Bulk(entries)},
+			points:  len(entries),
+			basePts: len(entries),
+			epoch:   hdr.Epoch,
+		})
+		rs.SegmentTrips = len(segTrips)
+	}
+	next := s.cur.Load().epoch + 1
+	for _, b := range scan.Batches {
+		if b.Epoch < next {
+			continue // already covered by the segment file
+		}
+		if b.Epoch != next {
+			return nil, rs, fmt.Errorf("hist: wal gap in %s: have epoch %d, want %d", dir, b.Epoch, next)
+		}
+		s.IngestTrips(b.Trips...)
+		next++
+		rs.WALBatches++
+		rs.WALTrips += len(b.Trips)
+	}
+	rs.Epoch = s.cur.Load().epoch
+	// Replay may have triggered background compactions; let them drain
+	// before persistence attaches so no goroutine observes a half-set field.
+	s.Wait()
+
+	p := &persist{dir: dir, policy: cfg.WALSync, every: cfg.WALSyncEvery, reg: cfg.Registry}
+	if p.every <= 0 {
+		p.every = DefaultWALSyncInterval
+	}
+	p.segGen = maxSegmentGen(dir)
+	if haveSeg {
+		p.segEpoch = hdr.Epoch
+		p.segBytes = fileSize(segPath(dir, gen))
+	}
+	if err := p.attachWAL(scan, rs.Epoch); err != nil {
+		return nil, rs, err
+	}
+	s.persist = p
+	if p.policy == SyncInterval {
+		p.startSyncLoop()
+	}
+	foldRecovery(cfg.Registry, rs)
+	return s, rs, nil
+}
+
+// Close waits out in-flight compactions, syncs and closes the log, and
+// detaches the store from its data directory. In-memory stores (NewStore)
+// treat Close as Wait.
+func (s *Store) Close() error {
+	s.Wait()
+	return s.persist.close()
+}
+
+// CloseAbrupt simulates the process dying mid-flight: buffered, unsynced
+// WAL records are dropped (not flushed), nothing is compacted or synced,
+// and the store must not be used afterwards. Crash-recovery tests pair it
+// with OpenStore on the same directory.
+func (s *Store) CloseAbrupt() {
+	s.persist.abandon()
+}

@@ -1,0 +1,469 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/traj"
+)
+
+// viewKey renders a view's full content — epoch, trajectory order, exact
+// coordinate bits — so recovered stores can be compared to uninterrupted
+// ones at the strongest level below actual inference (which the core
+// package's equivalence suite covers).
+func viewKey(v View) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch %d trajs %d points %d\n", v.Epoch(), v.NumTrajs(), v.NumPoints())
+	for i := 0; i < v.NumTrajs(); i++ {
+		tr := v.Traj(i)
+		fmt.Fprintf(&b, "%s:", tr.ID)
+		for _, p := range tr.Points {
+			fmt.Fprintf(&b, " %x/%x/%x", math.Float64bits(p.Pt.X), math.Float64bits(p.Pt.Y), math.Float64bits(p.T))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"off", SyncOff}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Errorf("ParseSyncPolicy accepted garbage")
+	}
+}
+
+// TestStoreConfigNormalization: degenerate compaction thresholds must not
+// make the store compact on every ingest (threshold 1: the base segment
+// alone reaches it) or never compact (zero/negative values).
+func TestStoreConfigNormalization(t *testing.T) {
+	g, _, _ := refWorld()
+	for _, cs := range []int{0, -5} {
+		st := NewStore(g, nil, StoreConfig{CompactSegments: cs, CompactPoints: -1})
+		if st.cfg.CompactSegments != DefaultCompactSegments {
+			t.Errorf("CompactSegments %d normalized to %d, want %d", cs, st.cfg.CompactSegments, DefaultCompactSegments)
+		}
+		if st.cfg.CompactPoints != DefaultCompactPoints {
+			t.Errorf("CompactPoints -1 normalized to %d, want %d", st.cfg.CompactPoints, DefaultCompactPoints)
+		}
+	}
+	st := NewStore(g, nil, StoreConfig{CompactSegments: 1})
+	if st.cfg.CompactSegments != 2 {
+		t.Errorf("CompactSegments 1 normalized to %d, want 2", st.cfg.CompactSegments)
+	}
+}
+
+// TestCompactPointsTrigger: a handful of batches that blow the point budget
+// must compact even though the segment-count threshold is far away.
+func TestCompactPointsTrigger(t *testing.T) {
+	g, _, _ := refWorld()
+	st := NewStore(g, nil, StoreConfig{CompactSegments: 1 << 30, CompactPoints: 8})
+	for _, tr := range storeTrips() {
+		st.IngestTrips(tr)
+	}
+	st.Wait()
+	if segs := st.Current().Segments(); segs >= len(storeTrips()) {
+		t.Fatalf("point-budget compaction never ran: %d segments after %d batches", segs, len(storeTrips()))
+	}
+}
+
+// openForTest fails the test on error.
+func openForTest(t *testing.T, dir string, seed []*traj.Trajectory, cfg StoreConfig) (*Store, RecoveryStats) {
+	t.Helper()
+	g, _, _ := refWorld()
+	st, rs, err := OpenStore(dir, g, seed, cfg)
+	if err != nil {
+		t.Fatalf("OpenStore(%s): %v", dir, err)
+	}
+	return st, rs
+}
+
+// TestOpenStoreRoundTrip: clean shutdown and reopen restores content and
+// epoch exactly, with and without an intervening compaction flush.
+func TestOpenStoreRoundTrip(t *testing.T) {
+	trips := storeTrips()
+	seed := trips[:2]
+	dir := t.TempDir()
+
+	st, rs := openForTest(t, dir, seed, StoreConfig{CompactSegments: 1 << 30})
+	if rs.Epoch != 0 || rs.WALBatches != 0 {
+		t.Fatalf("fresh open recovered %+v", rs)
+	}
+	if stats := st.IngestTrips(trips[2], trips[3]); stats.Durability != DurabilitySynced {
+		t.Fatalf("SyncAlways ingest durability = %q", stats.Durability)
+	}
+	st.IngestTrips(trips[4])
+	st.Compact() // flushes a segment file covering epoch 2
+	st.IngestTrips(trips[5])
+	want := viewKey(st.Current())
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, rs := openForTest(t, dir, seed, StoreConfig{CompactSegments: 1 << 30})
+	defer re.Close()
+	if got := viewKey(re.Current()); got != want {
+		t.Fatalf("reopened store differs:\n%s\nwant:\n%s", got, want)
+	}
+	if rs.SegmentTrips != 3 || rs.WALBatches != 1 {
+		t.Fatalf("recovery stats %+v, want 3 segment trips + 1 wal batch", rs)
+	}
+	stats := re.Stats()
+	if stats.Durability != "always" || stats.SegmentBytes == 0 {
+		t.Fatalf("reopened stats %+v", stats)
+	}
+}
+
+// TestOpenStoreCrash: an abrupt close under SyncAlways loses nothing; under
+// SyncOff it loses everything since the last segment flush.
+func TestOpenStoreCrash(t *testing.T) {
+	trips := storeTrips()
+	t.Run("always", func(t *testing.T) {
+		dir := t.TempDir()
+		st, _ := openForTest(t, dir, nil, StoreConfig{CompactSegments: 1 << 30})
+		for _, tr := range trips {
+			st.IngestTrips(tr)
+		}
+		want := viewKey(st.Current())
+		st.CloseAbrupt()
+		re, rs := openForTest(t, dir, nil, StoreConfig{CompactSegments: 1 << 30})
+		defer re.Close()
+		if got := viewKey(re.Current()); got != want {
+			t.Fatalf("recovered store differs:\n%s\nwant:\n%s", got, want)
+		}
+		if rs.WALBatches != len(trips) {
+			t.Fatalf("recovered %d batches, want %d", rs.WALBatches, len(trips))
+		}
+	})
+	t.Run("off", func(t *testing.T) {
+		dir := t.TempDir()
+		st, _ := openForTest(t, dir, nil, StoreConfig{CompactSegments: 1 << 30, WALSync: SyncOff})
+		st.IngestTrips(trips[0])
+		st.IngestTrips(trips[1])
+		st.Compact() // segment flush makes epochs 1-2 durable despite SyncOff
+		if stats := st.IngestTrips(trips[2]); stats.Durability != DurabilityLogged {
+			t.Fatalf("SyncOff ingest durability = %q", stats.Durability)
+		}
+		st.CloseAbrupt() // the buffered record for epoch 3 is genuinely dropped
+		re, rs := openForTest(t, dir, nil, StoreConfig{CompactSegments: 1 << 30, WALSync: SyncOff})
+		defer re.Close()
+		if rs.Epoch != 2 || re.Current().NumTrajs() != 2 {
+			t.Fatalf("recovered epoch %d with %d trajs, want the segment-covered prefix (2, 2)", rs.Epoch, re.Current().NumTrajs())
+		}
+		// The store must keep working at the recovered epoch.
+		st2 := re.IngestTrips(trips[3])
+		if st2.Epoch != 3 {
+			t.Fatalf("post-recovery ingest epoch %d, want 3", st2.Epoch)
+		}
+	})
+}
+
+// copyDir clones a data directory so destructive truncation can run per cut
+// point.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestWALTornWriteRecovery is the torn-write sweep: the log is truncated at
+// every byte offset of its final record — simulating a crash at any point
+// of the last append — and recovery must keep exactly the prefix of fully
+// written batches, discarding the torn tail.
+func TestWALTornWriteRecovery(t *testing.T) {
+	trips := storeTrips()
+	dir := t.TempDir()
+	st, _ := openForTest(t, dir, nil, StoreConfig{CompactSegments: 1 << 30})
+	for _, tr := range trips[:4] {
+		st.IngestTrips(tr)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, _, err := listWALFiles(dir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("wal files %v (%v)", names, err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the final record's start offset by walking the frames.
+	lastStart := 0
+	for rest := data; len(rest) > 0; {
+		payload, r, err := readFrame(rest)
+		if err != nil {
+			t.Fatalf("clean wal does not parse: %v", err)
+		}
+		if len(r) > 0 {
+			lastStart += frameHeaderSize + len(payload)
+		}
+		rest = r
+	}
+
+	walName := filepath.Base(names[0])
+	for cut := lastStart; cut <= len(data); cut++ {
+		cdir := copyDir(t, dir)
+		if err := os.WriteFile(filepath.Join(cdir, walName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, rs := openForTest(t, cdir, nil, StoreConfig{CompactSegments: 1 << 30})
+		wantEpoch := uint64(3)
+		wantTorn := cut > lastStart && cut < len(data)
+		if cut == len(data) {
+			wantEpoch = 4
+		}
+		if rs.Epoch != wantEpoch || uint64(re.Current().NumTrajs()) != wantEpoch {
+			t.Fatalf("cut %d/%d: recovered epoch %d with %d trajs, want %d",
+				cut, len(data), rs.Epoch, re.Current().NumTrajs(), wantEpoch)
+		}
+		if wantTorn && rs.TornBytes == 0 {
+			t.Fatalf("cut %d: torn bytes not reported", cut)
+		}
+		// The recovered prefix must be exactly the first wantEpoch trips.
+		for i := 0; i < int(wantEpoch); i++ {
+			if re.Current().Traj(i).ID != trips[i].ID {
+				t.Fatalf("cut %d: trip %d is %s, want %s", cut, i, re.Current().Traj(i).ID, trips[i].ID)
+			}
+		}
+		// And the store must accept new batches contiguously after the cut.
+		if stats := re.IngestTrips(trips[4]); stats.Epoch != wantEpoch+1 {
+			t.Fatalf("cut %d: post-recovery epoch %d", cut, stats.Epoch)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// A second recovery of the same directory must see the appended batch:
+		// the truncation left no stale bytes for the new record to collide with.
+		re2, rs2 := openForTest(t, cdir, nil, StoreConfig{CompactSegments: 1 << 30})
+		if rs2.Epoch != wantEpoch+1 {
+			t.Fatalf("cut %d: second recovery epoch %d, want %d", cut, rs2.Epoch, wantEpoch+1)
+		}
+		re2.Close()
+	}
+}
+
+// TestSegmentFallback: a corrupted newest segment file must not lose data —
+// recovery falls back to the previous generation plus the retained WAL.
+func TestSegmentFallback(t *testing.T) {
+	trips := storeTrips()
+	dir := t.TempDir()
+	st, _ := openForTest(t, dir, nil, StoreConfig{CompactSegments: 1 << 30})
+	st.IngestTrips(trips[0])
+	st.IngestTrips(trips[1])
+	st.Compact() // generation 1 covers epochs 1-2
+	st.IngestTrips(trips[2])
+	st.Compact() // generation 2 covers epochs 1-3
+	st.IngestTrips(trips[3])
+	want := viewKey(st.Current())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, gens, err := listSegments(dir)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("segments %v gens %v (%v): want current + previous generation", names, gens, err)
+	}
+	// Corrupt the newest generation's trip blocks.
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, _ := openForTest(t, dir, nil, StoreConfig{CompactSegments: 1 << 30})
+	defer re.Close()
+	if got := viewKey(re.Current()); got != want {
+		t.Fatalf("fallback recovery differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestManifestGuards: a data directory refuses a different seed and a
+// different store kind.
+func TestManifestGuards(t *testing.T) {
+	g, _, _ := refWorld()
+	trips := storeTrips()
+	dir := t.TempDir()
+	st, _ := openForTest(t, dir, trips[:2], StoreConfig{})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenStore(dir, g, trips[:3], StoreConfig{}); err == nil {
+		t.Fatalf("OpenStore accepted a different seed")
+	}
+	if _, _, err := OpenShardedStore(dir, g, trips[:2], ShardedConfig{Shards: 2}); err == nil {
+		t.Fatalf("OpenShardedStore accepted a plain store directory")
+	}
+}
+
+// TestWALBounded: repeated ingest+compact cycles must not grow the log
+// without bound — flushed segments retire WAL files one generation behind.
+func TestWALBounded(t *testing.T) {
+	trips := storeTrips()
+	dir := t.TempDir()
+	st, _ := openForTest(t, dir, nil, StoreConfig{CompactSegments: 1 << 30})
+	for cycle := 0; cycle < 8; cycle++ {
+		st.IngestTrips(trips[cycle%len(trips)])
+		st.Compact()
+	}
+	names, _, err := listWALFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) > 3 {
+		t.Fatalf("%d wal files after 8 flush cycles; truncation is not keeping up", len(names))
+	}
+	segNames, _, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segNames) > 2 {
+		t.Fatalf("%d segment files retained, want at most current + previous", len(segNames))
+	}
+	want := viewKey(st.Current())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, _ := openForTest(t, dir, nil, StoreConfig{CompactSegments: 1 << 30})
+	defer re.Close()
+	if got := viewKey(re.Current()); got != want {
+		t.Fatalf("recovery after truncation differs:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// shardedKey is viewKey plus the sharded epoch fingerprint and shard epochs.
+func shardedKey(v *ShardedSnapshot) string {
+	return fmt.Sprintf("fp %x epochs %v\n%s", v.EpochFingerprint(), v.ShardEpochs(), viewKey(v))
+}
+
+// TestOpenShardedStoreRoundTrip: a durable sharded composite reopens at the
+// same composite epoch, shard epochs, fingerprint and content — the
+// invariants epoch-tagged caches depend on.
+func TestOpenShardedStoreRoundTrip(t *testing.T) {
+	g, _, _ := refWorld()
+	trips := storeTrips()
+	cfg := ShardedConfig{Shards: 4, Halo: 60, StoreConfig: StoreConfig{CompactSegments: 1 << 30}}
+	dir := t.TempDir()
+
+	st, rs, err := OpenShardedStore(dir, g, trips[:2], cfg)
+	if err != nil {
+		t.Fatalf("OpenShardedStore: %v", err)
+	}
+	if rs.Epoch != 0 {
+		t.Fatalf("fresh sharded open recovered %+v", rs)
+	}
+	st.IngestTrips(trips[2], trips[3])
+	st.Compact() // flush every shard's annotated segment file
+	st.IngestTrips(trips[4])
+	st.IngestTrips(trips[5])
+	want := shardedKey(st.CurrentSharded())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, rs, err := OpenShardedStore(dir, g, trips[:2], cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if rs.Epoch != 3 {
+		t.Fatalf("recovered epoch %d, want 3 (stats %+v)", rs.Epoch, rs)
+	}
+	if got := shardedKey(re.CurrentSharded()); got != want {
+		t.Fatalf("reopened sharded store differs:\n%s\nwant:\n%s", got, want)
+	}
+	// An in-memory composite fed the same history must agree too — recovery
+	// goes through the same construction path.
+	mem := NewShardedStore(g, trips[:2], cfg)
+	mem.IngestTrips(trips[2], trips[3])
+	mem.IngestTrips(trips[4])
+	mem.IngestTrips(trips[5])
+	if got := shardedKey(mem.CurrentSharded()); got != want {
+		t.Fatalf("in-memory composite differs from durable one:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestOpenShardedStoreCrash: abrupt death after a partial history — some
+// batches only in shard segments, some only in the root WAL, one torn —
+// recovers the durable prefix for any cut of the final record.
+func TestOpenShardedStoreCrash(t *testing.T) {
+	g, _, _ := refWorld()
+	trips := storeTrips()
+	cfg := ShardedConfig{Shards: 2, Halo: 60, StoreConfig: StoreConfig{CompactSegments: 1 << 30}}
+	dir := t.TempDir()
+
+	st, _, err := OpenShardedStore(dir, g, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.IngestTrips(trips[0])
+	st.IngestTrips(trips[1])
+	st.Compact() // shard segments cover batches 1-2
+	st.IngestTrips(trips[2])
+	st.IngestTrips(trips[3])
+	want := shardedKey(st.CurrentSharded())
+	st.CloseAbrupt()
+
+	re, rs, err := OpenShardedStore(dir, g, nil, cfg)
+	if err != nil {
+		t.Fatalf("crash recovery: %v", err)
+	}
+	if rs.Epoch != 4 {
+		t.Fatalf("recovered epoch %d, want 4 (stats %+v)", rs.Epoch, rs)
+	}
+	if got := shardedKey(re.CurrentSharded()); got != want {
+		t.Fatalf("crash recovery differs:\n%s\nwant:\n%s", got, want)
+	}
+	// Keep going after recovery: new batches, another flush, another crash.
+	re.IngestTrips(trips[4])
+	re.Compact()
+	re.IngestTrips(trips[5])
+	want = shardedKey(re.CurrentSharded())
+	re.CloseAbrupt()
+
+	re2, rs2, err := OpenShardedStore(dir, g, nil, cfg)
+	if err != nil {
+		t.Fatalf("second crash recovery: %v", err)
+	}
+	defer re2.Close()
+	if rs2.Epoch != 6 {
+		t.Fatalf("second recovery epoch %d, want 6", rs2.Epoch)
+	}
+	if got := shardedKey(re2.CurrentSharded()); got != want {
+		t.Fatalf("second crash recovery differs:\n%s\nwant:\n%s", got, want)
+	}
+}

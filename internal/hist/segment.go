@@ -1,0 +1,275 @@
+package hist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/traj"
+)
+
+// Segment files are the disk tier of the LSM store: compaction, having
+// merged every in-memory segment into one STR-packed base tree, also
+// serializes the merged trip set to an append-only file — written once,
+// front to back, never modified — so a restart can rebuild the base without
+// the WAL. Files are named seg-<generation, %016x>.seg, the generation a
+// monotonic per-directory counter; recovery loads the newest file that
+// validates end to end and falls back to the previous generation if the
+// newest is damaged (the two newest generations are retained, older ones
+// deleted at flush).
+//
+// Layout: a framed header record followed by framed blocks of trips (a
+// frame is [u32 len][u32 CRC32-C][payload], codec.go). Header payload:
+//
+//	[u32 magic "HSG1"][u16 version][u16 flags][u64 store epoch]
+//	[u64 batch epoch][u64 trip count]
+//
+// Flags bit 0 marks annotated trips (shard segments: each trip prefixed by
+// global index + batch epoch). Trips are chunked into blocks of at most
+// segBlockTrips so a block checksum covers a bounded span; every block must
+// validate and the trip count must match the header for the file to be
+// accepted — segments are written via tmp+rename, so a half-written file
+// never appears under the final name in the first place.
+
+const (
+	segPrefix     = "seg-"
+	segSuffix     = ".seg"
+	segTmpSuffix  = ".tmp"
+	segMagic      = 0x48534731 // "HSG1"
+	segVersion    = 1
+	segAnnotated  = 1 << 0
+	segBlockTrips = 256
+)
+
+// segHeader describes one segment file.
+type segHeader struct {
+	Epoch      uint64 // store epoch the file covers (trips of batches 1..Epoch)
+	BatchEpoch uint64 // newest composite batch covered (== Epoch for plain stores)
+	Annotated  bool
+	Trips      int
+}
+
+func segPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, gen, segSuffix))
+}
+
+// segGeneration parses the generation out of a segment file name.
+func segGeneration(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// listSegments returns dir's segment files sorted newest generation first.
+func listSegments(dir string) (names []string, gens []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if g, ok := segGeneration(e.Name()); ok {
+			names = append(names, filepath.Join(dir, e.Name()))
+			gens = append(gens, g)
+		}
+	}
+	sort.Sort(sort.Reverse(&walFileSorter{names: names, starts: gens}))
+	return names, gens, nil
+}
+
+// writeSegment serializes trips (with annotations when hdr.Annotated) to
+// the segment file for generation gen in dir, using write-to-temp, fsync,
+// rename, fsync-directory so the file is either fully present or absent.
+// Returns the file size.
+func writeSegment(dir string, gen uint64, hdr segHeader, trips []*traj.Trajectory, anns []tripAnn) (int64, error) {
+	hdr.Trips = len(trips)
+	payload := make([]byte, 0, 40)
+	payload = binary.LittleEndian.AppendUint32(payload, segMagic)
+	payload = binary.LittleEndian.AppendUint16(payload, segVersion)
+	flags := uint16(0)
+	if hdr.Annotated {
+		flags |= segAnnotated
+	}
+	payload = binary.LittleEndian.AppendUint16(payload, flags)
+	payload = binary.LittleEndian.AppendUint64(payload, hdr.Epoch)
+	payload = binary.LittleEndian.AppendUint64(payload, hdr.BatchEpoch)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(trips)))
+
+	final := segPath(dir, gen)
+	tmp := final + segTmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+
+	var size int64
+	write := func(p []byte) error {
+		n, err := f.Write(p)
+		size += int64(n)
+		return err
+	}
+	if err := write(appendFrame(nil, payload)); err != nil {
+		f.Close()
+		return 0, err
+	}
+	for lo := 0; lo < len(trips); lo += segBlockTrips {
+		hi := lo + segBlockTrips
+		if hi > len(trips) {
+			hi = len(trips)
+		}
+		block := binary.LittleEndian.AppendUint32(nil, uint32(hi-lo))
+		for i := lo; i < hi; i++ {
+			if hdr.Annotated {
+				block = binary.LittleEndian.AppendUint64(block, uint64(anns[i].GI))
+				block = binary.LittleEndian.AppendUint64(block, anns[i].Batch)
+			}
+			block = appendTrip(block, trips[i])
+		}
+		if err := write(appendFrame(nil, block)); err != nil {
+			f.Close()
+			return 0, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, err
+	}
+	syncDir(dir)
+	return size, nil
+}
+
+// readSegment loads and fully validates one segment file.
+func readSegment(path string) (segHeader, []*traj.Trajectory, []tripAnn, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segHeader{}, nil, nil, err
+	}
+	payload, rest, err := readFrame(data)
+	if err != nil {
+		return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: %w", path, err)
+	}
+	if len(payload) != 32 || binary.LittleEndian.Uint32(payload) != segMagic {
+		return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: bad header", path)
+	}
+	if v := binary.LittleEndian.Uint16(payload[4:]); v != segVersion {
+		return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: unsupported version %d", path, v)
+	}
+	flags := binary.LittleEndian.Uint16(payload[6:])
+	hdr := segHeader{
+		Epoch:      binary.LittleEndian.Uint64(payload[8:]),
+		BatchEpoch: binary.LittleEndian.Uint64(payload[16:]),
+		Annotated:  flags&segAnnotated != 0,
+		Trips:      int(binary.LittleEndian.Uint64(payload[24:])),
+	}
+	if hdr.Trips < 0 || hdr.Trips > maxFramePayload {
+		return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: implausible trip count", path)
+	}
+	trips := make([]*traj.Trajectory, 0, hdr.Trips)
+	var anns []tripAnn
+	if hdr.Annotated {
+		anns = make([]tripAnn, 0, hdr.Trips)
+	}
+	for len(rest) > 0 {
+		var block []byte
+		block, rest, err = readFrame(rest)
+		if err != nil {
+			return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: %w", path, err)
+		}
+		if len(block) < 4 {
+			return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: short block", path)
+		}
+		n := binary.LittleEndian.Uint32(block)
+		b := block[4:]
+		for k := uint32(0); k < n; k++ {
+			if hdr.Annotated {
+				if len(b) < 16 {
+					return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: truncated annotation", path)
+				}
+				anns = append(anns, tripAnn{
+					GI:    int(binary.LittleEndian.Uint64(b)),
+					Batch: binary.LittleEndian.Uint64(b[8:]),
+				})
+				b = b[16:]
+			}
+			var tr *traj.Trajectory
+			tr, b, err = readTrip(b)
+			if err != nil {
+				return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: %w", path, err)
+			}
+			trips = append(trips, tr)
+		}
+		if len(b) != 0 {
+			return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: trailing block bytes", path)
+		}
+	}
+	if len(trips) != hdr.Trips {
+		return segHeader{}, nil, nil, fmt.Errorf("hist: segment %s: %d trips, header says %d", path, len(trips), hdr.Trips)
+	}
+	return hdr, trips, anns, nil
+}
+
+// newestValidSegment loads the newest segment file in dir that validates,
+// deleting nothing. Returns ok=false when no valid segment exists.
+func newestValidSegment(dir string) (hdr segHeader, gen uint64, trips []*traj.Trajectory, anns []tripAnn, ok bool) {
+	names, gens, err := listSegments(dir)
+	if err != nil {
+		return segHeader{}, 0, nil, nil, false
+	}
+	for i, name := range names {
+		h, t, a, err := readSegment(name)
+		if err != nil {
+			continue
+		}
+		return h, gens[i], t, a, true
+	}
+	return segHeader{}, 0, nil, nil, false
+}
+
+// dropOldSegments removes all segment generations older than keepFrom.
+func dropOldSegments(dir string, keepFrom uint64) {
+	names, gens, err := listSegments(dir)
+	if err != nil {
+		return
+	}
+	for i := range names {
+		if gens[i] < keepFrom {
+			os.Remove(names[i])
+		}
+	}
+}
+
+// maxSegmentGen returns the highest generation present in dir (0 if none).
+func maxSegmentGen(dir string) uint64 {
+	_, gens, err := listSegments(dir)
+	if err != nil || len(gens) == 0 {
+		return 0
+	}
+	return gens[0]
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+// Best-effort: some platforms refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

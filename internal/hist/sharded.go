@@ -1,6 +1,7 @@
 package hist
 
 import (
+	"math"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,10 @@ type Ingester interface {
 	Stats() StoreStats
 	Compact()
 	Wait()
+	// Close releases the store: for durable stores (OpenStore /
+	// OpenShardedStore) it syncs and closes the on-disk state; for
+	// in-memory stores it just waits out background compactions.
+	Close() error
 }
 
 var (
@@ -68,6 +73,11 @@ type ShardedStore struct {
 
 	mu  sync.Mutex // serializes ingest bookkeeping and snapshot publication
 	cur atomic.Pointer[ShardedSnapshot]
+
+	// persist is the composite's root WAL attachment and cov the per-shard
+	// segment-coverage tracker, both set only by OpenShardedStore.
+	persist *persist
+	cov     *coverage
 }
 
 // NewShardedStore opens a sharded live archive over road network g, seeded
@@ -78,7 +88,7 @@ func NewShardedStore(g *roadnet.Graph, seed []*traj.Trajectory, cfg ShardedConfi
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
-	if cfg.Halo < 0 {
+	if cfg.Halo < 0 || math.IsNaN(cfg.Halo) {
 		cfg.Halo = 0
 	}
 	part := NewPartition(g.BBox(), cfg.Shards, cfg.Halo)
@@ -87,12 +97,14 @@ func NewShardedStore(g *roadnet.Graph, seed []*traj.Trajectory, cfg ShardedConfi
 
 	batches := make([][]*traj.Trajectory, n)
 	maps := make([][]int, n)
+	seedAnns := make([][]tripAnn, n)
 	points := 0
 	for gi, tr := range seed {
 		points += tr.Len()
 		for _, i := range s.assign(tr) {
 			batches[i] = append(batches[i], tr)
 			maps[i] = append(maps[i], gi)
+			seedAnns[i] = append(seedAnns[i], tripAnn{GI: gi, Batch: 0})
 		}
 	}
 	shardCfg := cfg.StoreConfig
@@ -102,6 +114,10 @@ func NewShardedStore(g *roadnet.Graph, seed []*traj.Trajectory, cfg ShardedConfi
 	for i := range s.shards {
 		s.shards[i] = NewStore(g, batches[i], shardCfg)
 		snaps[i] = s.shards[i].Snapshot()
+		// Annotate the freshly built, not-yet-shared seed snapshot with each
+		// replica's global identity (batch 0 = seed) so a durable shard's
+		// segment files can reconstruct the composite history.
+		snaps[i].anns = seedAnns[i]
 	}
 	epochs := make([]uint64, n)
 	s.cur.Store(&ShardedSnapshot{
@@ -202,8 +218,10 @@ func (s *ShardedStore) Stats() StoreStats {
 		ss := sh.Stats()
 		st.Segments += ss.Segments
 		st.Compactions += ss.Compactions
+		st.SegmentBytes += ss.SegmentBytes
 		st.Shards[i] = ss
 	}
+	s.persist.fold(&st)
 	return st
 }
 
@@ -236,10 +254,12 @@ func (s *ShardedStore) IngestTrips(trips ...*traj.Trajectory) IngestStats {
 
 	n := s.part.N()
 	batches := make([][]*traj.Trajectory, n)
+	batchAnns := make([][]tripAnn, n)
 	shardPoints := make([]int, n)
 
 	s.mu.Lock()
 	old := s.cur.Load()
+	epoch := old.epoch + 1
 	// Full slice expressions pin capacity so append always copies: the
 	// published composite's slices are never writable through the new one.
 	trajs := append(old.trajs[:len(old.trajs):len(old.trajs)], kept...)
@@ -253,15 +273,28 @@ func (s *ShardedStore) IngestTrips(trips ...*traj.Trajectory) IngestStats {
 		points += tr.Len()
 		for _, i := range s.assign(tr) {
 			batches[i] = append(batches[i], tr)
+			batchAnns[i] = append(batchAnns[i], tripAnn{GI: gi, Batch: epoch})
 			maps[i] = append(maps[i], gi)
 			shardPoints[i] += tr.Len()
 		}
+	}
+	// One root WAL record — and one fsync under SyncAlways — makes the whole
+	// composite batch durable before it becomes visible anywhere.
+	durability := s.persist.appendBatch(epoch, kept)
+	if s.cov != nil {
+		touched := make([]int, 0, n)
+		for i := range batches {
+			if len(batches[i]) > 0 {
+				touched = append(touched, i)
+			}
+		}
+		s.cov.add(epoch, touched)
 	}
 	snaps := make([]*Snapshot, n)
 	epochs := make([]uint64, n)
 	for i, sh := range s.shards {
 		if len(batches[i]) > 0 {
-			sh.IngestTrips(batches[i]...)
+			sh.ingest(batches[i], batchAnns[i])
 		}
 		snaps[i] = sh.Snapshot()
 		epochs[i] = snaps[i].epoch
@@ -274,7 +307,7 @@ func (s *ShardedStore) IngestTrips(trips ...*traj.Trajectory) IngestStats {
 		maps:   maps,
 		trajs:  trajs,
 		points: old.points + points,
-		epoch:  old.epoch + 1,
+		epoch:  epoch,
 		epochs: epochs,
 		fp:     epochFingerprint(epochs),
 	}
@@ -296,7 +329,7 @@ func (s *ShardedStore) IngestTrips(trips ...*traj.Trajectory) IngestStats {
 			r.Counter(prefix + obs.CounterIngestBatches).Inc()
 		}
 	}
-	return IngestStats{Trips: len(kept), Points: points, Epoch: next.epoch}
+	return IngestStats{Trips: len(kept), Points: points, Epoch: next.epoch, Durability: durability}
 }
 
 // Compact synchronously compacts every shard to a single base segment.
@@ -311,6 +344,30 @@ func (s *ShardedStore) Wait() {
 	for _, sh := range s.shards {
 		sh.Wait()
 	}
+}
+
+// Close waits out shard compactions and closes every shard plus the root
+// WAL. In-memory composites (NewShardedStore) treat Close as Wait.
+func (s *ShardedStore) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.persist.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// CloseAbrupt simulates the process dying mid-flight: buffered, unsynced
+// root-WAL records are dropped and nothing is flushed. See Store.CloseAbrupt.
+func (s *ShardedStore) CloseAbrupt() {
+	for _, sh := range s.shards {
+		sh.CloseAbrupt()
+	}
+	s.persist.abandon()
 }
 
 // epochFingerprint folds a per-shard epoch vector into one comparable hash

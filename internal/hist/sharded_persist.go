@@ -1,0 +1,298 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Durable sharded layout: the composite's data directory holds one root
+// write-ahead log — a single record (and, under SyncAlways, a single fsync)
+// per composite batch, holding the whole batch — plus one subdirectory per
+// shard containing that shard's annotated segment files. Shard segments
+// carry each replica's global trajectory index and batch epoch (tripAnn),
+// which is what lets recovery fold shard-local files back into the global
+// batch history; the root WAL is truncated only once every batch in the
+// dropped prefix is covered by the *previous* retained segment generation
+// of every shard it touched, so a corrupt newest segment file always has a
+// fallback (previous generation + retained log).
+//
+// Recovery rebuilds the batch list — segments supply the prefix the WAL no
+// longer holds, the WAL supplies the rest — and replays it through the
+// normal ingest path. Byte-identical inference answers and matching epochs
+// then follow from the existing construction invariants rather than from a
+// bespoke rebuild.
+
+// coverage tracks, for a durable composite, how much of the batch history
+// each shard's segment files have made redundant — the root WAL's
+// truncation frontier.
+type coverage struct {
+	mu      sync.Mutex
+	covered []uint64 // per shard: newest segment generation's max batch epoch
+	prev    []uint64 // per shard: previous retained generation's max batch epoch
+	pending []pendingBatch
+}
+
+type pendingBatch struct {
+	epoch  uint64
+	shards []int // shards the batch ingested into (never empty)
+}
+
+// add records a freshly admitted batch (called under the composite's mu).
+func (c *coverage) add(epoch uint64, shards []int) {
+	c.mu.Lock()
+	c.pending = append(c.pending, pendingBatch{epoch: epoch, shards: shards})
+	c.mu.Unlock()
+}
+
+// flushed records that shard j's newest segment now covers batches ≤ batch
+// and returns the new truncation frontier: the largest epoch such that every
+// pending batch at or below it is covered by the previous retained
+// generation of each shard it touched (0 = no change).
+func (c *coverage) flushed(j int, batch uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.prev[j] = c.covered[j]
+	c.covered[j] = batch
+	frontier := uint64(0)
+	for len(c.pending) > 0 {
+		b := c.pending[0]
+		ok := true
+		for _, sh := range b.shards {
+			if c.prev[sh] < b.epoch {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		frontier = b.epoch
+		c.pending = c.pending[1:]
+	}
+	return frontier
+}
+
+// shardFlushed is the per-shard flush callback: advance the coverage
+// frontier and retire the root-WAL prefix it makes redundant.
+func (s *ShardedStore) shardFlushed(j int, batch uint64) {
+	frontier := s.cov.flushed(j, batch)
+	if frontier == 0 {
+		return
+	}
+	p := s.persist
+	p.mu.Lock()
+	if p.w != nil && !p.closed {
+		if frontier >= p.w.start && p.lastEpoch >= p.w.start {
+			p.w.rotate(p.lastEpoch + 1)
+		}
+		p.walBytes -= dropWALThrough(p.dir, frontier)
+	}
+	p.mu.Unlock()
+}
+
+func shardDir(dir string, j int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", j))
+}
+
+// OpenShardedStore opens a durable sharded live archive rooted at dir — the
+// sharded counterpart of OpenStore, with the same recovery guarantees: the
+// reopened composite answers queries byte-identically to an uninterrupted
+// one holding the durable prefix of batches, at the same composite epoch
+// and epoch fingerprint.
+func OpenShardedStore(dir string, g *roadnet.Graph, seed []*traj.Trajectory, cfg ShardedConfig) (*ShardedStore, RecoveryStats, error) {
+	var rs RecoveryStats
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Halo < 0 || math.IsNaN(cfg.Halo) {
+		cfg.Halo = 0
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rs, err
+	}
+	want := manifest{
+		Version:   manifestVersion,
+		Kind:      "sharded",
+		Shards:    cfg.Shards,
+		Halo:      cfg.Halo,
+		SeedTrips: len(seed),
+		SeedFP:    fpString(seedFingerprint(seed)),
+	}
+	if err := checkManifest(dir, want); err != nil {
+		return nil, rs, err
+	}
+	scan, err := scanWAL(dir)
+	if err != nil {
+		return nil, rs, err
+	}
+	rs.TornBytes = scan.TornBytes
+	wLo := uint64(0)
+	if len(scan.Batches) > 0 {
+		wLo = scan.Batches[0].Epoch
+	}
+
+	// Load each shard's newest valid segment file and pool the annotated
+	// trips of batches the WAL no longer holds, deduplicating halo replicas
+	// by global index.
+	n := NewPartition(g.BBox(), cfg.Shards, cfg.Halo).N()
+	type giEntry struct {
+		tr    *traj.Trajectory
+		batch uint64
+	}
+	byGI := make(map[int]giEntry)
+	covered := make([]uint64, n)
+	segGens := make([]uint64, n)
+	segSizes := make([]int64, n)
+	for j := 0; j < n; j++ {
+		sd := shardDir(dir, j)
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return nil, rs, err
+		}
+		if err := checkManifest(sd, manifest{Version: manifestVersion, Kind: "shard", Shards: j}); err != nil {
+			return nil, rs, err
+		}
+		segGens[j] = maxSegmentGen(sd)
+		hdr, gen, trips, anns, ok := newestValidSegment(sd)
+		if !ok {
+			continue
+		}
+		if !hdr.Annotated {
+			return nil, rs, fmt.Errorf("hist: shard segment in %s is not annotated", sd)
+		}
+		covered[j] = hdr.BatchEpoch
+		segSizes[j] = fileSize(segPath(sd, gen))
+		for i, tr := range trips {
+			a := anns[i]
+			if a.Batch == 0 {
+				continue // seed replica: the caller re-supplies the seed
+			}
+			if wLo > 0 && a.Batch >= wLo {
+				continue // the WAL is authoritative from wLo on
+			}
+			if prev, dup := byGI[a.GI]; dup {
+				if prev.batch != a.Batch || prev.tr.ID != tr.ID {
+					return nil, rs, fmt.Errorf("hist: shard segments disagree on trajectory %d", a.GI)
+				}
+				continue
+			}
+			byGI[a.GI] = giEntry{tr: tr, batch: a.Batch}
+		}
+	}
+
+	// Fold the pooled trips back into whole batches and verify they form
+	// exactly the contiguous history the WAL hands over at wLo: global
+	// indices dense from the seed on, batch epochs non-decreasing in index
+	// and gap-free. Any hole means a shard's files are missing trips the
+	// truncated WAL can no longer restore — an error, not a silent shrink.
+	gis := make([]int, 0, len(byGI))
+	for gi := range byGI {
+		gis = append(gis, gi)
+	}
+	sort.Ints(gis)
+	var segBatches []walBatch
+	lastBatch := uint64(0)
+	for k, gi := range gis {
+		if gi != len(seed)+k {
+			return nil, rs, fmt.Errorf("hist: shard segments missing trajectory %d", len(seed)+k)
+		}
+		e := byGI[gi]
+		if e.batch < lastBatch {
+			return nil, rs, fmt.Errorf("hist: shard segment batch order corrupt at trajectory %d", gi)
+		}
+		if e.batch > lastBatch {
+			if e.batch != lastBatch+1 {
+				return nil, rs, fmt.Errorf("hist: shard segments missing batch %d", lastBatch+1)
+			}
+			segBatches = append(segBatches, walBatch{Epoch: e.batch})
+			lastBatch = e.batch
+		}
+		b := &segBatches[len(segBatches)-1]
+		b.Trips = append(b.Trips, e.tr)
+	}
+	if wLo > 0 && lastBatch != wLo-1 {
+		return nil, rs, fmt.Errorf("hist: recovered batches end at %d but the wal resumes at %d", lastBatch, wLo)
+	}
+	rs.SegmentTrips = len(gis)
+
+	// Replay the whole batch history through the normal ingest path. The
+	// composite, its shards, their epochs and the fingerprint come out
+	// exactly as an uninterrupted run over these batches would have built
+	// them (persistence is attached only afterwards, so the replay itself
+	// writes nothing).
+	s := NewShardedStore(g, seed, cfg)
+	replay := append(segBatches, scan.Batches...)
+	for _, b := range replay {
+		if have := s.cur.Load().epoch; b.Epoch != have+1 {
+			return nil, rs, fmt.Errorf("hist: wal gap in %s: have epoch %d, want %d", dir, b.Epoch, have+1)
+		}
+		s.IngestTrips(b.Trips...)
+	}
+	for _, b := range scan.Batches {
+		rs.WALBatches++
+		rs.WALTrips += len(b.Trips)
+	}
+	rs.Epoch = s.cur.Load().epoch
+	// Replay may have triggered background shard compactions; let them
+	// drain before persistence attaches.
+	s.Wait()
+
+	// Attach persistence: root WAL on the composite, annotated segment
+	// flushing on every shard, and the coverage tracker seeded with what
+	// recovery just validated. covered is clamped to the recovered epoch —
+	// a segment flushed just before a crash can mention batches the torn
+	// WAL never made durable, and those annotations are stale the moment
+	// the reopened store re-issues the same epochs.
+	cov := &coverage{covered: covered, prev: make([]uint64, n)}
+	for j := range cov.covered {
+		if cov.covered[j] > rs.Epoch {
+			cov.covered[j] = rs.Epoch
+		}
+	}
+	for _, b := range replay {
+		touched := make(map[int]bool)
+		for _, tr := range b.Trips {
+			for _, j := range s.assign(tr) {
+				touched[j] = true
+			}
+		}
+		shards := make([]int, 0, len(touched))
+		for j := range touched {
+			shards = append(shards, j)
+		}
+		sort.Ints(shards)
+		cov.pending = append(cov.pending, pendingBatch{epoch: b.Epoch, shards: shards})
+	}
+	s.cov = cov
+
+	p := &persist{dir: dir, policy: cfg.WALSync, every: cfg.WALSyncEvery, reg: cfg.Registry}
+	if p.every <= 0 {
+		p.every = DefaultWALSyncInterval
+	}
+	if err := p.attachWAL(scan, rs.Epoch); err != nil {
+		return nil, rs, err
+	}
+	s.persist = p
+	for j := range s.shards {
+		j := j
+		s.shards[j].persist = &persist{
+			dir:       shardDir(dir, j),
+			annotated: true,
+			segGen:    segGens[j],
+			segEpoch:  s.shards[j].Snapshot().epoch,
+			segBytes:  segSizes[j],
+			onFlush:   func(batch uint64) { s.shardFlushed(j, batch) },
+		}
+	}
+	if p.policy == SyncInterval {
+		p.startSyncLoop()
+	}
+	foldRecovery(cfg.Registry, rs)
+	return s, rs, nil
+}

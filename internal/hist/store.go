@@ -21,10 +21,23 @@ type StoreConfig struct {
 	MinPoints int
 	VMax      float64
 	// CompactSegments triggers a background compaction once the snapshot
-	// carries this many R-tree segments (base + memtables). <= 0 uses
-	// DefaultCompactSegments; set it very high to manage compaction manually
-	// via Compact.
+	// carries this many R-tree segments (base + memtables). NewStore
+	// normalizes degenerate values: <= 0 uses DefaultCompactSegments, and 1
+	// — which would compact on every ingest, since the base segment alone
+	// already counts — is raised to 2. Set it very high to manage compaction
+	// manually via Compact.
 	CompactSegments int
+	// CompactPoints triggers a background compaction once the un-compacted
+	// memtable segments hold this many GPS points, regardless of how few
+	// batches produced them — the backstop against a handful of huge batches
+	// monopolizing memory as dynamic trees. <= 0 uses DefaultCompactPoints.
+	CompactPoints int
+	// WALSync selects the write-ahead-log sync policy of stores opened with
+	// OpenStore (the zero value is SyncAlways); NewStore ignores it.
+	WALSync SyncPolicy
+	// WALSyncEvery is the background fsync period under SyncInterval
+	// (<= 0 uses DefaultWALSyncInterval).
+	WALSyncEvery time.Duration
 	// Registry receives ingest/compaction histograms and counters (nil = no
 	// instrumentation, zero clock reads).
 	Registry *obs.Registry
@@ -35,23 +48,34 @@ type StoreConfig struct {
 // the read amplification at base + 7 memtables.
 const DefaultCompactSegments = 8
 
+// DefaultCompactPoints bounds how many GPS points the memtable segments may
+// hold before a merge, whatever the batch count.
+const DefaultCompactPoints = 1 << 20
+
 // IngestStats describes one admitted ingest batch.
 type IngestStats struct {
 	Trips  int    `json:"trips"`  // trips admitted (post preprocessing)
 	Points int    `json:"points"` // GPS points admitted
 	Epoch  uint64 `json:"epoch"`  // epoch of the snapshot the batch became visible in
+	// Durability reports how far the batch had traveled when the call
+	// returned: "synced", "logged", "memory" or "failed" (the Durability...
+	// constants in persist.go).
+	Durability string `json:"durability,omitempty"`
 }
 
 // StoreStats is a point-in-time summary of the store. A ShardedStore
 // reports its composite totals in the top-level fields and each shard's
 // own summary under Shards (empty for a plain Store).
 type StoreStats struct {
-	Epoch       uint64       `json:"epoch"`
-	Trajs       int          `json:"trajs"`
-	Points      int          `json:"points"`
-	Segments    int          `json:"segments"`
-	Compactions uint64       `json:"compactions"`
-	Shards      []StoreStats `json:"shards,omitempty"`
+	Epoch        uint64       `json:"epoch"`
+	Trajs        int          `json:"trajs"`
+	Points       int          `json:"points"`
+	Segments     int          `json:"segments"`
+	Compactions  uint64       `json:"compactions"`
+	WALBytes     int64        `json:"wal_bytes,omitempty"`     // live write-ahead-log bytes (durable stores)
+	SegmentBytes int64        `json:"segment_bytes,omitempty"` // newest segment file bytes (durable stores)
+	Durability   string       `json:"durability,omitempty"`    // WAL sync policy ("" for in-memory stores)
+	Shards       []StoreStats `json:"shards,omitempty"`
 }
 
 // Store is the live archive: an LSM-style stack of R-tree segments that
@@ -79,6 +103,12 @@ type Store struct {
 	compacting  atomic.Bool // single-flight guard for background compaction
 	wg          sync.WaitGroup
 	compactions atomic.Uint64
+
+	// persist is the durability attachment of stores opened with OpenStore
+	// (nil for NewStore); seedLen is how many leading Trajs entries are the
+	// caller-supplied seed, which segment files don't store.
+	persist *persist
+	seedLen int
 }
 
 // NewStore opens a live archive over road network g, seeded with an already
@@ -94,7 +124,15 @@ func NewStore(g *roadnet.Graph, seed []*traj.Trajectory, cfg StoreConfig) *Store
 	if cfg.CompactSegments <= 0 {
 		cfg.CompactSegments = DefaultCompactSegments
 	}
-	s := &Store{g: g, cfg: cfg}
+	if cfg.CompactSegments == 1 {
+		// The base segment alone reaches a threshold of 1, so every ingest
+		// would immediately compact — the smallest meaningful stack is 2.
+		cfg.CompactSegments = 2
+	}
+	if cfg.CompactPoints <= 0 {
+		cfg.CompactPoints = DefaultCompactPoints
+	}
+	s := &Store{g: g, cfg: cfg, seedLen: len(seed)}
 	s.cur.Store(NewArchive(g, seed))
 	return s
 }
@@ -113,13 +151,15 @@ func (s *Store) Graph() *roadnet.Graph { return s.g }
 // Stats summarizes the current generation.
 func (s *Store) Stats() StoreStats {
 	snap := s.cur.Load()
-	return StoreStats{
+	st := StoreStats{
 		Epoch:       snap.epoch,
 		Trajs:       len(snap.Trajs),
 		Points:      snap.points,
 		Segments:    len(snap.segs),
 		Compactions: s.compactions.Load(),
 	}
+	s.persist.fold(&st)
+	return st
 }
 
 // Ingest runs the Preprocess pipeline (outlier removal, stay-point trip
@@ -137,14 +177,25 @@ func (s *Store) Ingest(logs ...*traj.Trajectory) IngestStats {
 // partitioning or order — yields a store whose inference answers are
 // byte-identical to that bulk archive's.
 func (s *Store) IngestTrips(trips ...*traj.Trajectory) IngestStats {
+	return s.ingest(trips, nil)
+}
+
+// ingest is IngestTrips plus optional per-trip annotations (aligned with
+// trips) — the path a ShardedStore uses so its shards' segment files can
+// record each replica's global identity.
+func (s *Store) ingest(trips []*traj.Trajectory, anns []tripAnn) IngestStats {
 	var t0 time.Time
 	if s.cfg.Registry != nil {
 		t0 = time.Now()
 	}
 	kept := make([]*traj.Trajectory, 0, len(trips))
-	for _, tr := range trips {
+	var keptAnns []tripAnn
+	for i, tr := range trips {
 		if tr != nil && tr.Len() > 0 {
 			kept = append(kept, tr)
+			if anns != nil {
+				keptAnns = append(keptAnns, anns[i])
+			}
 		}
 	}
 	if len(kept) == 0 {
@@ -156,6 +207,10 @@ func (s *Store) IngestTrips(trips ...*traj.Trajectory) IngestStats {
 	// Full slice expressions pin capacity so append always copies: the
 	// published snapshot's slices are never writable through the new one.
 	trajs := append(old.Trajs[:len(old.Trajs):len(old.Trajs)], kept...)
+	var nextAnns []tripAnn
+	if keptAnns != nil || old.anns != nil {
+		nextAnns = append(old.anns[:len(old.anns):len(old.anns)], keptAnns...)
+	}
 	mem := rtree.New[PointRef]()
 	points := 0
 	for ti, tr := range kept {
@@ -165,12 +220,17 @@ func (s *Store) IngestTrips(trips ...*traj.Trajectory) IngestStats {
 		}
 	}
 	next := &Snapshot{
-		G:      s.g,
-		Trajs:  trajs,
-		segs:   append(old.segs[:len(old.segs):len(old.segs)], mem),
-		points: old.points + points,
-		epoch:  old.epoch + 1,
+		G:       s.g,
+		Trajs:   trajs,
+		anns:    nextAnns,
+		segs:    append(old.segs[:len(old.segs):len(old.segs)], mem),
+		points:  old.points + points,
+		basePts: old.basePts,
+		epoch:   old.epoch + 1,
 	}
+	// The WAL record precedes publication: once the batch is visible it is
+	// at least as durable as the sync policy promises.
+	durability := s.persist.appendBatch(next.epoch, kept)
 	s.cur.Store(next)
 	s.mu.Unlock()
 
@@ -180,10 +240,10 @@ func (s *Store) IngestTrips(trips ...*traj.Trajectory) IngestStats {
 		r.Counter(obs.CounterIngestTrips).Add(uint64(len(kept)))
 		r.Counter(obs.CounterIngestPoints).Add(uint64(points))
 	}
-	if len(next.segs) >= s.cfg.CompactSegments {
+	if len(next.segs) >= s.cfg.CompactSegments || next.points-next.basePts >= s.cfg.CompactPoints {
 		s.triggerCompact()
 	}
-	return IngestStats{Trips: len(kept), Points: points, Epoch: next.epoch}
+	return IngestStats{Trips: len(kept), Points: points, Epoch: next.epoch, Durability: durability}
 }
 
 // triggerCompact starts a background compaction unless one is already
@@ -215,12 +275,13 @@ func (s *Store) Wait() {
 	s.wg.Wait()
 }
 
-// compactBeforePublish, when set, runs after a compaction builds its merged
-// base tree and before it publishes. Test-only seam: it holds a merge open
-// so regression tests can deterministically schedule a second compaction
-// against the same segment stack (the race does not reproduce by chance on
-// a single-CPU machine).
-var compactBeforePublish func()
+// CompactBeforePublish, when set, runs after a compaction builds its merged
+// base tree and before it publishes. Test-only seam, exported so the
+// cross-package crash-recovery suites can inject failures mid-compaction:
+// it holds a merge open so regression tests can deterministically schedule
+// a second compaction against the same segment stack, or kill the store
+// between a batch's WAL append and its segment flush.
+var CompactBeforePublish func()
 
 func (s *Store) compact() {
 	// One merge in flight at a time: a synchronous Compact racing the
@@ -243,8 +304,8 @@ func (s *Store) compact() {
 	// so pre.segs is exactly the prefix of any later snapshot's segs and
 	// indexes exactly the points of pre.Trajs.
 	merged := rtree.Bulk(pointEntries(pre.Trajs, 0))
-	if compactBeforePublish != nil {
-		compactBeforePublish()
+	if CompactBeforePublish != nil {
+		CompactBeforePublish()
 	}
 
 	s.mu.Lock()
@@ -255,11 +316,13 @@ func (s *Store) compact() {
 	// Same trajectory set ⇒ same content generation: keep the epoch, so
 	// epoch-tagged caches survive physical reorganization.
 	next := &Snapshot{
-		G:      s.g,
-		Trajs:  cur.Trajs,
-		segs:   segs,
-		points: cur.points,
-		epoch:  cur.epoch,
+		G:       s.g,
+		Trajs:   cur.Trajs,
+		anns:    cur.anns,
+		segs:    segs,
+		points:  cur.points,
+		basePts: pre.points,
+		epoch:   cur.epoch,
 	}
 	s.cur.Store(next)
 	s.mu.Unlock()
@@ -269,4 +332,8 @@ func (s *Store) compact() {
 		r.Histogram(obs.StageCompaction).ObserveSince(t0)
 		r.Counter(obs.CounterCompactions).Inc()
 	}
+	// Flush the merged trip set to the disk tier; next holds every trip of
+	// every published batch (memtables landed since pre are carried over in
+	// both Trajs and segs), so the segment file covers epoch next.epoch.
+	s.persist.flush(next, s.seedLen)
 }

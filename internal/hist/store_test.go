@@ -304,7 +304,7 @@ func TestStoreConcurrentIngestAndSearch(t *testing.T) {
 // spliced cur.segs against a base that had already absorbed them and either
 // panicked on a negative slice capacity or published an index silently
 // missing memtable segments. The schedule is forced through the
-// compactBeforePublish seam (a single-CPU machine never preempts inside the
+// CompactBeforePublish seam (a single-CPU machine never preempts inside the
 // merge window, so the overlap cannot be provoked by load alone): compactor
 // A builds its merge and parks before publishing; a second compaction and
 // an ingest then run to completion against the same stack; A resumes.
@@ -324,11 +324,11 @@ func TestStoreConcurrentCompaction(t *testing.T) {
 
 	reached := make(chan struct{}, 8)
 	resume := make(chan struct{})
-	compactBeforePublish = func() {
+	CompactBeforePublish = func() {
 		reached <- struct{}{}
 		<-resume
 	}
-	defer func() { compactBeforePublish = nil }()
+	defer func() { CompactBeforePublish = nil }()
 
 	var wg sync.WaitGroup
 	wg.Add(2)
@@ -349,7 +349,7 @@ func TestStoreConcurrentCompaction(t *testing.T) {
 	close(resume)
 	wg.Wait()
 	st.Wait()
-	compactBeforePublish = nil
+	CompactBeforePublish = nil
 
 	st.Compact()
 	snap := st.Current()

@@ -58,6 +58,38 @@ const (
 	CounterIngestBatches = "ingest.batches"
 	// CounterCompactions counts completed background compaction passes.
 	CounterCompactions = "compactions"
+	// CounterIngestRejected counts ingest inputs dropped before admission
+	// (malformed or oversized NDJSON lines in cmd/hris -follow, bad request
+	// bodies); rejected inputs never reach the archive or the WAL.
+	CounterIngestRejected = "ingest.rejected"
+)
+
+// Names of the durability instrumentation a persistent hist.Store maintains
+// (stores opened with OpenStore / OpenShardedStore; in-memory stores record
+// none of these).
+const (
+	// CounterWALRecords counts batch records appended to the write-ahead log.
+	CounterWALRecords = "wal.records"
+	// CounterWALBytes counts bytes appended to the write-ahead log.
+	CounterWALBytes = "wal.bytes"
+	// CounterWALFsyncs counts fsyncs of the write-ahead log (one per record
+	// under the "always" sync policy, one per tick under "interval").
+	CounterWALFsyncs = "wal.fsyncs"
+	// CounterWALErrors counts failed WAL appends or syncs — batches that
+	// stayed visible in memory but did not become durable.
+	CounterWALErrors = "wal.errors"
+	// CounterSegmentFlushes counts segment files written by compaction.
+	CounterSegmentFlushes = "segment.flushes"
+	// CounterSegmentBytes counts bytes written to segment files.
+	CounterSegmentBytes = "segment.bytes"
+	// CounterRecoveryBatches counts WAL batch records replayed at OpenStore.
+	CounterRecoveryBatches = "recovery.batches"
+	// CounterRecoveryTrips counts trips recovered at OpenStore (segment file
+	// plus WAL replay).
+	CounterRecoveryTrips = "recovery.trips"
+	// CounterRecoveryTornBytes counts WAL bytes discarded at OpenStore —
+	// the torn tail of a crashed append plus anything after it.
+	CounterRecoveryTornBytes = "recovery.torn_bytes"
 )
 
 // Names of the sharded-archive instrumentation hist.ShardedStore maintains.

@@ -32,7 +32,47 @@ go test -timeout 300s -race -count=2 -run Sharded ./internal/hist/ ./internal/co
 go test -timeout 120s -count=2 -run 'Yen|KGRI' ./internal/graphalg/ ./internal/core/
 
 # Bench smoke: the acceleration-layer benchmarks (end-to-end HRIS query,
-# ST-Matching, CH build — each in both oracle modes where applicable) must
-# run one iteration without failing. Real numbers come from
+# ST-Matching, CH build — each in both oracle modes where applicable) plus
+# the live-archive ingest benchmarks (Ingest matches both the in-memory
+# BenchmarkIngest and the WAL-on BenchmarkIngestDurable) must run one
+# iteration without failing. Real numbers come from
 # `go test -bench -benchmem` and cmd/experiments -fig bench-json.
 go test -timeout 300s -run '^$' -bench 'HRISQuery|STMatch|CH|Ingest' -benchtime 1x .
+
+# Crash-recovery smoke, end to end: feed a live NDJSON stream into a durable
+# store through a fifo (so stdin stays open and the process cannot exit
+# cleanly), SIGKILL the process mid-stream, then reopen the same data
+# directory and assert recovery restored at least every batch the killed
+# process acknowledged (-wal-sync always: an acknowledged batch is fsynced).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/gendata" ./cmd/gendata
+go build -o "$tmp/hris" ./cmd/hris
+"$tmp/gendata" -out "$tmp/data" -rows 10 -cols 10 -trips 60 -hotspots 4 -stream 40 > "$tmp/stream.ndjson"
+mkfifo "$tmp/pipe"
+"$tmp/hris" -data "$tmp/data" -data-dir "$tmp/store" -wal-sync always -follow \
+    < "$tmp/pipe" > "$tmp/follow.log" 2>&1 &
+pid=$!
+( cat "$tmp/stream.ndjson"; sleep 60 ) > "$tmp/pipe" &
+writer=$!
+i=0
+until grep -q '^follow: +[1-9]' "$tmp/follow.log"; do
+    i=$((i + 1)); test "$i" -le 300; sleep 0.1
+done
+kill -9 "$pid"
+wait "$pid" || true
+kill "$writer" 2>/dev/null || true
+wait "$writer" || true
+# Every "follow: +N trips" line with N > 0 is one fsynced epoch the killed
+# process acknowledged; the reopened store must be at or past all of them.
+acked=$(grep -c '^follow: +[1-9]' "$tmp/follow.log")
+"$tmp/hris" -data "$tmp/data" -data-dir "$tmp/store" -wal-sync always -follow \
+    < /dev/null > "$tmp/reopen.log" 2>&1
+grep -q 'recovered epoch' "$tmp/reopen.log"
+recovered=$(sed -n 's/.*recovered epoch \([0-9][0-9]*\).*/\1/p' "$tmp/reopen.log")
+test "$recovered" -ge "$acked"
+# A second clean reopen must land on the exact same epoch (recovery is
+# idempotent once the torn tail is gone).
+"$tmp/hris" -data "$tmp/data" -data-dir "$tmp/store" -wal-sync always -follow \
+    < /dev/null > "$tmp/reopen2.log" 2>&1
+grep -q "recovered epoch $recovered " "$tmp/reopen2.log"
