@@ -13,9 +13,11 @@
 // acceleration layer (CH oracle vs plain Dijkstra), -fig freshness streams
 // trips into a live store and profiles accuracy against archive size,
 // -fig shards profiles query latency and ingest throughput of the sharded
-// live archive against shard count, and -fig bench-json (never part of
-// "all") rewrites the checked-in benchmark snapshot at -benchout (default
-// BENCH_6.json).
+// live archive against shard count, -fig load drives the admission-gated
+// serving path with closed-loop clients at increasing concurrency
+// (sustained throughput, shed and degrade rates against offered load), and
+// -fig bench-json (never part of "all") rewrites the checked-in benchmark
+// snapshot at -benchout (default BENCH_8.json).
 package main
 
 import (
@@ -35,10 +37,10 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		quick    = flag.Bool("quick", false, "scaled-down sweep")
-		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel,freshness,shards) or all; bench-json (explicit only) writes the benchmark snapshot")
+		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel,freshness,shards,load) or all; bench-json (explicit only) writes the benchmark snapshot")
 		seed     = flag.Int64("seed", 7, "world seed")
 		csvD     = flag.String("csv", "", "also write each figure as CSV into this directory")
-		benchOut = flag.String("benchout", "BENCH_7.json", "output path for -fig bench-json")
+		benchOut = flag.String("benchout", "BENCH_8.json", "output path for -fig bench-json")
 	)
 	flag.Parse()
 
@@ -184,6 +186,18 @@ func main() {
 			q, ing := eval.ShardProfile(cfg, shardCounts)
 			emit(*csvD, q)
 			emit(*csvD, ing)
+		})
+	}
+	if need("load") {
+		loadClients := []int{1, 2, 5, 10, 20}
+		window := 2 * time.Second
+		if *quick {
+			loadClients = []int{1, 5, 10}
+			window = time.Second
+		}
+		run("load (sustained throughput under admission control)", func() {
+			t, _ := getW().LoadProfile(loadClients, 25*time.Millisecond, window)
+			emit(*csvD, t)
 		})
 	}
 	// bench-json runs only when asked for by name: it re-measures the

@@ -41,13 +41,24 @@
 // whole composite batches.
 //
 // Observability: -metrics prints the per-stage cost breakdown (count,
-// total, p50/p95/max per pipeline stage — the paper's Figure 9 cost
+// total, p50/p95/p99/max per pipeline stage — the paper's Figure 9 cost
 // attribution) after the run; -metrics-json dumps the same snapshot as
 // JSON; -trace prints the query's span timeline. -http starts a debug
 // server exposing /metrics (JSON snapshot), /debug/vars (expvar),
 // /debug/pprof and POST /infer (context-aware inference), and keeps the
 // process alive for scraping until SIGINT/SIGTERM, then shuts down
 // gracefully.
+//
+// Admission control: /infer runs behind a bounded worker queue —
+// -max-inflight concurrent inferences (default GOMAXPROCS), -queue-depth
+// waiters beyond that (default 4× max-inflight), and 429 once both are
+// full. A request whose deadline (the -deadline default or the query's own
+// "deadline_ms" field) would expire before inference can start is shed with
+// 503 instead of burning a worker on a dead answer, and concurrent
+// identical queries coalesce onto one inference. The gate's traffic shows
+// up in /metrics under the server.* instruments (inflight, queue_wait,
+// shed, coalesced); cmd/loadgen drives this surface at a configurable
+// offered load.
 //
 // Shortest paths: -accel selects the network's distance oracle — "ch"
 // (default) builds a contraction hierarchy once and answers queries from
@@ -68,16 +79,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math"
 	"math/rand"
-	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -98,6 +106,9 @@ import (
 type queryJSON struct {
 	Points [][3]float64 `json:"points"`
 	Truth  []int        `json:"truth,omitempty"`
+	// DeadlineMS overrides the server's -deadline for this request (ms).
+	// The budget starts at admission, so queue wait consumes it.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 // tripJSON is one archive trip on the ingestion surfaces (-follow lines and
@@ -143,6 +154,9 @@ func main() {
 		halo     = flag.Float64("halo", -1, "shard halo margin in meters (< 0 uses -phi)")
 		dataDir  = flag.String("data-dir", "", "persist the live archive under this directory (WAL + segment files); empty = in-memory only")
 		walSync  = flag.String("wal-sync", "always", "WAL fsync policy with -data-dir: always, interval or off")
+
+		maxInflight = flag.Int("max-inflight", 0, "max concurrent /infer inferences (< 1 = GOMAXPROCS)")
+		queueDepth  = flag.Int("queue-depth", -1, "max /infer requests waiting beyond -max-inflight before 429 (< 0 = 4x max-inflight)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -224,7 +238,10 @@ func main() {
 	eng := core.NewEngineWithRegistry(st, params, reg)
 	var srv *http.Server
 	if *httpAddr != "" {
-		srv = serveDebug(*httpAddr, eng, st, params)
+		gate := core.NewGate(eng, core.GateConfig{MaxInflight: *maxInflight, QueueDepth: *queueDepth})
+		srv = serveDebug(*httpAddr, &server{
+			eng: eng, gate: gate, st: st, params: params, root: ctx,
+		})
 	}
 
 	var q *traj.Trajectory
@@ -345,104 +362,6 @@ func logRecovery(rs hist.RecoveryStats) {
 		msg += fmt.Sprintf("; dropped %d bytes of torn wal tail", rs.TornBytes)
 	}
 	log.Print(msg)
-}
-
-// serveDebug exposes the engine's metrics snapshot plus the standard Go
-// debug surfaces on addr: /metrics (JSON snapshot), /debug/vars (expvar,
-// including the snapshot under the "hris" key), /debug/pprof, POST /infer
-// and POST /ingest (live trip admission). A bind failure is logged and nil
-// is returned — the CLI run still proceeds without the server. The returned
-// server has bounded read/write timeouts and is shut down gracefully by
-// main on SIGINT/SIGTERM.
-func serveDebug(addr string, eng *core.Engine, st hist.Ingester, params core.Params) *http.Server {
-	expvar.Publish("hris", expvar.Func(func() any { return eng.Metrics() }))
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(eng.Metrics()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
-		inferHandler(w, r, eng, params)
-	})
-	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
-		ingestHandler(w, r, st)
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{
-		Addr:    addr,
-		Handler: mux,
-		// /debug/pprof/profile and /trace stream for up to their "seconds"
-		// parameter, so the write timeout leaves them headroom.
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      2 * time.Minute,
-		IdleTimeout:       2 * time.Minute,
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		log.Printf("debug server: %v; continuing without it", err)
-		return nil
-	}
-	go func() {
-		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("debug server: %v", err)
-		}
-	}()
-	log.Printf("debug server listening on %s", ln.Addr())
-	return srv
-}
-
-// inferHandler runs inference on a POSTed query JSON ({"points":
-// [[x, y, t], ...]}) under the request's context: a client disconnect or
-// server shutdown cancels the inference, and the engine's -deadline budget
-// applies per request, reporting "degraded" when it expires.
-func inferHandler(w http.ResponseWriter, r *http.Request, eng *core.Engine, params core.Params) {
-	if r.Method != http.MethodPost {
-		http.Error(w, `POST a query JSON: {"points": [[x, y, t], ...]}`, http.StatusMethodNotAllowed)
-		return
-	}
-	var qj queryJSON
-	if err := json.NewDecoder(r.Body).Decode(&qj); err != nil {
-		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	q := &traj.Trajectory{ID: "http-query"}
-	for _, p := range qj.Points {
-		q.Points = append(q.Points, traj.GPSPoint{Pt: geo.Pt(p[0], p[1]), T: p[2]})
-	}
-	res, err := eng.InferRoutesCtx(r.Context(), q, params)
-	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, context.Canceled) {
-			status = http.StatusRequestTimeout // client went away mid-inference
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	type routeJSON struct {
-		Segments roadnet.Route `json:"segments"`
-		Score    float64       `json:"score"`
-	}
-	resp := struct {
-		Routes   []routeJSON `json:"routes"`
-		Degraded bool        `json:"degraded"`
-	}{Degraded: res.Degraded}
-	for _, gr := range res.Routes {
-		resp.Routes = append(resp.Routes, routeJSON{Segments: gr.Route, Score: gr.Score})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("/infer: encode response: %v", err)
-	}
 }
 
 // ingestHandler admits POSTed trips ({"trips": [{"id": "...", "points":

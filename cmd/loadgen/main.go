@@ -1,0 +1,310 @@
+// Command loadgen drives a running hris debug server (cmd/hris -http) with
+// closed-loop inference traffic and reports the latency distribution and the
+// admission-control outcome mix — the measurement half of the serving path's
+// sustained-throughput story.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:6060 -c 32 -duration 10s -deadline 100ms
+//	        [-seed 7 -rows 22 -cols 22 -hotspots 10 -trips 1200]
+//
+// Query material is regenerated, not recorded: loadgen rebuilds the same
+// simulated city as cmd/gendata from the same flags, fast-forwards the trip
+// emitter past the -trips archive trips the server loaded, and turns the
+// NEXT trips — trips the archive has never seen — into low-sampling-rate
+// queries by downsampling them to -interval seconds. Point the world flags
+// at the values gendata ran with and the queries are in-distribution by
+// construction.
+//
+// Closed loop: each of the -c clients sends one request, waits for the
+// response, and immediately sends the next, so offered load follows served
+// throughput the way a pool of real users would (no open-loop coordinated
+// omission). -deadline is attached to every request as "deadline_ms" — the
+// server's admission gate sheds requests it cannot serve in time.
+//
+// The report breaks down every response: served (with p50/p95/p99/max
+// latency and the degraded share), shed (429 queue-full, 503 expired) and
+// errors, plus a one-line machine-greppable "summary:" record and optional
+// full JSON (-json). For scripted smoke tests, -require-no-5xx fails the
+// process if any 5xx or transport error occurred (an under-capacity run
+// must be clean) and -require-shed fails it if the server never shed (an
+// over-capacity run must shed rather than queue without bound).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/traj"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:6060", "base URL of the hris debug server")
+		clients  = flag.Int("c", 8, "concurrent closed-loop clients")
+		duration = flag.Duration("duration", 10*time.Second, "measured load window")
+		deadline = flag.Duration("deadline", 0, "per-request deadline sent as deadline_ms (0 = none)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "client-side HTTP timeout per request")
+		warmup   = flag.Int("warmup", 2, "unmeasured warm-up requests before the window (lets the server build its distance oracle)")
+
+		seed     = flag.Int64("seed", 7, "world seed (match gendata)")
+		rows     = flag.Int("rows", 22, "city grid rows (match gendata)")
+		cols     = flag.Int("cols", 22, "city grid columns (match gendata)")
+		hot      = flag.Int("hotspots", 10, "trip hotspots (match gendata)")
+		trips    = flag.Int("trips", 1200, "archive trips the server loaded (match gendata; the query pool starts after them)")
+		interval = flag.Float64("interval", 180, "query sampling interval in seconds (downsampling rate)")
+		poolSize = flag.Int("queries", 64, "distinct queries in the replay pool")
+
+		jsonOut      = flag.String("json", "", "also write the report as JSON to this file (\"-\" = stdout)")
+		requireNo5xx = flag.Bool("require-no-5xx", false, "exit 1 if any 5xx or transport error occurred")
+		requireShed  = flag.Bool("require-shed", false, "exit 1 if the server never shed (no 429/503)")
+	)
+	flag.Parse()
+	if *clients < 1 {
+		log.Fatalf("-c must be >= 1 (got %d)", *clients)
+	}
+
+	pool := buildPool(*seed, *rows, *cols, *hot, *trips, *interval, *poolSize)
+	log.Printf("query pool: %d queries (interval %.0fs) from trips past the %d-trip archive", len(pool), *interval, *trips)
+	bodies := make([][]byte, len(pool))
+	for i, q := range pool {
+		bodies[i] = marshalQuery(q, *deadline)
+	}
+
+	hc := &http.Client{Timeout: *timeout}
+	url := *addr + "/infer"
+	for i := 0; i < *warmup; i++ {
+		// Warm-up with no deadline: the server's first inference pays the
+		// one-time distance-oracle build, which would otherwise be shed or
+		// counted against the measured tail.
+		if _, _, err := post(hc, url, marshalQuery(pool[i%len(pool)], 0)); err != nil {
+			log.Fatalf("warm-up request: %v (is hris -http running at %s?)", err, *addr)
+		}
+	}
+
+	var (
+		lat      obs.Histogram // latency of served (200) responses
+		mu       sync.Mutex
+		status   = map[int]int{}
+		degraded int
+		netErrs  int
+		total    int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for time.Since(start) < *duration {
+				body := bodies[rng.Intn(len(bodies))]
+				t0 := time.Now()
+				code, deg, err := post(hc, url, body)
+				el := time.Since(t0)
+				mu.Lock()
+				total++
+				if err != nil {
+					netErrs++
+				} else {
+					status[code]++
+					if code == http.StatusOK {
+						if deg {
+							degraded++
+						}
+						mu.Unlock()
+						lat.Observe(el) // concurrency-safe; outside the lock
+						continue
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := buildReport(*clients, *deadline, elapsed, &lat, status, total, netErrs, degraded)
+	r.print(os.Stdout)
+	if *jsonOut != "" {
+		writeJSON(*jsonOut, r)
+	}
+	if *requireNo5xx && (r.Errors5xx > 0 || r.NetErrors > 0) {
+		log.Fatalf("FAIL: -require-no-5xx but saw %d 5xx and %d transport errors", r.Errors5xx, r.NetErrors)
+	}
+	if *requireShed && r.Shed == 0 {
+		log.Fatalf("FAIL: -require-shed but the server never shed (%d requests all admitted)", r.Requests)
+	}
+}
+
+// buildPool regenerates the gendata world and emits fresh post-archive trips
+// as downsampled queries.
+func buildPool(seed int64, rows, cols, hot, trips int, interval float64, n int) []*traj.Trajectory {
+	ccfg := sim.DefaultCityConfig()
+	ccfg.Rows, ccfg.Cols, ccfg.Hotspots = rows, cols, hot
+	city := sim.GenerateCity(ccfg, seed)
+	fcfg := sim.DefaultFleetConfig()
+	fcfg.Trips = trips
+	fcfg.Seed = seed
+	em := sim.NewTripEmitter(city, fcfg)
+	for i := 0; i < trips; i++ {
+		em.Next() // fast-forward past the trips the server's archive holds
+	}
+	var pool []*traj.Trajectory
+	for attempts := 0; len(pool) < n && attempts < 200*n; attempts++ {
+		tr, _, ok := em.Next()
+		if !ok {
+			continue
+		}
+		q := traj.Downsample(tr, interval)
+		if q.Len() < 2 {
+			continue
+		}
+		pool = append(pool, q)
+	}
+	if len(pool) == 0 {
+		log.Fatalf("no usable queries at interval %.0fs — lower -interval or check the world flags", interval)
+	}
+	return pool
+}
+
+func marshalQuery(q *traj.Trajectory, deadline time.Duration) []byte {
+	req := struct {
+		Points     [][3]float64 `json:"points"`
+		DeadlineMS int          `json:"deadline_ms,omitempty"`
+	}{DeadlineMS: int(deadline / time.Millisecond)}
+	for _, p := range q.Points {
+		req.Points = append(req.Points, [3]float64{p.Pt.X, p.Pt.Y, p.T})
+	}
+	out, err := json.Marshal(req)
+	if err != nil {
+		log.Fatalf("marshal query: %v", err)
+	}
+	return out
+}
+
+// post sends one inference request and reports the status code plus whether
+// a 200 response was flagged degraded.
+func post(hc *http.Client, url string, body []byte) (code int, degraded bool, err error) {
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var r struct {
+			Degraded bool `json:"degraded"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&r); err == nil {
+			degraded = r.Degraded
+		}
+	}
+	io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+	return resp.StatusCode, degraded, nil
+}
+
+// report is the run's outcome breakdown; the JSON form is the -json output.
+type report struct {
+	Clients    int     `json:"clients"`
+	DeadlineMS int     `json:"deadline_ms"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+
+	Requests int `json:"requests"`
+	Served   int `json:"served"`
+	Degraded int `json:"degraded"`
+	Shed     int `json:"shed"`
+	ShedFull int `json:"shed_queue_full"` // 429
+	ShedExp  int `json:"shed_expired"`    // 503
+
+	Errors5xx int         `json:"errors_5xx"` // non-shed 5xx (500, 502, ...)
+	NetErrors int         `json:"net_errors"`
+	Status    map[int]int `json:"status"`
+
+	QPS   float64 `json:"served_qps"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+func buildReport(clients int, deadline time.Duration, elapsed time.Duration,
+	lat *obs.Histogram, status map[int]int, total, netErrs, degraded int) *report {
+	st := lat.Stats()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	r := &report{
+		Clients:    clients,
+		DeadlineMS: int(deadline / time.Millisecond),
+		ElapsedSec: elapsed.Seconds(),
+		Requests:   total,
+		Served:     status[http.StatusOK],
+		Degraded:   degraded,
+		ShedFull:   status[http.StatusTooManyRequests],
+		ShedExp:    status[http.StatusServiceUnavailable],
+		NetErrors:  netErrs,
+		Status:     status,
+		P50MS:      ms(st.P50),
+		P95MS:      ms(st.P95),
+		P99MS:      ms(st.P99),
+		MaxMS:      ms(st.Max),
+	}
+	r.Shed = r.ShedFull + r.ShedExp
+	for code, n := range status {
+		if code >= 500 && code != http.StatusServiceUnavailable {
+			r.Errors5xx += n
+		}
+	}
+	if elapsed > 0 {
+		r.QPS = float64(r.Served) / elapsed.Seconds()
+	}
+	return r
+}
+
+func (r *report) print(w io.Writer) {
+	fmt.Fprintf(w, "%d clients for %.1fs, deadline %dms: %d requests (%.1f offered/s)\n",
+		r.Clients, r.ElapsedSec, r.DeadlineMS, r.Requests, float64(r.Requests)/r.ElapsedSec)
+	fmt.Fprintf(w, "served   %d (%.1f/s), p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms, %d degraded\n",
+		r.Served, r.QPS, r.P50MS, r.P95MS, r.P99MS, r.MaxMS, r.Degraded)
+	fmt.Fprintf(w, "shed     %d (%d queue-full 429, %d expired 503)\n", r.Shed, r.ShedFull, r.ShedExp)
+	fmt.Fprintf(w, "errors   %d http 5xx, %d transport\n", r.Errors5xx, r.NetErrors)
+	codes := make([]int, 0, len(r.Status))
+	for c := range r.Status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "  status %d: %d\n", c, r.Status[c])
+	}
+	// One stable greppable record for scripts (verify.sh keys off this).
+	fmt.Fprintf(w, "summary: requests=%d served=%d shed=%d shed_queue=%d shed_expired=%d errors_5xx=%d net_errors=%d degraded=%d qps=%.1f p50_ms=%.2f p95_ms=%.2f p99_ms=%.2f\n",
+		r.Requests, r.Served, r.Shed, r.ShedFull, r.ShedExp, r.Errors5xx, r.NetErrors, r.Degraded,
+		r.QPS, r.P50MS, r.P95MS, r.P99MS)
+}
+
+func writeJSON(path string, r *report) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal report: %v", err)
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+}

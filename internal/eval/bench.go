@@ -18,9 +18,11 @@ import (
 
 // BenchResult is one measured operation of the benchmark suite, in the
 // units `go test -bench -benchmem` reports. P95NsPerOp is set only by the
-// hand-timed measurements (ingestion), where the tail matters more than the
-// mean: a batch that lands on a compaction-triggering epoch pays the
-// memtable-count check and publish, and p95 bounds what a live feed sees.
+// hand-timed measurements (ingestion and load), where the tail matters more
+// than the mean: a batch that lands on a compaction-triggering epoch pays
+// the memtable-count check and publish, and p95 bounds what a live feed
+// sees. The load rows additionally carry the serving-path outcome mix:
+// P99NsPerOp, served QPS, and the shed/degrade shares of the run.
 type BenchResult struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
@@ -29,10 +31,14 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	P95NsPerOp  int64   `json:"p95_ns_per_op,omitempty"`
+	P99NsPerOp  int64   `json:"p99_ns_per_op,omitempty"`
+	QPS         float64 `json:"qps,omitempty"`
+	ShedRate    float64 `json:"shed_rate,omitempty"`
+	DegradeRate float64 `json:"degrade_rate,omitempty"`
 }
 
 // BenchReport is the machine-readable benchmark snapshot cmd/experiments
-// -fig bench-json writes (BENCH_7.json). It pins the headline numbers of
+// -fig bench-json writes (BENCH_8.json). It pins the headline numbers of
 // the shortest-path acceleration layer — end-to-end HRIS inference and
 // ST-Matching with the contraction-hierarchy oracle against the Dijkstra
 // fallback, plus the CH preprocessing cost — and of the live archive:
@@ -41,7 +47,14 @@ type BenchResult struct {
 // composite at one shard (hris_query/sharded — the scatter-gather
 // abstraction overhead), and with durability on (ingest/durable-batch=10
 // pays a per-batch WAL fsync; hris_query/durable reads the same in-memory
-// snapshots, so it must stay within 10% of hris_query/store).
+// snapshots, so it must stay within 10% of hris_query/store). The
+// load/under-capacity and load/over-capacity rows measure the admission-
+// gated serving path under sustained closed-loop traffic (see loadBench):
+// under capacity the gate must be invisible (zero shed, mean served op time
+// within 10% of hris_query/durable — the durable row has no p95, so means
+// are the comparable numbers; the load rows' own p95/p99 bound the tail);
+// at 2× capacity the gate must shed rather than let p99 grow with offered
+// load — served p99 stays bounded by the request deadline.
 type BenchReport struct {
 	World   string        `json:"world"`
 	Results []BenchResult `json:"results"`
@@ -93,6 +106,7 @@ func BenchJSON(cfg WorldConfig) ([]byte, error) {
 	}
 
 	rep.Results = append(rep.Results, liveStoreBench(cfg)...)
+	rep.Results = append(rep.Results, loadBench(cfg)...)
 
 	g := benchGraph(3000, 3)
 	rep.Results = append(rep.Results, record("ch_build/n=3000",

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadProfileShape runs a very short two-level load profile on a small
+// world and checks the structural invariants: every request is accounted
+// for, the served percentiles are monotone, the figure carries one point
+// per level and series, and the over-capacity level (far beyond the gate's
+// worker+queue capacity) either sheds or at least never errors.
+func TestLoadProfileShape(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.CityRows, cfg.CityCols, cfg.Trips = 10, 10, 60
+	w := NewWorld(cfg)
+	levels := []int{1, 12}
+	tab, stats := w.LoadProfile(levels, 25*time.Millisecond, 250*time.Millisecond)
+	if len(stats) != len(levels) {
+		t.Fatalf("got %d levels, want %d", len(stats), len(levels))
+	}
+	for i, s := range stats {
+		if s.Clients != levels[i] {
+			t.Fatalf("level %d clients = %d, want %d", i, s.Clients, levels[i])
+		}
+		if s.Requests == 0 || s.Served == 0 {
+			t.Fatalf("level %d saw no traffic: %+v", i, s)
+		}
+		if got := s.Served + s.ShedQueue + s.ShedExpired + s.Errors; got != s.Requests {
+			t.Fatalf("level %d outcomes %d != requests %d", i, got, s.Requests)
+		}
+		if s.Errors != 0 {
+			t.Fatalf("level %d unexpected errors: %+v", i, s)
+		}
+		if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+			t.Fatalf("level %d percentiles not monotone: %+v", i, s)
+		}
+		if r := s.ShedRate(); r < 0 || r > 1 {
+			t.Fatalf("level %d shed rate %v out of range", i, r)
+		}
+	}
+	// Under capacity (1 client against >= 1 worker) nothing may be shed.
+	if stats[0].ShedQueue+stats[0].ShedExpired != 0 {
+		t.Fatalf("single client was shed: %+v", stats[0])
+	}
+	wantSeries := map[string]bool{"served_qps": true, "p95_ms": true, "p99_ms": true, "shed_pct": true, "degraded_pct": true}
+	for _, s := range tab.Series {
+		if !wantSeries[s.Name] {
+			t.Fatalf("unexpected series %q", s.Name)
+		}
+		if len(s.Points) != len(levels) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.Points), len(levels))
+		}
+		delete(wantSeries, s.Name)
+	}
+	if len(wantSeries) != 0 {
+		t.Fatalf("missing series: %v", wantSeries)
+	}
+}
+
+// TestLoadRecordFields pins the LoadStats → BenchResult mapping.
+func TestLoadRecordFields(t *testing.T) {
+	s := LoadStats{
+		Clients: 2, Elapsed: time.Second, Requests: 100, Served: 80,
+		Degraded: 8, ShedQueue: 15, ShedExpired: 5,
+		QPS: 80, P95: 4 * time.Millisecond, P99: 9 * time.Millisecond,
+	}
+	r := loadRecord("load/x", s)
+	if r.Iterations != 100 || r.QPS != 80 {
+		t.Fatalf("iterations/qps = %d/%v", r.Iterations, r.QPS)
+	}
+	if r.NsPerOp != int64(2*time.Second)/100 {
+		t.Fatalf("NsPerOp = %d, want 2 client-seconds / 100 requests", r.NsPerOp)
+	}
+	if r.P95NsPerOp != 4e6 || r.P99NsPerOp != 9e6 {
+		t.Fatalf("p95/p99 = %d/%d", r.P95NsPerOp, r.P99NsPerOp)
+	}
+	if r.ShedRate != 0.2 || r.DegradeRate != 0.1 {
+		t.Fatalf("shed/degrade = %v/%v", r.ShedRate, r.DegradeRate)
+	}
+}

@@ -140,17 +140,21 @@ func (h *Histogram) Stats() HistStats {
 		Sum:   h.Sum(),
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
 		Max:   h.Max(),
 	}
 }
 
 // HistStats is one histogram's summary inside a Snapshot. Durations are
-// nanoseconds in JSON (Go's time.Duration encoding).
+// nanoseconds in JSON (Go's time.Duration encoding). P99 is the
+// service-level tail: under admission control and load shedding it is the
+// headline latency of the sustained-throughput figure.
 type HistStats struct {
 	Count uint64        `json:"count"`
 	Sum   time.Duration `json:"sum_ns"`
 	P50   time.Duration `json:"p50_ns"`
 	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
 	Max   time.Duration `json:"max_ns"`
 }
 

@@ -111,6 +111,37 @@ const (
 	ShardPrefix = "shard."
 )
 
+// Names of the serving-path instruments core.Gate maintains — the admission
+// control, load-shedding and coalescing layer cmd/hris puts in front of
+// /infer. Under sustained traffic these are the numbers the load generator's
+// report and the sustained-throughput figure are built from.
+const (
+	// HistServerInflight is the concurrent-inference distribution, recorded
+	// as a pseudo-duration of 1µs per occupied worker slot at admission (the
+	// same encoding as HistScatterFanout), so its max bounds the worst
+	// concurrency the gate ever allowed: max ≤ MaxInflight µs by
+	// construction.
+	HistServerInflight = "server.inflight"
+	// HistServerQueueWait is the time a request spent waiting for a worker
+	// slot between admission and inference start (or shed).
+	HistServerQueueWait = "server.queue_wait"
+	// CounterServerShed counts every request the gate refused to serve —
+	// the sum of the .queue and .expired breakdowns below.
+	CounterServerShed = "server.shed"
+	// CounterServerShedQueue counts requests rejected at admission because
+	// the queue was full (HTTP 429).
+	CounterServerShedQueue = "server.shed.queue"
+	// CounterServerShedExpired counts requests shed because their deadline
+	// expired — or would expire, per the gate's running estimate — before
+	// inference could start (HTTP 503): the worker is spent on a request
+	// that can still answer in time instead.
+	CounterServerShedExpired = "server.shed.expired"
+	// CounterServerCoalesced counts requests that shared another in-flight
+	// identical inference instead of computing their own (single-flight
+	// coalescing; the leader is not counted).
+	CounterServerCoalesced = "server.coalesced"
+)
+
 // Names of the deadline/cancellation counters core.Engine maintains for
 // context-aware inference (the ...Ctx entry points and Params.Deadline).
 const (

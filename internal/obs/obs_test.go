@@ -100,6 +100,66 @@ func TestHistogramStats(t *testing.T) {
 	}
 }
 
+// TestHistogramP99AtBucketBoundaries pins the p99 estimate on distributions
+// built from exact bucket upper bounds, where the log-bucketed quantile is
+// exact rather than a ≤2× overestimate: the rank-⌈q·n⌉ observation's own
+// value must come back for every quantile, including the p99 tail the
+// load-shedding figure reports.
+func TestHistogramP99AtBucketBoundaries(t *testing.T) {
+	var h Histogram
+	// 900 × bound(10) = 1.024ms, 90 × bound(12) = 4.096ms, 10 × bound(16) =
+	// 65.536ms. Ranks: p50 → 500 (first group), p95 → 950 (second group),
+	// p99 → 990 (second group: cumulative 990), p99.5 → 995 (third group).
+	for i := 0; i < 900; i++ {
+		h.Observe(bucketBound(10))
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(bucketBound(12))
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(bucketBound(16))
+	}
+	st := h.Stats()
+	if st.P50 != bucketBound(10) {
+		t.Fatalf("P50 = %v, want %v", st.P50, bucketBound(10))
+	}
+	if st.P95 != bucketBound(12) {
+		t.Fatalf("P95 = %v, want %v", st.P95, bucketBound(12))
+	}
+	if st.P99 != bucketBound(12) {
+		t.Fatalf("P99 = %v, want %v (rank 990 sits in the 4.096ms group)", st.P99, bucketBound(12))
+	}
+	if got := h.Quantile(0.995); got != bucketBound(16) {
+		t.Fatalf("Quantile(0.995) = %v, want %v", got, bucketBound(16))
+	}
+	if st.P99 > st.Max || st.P95 > st.P99 || st.P50 > st.P95 {
+		t.Fatalf("quantiles not monotone: %+v", st)
+	}
+	// The JSON surface must carry the new field.
+	out, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(out), `"p99_ns":4096000`) {
+		t.Fatalf("p99_ns missing from JSON: %s", out)
+	}
+	// A single observation below its bucket bound caps p99 at the max, like
+	// the other quantiles.
+	var one Histogram
+	one.Observe(1500 * time.Microsecond)
+	if got := one.Stats().P99; got != 1500*time.Microsecond {
+		t.Fatalf("single-sample P99 = %v, want observed max", got)
+	}
+	// The text table grew the p99 column.
+	r := New()
+	r.Histogram(StageQuery).Observe(time.Millisecond)
+	var buf bytes.Buffer
+	r.Snapshot().WriteText(&buf)
+	if !strings.Contains(buf.String(), "p99") {
+		t.Fatalf("WriteText missing p99 column:\n%s", buf.String())
+	}
+}
+
 func TestHistogramQuantileCappedAtMax(t *testing.T) {
 	var h Histogram
 	h.Observe(1500 * time.Microsecond) // bucket bound 2048µs > max

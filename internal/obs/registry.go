@@ -108,13 +108,13 @@ func (s Snapshot) WriteText(w io.Writer) {
 			}
 			return names[i] < names[j]
 		})
-		fmt.Fprintf(w, "%-20s %8s %12s %10s %10s %10s %10s\n",
-			"stage", "count", "total", "mean", "p50", "p95", "max")
+		fmt.Fprintf(w, "%-20s %8s %12s %10s %10s %10s %10s %10s\n",
+			"stage", "count", "total", "mean", "p50", "p95", "p99", "max")
 		for _, n := range names {
 			st := s.Stages[n]
-			fmt.Fprintf(w, "%-20s %8d %12s %10s %10s %10s %10s\n",
+			fmt.Fprintf(w, "%-20s %8d %12s %10s %10s %10s %10s %10s\n",
 				n, st.Count, fmtDur(st.Sum), fmtDur(st.Mean()),
-				fmtDur(st.P50), fmtDur(st.P95), fmtDur(st.Max))
+				fmtDur(st.P50), fmtDur(st.P95), fmtDur(st.P99), fmtDur(st.Max))
 		}
 	}
 	if len(s.Counters) > 0 {

@@ -76,3 +76,43 @@ test "$recovered" -ge "$acked"
 "$tmp/hris" -data "$tmp/data" -data-dir "$tmp/store" -wal-sync always -follow \
     < /dev/null > "$tmp/reopen2.log" 2>&1
 grep -q "recovered epoch $recovered " "$tmp/reopen2.log"
+
+# Sustained-traffic smoke: serve a full-size dataset (gendata defaults —
+# loadgen's world flags default to the same values, so the two agree with
+# no flags on either side) behind the admission gate and drive it with the
+# closed-loop load generator. Under capacity (2 clients against 2 workers
+# + 2 queue slots, generous deadline) nothing may be shed and no 5xx may
+# escape. Over capacity the server is restarted with the tightest possible
+# gate (1 worker, no queue) so that ANY overlapping pair of arrivals must
+# produce a 429 — with 16 clients, a tight deadline, and -interval 20
+# (dense queries whose inference outlasts a 10ms scheduler slice, so
+# arrivals overlap even on one CPU — on a small dataset inference fits in
+# one slice and requests serialize, never meeting at the gate) it must
+# visibly shed instead of queueing without bound. A quick -fig load
+# exercises the in-process closed-loop figure; the checked-in
+# BENCH_8.json rows come from `cmd/experiments -quick -fig bench-json`.
+go build -o "$tmp/loadgen" ./cmd/loadgen
+"$tmp/gendata" -out "$tmp/data-load" > /dev/null
+"$tmp/hris" -data "$tmp/data-load" -http 127.0.0.1:16060 -max-inflight 2 -queue-depth 2 \
+    < /dev/null > "$tmp/serve.log" 2>&1 &
+srv=$!
+i=0
+until grep -q 'debug server listening' "$tmp/serve.log"; do
+    i=$((i + 1)); test "$i" -le 300; sleep 0.1
+done
+"$tmp/loadgen" -addr http://127.0.0.1:16060 \
+    -c 2 -duration 3s -deadline 2s -require-no-5xx
+kill "$srv"
+wait "$srv" || true
+"$tmp/hris" -data "$tmp/data-load" -http 127.0.0.1:16060 -max-inflight 1 -queue-depth 0 \
+    < /dev/null > "$tmp/serve2.log" 2>&1 &
+srv=$!
+i=0
+until grep -q 'debug server listening' "$tmp/serve2.log"; do
+    i=$((i + 1)); test "$i" -le 300; sleep 0.1
+done
+"$tmp/loadgen" -addr http://127.0.0.1:16060 \
+    -interval 20 -c 16 -duration 3s -deadline 100ms -require-shed
+kill "$srv"
+wait "$srv" || true
+go run ./cmd/experiments -quick -fig load > /dev/null
