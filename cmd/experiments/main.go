@@ -17,7 +17,7 @@
 // serving path with closed-loop clients at increasing concurrency
 // (sustained throughput, shed and degrade rates against offered load), and
 // -fig bench-json (never part of "all") rewrites the checked-in benchmark
-// snapshot at -benchout (default BENCH_8.json).
+// snapshot at -benchout (default BENCH_9.json).
 package main
 
 import (
@@ -40,7 +40,7 @@ func main() {
 		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel,freshness,shards,load) or all; bench-json (explicit only) writes the benchmark snapshot")
 		seed     = flag.Int64("seed", 7, "world seed")
 		csvD     = flag.String("csv", "", "also write each figure as CSV into this directory")
-		benchOut = flag.String("benchout", "BENCH_8.json", "output path for -fig bench-json")
+		benchOut = flag.String("benchout", "BENCH_9.json", "output path for -fig bench-json")
 	)
 	flag.Parse()
 

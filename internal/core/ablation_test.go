@@ -11,12 +11,12 @@ import (
 
 func TestAblateEntropyScoring(t *testing.T) {
 	w := newWorld(t, 50, 121)
-	er := edgeRefs(map[roadnet.EdgeID][]int{0: {1, 2}, 1: {3}})
+	pctx := testPairContext(map[roadnet.EdgeID][]int{0: {1, 2}, 1: {3}})
 	route := roadnet.Route{0, 1}
 	w.p.AblateEntropy = false
-	full, refs := w.exec().scoreRoute(route, er)
+	full, refs := w.exec().scoreRoute(route, pctx)
 	w.p.AblateEntropy = true
-	bare, refs2 := w.exec().scoreRoute(route, er)
+	bare, refs2 := w.exec().scoreRoute(route, pctx)
 	if len(refs) != 3 || len(refs2) != 3 {
 		t.Fatalf("refs: %d, %d", len(refs), len(refs2))
 	}

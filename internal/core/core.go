@@ -14,6 +14,8 @@ package core
 
 import (
 	"math"
+	"math/bits"
+	"slices"
 	"time"
 
 	"repro/internal/geo"
@@ -145,8 +147,11 @@ func DefaultParams() Params {
 type LocalRoute struct {
 	Route roadnet.Route
 	// Refs is C_i(R): the ids of archive trajectories whose references
-	// travel this route (union over the route's segments).
-	Refs map[int]struct{}
+	// travel this route (union over the route's segments), sorted
+	// ascending. The sorted-slice representation makes the transition
+	// confidence of Equation 2 a linear merge (jaccardConf) instead of
+	// per-element map probes.
+	Refs []int32
 	// Popularity is f(R), Equation 1.
 	Popularity float64
 }
@@ -160,15 +165,24 @@ type GlobalRoute struct {
 }
 
 // pairContext is everything the local inference algorithms need for one
-// consecutive query pair ⟨q_i, q_{i+1}⟩.
+// consecutive query pair ⟨q_i, q_{i+1}⟩. The reference support C_i(r) is
+// held densely: the pair's distinct archive trajectory ids are interned
+// into the sorted ids slice, and each traverse edge owns a bitset over
+// those dense indices inside the scratch arena (Definition 9's
+// candidate-edge relation, without one map per edge). Because ids is
+// sorted, iterating a bitset in word/bit order yields ids in ascending
+// order — exactly what the map-based representation produced after
+// sorting, so every downstream score is bit-identical.
 type pairContext struct {
 	pair   int // pair index within the query, for stage timings
 	qi, qj traj.GPSPoint
 	refs   []hist.Reference
-	// edgeRefs is C_i(r): per traverse edge, the archive trajectory ids
-	// whose references travel it (Definition 9's candidate-edge relation).
-	edgeRefs map[roadnet.EdgeID]map[int]struct{}
-	// points are all reference points P_i with their source trajectories.
+	sc     *pairScratch
+	ids    []int32 // sorted distinct archive trajectory ids of this pair
+	words  int     // bitset words per edge: (len(ids)+63)/64
+	// points are all reference points P_i. The main pipeline leaves each
+	// point's sources nil (edge bitsets already carry the support); only
+	// the network-free extension fills them.
 	points []refPoint
 }
 
@@ -177,19 +191,121 @@ type refPoint struct {
 	sources []int // archive trajectory ids of the owning reference
 }
 
-// buildPairContext assembles the traverse-edge and reference-point maps.
+// idIndex returns id's dense index — its rank in the sorted ids slice.
+// Callers only look up ids collected by buildPairContext, so the search
+// always hits.
+func (ctx *pairContext) idIndex(id int32) int32 {
+	lo, hi := 0, len(ctx.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ctx.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// touchEdge returns edge e's reference bitset, creating a zeroed slot on
+// first touch.
+func (ctx *pairContext) touchEdge(e roadnet.EdgeID) []uint64 {
+	sc := ctx.sc
+	if sc.edgeVer[e] == sc.ever {
+		k := int(sc.edgeSlot[e])
+		return sc.bits[k*ctx.words : (k+1)*ctx.words]
+	}
+	k := len(sc.edges)
+	sc.edgeVer[e] = sc.ever
+	sc.edgeSlot[e] = int32(k)
+	sc.edges = append(sc.edges, e)
+	for i := 0; i < ctx.words; i++ {
+		sc.bits = append(sc.bits, 0)
+	}
+	return sc.bits[k*ctx.words : (k+1)*ctx.words]
+}
+
+// edgeBits returns edge e's reference bitset, nil when no reference
+// supports e this pair.
+func (ctx *pairContext) edgeBits(e roadnet.EdgeID) []uint64 {
+	sc := ctx.sc
+	if int(e) < 0 || int(e) >= len(sc.edgeVer) || sc.edgeVer[e] != sc.ever {
+		return nil
+	}
+	k := int(sc.edgeSlot[e])
+	return sc.bits[k*ctx.words : (k+1)*ctx.words]
+}
+
+// refIDs materializes a reference bitset as a freshly allocated sorted id
+// slice — the form LocalRoute.Refs publishes past the pair boundary.
+func (ctx *pairContext) refIDs(set []uint64) []int32 {
+	n := 0
+	for _, w := range set {
+		n += bits.OnesCount64(w)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, 0, n)
+	for wi, w := range set {
+		for w != 0 {
+			out = append(out, ctx.ids[wi*64+bits.TrailingZeros64(w)])
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// buildPairContext assembles the dense traverse-edge support and the
+// reference-point list inside the exec's scratch arena.
 func (x exec) buildPairContext(pair int, qi, qj traj.GPSPoint, refs []hist.Reference) *pairContext {
-	ctx := &pairContext{pair: pair, qi: qi, qj: qj, refs: refs,
-		edgeRefs: make(map[roadnet.EdgeID]map[int]struct{})}
+	sc := x.sc
+	if sc == nil {
+		sc = newPairScratch() // tests poking at internals without a pool
+	}
+	ctx := &sc.pctx
+	*ctx = pairContext{pair: pair, qi: qi, qj: qj, refs: refs, sc: sc}
+	sc.beginPair(x.eng.g.NumSegments())
+
+	// Pass 1: intern every source trajectory id of the pair. Collecting a
+	// superset (refs the deadline later truncates) is harmless — unset bits
+	// contribute nothing to any count.
+	idBuf := sc.idBuf[:0]
+	for _, r := range refs {
+		idBuf = append(idBuf, int32(r.SourceA))
+		if r.SourceB >= 0 {
+			idBuf = append(idBuf, int32(r.SourceB))
+		}
+	}
+	slices.Sort(idBuf)
+	sc.idBuf = idBuf
+	ids := sc.ids[:0]
+	for i, id := range idBuf {
+		if i == 0 || id != idBuf[i-1] {
+			ids = append(ids, id)
+		}
+	}
+	sc.ids = ids
+	ctx.ids = ids
+	ctx.words = (len(ids) + 63) / 64
+
+	// Pass 2: set each reference's bits on the candidate edges its points
+	// support.
+	points := sc.points[:0]
 	for _, r := range refs {
 		// Checkpoint per reference: a truncated context is acceptable —
 		// the caller re-checks expiry and degrades the whole pair.
 		if x.expired() {
 			break
 		}
-		srcs := r.SourceIDs()
+		srcIdx := sc.srcIdx[:0]
+		srcIdx = append(srcIdx, ctx.idIndex(int32(r.SourceA)))
+		if r.SourceB >= 0 {
+			srcIdx = append(srcIdx, ctx.idIndex(int32(r.SourceB)))
+		}
+		sc.srcIdx = srcIdx
 		for j, p := range r.Points {
-			ctx.points = append(ctx.points, refPoint{pt: p.Pt, sources: srcs})
+			points = append(points, refPoint{pt: p.Pt})
 			heading, hasHeading := travelHeading(r.Points, j)
 			for _, c := range x.eng.cands.CandidateEdges(p.Pt, x.p.CandEps) {
 				// The preprocessing component map-matches archive points
@@ -200,17 +316,15 @@ func (x exec) buildPairContext(pair int, qi, qj traj.GPSPoint, refs []hist.Refer
 				if hasHeading && !x.edgeAligned(c.Edge, heading) {
 					continue
 				}
-				set, ok := ctx.edgeRefs[c.Edge]
-				if !ok {
-					set = make(map[int]struct{})
-					ctx.edgeRefs[c.Edge] = set
-				}
-				for _, id := range srcs {
-					set[id] = struct{}{}
+				set := ctx.touchEdge(c.Edge)
+				for _, di := range srcIdx {
+					set[di>>6] |= 1 << (di & 63)
 				}
 			}
 		}
 	}
+	sc.points = points
+	ctx.points = points
 	return ctx
 }
 

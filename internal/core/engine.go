@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
+	runtimemetrics "runtime/metrics"
 	"strconv"
 	"time"
 
@@ -38,6 +40,11 @@ type Engine struct {
 	cands *roadnet.CandidateCache // candidate-edge cache (per point × ε)
 
 	met *metrics // nil when built without a registry: zero-cost no-op
+
+	// noPool disables the scratch-arena pool: every worker gets a fresh
+	// arena instead of a recycled one. Test hook for the pooled-vs-unpooled
+	// equivalence and leak checks — pooling must never change an output.
+	noPool bool
 }
 
 // NewEngine builds an engine over an archive source — a frozen
@@ -162,7 +169,59 @@ func (e *Engine) Metrics() obs.Snapshot {
 		s.Counters["oracle.ch.down_arcs"] = uint64(st.DownArcs)
 		s.Counters["oracle.ch.preprocess_us"] = uint64(st.Build.Microseconds())
 	}
+	runtimeGauges(s.Counters)
 	return s
+}
+
+// runtimeGauges folds process-level memory and GC state into the snapshot —
+// the observable face of the allocation-free hot path (DESIGN.md "Memory
+// discipline"). It samples runtime/metrics, which reads cheap internal
+// counters, rather than runtime.ReadMemStats, which stops the world.
+func runtimeGauges(counters map[string]uint64) {
+	samples := []runtimemetrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	runtimemetrics.Read(samples)
+	if samples[0].Value.Kind() == runtimemetrics.KindUint64 {
+		counters["runtime.heap.objects_bytes"] = samples[0].Value.Uint64()
+	}
+	if samples[1].Value.Kind() == runtimemetrics.KindUint64 {
+		counters["runtime.gc.cycles"] = samples[1].Value.Uint64()
+	}
+	if samples[2].Value.Kind() == runtimemetrics.KindFloat64Histogram {
+		if h := samples[2].Value.Float64Histogram(); h != nil {
+			counters["runtime.gc.pause_p95_ns"] = uint64(histQuantile(h, 95) * 1e9)
+		}
+	}
+}
+
+// histQuantile reads the pct-th percentile out of a runtime/metrics
+// histogram: the upper bound of the bucket where the cumulative count first
+// reaches ceil(total·pct/100). Boundary buckets with infinite bounds report
+// their finite side.
+func histQuantile(h *runtimemetrics.Float64Histogram, pct int) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := (total*uint64(pct) + 99) / 100
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= thresh {
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				return h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
 }
 
 // foldDiskGauges adds a durable store's on-disk state to the snapshot:
@@ -289,6 +348,12 @@ type exec struct {
 	// cancellation (abort).
 	ctx  context.Context
 	done <-chan struct{}
+
+	// sc is the scratch arena of the worker this exec copy belongs to, set
+	// by the entry points right after newExec. exec is passed by value, so
+	// each worker's binding is private; a nil sc makes buildPairContext
+	// allocate a throwaway arena (unit-test paths).
+	sc *pairScratch
 }
 
 // newExec binds one invocation to its context, the engine's instruments

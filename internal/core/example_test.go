@@ -59,12 +59,12 @@ func ExampleKGRI() {
 		}
 		return roadnet.NoEdge
 	}
-	refs := func(ids ...int) map[int]struct{} {
-		m := make(map[int]struct{})
+	refs := func(ids ...int) []int32 {
+		out := make([]int32, 0, len(ids))
 		for _, id := range ids {
-			m[id] = struct{}{}
+			out = append(out, int32(id))
 		}
-		return m
+		return out // callers pass sorted unique ids
 	}
 	locals := [][]core.LocalRoute{
 		{{Route: roadnet.Route{edge(0, 1)}, Refs: refs(1, 2), Popularity: 2.0}},

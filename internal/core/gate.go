@@ -2,9 +2,7 @@ package core
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
-	"hash/fnv"
 	"math"
 	"runtime"
 	"sync"
@@ -264,14 +262,15 @@ func viewEpochKey(v hist.View) (uint64, uint64) {
 // hashQuery folds a query trajectory's points into an FNV-1a content hash.
 // Identical point sequences — the replayed queries of a polling client, or
 // a popular OD pair hitting many users at once — collide onto one flight.
+// The fold is inlined (fnvMix64 in scratch.go) instead of going through
+// hash/fnv's Writer, whose interface call and byte buffer allocate on a path
+// every admitted request crosses; the digest is bit-identical.
 func hashQuery(q *traj.Trajectory) uint64 {
-	h := fnv.New64a()
-	var buf [24]byte
+	h := uint64(fnvOffset64)
 	for _, pt := range q.Points {
-		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(pt.Pt.X))
-		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(pt.Pt.Y))
-		binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(pt.T))
-		h.Write(buf[:])
+		h = fnvMix64(h, math.Float64bits(pt.Pt.X))
+		h = fnvMix64(h, math.Float64bits(pt.Pt.Y))
+		h = fnvMix64(h, math.Float64bits(pt.T))
 	}
-	return h.Sum64()
+	return h
 }

@@ -119,13 +119,17 @@ func (e *Engine) inferRoutes(ctx context.Context, q *traj.Trajectory, p Params, 
 	n := q.Len() - 1
 	qt0 := x.stageStart()
 	outs := make([]pairOutcome, n)
-	work := func(i int) {
-		outs[i] = x.inferPair(i, q.Points[i], q.Points[i+1])
-	}
+	// Each worker checks one scratch arena out of the pool and reuses it
+	// across every pair it processes; exec is copied by value, so the arena
+	// binding is private to the worker. The arena never outlives the loop —
+	// everything a pair publishes into outs is freshly allocated.
 	if workers := x.pairWorkers(n); workers <= 1 {
+		xw := x
+		xw.sc = e.getScratch()
 		for i := 0; i < n; i++ {
-			work(i)
+			outs[i] = xw.inferPair(i, q.Points[i], q.Points[i+1])
 		}
+		e.putScratch(xw.sc)
 	} else {
 		jobs := make(chan int)
 		var wg sync.WaitGroup
@@ -133,8 +137,11 @@ func (e *Engine) inferRoutes(ctx context.Context, q *traj.Trajectory, p Params, 
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				xw := x
+				xw.sc = e.getScratch()
+				defer e.putScratch(xw.sc)
 				for i := range jobs {
-					work(i)
+					outs[i] = xw.inferPair(i, q.Points[i], q.Points[i+1])
 				}
 			}()
 		}
@@ -340,6 +347,8 @@ func (e *Engine) PairLocalRoutes(qi, qj traj.GPSPoint, m Method, p Params) ([]Lo
 func (e *Engine) PairLocalRoutesCtx(ctx context.Context, qi, qj traj.GPSPoint, m Method, p Params) ([]LocalRoute, PairStats) {
 	p.Method = m
 	x := e.newExec(ctx, p, nil)
+	x.sc = e.getScratch()
+	defer e.putScratch(x.sc)
 	t0 := x.stageStart()
 	refs := e.refs.ReferencesOn(ctx, x.snap, qi, qj, x.searchParams())
 	x.stageDone(obs.StageReferenceSearch, 0, t0, len(refs))

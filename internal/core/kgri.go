@@ -33,6 +33,13 @@ type partial struct {
 	score float64
 }
 
+// kgriCand identifies a DP candidate by parent partial plus score; the
+// buffer holding them is pooled (kgriPool in scratch.go).
+type kgriCand struct {
+	pj, pi int
+	score  float64
+}
+
 // KGRI runs the top-K Global Route Inference dynamic program (Algorithm 3)
 // over the per-pair local route sets. The matrix entry M[i][j] keeps the K
 // highest-scoring partial routes ending with local route j of pair i; the
@@ -63,35 +70,20 @@ func kgriDone(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition
 			return nil, false // a pair with no local routes breaks every chain
 		}
 	}
-	// The transition factor is a Jaccard similarity; iterating Go maps for
-	// every (prev, cur) local-route pair dominates the DP's cost, so each
-	// route's reference set is flattened to a sorted slice once and the
-	// intersections run as linear merges. inter/union come out as the same
-	// integers either way, so every score is bit-identical.
-	var refIDs [][][]int32
-	if !constantTransition {
-		refIDs = make([][][]int32, n)
-		for i, set := range locals {
-			rs := make([][]int32, len(set))
-			for j, lr := range set {
-				rs[j] = sortedRefs(lr.Refs)
-			}
-			refIDs[i] = rs
-		}
-	}
 	// M[j] for the current pair i.
 	M := make([][]partial, len(locals[0]))
 	for j, lr := range locals[0] {
 		M[j] = []partial{{parts: []int{j}, score: lr.Popularity}}
 	}
-	// cand defers the parts copy: the DP generates m·K candidates per local
-	// route but keeps only K, and a candidate is fully identified by its
-	// parent partial plus the current index, so only survivors materialize.
-	type cand struct {
-		pj, pi int
-		score  float64
-	}
-	var cands []cand
+	// kgriCand defers the parts copy: the DP generates m·K candidates per
+	// local route but keeps only K, and a candidate is fully identified by
+	// its parent partial plus the current index, so only survivors
+	// materialize. The candidate buffer comes from a pool — it is the one
+	// allocation the DP's inner loop would otherwise repeat per query.
+	ks := kgriPool.Get().(*kgriScratch)
+	defer kgriPool.Put(ks)
+	cands := ks.cands[:0]
+	defer func() { ks.cands = cands }()
 	for i := 1; i < n; i++ {
 		if graphalg.Stopped(done) {
 			return greedyFinish(g, locals, M, i), true
@@ -102,10 +94,14 @@ func kgriDone(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition
 			for pj := range locals[i-1] {
 				gConf := 1.0
 				if !constantTransition {
-					gConf = jaccardConf(refIDs[i-1][pj], refIDs[i][j])
+					// LocalRoute.Refs is sorted, so the Jaccard transition
+					// factor runs as a linear merge — same inter/union
+					// integers as the old map intersection, bit-identical
+					// scores.
+					gConf = jaccardConf(locals[i-1][pj].Refs, locals[i][j].Refs)
 				}
 				for pi, p := range M[pj] {
-					cands = append(cands, cand{pj: pj, pi: pi, score: p.score * gConf * lr.Popularity})
+					cands = append(cands, kgriCand{pj: pj, pi: pi, score: p.score * gConf * lr.Popularity})
 				}
 			}
 			// Same order as lessPartial over the materialized partials: all
@@ -204,7 +200,7 @@ func BruteForceGlobalRoutes(g *roadnet.Graph, locals [][]LocalRoute, k int) []Gl
 		for j, lr := range locals[i] {
 			s := score * lr.Popularity
 			if i > 0 {
-				s *= transitionConfidence(locals[i-1][parts[i-1]].Refs, lr.Refs)
+				s *= jaccardConf(locals[i-1][parts[i-1]].Refs, lr.Refs)
 			}
 			parts[i] = j
 			walk(i+1, s)

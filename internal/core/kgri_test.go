@@ -94,7 +94,7 @@ func TestKGRIScoresSortedAndComputedRight(t *testing.T) {
 		for i, j := range r.Parts {
 			s *= locals[i][j].Popularity
 			if i > 0 {
-				s *= transitionConfidence(locals[i-1][r.Parts[i-1]].Refs, locals[i][j].Refs)
+				s *= jaccardConf(locals[i-1][r.Parts[i-1]].Refs, locals[i][j].Refs)
 			}
 		}
 		if math.Abs(s-r.Score) > 1e-12*math.Max(1, s) {

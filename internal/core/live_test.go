@@ -37,8 +37,8 @@ func encodeFull(v hist.View, res *Result) string {
 	for i, locals := range res.Locals {
 		for _, lr := range locals {
 			ids := make([]string, 0, len(lr.Refs))
-			for t := range lr.Refs {
-				ids = append(ids, v.Traj(t).ID)
+			for _, t := range lr.Refs {
+				ids = append(ids, v.Traj(int(t)).ID)
 			}
 			sort.Strings(ids)
 			fmt.Fprintf(&b, "L%d %v %x %v\n", i, lr.Route, lr.Popularity, ids)

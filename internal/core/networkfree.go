@@ -72,6 +72,11 @@ func inferPathsNetworkFree(ctx context.Context,
 		return nil, ErrEmptyQuery
 	}
 	done := ctx.Done()
+	// The transit-trace recursion runs off a pooled scratch arena here just
+	// like the network-backed path; everything published below (polylines,
+	// support sets) is freshly built, so nothing aliases the arena.
+	sc := pairScratchPool.Get().(*pairScratch)
+	defer pairScratchPool.Put(sc)
 	sp := hist.SearchParams{
 		Phi: p.Phi, SpliceEps: p.SpliceEps,
 		SpliceMinSimple: p.SpliceMinSimple, VMax: vmax,
@@ -95,9 +100,9 @@ func inferPathsNetworkFree(ctx context.Context,
 				pts = append(pts, refPoint{pt: gp.Pt, sources: srcs})
 			}
 		}
-		points, traces := enumerateTransitTraces(pts, qi.Pt, qj.Pt, p, done)
+		points, traces := enumerateTransitTraces(sc, pts, qi.Pt, qj.Pt, p, done)
 		var cands []freeLocal
-		seen := make(map[string]bool)
+		seen := make(map[uint64][]geo.Polyline)
 		for _, tr := range traces {
 			path := geo.Polyline(tracePoints(points, tr, qi.Pt, qj.Pt))
 			support := make(map[int]struct{})
@@ -108,11 +113,18 @@ func inferPathsNetworkFree(ctx context.Context,
 					}
 				}
 			}
-			key := pathKey(path)
-			if seen[key] {
+			h := pathHash(path)
+			dup := false
+			for _, prev := range seen[h] {
+				if samePathKey(prev, path) {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[key] = true
+			seen[h] = append(seen[h], path)
 			cands = append(cands, freeLocal{path: path, support: support})
 		}
 		if len(cands) == 0 {
@@ -194,12 +206,34 @@ func inferPathsNetworkFree(ctx context.Context,
 	return out, nil
 }
 
-// pathKey produces a coarse dedup key for a polyline (50 m resolution).
-func pathKey(p geo.Polyline) string {
-	b := make([]byte, 0, len(p)*4)
+// pathHash folds a polyline's coarse (50 m resolution) coordinate key into
+// an FNV-1a hash — byte-for-byte the stream the old string key carried, so
+// the dedup resolution is unchanged. Buckets are verified with samePathKey,
+// so a hash collision can never drop a distinct path.
+func pathHash(p geo.Polyline) uint64 {
+	h := uint64(fnvOffset64)
 	for _, pt := range p {
 		x, y := int(pt.X/50), int(pt.Y/50)
-		b = append(b, byte(x), byte(x>>8), byte(y), byte(y>>8))
+		for _, b := range [4]byte{byte(x), byte(x >> 8), byte(y), byte(y >> 8)} {
+			h ^= uint64(b)
+			h *= fnvPrime64
+		}
 	}
-	return string(b)
+	return h
+}
+
+// samePathKey reports whether two polylines share the coarse dedup key —
+// equal length and equal 50 m cell coordinates truncated to 16 bits, exactly
+// the equality the old string key encoded.
+func samePathKey(a, b geo.Polyline) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if uint16(int(a[i].X/50)) != uint16(int(b[i].X/50)) ||
+			uint16(int(a[i].Y/50)) != uint16(int(b[i].Y/50)) {
+			return false
+		}
+	}
+	return true
 }

@@ -10,21 +10,24 @@ import (
 	"repro/internal/rtree"
 )
 
-// dedupPoints keeps one reference point per cell×cell meter grid square,
-// merging the source-trajectory sets of collapsed points.
-func dedupPoints(pts []refPoint, cell float64) []refPoint {
-	type key struct{ x, y int }
-	idx := make(map[key]int)
-	var out []refPoint
+// dedupPointsInto keeps one reference point per cell×cell meter grid square,
+// merging the source-trajectory sets of collapsed points. The output lives in
+// sc's point buffer; each entry's sources slice is a fresh copy (nil stays
+// nil), so merged source sets never alias the caller's refPoints.
+func dedupPointsInto(sc *pairScratch, pts []refPoint, cell float64) []refPoint {
+	idx := sc.dedupIdx
+	clear(idx)
+	out := sc.nniPoints[:0]
 	for _, rp := range pts {
-		k := key{int(math.Floor(rp.pt.X / cell)), int(math.Floor(rp.pt.Y / cell))}
+		k := [2]int{int(math.Floor(rp.pt.X / cell)), int(math.Floor(rp.pt.Y / cell))}
 		if i, ok := idx[k]; ok {
 			out[i].sources = append(out[i].sources, rp.sources...)
 			continue
 		}
-		idx[k] = len(out)
+		idx[k] = int32(len(out))
 		out = append(out, refPoint{pt: rp.pt, sources: append([]int(nil), rp.sources...)})
 	}
+	sc.nniPoints = out
 	return out
 }
 
@@ -40,7 +43,8 @@ func dedupPoints(pts []refPoint, cell float64) []refPoint {
 // a physical route by map-matching its point sequence.
 func (x exec) inferNNI(pctx *pairContext) []LocalRoute {
 	p := x.p
-	points, traces := enumerateTransitTraces(pctx.points, pctx.qi.Pt, pctx.qj.Pt, p, x.done)
+	sc := pctx.sc
+	points, traces := enumerateTransitTraces(sc, pctx.points, pctx.qi.Pt, pctx.qj.Pt, p, x.done)
 	if len(traces) == 0 {
 		return nil
 	}
@@ -49,43 +53,52 @@ func (x exec) inferNNI(pctx *pairContext) []LocalRoute {
 	// The traces overwhelmingly reuse the same reference points and the
 	// same consecutive snaps, so one memoizing projector serves the whole
 	// batch — every candidate search and shortest-path bridge runs once.
-	seen := make(map[string]bool)
+	// The projector itself is part of the scratch arena: Reset drops the
+	// memos but keeps their backing storage warm across pairs.
 	var out []LocalRoute
 	mprm := mapmatch.DefaultParams()
 	mprm.CandidateRadius = p.CandEps
-	pj := mapmatch.NewProjector(x.eng.g, mprm)
+	if sc.pj == nil {
+		sc.pj = mapmatch.NewProjector(x.eng.g, mprm)
+	} else {
+		sc.pj.Reset(x.eng.g, mprm)
+	}
 	for _, tr := range traces {
 		if graphalg.Stopped(x.done) {
 			break // partial route set; the caller degrades the pair
 		}
-		pts := tracePoints(points, tr, pctx.qi.Pt, pctx.qj.Pt)
-		route, err := pj.Project(x.ctx, pts)
+		sc.ptsBuf = tracePointsInto(sc.ptsBuf[:0], points, tr, pctx.qi.Pt, pctx.qj.Pt)
+		route, err := sc.pj.Project(x.ctx, sc.ptsBuf)
 		if err != nil || len(route) == 0 {
 			continue
 		}
-		key := route.Key()
-		if seen[key] {
+		if sc.routeSeen(route) {
 			continue
 		}
-		seen[key] = true
-		pop, refs := x.scoreRoute(route, pctx.edgeRefs)
+		pop, refs := x.scoreRoute(route, pctx)
 		out = append(out, LocalRoute{Route: route, Refs: refs, Popularity: pop})
 	}
 	return capLocalRoutes(out, p.MaxLocalRoutes)
 }
 
-// tracePoints materializes a transit trace as a point sequence from q_i to
-// q_{i+1}. The trailing sink marker (len(points)) is skipped.
-func tracePoints(points []refPoint, trace []int, qi, qj geo.Point) []geo.Point {
-	pts := make([]geo.Point, 0, len(trace)+2)
-	pts = append(pts, qi)
+// tracePointsInto materializes a transit trace as a point sequence from q_i
+// to q_{i+1}, appending to dst. The trailing sink marker (len(points)) is
+// skipped.
+func tracePointsInto(dst []geo.Point, points []refPoint, trace []int, qi, qj geo.Point) []geo.Point {
+	dst = append(dst, qi)
 	for _, node := range trace {
 		if node < len(points) {
-			pts = append(pts, points[node].pt)
+			dst = append(dst, points[node].pt)
 		}
 	}
-	pts = append(pts, qj)
-	return pts
+	return append(dst, qj)
+}
+
+// tracePoints is tracePointsInto with a fresh slice — the network-free
+// extension keeps traces beyond a single iteration, so it cannot share the
+// scratch buffer the hot path uses.
+func tracePoints(points []refPoint, trace []int, qi, qj geo.Point) []geo.Point {
+	return tracePointsInto(make([]geo.Point, 0, len(trace)+2), points, trace, qi, qj)
 }
 
 // enumerateTransitTraces runs Algorithm 2's recursion over bare reference
@@ -95,14 +108,22 @@ func tracePoints(points []refPoint, trace []int, qi, qj geo.Point) []geo.Point {
 // which is what makes the network-free extension possible. done (nil =
 // uncancellable) is polled every 256 recursion steps; a stopped enumeration
 // returns the traces completed so far.
-func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params, done <-chan struct{}) ([]refPoint, [][]int) {
+//
+// All working state — the kNN iterator, the successor arena, the dense memo
+// tables — lives in sc (nil allocates a fresh arena — the unit-test path).
+// The returned slices are backed by sc and must be consumed before the
+// scratch is recycled; the individual traces are fresh copies.
+func enumerateTransitTraces(sc *pairScratch, rawPoints []refPoint, qiPt, qjPt geo.Point, p Params, done <-chan struct{}) ([]refPoint, [][]int) {
+	if sc == nil {
+		sc = newPairScratch()
+	}
 	// Collapse nearby reference points: GPS noise scatters many archive
 	// samples of the same road into a 2D band, and at fine resolution every
 	// node's k nearest neighbors are band-mates — the transit graph would
 	// never leave the band. A 100 m cell (well under the typical reference
 	// sample spacing) collapses the band to single file along the roads
 	// while keeping the corridor structure the recursion walks on.
-	points := dedupPoints(rawPoints, 100)
+	points := dedupPointsInto(sc, rawPoints, 100)
 	n := len(points)
 	if n == 0 {
 		return nil, nil
@@ -111,7 +132,7 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 	sinkNode := n // the destination participates in the kNN stream
 
 	// Index reference points plus the destination for kNN streaming.
-	entries := make([]rtree.Entry[int], 0, n+1)
+	entries := sc.entries[:0]
 	for i, rp := range points {
 		entries = append(entries, rtree.Entry[int]{
 			Box: geo.BBox{Min: rp.pt, Max: rp.pt}, Item: i,
@@ -120,6 +141,7 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 	entries = append(entries, rtree.Entry[int]{
 		Box: geo.BBox{Min: qjPt, Max: qjPt}, Item: sinkNode,
 	})
+	sc.entries = entries
 	idx := rtree.Bulk(entries)
 
 	posOf := func(node int) geo.Point {
@@ -135,11 +157,13 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 	dest := qjPt
 
 	// successors performs the constrained kNN of Algorithm 2 lines 7–17.
+	// The returned slice is sc.nn — valid only until the next call.
 	successors := func(node int, alpha float64) []int {
 		pc := posOf(node)
 		dCur := pc.Dist(dest)
-		var nn []int
-		it := idx.Nearest(pc)
+		nn := sc.nn[:0]
+		it := &sc.nnIter
+		idx.NearestInto(pc, it)
 		for len(nn) < p.K2 {
 			e, _, ok := it.Next()
 			if !ok {
@@ -161,7 +185,9 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 				continue // line 11: relative detour too long
 			}
 			if cand == sinkNode {
-				return []int{sinkNode} // lines 13–16: go straight home
+				nn = append(nn[:0], sinkNode) // lines 13–16: go straight home
+				sc.nn = nn
+				return nn
 			}
 			nn = append(nn, cand)
 		}
@@ -172,8 +198,36 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 		sort.Slice(nn, func(a, b int) bool {
 			return posOf(nn[a]).Dist2(dest) < posOf(nn[b]).Dist2(dest)
 		})
+		sc.nn = nn
 		return nn
 	}
+
+	// The dense memo maps node → an (offset, length) window of succArena,
+	// replacing the map[int][]int. Indexing is node+1 so the virtual source
+	// (-1) and sink (n) fit. Windows are re-sliced from the current arena at
+	// every use: append may move the backing array, but it never mutates
+	// already-written elements, so recorded windows stay valid across growth.
+	memoOff, memoLen := sc.memoOff, sc.memoLen
+	if cap(memoOff) < n+2 {
+		memoOff = make([]int32, n+2)
+		memoLen = make([]int32, n+2)
+	} else {
+		memoOff, memoLen = memoOff[:n+2], memoLen[:n+2]
+	}
+	for i := range memoLen {
+		memoLen[i] = -1
+	}
+	sc.memoOff, sc.memoLen = memoOff, memoLen
+	sc.succArena = sc.succArena[:0]
+
+	onPath := sc.onPath
+	if cap(onPath) < n+2 {
+		onPath = make([]bool, n+2)
+	} else {
+		onPath = onPath[:n+2]
+		clear(onPath)
+	}
+	sc.onPath = onPath
 
 	// Depth-first enumeration with optional transit-graph sharing. The
 	// step budget bounds the exploration when sharing is disabled — the
@@ -181,10 +235,8 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 	// inefficiency the transit graph exists to fix (Figure 13b).
 	steps := 0
 	maxSteps := (p.MaxNNIPaths + 1) * 400
-	memo := make(map[int][]int)
-	var traces [][]int
-	onPath := make(map[int]bool)
-	var trace []int
+	traces := sc.traces[:0]
+	trace := sc.trace[:0]
 	var dfs func(node int, alpha float64)
 	dfs = func(node int, alpha float64) {
 		steps++
@@ -199,21 +251,27 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 			traces = append(traces, append([]int(nil), trace...))
 			return
 		}
-		var succ []int
-		if p.ShareSubstructures {
-			var ok bool
-			succ, ok = memo[node]
-			if !ok {
-				succ = successors(node, alpha)
-				memo[node] = succ
-			}
+		// The sc.nn buffer successors() fills is clobbered by the recursive
+		// calls below, so every successor list — memoized or not — is copied
+		// into the arena before iteration. Without sharing, the window is
+		// popped again on unwind, bounding the arena to depth×K2.
+		arenaMark := int32(len(sc.succArena))
+		var off, ln int32
+		if p.ShareSubstructures && memoLen[node+1] >= 0 {
+			off, ln = memoOff[node+1], memoLen[node+1]
 		} else {
-			succ = successors(node, alpha)
+			s := successors(node, alpha)
+			off, ln = arenaMark, int32(len(s))
+			sc.succArena = append(sc.succArena, s...)
+			if p.ShareSubstructures {
+				memoOff[node+1], memoLen[node+1] = off, ln
+			}
 		}
+		succ := sc.succArena[off : off+ln]
 		pc := posOf(node)
 		advanced := false
 		for _, next := range succ {
-			if onPath[next] {
+			if onPath[next+1] {
 				continue
 			}
 			advanced = true
@@ -225,11 +283,11 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 			if drift := posOf(next).Dist(dest) - pc.Dist(dest); drift > 0 {
 				nextAlpha -= drift
 			}
-			onPath[next] = true
+			onPath[next+1] = true
 			trace = append(trace, next)
 			dfs(next, nextAlpha)
 			trace = trace[:len(trace)-1]
-			onPath[next] = false
+			onPath[next+1] = false
 		}
 		// Dead end: no admissible onward reference point. Rather than
 		// discarding the partial trace, hop straight to the destination —
@@ -240,9 +298,13 @@ func enumerateTransitTraces(rawPoints []refPoint, qiPt, qjPt geo.Point, p Params
 			dfs(sinkNode, alpha)
 			trace = trace[:len(trace)-1]
 		}
+		if !p.ShareSubstructures {
+			sc.succArena = sc.succArena[:arenaMark]
+		}
 	}
-	onPath[srcNode] = true
+	onPath[srcNode+1] = true
 	dfs(srcNode, p.Alpha)
+	sc.traces, sc.trace = traces, trace
 	return points, traces
 }
 
@@ -282,7 +344,7 @@ func (x exec) fallbackLocal(ctx *pairContext) []LocalRoute {
 	}
 	return []LocalRoute{{
 		Route:      route,
-		Refs:       map[int]struct{}{},
+		Refs:       nil,
 		Popularity: entropySmoothing,
 	}}
 }

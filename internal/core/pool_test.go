@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// poolWorlds builds a pooled engine (the default) and a pool-disabled twin
+// over the same archive, plus a batch of evaluation queries. Pooling is a
+// pure optimization — the twins must be byte-identical on every output.
+func poolWorlds(t testing.TB, trips int, seed int64) (*world, *Engine, []*traj.Trajectory) {
+	t.Helper()
+	w := newWorld(t, trips, seed)
+	unpooled := NewEngine(w.eng.Source(), DefaultParams())
+	unpooled.noPool = true
+	var queries []*traj.Trajectory
+	for tries := 0; len(queries) < 4 && tries < 200; tries++ {
+		qc, ok := w.ds.GenQuery(6000, 180, 15, w.cfg, w.rng)
+		if !ok {
+			continue
+		}
+		queries = append(queries, qc.Query)
+	}
+	if len(queries) == 0 {
+		t.Fatal("no evaluation queries generated")
+	}
+	return w, unpooled, queries
+}
+
+// TestPooledMatchesUnpooled: for fixed seeds, the pooled engine's InferRoutes
+// output is byte-identical (routes, exact score bits, reference ids, stats)
+// to the pool-disabled engine's, at both serial and parallel pair workers.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	w, unpooled, queries := poolWorlds(t, 60, 321)
+	v := w.eng.Archive()
+	for _, workers := range []int{1, 4} {
+		p := w.p
+		p.PairWorkers = workers
+		for qi, q := range queries {
+			want, err1 := unpooled.InferRoutes(q, p)
+			got, err2 := w.eng.InferRoutes(q, p)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("workers=%d query %d: errors diverge: %v vs %v", workers, qi, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if encodeFull(v, got) != encodeFull(v, want) {
+				t.Fatalf("workers=%d query %d: pooled output differs from unpooled:\n%s\nvs\n%s",
+					workers, qi, encodeFull(v, got), encodeFull(v, want))
+			}
+		}
+	}
+}
+
+// TestQuickPooledMatchesUnpooled drives the equivalence with quick.Check
+// inputs: arbitrary seeds generate fresh queries against a shared world and
+// the two engines must agree exactly.
+func TestQuickPooledMatchesUnpooled(t *testing.T) {
+	w, unpooled, _ := poolWorlds(t, 50, 77)
+	v := w.eng.Archive()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		qc, ok := w.ds.GenQuery(5000, 180, 15, w.cfg, rng)
+		if !ok {
+			return true
+		}
+		want, err1 := unpooled.InferRoutes(qc.Query, w.p)
+		got, err2 := w.eng.InferRoutes(qc.Query, w.p)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return encodeFull(v, got) == encodeFull(v, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPooledConcurrentBatch is the -race stress case: concurrent
+// InferBatchCtx runs share the scratch pools across goroutines and rounds,
+// and every result must still match the pool-disabled engine byte for byte.
+func TestPooledConcurrentBatch(t *testing.T) {
+	w, unpooled, queries := poolWorlds(t, 60, 654)
+	v := w.eng.Archive()
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := unpooled.InferRoutes(q, w.p)
+		if err != nil {
+			t.Fatalf("unpooled query %d: %v", i, err)
+		}
+		want[i] = encodeFull(v, res)
+	}
+	for round := 0; round < 3; round++ {
+		out := w.eng.InferBatchCtx(context.Background(), queries, w.p, 4)
+		for i, br := range out {
+			if br.Err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, br.Err)
+			}
+			if got := encodeFull(v, br.Result); got != want[i] {
+				t.Fatalf("round %d query %d: pooled batch output differs", round, i)
+			}
+		}
+	}
+}
+
+// TestPublishedResultSurvivesScratchReuse is the aliasing leak check: a
+// Result published by one inference must be bit-stable while later
+// inferences recycle the same scratch arenas. Any pooled buffer leaking into
+// Routes/Locals/Refs would be overwritten here and change the encoding.
+func TestPublishedResultSurvivesScratchReuse(t *testing.T) {
+	w, _, queries := poolWorlds(t, 60, 987)
+	v := w.eng.Archive()
+	first, err := w.eng.InferRoutes(queries[0], w.p)
+	if err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	snap := encodeFull(v, first)
+	for round := 0; round < 2; round++ {
+		w.eng.InferBatchCtx(context.Background(), queries, w.p, 4)
+	}
+	if got := encodeFull(v, first); got != snap {
+		t.Fatalf("published Result mutated by later inferences (scratch aliasing):\nbefore:\n%s\nafter:\n%s", snap, got)
+	}
+}
+
+// refHashQuery is the old hash/fnv + encoding/binary implementation of the
+// gate's single-flight key, kept as the regression reference for the inlined
+// fold.
+func refHashQuery(q *traj.Trajectory) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	for _, pt := range q.Points {
+		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(pt.Pt.X))
+		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(pt.Pt.Y))
+		binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(pt.T))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// TestHashQueryMatchesFNVReference: the allocation-free fold must be
+// bit-identical to the hash/fnv reference on arbitrary trajectories, and
+// distinct point sequences must keep distinct digests (the coalescing
+// correctness the gate relies on).
+func TestHashQueryMatchesFNVReference(t *testing.T) {
+	f := func(coords []float64) bool {
+		q := &traj.Trajectory{ID: "h"}
+		for i := 0; i+2 < len(coords); i += 3 {
+			q.Points = append(q.Points, traj.GPSPoint{
+				Pt: geo.Pt(coords[i], coords[i+1]), T: coords[i+2],
+			})
+		}
+		return hashQuery(q) == refHashQuery(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	a := &traj.Trajectory{Points: []traj.GPSPoint{{Pt: geo.Pt(1, 2), T: 3}}}
+	b := &traj.Trajectory{Points: []traj.GPSPoint{{Pt: geo.Pt(1, 2), T: 4}}}
+	c := &traj.Trajectory{Points: []traj.GPSPoint{{Pt: geo.Pt(2, 1), T: 3}}}
+	if hashQuery(a) == hashQuery(b) || hashQuery(a) == hashQuery(c) {
+		t.Fatal("distinct queries collided")
+	}
+}

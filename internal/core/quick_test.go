@@ -21,26 +21,23 @@ func TestQuickPopularityProperties(t *testing.T) {
 			assign = assign[:24]
 		}
 		// Interpret assign as (segment, refID) pairs on a 4-segment route.
-		er := make(map[roadnet.EdgeID]map[int]struct{})
+		er := make(map[roadnet.EdgeID][]int)
 		route := roadnet.Route{0, 1, 2, 3}
 		distinct := make(map[int]struct{})
 		for i, a := range assign {
 			seg := roadnet.EdgeID(i % 4)
 			id := int(a % 16)
-			if er[seg] == nil {
-				er[seg] = map[int]struct{}{}
-			}
-			er[seg][id] = struct{}{}
+			er[seg] = append(er[seg], id)
 			distinct[id] = struct{}{}
 		}
-		pop, union := popularity(route, er)
+		pop, union := popularity(route, testPairContext(er))
 		if pop < 0 || len(union) != len(distinct) {
 			return false
 		}
 		// Adding a new reference id to segment 0 never lowers f.
 		newID := 100 + int(extra)
-		er[0][newID] = struct{}{}
-		pop2, _ := popularity(route, er)
+		er[0] = append(er[0], newID)
+		pop2, _ := popularity(route, testPairContext(er))
 		return pop2 >= pop-1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"math/bits"
 
 	"repro/internal/roadnet"
 )
@@ -15,8 +15,8 @@ import (
 // whenever it is nonzero.
 const entropySmoothing = 0.01
 
-// popularity computes f(R) of Equation 1 for a route given the pair's
-// per-edge reference sets C_i(r):
+// popularity computes f(R) of Equation 1 for a route against the pair's
+// dense per-edge reference bitsets:
 //
 //	f(R) = |∪_{r∈R} C_i(r)| · H(R)
 //
@@ -29,20 +29,38 @@ const entropySmoothing = 0.01
 // ones regardless of support. Normalizing isolates the uniformness signal
 // the paper argues for — a documented deviation from the formula as
 // printed (see DESIGN.md).
-func popularity(route roadnet.Route, edgeRefs map[roadnet.EdgeID]map[int]struct{}) (float64, map[int]struct{}) {
-	union := make(map[int]struct{})
-	var total float64
-	counts := make([]float64, len(route))
-	for i, e := range route {
-		set := edgeRefs[e]
-		counts[i] = float64(len(set))
-		total += counts[i]
-		for id := range set {
-			union[id] = struct{}{}
-		}
+//
+// Per-edge counts are popcounts and the union a word-wise OR into a
+// scratch bitset; both produce the same integers the map representation
+// did, so every score is bit-identical. The returned id slice is freshly
+// allocated (sorted ascending) — it outlives the pair, the scratch does
+// not.
+func popularity(route roadnet.Route, pctx *pairContext) (float64, []int32) {
+	sc := pctx.sc
+	union := sc.union[:0]
+	for i := 0; i < pctx.words; i++ {
+		union = append(union, 0)
 	}
-	if len(union) == 0 || total == 0 {
-		return 0, union
+	counts := sc.counts[:0]
+	var total float64
+	for _, e := range route {
+		c := 0
+		if set := pctx.edgeBits(e); set != nil {
+			for wi, w := range set {
+				c += bits.OnesCount64(w)
+				union[wi] |= w
+			}
+		}
+		counts = append(counts, float64(c))
+		total += float64(c)
+	}
+	sc.union, sc.counts = union, counts
+	un := 0
+	for _, w := range union {
+		un += bits.OnesCount64(w)
+	}
+	if un == 0 || total == 0 {
+		return 0, nil
 	}
 	var entropy float64
 	for _, c := range counts {
@@ -55,26 +73,14 @@ func popularity(route roadnet.Route, edgeRefs map[roadnet.EdgeID]map[int]struct{
 	if n := len(route); n > 1 {
 		entropy /= math.Log(float64(n))
 	}
-	return float64(len(union)) * (entropy + entropySmoothing), union
+	return float64(un) * (entropy + entropySmoothing), pctx.refIDs(union)
 }
 
-// transitionConfidence computes g(R_a, R_b) of Equation 2: the Jaccard
-// similarity of the two routes' reference sets mapped through exp(·−1),
-// so identical support gives 1 and disjoint support gives 1/e.
-// sortedRefs flattens a reference set to a sorted id slice for the merge
-// form of the Jaccard computation (jaccardConf).
-func sortedRefs(set map[int]struct{}) []int32 {
-	ids := make([]int32, 0, len(set))
-	for id := range set {
-		ids = append(ids, int32(id))
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	return ids
-}
-
-// jaccardConf is transitionConfidence over pre-sorted id slices: a linear
-// merge counts the intersection instead of per-element map probes. Both
-// produce the same inter/union integers, hence identical scores.
+// jaccardConf computes g(R_a, R_b) of Equation 2 — the Jaccard similarity
+// of the two routes' reference sets mapped through exp(·−1), so identical
+// support gives 1 and disjoint support gives 1/e — over the sorted id
+// slices LocalRoute.Refs carries: a linear merge counts the intersection
+// instead of per-element map probes.
 func jaccardConf(a, b []int32) float64 {
 	inter := 0
 	for i, j := 0, 0; i < len(a) && j < len(b); {
@@ -96,6 +102,10 @@ func jaccardConf(a, b []int32) float64 {
 	return math.Exp(float64(inter)/float64(union) - 1)
 }
 
+// transitionConfidence is Equation 2 over id sets — the form the
+// network-free extension's support maps use; jaccardConf is the same
+// function over sorted slices. Both produce identical inter/union
+// integers, hence identical scores.
 func transitionConfidence(a, b map[int]struct{}) float64 {
 	inter, union := 0, len(b)
 	for id := range a {
@@ -113,8 +123,8 @@ func transitionConfidence(a, b map[int]struct{}) float64 {
 
 // scoreRoute applies Equation 1 or, under the AblateEntropy ablation, the
 // bare reference-support count.
-func (x exec) scoreRoute(route roadnet.Route, edgeRefs map[roadnet.EdgeID]map[int]struct{}) (float64, map[int]struct{}) {
-	pop, refs := popularity(route, edgeRefs)
+func (x exec) scoreRoute(route roadnet.Route, pctx *pairContext) (float64, []int32) {
+	pop, refs := popularity(route, pctx)
 	if x.p.AblateEntropy {
 		return float64(len(refs)), refs
 	}

@@ -23,33 +23,36 @@ import (
 func (x exec) inferTGI(pctx *pairContext) []LocalRoute {
 	g := x.eng.g
 	p := x.p
+	sc := pctx.sc
 
-	srcs := x.queryCandidates(pctx.qi.Pt)
-	dsts := x.queryCandidates(pctx.qj.Pt)
+	srcs := x.queryCandidatesInto(pctx.qi.Pt, sc.srcCand)
+	sc.srcCand = srcs
+	dsts := x.queryCandidatesInto(pctx.qj.Pt, sc.dstCand)
+	sc.dstCand = dsts
 	if len(srcs) == 0 || len(dsts) == 0 {
 		return nil
 	}
 
-	// Node set: traverse edges plus the query candidate edges.
-	nodeOf := make(map[roadnet.EdgeID]int)
-	var edges []roadnet.EdgeID
-	addNode := func(e roadnet.EdgeID) int {
-		if idx, ok := nodeOf[e]; ok {
-			return idx
+	// Node set: traverse edges plus the query candidate edges, mapped
+	// through the stamped nodeSlot array instead of a per-pair map.
+	sc.beginNodes(g.NumSegments())
+	edges := sc.tgEdges[:0]
+	addNode := func(e roadnet.EdgeID) {
+		if sc.nodeVer[e] == sc.nver {
+			return
 		}
-		idx := len(edges)
-		nodeOf[e] = idx
+		sc.nodeVer[e] = sc.nver
+		sc.nodeSlot[e] = int32(len(edges))
 		edges = append(edges, e)
-		return idx
 	}
 	// Sorted insertion keeps the traverse graph — and with it Yen's
 	// tie-breaking among equal-weight paths — deterministic across runs.
-	traverse := make([]roadnet.EdgeID, 0, len(pctx.edgeRefs))
-	for e := range pctx.edgeRefs {
-		traverse = append(traverse, e)
-	}
-	sort.Ints(traverse)
-	for _, e := range traverse {
+	// (sc.edges is in first-touch order; the map-based code sorted its
+	// keys, which yields the same sorted sequence.)
+	sorted := append(sc.sorted[:0], sc.edges...)
+	sort.Ints(sorted)
+	sc.sorted = sorted
+	for _, e := range sorted {
 		addNode(e)
 	}
 	for _, e := range srcs {
@@ -58,6 +61,7 @@ func (x exec) inferTGI(pctx *pairContext) []LocalRoute {
 	for _, e := range dsts {
 		addNode(e)
 	}
+	sc.tgEdges = edges
 
 	// Links to λ-neighborhoods (lines 6–8). Membership follows Definition 8
 	// (hop distance < λ); the link weight approximates the physical driving
@@ -65,12 +69,14 @@ func (x exec) inferTGI(pctx *pairContext) []LocalRoute {
 	// s's start plus s's length — so that the K "shortest" paths of line 13
 	// are the physically shortest reference-supported routes rather than
 	// the fewest-hop ones.
-	tg := graphalg.NewGraph(len(edges))
+	tg := &sc.tg
+	tg.Reset(len(edges))
 	for i, r := range edges {
 		if graphalg.Stopped(x.done) {
 			break // truncated traverse graph; the caller degrades the pair
 		}
-		hops := g.EdgeHopsCtx(x.ctx, r, p.Lambda-1)
+		hops := g.EdgeHopsIntoCtx(x.ctx, r, p.Lambda-1, sc.hops)
+		sc.hops = hops
 		rEnd := g.Vertices[g.Seg(r).To].Pt
 		for j, sEdge := range edges {
 			if i == j {
@@ -88,33 +94,30 @@ func (x exec) inferTGI(pctx *pairContext) []LocalRoute {
 	// TGI whose cost scales with λ (Figure 9's local-inference driver), so
 	// it gets its own stage timing.
 	t0 := x.stageStart()
-	augmentStronglyConnected(tg, edges, g, x.done)
+	augmentStronglyConnected(tg, edges, g, x.done, sc)
 	if p.GraphReduction {
-		reduceTraverseGraph(tg, x.done)
+		reduceTraverseGraph(tg, x.done, sc)
 	}
 	x.stageDone(obs.StageConnectionCulling, pctx.pair, t0, len(edges))
 
 	// K-shortest paths between every (source, destination) candidate pair
 	// (lines 11–13), projected to physical routes (line 14).
-	seen := make(map[string]bool)
 	var out []LocalRoute
 	for _, se := range srcs {
 		if graphalg.Stopped(x.done) {
 			break
 		}
 		for _, de := range dsts {
-			paths := graphalg.KShortestPathsCtx(x.ctx, tg, nodeOf[se], nodeOf[de], p.K1)
+			paths := graphalg.KShortestPathsCtx(x.ctx, tg, int(sc.nodeSlot[se]), int(sc.nodeSlot[de]), p.K1)
 			for _, path := range paths {
-				route, ok := x.projectPath(path.Vertices, edges)
+				route, ok := projectPath(g, path.Vertices, edges, sc)
 				if !ok || len(route) == 0 {
 					continue
 				}
-				key := route.Key()
-				if seen[key] {
+				if sc.routeSeen(route) {
 					continue
 				}
-				seen[key] = true
-				pop, refs := x.scoreRoute(route, pctx.edgeRefs)
+				pop, refs := x.scoreRoute(route, pctx)
 				out = append(out, LocalRoute{Route: route, Refs: refs, Popularity: pop})
 			}
 		}
@@ -126,6 +129,11 @@ func (x exec) inferTGI(pctx *pairContext) []LocalRoute {
 // nearest edges when the ε-radius finds none, capped to keep the
 // K-shortest-path stage tractable.
 func (x exec) queryCandidates(pt geo.Point) []roadnet.EdgeID {
+	return x.queryCandidatesInto(pt, nil)
+}
+
+// queryCandidatesInto is queryCandidates writing into buf's backing array.
+func (x exec) queryCandidatesInto(pt geo.Point, buf []roadnet.EdgeID) []roadnet.EdgeID {
 	const maxQueryCandidates = 3
 	cands := x.eng.cands.CandidateEdges(pt, x.p.CandEps)
 	if len(cands) == 0 {
@@ -134,11 +142,11 @@ func (x exec) queryCandidates(pt geo.Point) []roadnet.EdgeID {
 	if len(cands) > maxQueryCandidates {
 		cands = cands[:maxQueryCandidates]
 	}
-	out := make([]roadnet.EdgeID, len(cands))
-	for i, c := range cands {
-		out[i] = c.Edge
+	buf = buf[:0]
+	for _, c := range cands {
+		buf = append(buf, c.Edge)
 	}
-	return out
+	return buf
 }
 
 // augmentStronglyConnected implements the graph-augmentation subroutine:
@@ -147,18 +155,25 @@ func (x exec) queryCandidates(pt geo.Point) []roadnet.EdgeID {
 // special case of the connectivity augmentation problem, solved greedily
 // like a minimum spanning tree over components). Each augmentation round
 // checks done: an interrupted run leaves the graph only partially
-// connected, which merely loses some K-shortest-path results.
-func augmentStronglyConnected(tg *graphalg.Graph, edges []roadnet.EdgeID, g *roadnet.Graph, done <-chan struct{}) {
-	mid := make([]geo.Point, len(edges))
-	for i, e := range edges {
-		seg := g.Seg(e)
-		mid[i] = seg.Shape.At(seg.Length / 2)
+// connected, which merely loses some K-shortest-path results. sc supplies
+// the midpoint and component buffers (nil allocates fresh ones — the
+// unit-test path).
+func augmentStronglyConnected(tg *graphalg.Graph, edges []roadnet.EdgeID, g *roadnet.Graph, done <-chan struct{}, sc *pairScratch) {
+	if sc == nil {
+		sc = newPairScratch()
 	}
+	mid := sc.mid[:0]
+	for _, e := range edges {
+		seg := g.Seg(e)
+		mid = append(mid, seg.Shape.At(seg.Length/2))
+	}
+	sc.mid = mid
 	for {
 		if graphalg.Stopped(done) {
 			return
 		}
-		comp, count := graphalg.StronglyConnectedComponents(tg)
+		comp, count := graphalg.StronglyConnectedComponentsInto(tg, sc.comp)
+		sc.comp = comp
 		if count <= 1 {
 			return
 		}
@@ -188,15 +203,33 @@ func augmentStronglyConnected(tg *graphalg.Graph, edges []roadnet.EdgeID, g *roa
 // exactly to h(r,k) (the paper's h(r_i,r_k) = h(r_i,r_j)+h(r_j,r_k)+1 rule,
 // expressed in our hop convention where adjacent edges are 1 hop apart).
 // Removal preserves all shortest-path distances while shrinking the search
-// space of the K-shortest-path stage.
-func reduceTraverseGraph(tg *graphalg.Graph, done <-chan struct{}) {
+// space of the K-shortest-path stage. sc supplies the reusable adjacency
+// maps (nil allocates fresh ones — the unit-test path).
+func reduceTraverseGraph(tg *graphalg.Graph, done <-chan struct{}, sc *pairScratch) {
+	if sc == nil {
+		sc = newPairScratch()
+	}
 	n := tg.N()
-	w := make([]map[int]float64, n)
+	w := sc.redW
+	if cap(w) < n {
+		nw := make([]map[int]float64, n)
+		copy(nw, w[:cap(w)]) // keep previously allocated maps for reuse
+		w = nw
+	} else {
+		w = w[:n]
+	}
+	sc.redW = w
 	for u := 0; u < n; u++ {
-		w[u] = make(map[int]float64, len(tg.Adj[u]))
+		m := w[u]
+		if m == nil {
+			m = make(map[int]float64, len(tg.Adj[u]))
+			w[u] = m
+		} else {
+			clear(m)
+		}
 		for _, a := range tg.Adj[u] {
-			if cur, ok := w[u][a.To]; !ok || a.W < cur {
-				w[u][a.To] = a.W
+			if cur, ok := m[a.To]; !ok || a.W < cur {
+				m[a.To] = a.W
 			}
 		}
 	}
@@ -217,11 +250,12 @@ func reduceTraverseGraph(tg *graphalg.Graph, done <-chan struct{}) {
 		// keep the reduced graph (and the K-shortest-path results on it)
 		// identical across runs. The witness scan below is order-free: it
 		// only produces a boolean.
-		ks := make([]int, 0, len(w[r]))
+		ks := sc.redKs[:0]
 		for k := range w[r] {
 			ks = append(ks, k)
 		}
 		sort.Ints(ks)
+		sc.redKs = ks
 		for _, k := range ks {
 			wrk := w[r][k]
 			redundant := false
@@ -243,24 +277,64 @@ func reduceTraverseGraph(tg *graphalg.Graph, done <-chan struct{}) {
 }
 
 // projectPath maps a traverse-graph path (node indices) to a physical road
-// route, bridging non-adjacent consecutive edges with shortest paths.
-func (x exec) projectPath(nodes []int, edges []roadnet.EdgeID) (roadnet.Route, bool) {
+// route, bridging non-adjacent consecutive edges with shortest paths. The
+// route is assembled in sc's buffer (nil sc allocates) and copied out at
+// exact size, so the returned route never aliases the arena.
+func projectPath(g *roadnet.Graph, nodes []int, edges []roadnet.EdgeID, sc *pairScratch) (roadnet.Route, bool) {
 	if len(nodes) == 0 {
 		return nil, false
 	}
-	route := roadnet.Route{edges[nodes[0]]}
-	for _, n := range nodes[1:] {
-		next := edges[n]
-		joined, ok := route.Concat(x.eng.g, roadnet.Route{next})
-		if !ok {
-			return nil, false
-		}
-		route = joined
+	var buf roadnet.Route
+	if sc != nil {
+		buf = sc.routeBuf[:0]
 	}
-	if !route.Valid(x.eng.g) {
+	buf = append(buf, edges[nodes[0]])
+	ok := true
+	for _, n := range nodes[1:] {
+		buf, ok = appendConcatEdge(g, buf, edges[n])
+		if !ok {
+			break
+		}
+	}
+	if sc != nil {
+		sc.routeBuf = buf
+	}
+	if !ok || !buf.Valid(g) {
 		return nil, false
 	}
-	return route, true
+	out := make(roadnet.Route, len(buf))
+	copy(out, buf)
+	return out, true
+}
+
+// appendConcatEdge is Route.Concat ∘ Dedup for a single appended edge with
+// dst's backing array reused — the same equivalence mapmatch's appendConcat
+// relies on: the iteratively built route never contains immediate repeats,
+// so deduplicating the appended suffix equals re-deduplicating the whole
+// route. ok=false leaves the route invalid; callers discard it.
+func appendConcatEdge(g *roadnet.Graph, dst roadnet.Route, e roadnet.EdgeID) (roadnet.Route, bool) {
+	if len(dst) == 0 {
+		return append(dst, e), true
+	}
+	if g.Seg(e).From == dst.End(g) || e == dst[len(dst)-1] {
+		if e != dst[len(dst)-1] {
+			dst = append(dst, e)
+		}
+		return dst, true
+	}
+	br, _, ok := g.EdgePathBetweenVertices(dst.End(g), g.Seg(e).From)
+	if !ok {
+		return dst, false
+	}
+	for _, be := range br {
+		if be != dst[len(dst)-1] {
+			dst = append(dst, be)
+		}
+	}
+	if e != dst[len(dst)-1] {
+		dst = append(dst, e)
+	}
+	return dst, true
 }
 
 // capLocalRoutes sorts by popularity (descending) and keeps at most max.

@@ -217,7 +217,7 @@ func loadRecord(name string, s LoadStats) BenchResult {
 // load.
 const loadBenchDeadline = 25 * time.Millisecond
 
-// loadBench measures the serving path of BENCH_8: closed-loop load against
+// loadBench measures the serving path of BENCH_9: closed-loop load against
 // the admission-gated engine on a durable store (the same store flavor as
 // hris_query/durable, whose p95 the under-capacity row must track).
 // load/under runs exactly as many clients as the gate has workers and

@@ -24,6 +24,7 @@ type chWS struct {
 	bkt      [][]bktEnt
 	bktTouch []int32
 	trees    []map[int32]int32 // pooled backward trees for tableQuery
+	cones    []*dstCone        // per-group cone refs, reused by sessionTable
 }
 
 type bktEnt struct {
@@ -458,6 +459,158 @@ func (ch *CH) exactVia(w *chWS, treeB map[int32]int32, meet int32) float64 {
 		d, _ = ch.unpackArc(id, d, nil)
 	}
 	return d
+}
+
+// dstCone is one memoized backward search: the settled vertices with their
+// upward distances (bucket entries in settle order) and the prev-arc tree
+// exactVia unpacks paths through.
+type dstCone struct {
+	verts []int32
+	dists []float64
+	tree  map[int32]int32
+}
+
+// chTableSession memoizes backward cones per destination vertex. It holds
+// one workspace for its whole life, so it is NOT safe for concurrent use;
+// Close returns the workspace to the CH's pool.
+type chTableSession struct {
+	ch    *CH
+	w     *chWS
+	cones map[int]*dstCone
+}
+
+// NewTableSession returns a session view of the oracle for a burst of
+// related Table calls (the matchers issue one per adjacent point pair, and
+// consecutive pairs share their candidate vertices). CH sessions memoize
+// the per-destination backward search cone — bucket entries plus prev-arc
+// tree — so a repeated destination costs a bucket deposit instead of a full
+// backward Dijkstra. Other oracles delegate per call. Sessions are not safe
+// for concurrent use and must be Closed.
+func NewTableSession(o DistanceOracle) TableSession {
+	if ch, ok := o.(*CH); ok {
+		return &chTableSession{ch: ch, w: ch.getWS(), cones: make(map[int]*dstCone)}
+	}
+	return plainTableSession{o}
+}
+
+func (s *chTableSession) Close() {
+	if s.w != nil {
+		s.ch.putWS(s.w)
+		s.w = nil
+	}
+}
+
+func (s *chTableSession) Table(srcs, dsts []int) [][]float64 {
+	return s.ch.sessionTable(s, srcs, dsts, nil)
+}
+
+func (s *chTableSession) TableCtx(ctx context.Context, srcs, dsts []int) [][]float64 {
+	return s.ch.sessionTable(s, srcs, dsts, ctx.Done())
+}
+
+// sessionTable is tableQuery with the backward phase served from the
+// session's cone memo. For uncancelled runs the bucket contents — entry
+// values and deposit order — are exactly what tableQuery builds, so the
+// matrix is bit-identical to the per-call query.
+func (ch *CH) sessionTable(s *chTableSession, srcs, dsts []int, done <-chan struct{}) [][]float64 {
+	out := make([][]float64, len(srcs))
+	for i := range out {
+		row := make([]float64, len(dsts))
+		for j := range row {
+			row[j] = math.Inf(1)
+		}
+		out[i] = row
+	}
+	if len(srcs) == 0 || len(dsts) == 0 {
+		return out
+	}
+	w := s.w
+	if w.bkt == nil {
+		w.bkt = make([][]bktEnt, ch.n)
+	}
+
+	dstGroups, dstCols := groupVerts(dsts)
+	srcGroups, srcRows := groupVerts(srcs)
+
+	// Backward phase: deposit each destination group's cone, running the
+	// search only on a memo miss.
+	cones := w.cones
+	for gi, t := range dstGroups {
+		var cone *dstCone
+		if t >= 0 && t < ch.n && !Stopped(done) {
+			cone = s.cones[t]
+			if cone == nil {
+				w.bump()
+				ch.upwardSearch(w, t, false, done)
+				cone = &dstCone{
+					verts: append([]int32(nil), w.touchB...),
+					dists: make([]float64, len(w.touchB)),
+					tree:  make(map[int32]int32, len(w.touchB)),
+				}
+				for i, v := range w.touchB {
+					cone.dists[i] = w.distB[v]
+					cone.tree[v] = w.prevB[v]
+				}
+				// A cone cut short by cancellation is a valid partial answer
+				// for this call, but memoizing it would corrupt later ones.
+				if !Stopped(done) {
+					s.cones[t] = cone
+				}
+			}
+			for i, v := range cone.verts {
+				if len(w.bkt[v]) == 0 {
+					w.bktTouch = append(w.bktTouch, v)
+				}
+				w.bkt[v] = append(w.bkt[v], bktEnt{g: int32(gi), d: cone.dists[i]})
+			}
+		}
+		cones = append(cones, cone)
+	}
+
+	type best struct {
+		d    float64
+		meet int32
+	}
+	bests := make([]best, len(dstGroups))
+	for _, src := range srcGroups {
+		for j := range bests {
+			bests[j] = best{d: math.Inf(1), meet: -1}
+		}
+		if src >= 0 && src < ch.n && !Stopped(done) {
+			w.bump()
+			ch.upwardSearch(w, src, true, done)
+			for _, v := range w.touchF {
+				ds := w.distF[v]
+				for _, e := range w.bkt[v] {
+					b := &bests[e.g]
+					if d := ds + e.d; d < b.d || (d == b.d && v < b.meet) {
+						b.d, b.meet = d, v
+					}
+				}
+			}
+		}
+		for gj, t := range dstGroups {
+			d := math.Inf(1)
+			if m := bests[gj].meet; m >= 0 {
+				d = ch.exactVia(w, cones[gj].tree, m)
+			}
+			for _, r := range srcRows[src] {
+				for _, c := range dstCols[t] {
+					out[r][c] = d
+				}
+			}
+		}
+	}
+
+	for _, v := range w.bktTouch {
+		w.bkt[v] = w.bkt[v][:0]
+	}
+	w.bktTouch = w.bktTouch[:0]
+	for i := range cones {
+		cones[i] = nil // don't let the pooled workspace pin dead cones
+	}
+	w.cones = cones[:0]
+	return out
 }
 
 // groupVerts deduplicates a vertex list, returning the distinct vertices

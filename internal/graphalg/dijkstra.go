@@ -3,6 +3,7 @@ package graphalg
 import (
 	"context"
 	"math"
+	"sync"
 )
 
 // Path is a shortest-path result: the vertex sequence and its total weight.
@@ -204,22 +205,40 @@ func BFSHopsCtx(ctx context.Context, g *Graph, src int, maxHops int) []int {
 }
 
 func bfsHops(g *Graph, src int, maxHops int, done <-chan struct{}) []int {
-	hops := make([]int, g.N())
+	return bfsHopsInto(g, src, maxHops, nil, done)
+}
+
+// BFSHopsIntoCtx is BFSHopsCtx writing the hop counts into hops (grown when
+// too small) and drawing its queue from a pool, so steady-state
+// λ-neighborhood scans allocate nothing. Returns hops resliced to g.N().
+func BFSHopsIntoCtx(ctx context.Context, g *Graph, src, maxHops int, hops []int) []int {
+	return bfsHopsInto(g, src, maxHops, hops, ctx.Done())
+}
+
+var bfsQueuePool = sync.Pool{New: func() any { return new([]int) }}
+
+func bfsHopsInto(g *Graph, src, maxHops int, hops []int, done <-chan struct{}) []int {
+	n := g.N()
+	if cap(hops) < n {
+		hops = make([]int, n)
+	}
+	hops = hops[:n]
 	for i := range hops {
 		hops[i] = -1
 	}
-	if src < 0 || src >= g.N() {
+	if src < 0 || src >= n {
 		return hops
 	}
+	qp := bfsQueuePool.Get().(*[]int)
+	queue := (*qp)[:0]
 	hops[src] = 0
-	queue := []int{src}
+	queue = append(queue, src)
 	pops := 0
-	for len(queue) > 0 {
+	for head := 0; head < len(queue); head++ {
 		if pops++; pops&(stride-1) == 0 && Stopped(done) {
 			break
 		}
-		v := queue[0]
-		queue = queue[1:]
+		v := queue[head]
 		if maxHops >= 0 && hops[v] >= maxHops {
 			continue
 		}
@@ -230,5 +249,7 @@ func bfsHops(g *Graph, src int, maxHops int, done <-chan struct{}) []int {
 			}
 		}
 	}
+	*qp = queue[:0]
+	bfsQueuePool.Put(qp)
 	return hops
 }

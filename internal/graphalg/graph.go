@@ -26,6 +26,23 @@ func NewGraph(n int) *Graph {
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.Adj) }
 
+// Reset reshapes the graph to n isolated vertices while keeping the
+// adjacency rows' backing arrays, so a pooled Graph rebuilt every query
+// (TGI's traverse graph) stops allocating once its rows have grown to the
+// working-set size.
+func (g *Graph) Reset(n int) {
+	if cap(g.Adj) < n {
+		adj := make([][]Arc, n)
+		copy(adj, g.Adj[:cap(g.Adj)])
+		g.Adj = adj
+	} else {
+		g.Adj = g.Adj[:n]
+	}
+	for i := range g.Adj {
+		g.Adj[i] = g.Adj[i][:0]
+	}
+}
+
 // AddArc adds a directed arc from u to v with weight w.
 func (g *Graph) AddArc(u, v int, w float64) {
 	g.Adj[u] = append(g.Adj[u], Arc{To: v, W: w})

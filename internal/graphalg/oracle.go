@@ -41,6 +41,25 @@ type DistanceOracle interface {
 	TableCtx(ctx context.Context, srcs, dsts []int) [][]float64
 }
 
+// TableSession batches related Table calls so implementations can reuse
+// per-destination search state across them (see NewTableSession). Answers
+// are identical to the oracle's own Table. Not safe for concurrent use.
+type TableSession interface {
+	Table(srcs, dsts []int) [][]float64
+	TableCtx(ctx context.Context, srcs, dsts []int) [][]float64
+	Close()
+}
+
+// plainTableSession is the stateless fallback: every call delegates to the
+// wrapped oracle.
+type plainTableSession struct{ o DistanceOracle }
+
+func (s plainTableSession) Table(srcs, dsts []int) [][]float64 { return s.o.Table(srcs, dsts) }
+func (s plainTableSession) TableCtx(ctx context.Context, srcs, dsts []int) [][]float64 {
+	return s.o.TableCtx(ctx, srcs, dsts)
+}
+func (s plainTableSession) Close() {}
+
 // DijkstraOracle is the preprocessing-free DistanceOracle backed by the
 // plain searches in this package. When Heur is non-nil, PathTo uses A*
 // with Heur(dst) as the heuristic (the road network supplies straight-line

@@ -1,31 +1,74 @@
 package graphalg
 
+import "sync"
+
+type sccFrame struct {
+	v, arcIdx int
+}
+
+// sccScratch pools Tarjan's working arrays. TGI's augmentation loop runs
+// one SCC pass per added link until the traverse graph is strongly
+// connected, so the five O(n) arrays would otherwise be reallocated many
+// times per query.
+type sccScratch struct {
+	index, lowlink []int
+	onStack        []bool
+	stack          []int
+	callStack      []sccFrame
+}
+
+var sccPool = sync.Pool{New: func() any { return new(sccScratch) }}
+
+func (s *sccScratch) grow(n int) {
+	if cap(s.index) < n {
+		s.index = make([]int, n)
+		s.lowlink = make([]int, n)
+		s.onStack = make([]bool, n)
+	}
+	s.index = s.index[:n]
+	s.lowlink = s.lowlink[:n]
+	s.onStack = s.onStack[:n]
+	for i := range s.index {
+		s.index[i] = -1
+		s.onStack[i] = false
+	}
+	s.stack = s.stack[:0]
+	s.callStack = s.callStack[:0]
+}
+
 // StronglyConnectedComponents returns a component id for every vertex using
 // Tarjan's algorithm (iterative, so deep graphs cannot overflow the stack),
 // plus the number of components. TGI's graph-augmentation subroutine uses
 // the condensation to decide which links to add until the traverse graph is
 // strongly connected.
 func StronglyConnectedComponents(g *Graph) (comp []int, count int) {
+	return StronglyConnectedComponentsInto(g, nil)
+}
+
+// StronglyConnectedComponentsInto is StronglyConnectedComponents writing
+// into comp (grown when too small) with pooled internal scratch, so
+// repeated passes over a rebuilt graph allocate nothing once warm.
+func StronglyConnectedComponentsInto(g *Graph, comp []int) ([]int, int) {
 	n := g.N()
-	comp = make([]int, n)
-	index := make([]int, n)
-	lowlink := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = -1
+	if cap(comp) < n {
+		comp = make([]int, n)
+	}
+	comp = comp[:n]
+	s := sccPool.Get().(*sccScratch)
+	defer sccPool.Put(s)
+	s.grow(n)
+	index, lowlink, onStack := s.index, s.lowlink, s.onStack
+	stack, callStack := s.stack, s.callStack
+	for i := range comp {
 		comp[i] = -1
 	}
-	var stack []int
-	next := 0
+	next, count := 0, 0
 
-	type frame struct {
-		v, arcIdx int
-	}
 	for start := 0; start < n; start++ {
 		if index[start] != -1 {
 			continue
 		}
-		callStack := []frame{{v: start}}
+		callStack = append(callStack[:0], sccFrame{v: start})
 		index[start] = next
 		lowlink[start] = next
 		next++
@@ -44,7 +87,7 @@ func StronglyConnectedComponents(g *Graph) (comp []int, count int) {
 					next++
 					stack = append(stack, w)
 					onStack[w] = true
-					callStack = append(callStack, frame{v: w})
+					callStack = append(callStack, sccFrame{v: w})
 				} else if onStack[w] {
 					if index[w] < lowlink[v] {
 						lowlink[v] = index[w]
@@ -74,6 +117,7 @@ func StronglyConnectedComponents(g *Graph) (comp []int, count int) {
 			}
 		}
 	}
+	s.stack, s.callStack = stack[:0], callStack[:0]
 	return comp, count
 }
 

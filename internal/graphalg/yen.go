@@ -4,7 +4,33 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 )
+
+// yenScratch pools the spur-search ban structures of Yen's algorithm.
+type yenScratch struct {
+	bannedVertex []bool
+	bannedArc    map[[2]int]bool
+}
+
+var yenPool = sync.Pool{New: func() any {
+	return &yenScratch{bannedArc: make(map[[2]int]bool)}
+}}
+
+func getYenScratch(n int) *yenScratch {
+	y := yenPool.Get().(*yenScratch)
+	if cap(y.bannedVertex) < n {
+		y.bannedVertex = make([]bool, n)
+	}
+	y.bannedVertex = y.bannedVertex[:n]
+	// The algorithm unbans everything it bans, but reset defensively: a
+	// stale entry would silently prune valid spur paths.
+	for i := range y.bannedVertex {
+		y.bannedVertex[i] = false
+	}
+	clear(y.bannedArc)
+	return y
+}
 
 // KShortestPaths returns up to k loopless paths from src to dst in
 // nondecreasing weight order, using Yen's algorithm [Yen 1971] with
@@ -34,11 +60,15 @@ func kShortestPaths(g *Graph, src, dst, k int, done <-chan struct{}) []Path {
 	var candidates []Path
 
 	// One scratch, one ban buffer, and one ban map serve every spur
-	// search; they are reset in place between iterations.
+	// search; they are reset in place between iterations, and the ban
+	// structures themselves are pooled across Yen invocations (K-GRI runs
+	// one per source×destination candidate pair of every query pair).
 	s := getScratch(g.N())
 	defer putScratch(s)
-	bannedVertex := make([]bool, g.N())
-	bannedArc := make(map[[2]int]bool)
+	y := getYenScratch(g.N())
+	defer yenPool.Put(y)
+	bannedVertex := y.bannedVertex
+	bannedArc := y.bannedArc
 
 	for len(paths) < k {
 		last := paths[len(paths)-1].Vertices

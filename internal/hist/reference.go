@@ -4,11 +4,30 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/graphalg"
 	"repro/internal/traj"
 )
+
+// swPoint is one candidate point of the plane-sweep splice join.
+type swPoint struct {
+	pt   geo.Point
+	traj int
+	idx  int
+}
+
+// sweepScratch pools the plane-sweep side buffers: the splice join runs on
+// every sparse-area reference search and its two candidate point lists are
+// that path's largest transient allocations. Emitted references copy their
+// points out of the archive trajectories, so nothing published aliases
+// these buffers.
+type sweepScratch struct {
+	aside, bside []swPoint
+}
+
+var sweepPool = sync.Pool{New: func() any { return new(sweepScratch) }}
 
 // Reference is a reference trajectory with respect to one query pair
 // ⟨q_i, q_{i+1}⟩: either the sub-trajectory T_i^k of an archive trajectory
@@ -207,15 +226,12 @@ func splicedReferences(v View, qi, qj traj.GPSPoint, p SearchParams,
 	bestI, bestJ map[int]PointRef, usedA map[int]bool, vmaxBudget float64,
 	done <-chan struct{}) []Reference {
 
-	type swPoint struct {
-		pt   geo.Point
-		traj int
-		idx  int
-	}
+	sw := sweepPool.Get().(*sweepScratch)
+	aside, bside := sw.aside[:0], sw.bside[:0]
+	defer func() { sw.aside, sw.bside = aside, bside; sweepPool.Put(sw) }()
 	// A-side: points after nn(q_i, T_a) on trajectories near q_i only.
 	// (Canonical trajectory order keeps plane-sweep tie-breaking stable and
 	// storage-order independent.)
-	var aside []swPoint
 	for _, ti := range canonicalKeys(v, bestI) {
 		if usedA[ti] {
 			continue
@@ -237,7 +253,6 @@ func splicedReferences(v View, qi, qj traj.GPSPoint, p SearchParams,
 		}
 	}
 	// B-side: points before nn(q_{i+1}, T_b) on trajectories near q_{i+1}.
-	var bside []swPoint
 	for _, tj := range canonicalKeys(v, bestJ) {
 		if usedA[tj] {
 			continue

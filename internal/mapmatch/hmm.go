@@ -72,6 +72,8 @@ func (m *HMM) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, err
 		score[0][j] = logEmission(c)
 		back[0][j] = -1
 	}
+	ts := m.G.NewTableSession()
+	defer ts.Close()
 	done := ctx.Done()
 	for i := 1; i < n; i++ {
 		if graphalg.Stopped(done) {
@@ -84,7 +86,7 @@ func (m *HMM) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, err
 			score[i][j] = math.Inf(-1)
 			back[i][j] = -1
 		}
-		wtbl := candidateDistTable(ctx, m.G, cands[i-1], cands[i])
+		wtbl := candidateDistTable(ctx, m.G, ts, cands[i-1], cands[i])
 		for pj := range cands[i-1] {
 			if math.IsInf(score[i-1][pj], -1) {
 				continue

@@ -65,15 +65,18 @@ func (m *IVMM) match(ctx context.Context, t *traj.Trajectory) (roadnet.Route, er
 	// temporal), with unreachable transitions at -Inf.
 	F := make([][][]float64, n)
 	st := &STMatcher{G: m.G, Params: m.Params}
+	ts := m.G.NewTableSession()
 	done := ctx.Done()
 	for i := 1; i < n; i++ {
 		if graphalg.Stopped(done) {
+			ts.Close()
 			return nil, ctx.Err()
 		}
 		straight := t.Points[i-1].Pt.Dist(t.Points[i].Pt)
 		dt := t.Points[i].T - t.Points[i-1].T
-		F[i] = st.transitionScores(ctx, cands[i-1], cands[i], straight, dt)
+		F[i] = st.transitionScores(ctx, ts, cands[i-1], cands[i], straight, dt)
 	}
+	ts.Close()
 
 	// Interactive voting.
 	votes := make([][]int, n)

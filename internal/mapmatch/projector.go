@@ -46,12 +46,26 @@ type snapVal struct {
 
 // NewProjector returns a projector over g with the given matching params.
 func NewProjector(g *roadnet.Graph, prm Params) *Projector {
-	return &Projector{
-		g: g, prm: prm,
-		cands:   make(map[geo.Point][]roadnet.Candidate),
-		snaps:   make(map[snapKey]snapVal),
-		bridges: make(map[[2]roadnet.Location]bridge),
+	pj := &Projector{}
+	pj.Reset(g, prm)
+	return pj
+}
+
+// Reset returns the projector to its freshly-constructed state over g and
+// prm: every memo emptied, with the map buckets kept allocated. A pooled
+// projector Reset between inferences behaves identically to a new one —
+// the memos are transparent, so only their (empty) starting state matters.
+func (pj *Projector) Reset(g *roadnet.Graph, prm Params) {
+	pj.g, pj.prm = g, prm
+	if pj.cands == nil {
+		pj.cands = make(map[geo.Point][]roadnet.Candidate)
+		pj.snaps = make(map[snapKey]snapVal)
+		pj.bridges = make(map[[2]roadnet.Location]bridge)
+		return
 	}
+	clear(pj.cands)
+	clear(pj.snaps)
+	clear(pj.bridges)
 }
 
 func (pj *Projector) candidates(p geo.Point) []roadnet.Candidate {

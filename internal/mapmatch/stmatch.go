@@ -58,6 +58,12 @@ func (m *STMatcher) match(ctx context.Context, t *traj.Trajectory) (roadnet.Rout
 		return roadnet.Route{cands[0][0].Edge}, nil
 	}
 
+	// One table session serves the whole DP: consecutive point pairs share
+	// candidate vertices, so the CH oracle reuses their backward cones
+	// instead of re-running one search per pair (answers are identical).
+	ts := m.G.NewTableSession()
+	defer ts.Close()
+
 	// DP over the candidate graph: score[i][j] = best cumulative score of a
 	// path ending at candidate j of point i.
 	n := t.Len()
@@ -82,7 +88,7 @@ func (m *STMatcher) match(ctx context.Context, t *traj.Trajectory) (roadnet.Rout
 			score[i][j] = math.Inf(-1)
 			back[i][j] = -1
 		}
-		f := m.transitionScores(ctx, cands[i-1], cands[i], straight, dt)
+		f := m.transitionScores(ctx, ts, cands[i-1], cands[i], straight, dt)
 		for pj := range cands[i-1] {
 			for j := range cands[i] {
 				if math.IsInf(f[pj][j], -1) {
@@ -145,8 +151,8 @@ func (m *STMatcher) match(ctx context.Context, t *traj.Trajectory) (roadnet.Rout
 // speed-constraint cosine (with its denominator) is computed for them.
 // The observation term and the speed-limit lookups are hoisted out of the
 // transition loop.
-func (m *STMatcher) transitionScores(ctx context.Context, prev, cur []roadnet.Candidate, straight, dt float64) [][]float64 {
-	f := candidateDistTable(ctx, m.G, prev, cur)
+func (m *STMatcher) transitionScores(ctx context.Context, ts graphalg.TableSession, prev, cur []roadnet.Candidate, straight, dt float64) [][]float64 {
+	f := candidateDistTable(ctx, m.G, ts, prev, cur)
 	obs := make([]float64, len(cur))
 	u2 := make([]float64, len(cur))
 	for j, c := range cur {
@@ -174,8 +180,8 @@ func (m *STMatcher) transitionScores(ctx context.Context, prev, cur []roadnet.Ca
 
 // candidateDistTable returns the driving distance from every candidate of
 // prev to every candidate of cur (+Inf when unreachable), resolving the
-// vertex-to-vertex legs with one batched oracle query.
-func candidateDistTable(ctx context.Context, g *roadnet.Graph, prev, cur []roadnet.Candidate) [][]float64 {
+// vertex-to-vertex legs with one batched table query through ts.
+func candidateDistTable(ctx context.Context, g *roadnet.Graph, ts graphalg.TableSession, prev, cur []roadnet.Candidate) [][]float64 {
 	srcs := make([]roadnet.VertexID, len(prev))
 	for pj, pc := range prev {
 		srcs[pj] = g.Seg(pc.Edge).To
@@ -184,7 +190,7 @@ func candidateDistTable(ctx context.Context, g *roadnet.Graph, prev, cur []roadn
 	for j, c := range cur {
 		dsts[j] = g.Seg(c.Edge).From
 	}
-	tbl := g.VertexDistanceTableCtx(ctx, srcs, dsts)
+	tbl := ts.TableCtx(ctx, srcs, dsts)
 	for pj, pc := range prev {
 		sa := g.Seg(pc.Edge)
 		row := tbl[pj]

@@ -35,7 +35,9 @@ func TestTransitionScoresDisconnected(t *testing.T) {
 	if len(prev) == 0 || len(cur) == 0 {
 		t.Fatalf("no candidates: prev=%d cur=%d", len(prev), len(cur))
 	}
-	f := m.transitionScores(context.Background(), prev, cur, 400, 60)
+	ts := g.NewTableSession()
+	defer ts.Close()
+	f := m.transitionScores(context.Background(), ts, prev, cur, 400, 60)
 	for pj := range f {
 		for j, s := range f[pj] {
 			if math.IsNaN(s) {
@@ -49,7 +51,7 @@ func TestTransitionScoresDisconnected(t *testing.T) {
 
 	// Sanity check of the reachable direction within one component.
 	cur1 := candidatesFor(g, geo.Pt(80, 5), m.Params)
-	f = m.transitionScores(context.Background(), prev, cur1, 30, 10)
+	f = m.transitionScores(context.Background(), ts, prev, cur1, 30, 10)
 	finite := false
 	for pj := range f {
 		for _, s := range f[pj] {

@@ -97,3 +97,12 @@ func (g *Graph) VertexDistanceTable(srcs, dsts []VertexID) [][]float64 {
 func (g *Graph) VertexDistanceTableCtx(ctx context.Context, srcs, dsts []VertexID) [][]float64 {
 	return g.Oracle().TableCtx(ctx, srcs, dsts)
 }
+
+// NewTableSession opens a distance-table session against the graph's
+// oracle: a burst of related VertexDistanceTable calls (one per adjacent
+// point pair of a matcher's dynamic program) that may share backward
+// search state between them. Results are identical to per-call tables.
+// Sessions are not safe for concurrent use and must be Closed.
+func (g *Graph) NewTableSession() graphalg.TableSession {
+	return graphalg.NewTableSession(g.Oracle())
+}

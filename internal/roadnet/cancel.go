@@ -74,6 +74,12 @@ func (g *Graph) EdgeHopsCtx(ctx context.Context, r EdgeID, maxHops int) []int {
 	return graphalg.BFSHopsCtx(ctx, g.edgeG, r, maxHops)
 }
 
+// EdgeHopsIntoCtx is EdgeHopsCtx writing into hops (grown when too small),
+// so per-query λ-neighborhood scans can reuse one buffer.
+func (g *Graph) EdgeHopsIntoCtx(ctx context.Context, r EdgeID, maxHops int, hops []int) []int {
+	return graphalg.BFSHopsIntoCtx(ctx, g.edgeG, r, maxHops, hops)
+}
+
 // NeighborhoodCtx is Neighborhood (Definition 8) with cancellation
 // checkpoints in the underlying hop BFS.
 func (g *Graph) NeighborhoodCtx(ctx context.Context, r EdgeID, lambda int) map[EdgeID]int {

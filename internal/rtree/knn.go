@@ -1,8 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
-
 	"repro/internal/geo"
 )
 
@@ -21,46 +19,89 @@ type nnItem[T any] struct {
 	entry Entry[T] // valid when node is nil
 }
 
+// nnHeap is a binary min-heap on dist with hand-rolled sift operations:
+// going through container/heap boxed every nnItem into an interface value,
+// one allocation per push on NNI's hottest loop. The sift order — parent
+// (i-1)/2, strictly-less comparisons, prefer the right child only when
+// strictly smaller — mirrors container/heap's up/down exactly, so
+// equal-distance items pop in the same order as before and every
+// tie-dependent choice downstream is unchanged.
 type nnHeap[T any] []nnItem[T]
 
-func (h nnHeap[T]) Len() int           { return len(h) }
-func (h nnHeap[T]) Less(i, j int) bool { return h[i].dist < h[j].dist }
-func (h nnHeap[T]) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *nnHeap[T]) Push(x any)        { *h = append(*h, x.(nnItem[T])) }
-func (h *nnHeap[T]) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *nnHeap[T]) push(it nnItem[T]) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(s[i].dist < s[p].dist) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *nnHeap[T]) pop() nnItem[T] {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nnItem[T]{} // drop node/entry refs held past the slice length
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s[r].dist < s[c].dist {
+			c = r
+		}
+		if !(s[c].dist < s[i].dist) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }
 
 // Nearest returns an iterator producing entries in order of distance from p.
 func (t *Tree[T]) Nearest(p geo.Point) *NearestIter[T] {
-	it := &NearestIter[T]{from: p}
+	return t.NearestInto(p, &NearestIter[T]{})
+}
+
+// NearestInto primes it for a fresh traversal from p, reusing its heap's
+// backing array — the allocation-free form of Nearest for callers that
+// stream many kNN queries against the same tree.
+func (t *Tree[T]) NearestInto(p geo.Point, it *NearestIter[T]) *NearestIter[T] {
+	it.from = p
+	it.pq = it.pq[:0]
 	if t.root != nil && !t.root.box.IsEmpty() {
+		// A one-element heap needs no sift, so seed directly.
 		it.pq = append(it.pq, nnItem[T]{dist: t.root.box.DistToPoint(p), node: t.root})
 	}
-	heap.Init(&it.pq)
 	return it
 }
 
 // Next returns the next-closest entry and its distance. ok is false when the
 // iterator is exhausted.
 func (it *NearestIter[T]) Next() (e Entry[T], dist float64, ok bool) {
-	for it.pq.Len() > 0 {
-		top := heap.Pop(&it.pq).(nnItem[T])
+	for len(it.pq) > 0 {
+		top := it.pq.pop()
 		if top.node == nil {
 			return top.entry, top.dist, true
 		}
 		nd := top.node
 		if nd.leaf {
 			for _, e := range nd.entries {
-				heap.Push(&it.pq, nnItem[T]{dist: e.Box.DistToPoint(it.from), entry: e})
+				it.pq.push(nnItem[T]{dist: e.Box.DistToPoint(it.from), entry: e})
 			}
 		} else {
 			for _, c := range nd.children {
-				heap.Push(&it.pq, nnItem[T]{dist: c.box.DistToPoint(it.from), node: c})
+				it.pq.push(nnItem[T]{dist: c.box.DistToPoint(it.from), node: c})
 			}
 		}
 	}

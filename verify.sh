@@ -39,6 +39,23 @@ go test -timeout 120s -count=2 -run 'Yen|KGRI' ./internal/graphalg/ ./internal/c
 # `go test -bench -benchmem` and cmd/experiments -fig bench-json.
 go test -timeout 300s -run '^$' -bench 'HRISQuery|STMatch|CH|Ingest' -benchtime 1x .
 
+# Alloc-regression gate: the steady-state query hot path must stay within
+# the checked-in budget (bench_budget.json). BenchmarkHRISQuery warms the
+# pools and memos before the timer starts, so allocs/op here is the
+# steady-state number — stable to ±1 across runs. The benchmark line format
+# is "BenchmarkHRISQuery <N> <ns/op> ns/op <B/op> B/op <allocs/op> allocs/op";
+# allocs/op is field NF-1 and B/op is field NF-3.
+bench_line=$(go test -timeout 300s -run '^$' -bench '^BenchmarkHRISQuery$' \
+    -benchmem -benchtime 20x . | grep '^BenchmarkHRISQuery')
+echo "$bench_line"
+allocs=$(echo "$bench_line" | awk '{print $(NF-1)}')
+bytes=$(echo "$bench_line" | awk '{print $(NF-3)}')
+max_allocs=$(sed -n 's/.*"max_allocs_per_op": *\([0-9][0-9]*\).*/\1/p' bench_budget.json)
+max_bytes=$(sed -n 's/.*"max_bytes_per_op": *\([0-9][0-9]*\).*/\1/p' bench_budget.json)
+test -n "$max_allocs" && test -n "$max_bytes"
+test "$allocs" -le "$max_allocs"
+test "$bytes" -le "$max_bytes"
+
 # Crash-recovery smoke, end to end: feed a live NDJSON stream into a durable
 # store through a fifo (so stdin stays open and the process cannot exit
 # cleanly), SIGKILL the process mid-stream, then reopen the same data
@@ -90,7 +107,7 @@ grep -q "recovered epoch $recovered " "$tmp/reopen2.log"
 # one slice and requests serialize, never meeting at the gate) it must
 # visibly shed instead of queueing without bound. A quick -fig load
 # exercises the in-process closed-loop figure; the checked-in
-# BENCH_8.json rows come from `cmd/experiments -quick -fig bench-json`.
+# BENCH_9.json rows come from `cmd/experiments -quick -fig bench-json`.
 go build -o "$tmp/loadgen" ./cmd/loadgen
 "$tmp/gendata" -out "$tmp/data-load" > /dev/null
 "$tmp/hris" -data "$tmp/data-load" -http 127.0.0.1:16060 -max-inflight 2 -queue-depth 2 \
