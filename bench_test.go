@@ -270,6 +270,53 @@ func BenchmarkHRISQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionStep measures absorbing one point into a streaming
+// inference session — the per-update cost a live vehicle feed pays, and the
+// number the streaming substrate's whole point rests on: it must stay far
+// below BenchmarkHRISQuery (re-running the full inference per point), and
+// its allocs/op is budgeted by the verify.sh alloc-regression gate (see
+// bench_budget.json). The warm-up pass populates the pooled scratch and
+// reference memos; the finalize-and-reopen between passes stays off the
+// clock, so the measured op is the steady-state incremental step.
+func BenchmarkSessionStep(b *testing.B) {
+	w := world(b)
+	qs := w.Queries(1, 180, w.Cfg.QueryLen, 111)
+	if len(qs) == 0 {
+		b.Skip("no query")
+	}
+	q := qs[0].Query
+	ctx := context.Background()
+	warm := w.Eng.NewSession(w.P, core.SessionConfig{})
+	for _, pt := range q.Points {
+		if _, err := warm.Push(ctx, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warm.Close()
+	b.ReportAllocs()
+	s := w.Eng.NewSession(w.P, core.SessionConfig{})
+	j := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if j == q.Len() {
+			b.StopTimer()
+			if _, err := s.Finalize(); err != nil {
+				b.Fatal(err)
+			}
+			s.Close()
+			s = w.Eng.NewSession(w.P, core.SessionConfig{})
+			j = 0
+			b.StartTimer()
+		}
+		if _, err := s.Push(ctx, q.Points[j]); err != nil {
+			b.Fatal(err)
+		}
+		j++
+	}
+	b.StopTimer()
+	s.Close()
+}
+
 // BenchmarkHRISQueryDijkstra is BenchmarkHRISQuery on the Dijkstra-oracle
 // world: the no-acceleration baseline. Comparing the two shows the CH
 // speedup end to end; this one must stay within noise of the pre-CH seed.

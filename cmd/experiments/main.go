@@ -15,9 +15,12 @@
 // -fig shards profiles query latency and ingest throughput of the sharded
 // live archive against shard count, -fig load drives the admission-gated
 // serving path with closed-loop clients at increasing concurrency
-// (sustained throughput, shed and degrade rates against offered load), and
+// (sustained throughput, shed and degrade rates against offered load),
+// -fig sessions pushes the same queries point-by-point through streaming
+// inference sessions at several provisional-window sizes (firm lag,
+// provisional agreement with a full requery, per-point step cost), and
 // -fig bench-json (never part of "all") rewrites the checked-in benchmark
-// snapshot at -benchout (default BENCH_9.json).
+// snapshot at -benchout (default BENCH_10.json).
 package main
 
 import (
@@ -37,10 +40,10 @@ func main() {
 	log.SetPrefix("experiments: ")
 	var (
 		quick    = flag.Bool("quick", false, "scaled-down sweep")
-		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel,freshness,shards,load) or all; bench-json (explicit only) writes the benchmark snapshot")
+		figs     = flag.String("fig", "all", "comma-separated figure list (8a,8b,9,10,11,12,13,14a,14b,ablation,temporal,networkfree,stages,deadline,accel,freshness,shards,load,sessions) or all; bench-json (explicit only) writes the benchmark snapshot")
 		seed     = flag.Int64("seed", 7, "world seed")
 		csvD     = flag.String("csv", "", "also write each figure as CSV into this directory")
-		benchOut = flag.String("benchout", "BENCH_9.json", "output path for -fig bench-json")
+		benchOut = flag.String("benchout", "BENCH_10.json", "output path for -fig bench-json")
 	)
 	flag.Parse()
 
@@ -198,6 +201,15 @@ func main() {
 		run("load (sustained throughput under admission control)", func() {
 			t, _ := getW().LoadProfile(loadClients, 25*time.Millisecond, window)
 			emit(*csvD, t)
+		})
+	}
+	if need("sessions") {
+		sessionWindows := []int{1, 2, 4, 8, 16}
+		if *quick {
+			sessionWindows = []int{1, 4, 8}
+		}
+		run("sessions (streaming session profile)", func() {
+			emit(*csvD, getW().SessionProfile(sessionWindows))
 		})
 	}
 	// bench-json runs only when asked for by name: it re-measures the

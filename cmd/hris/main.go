@@ -60,6 +60,21 @@
 // shed, coalesced); cmd/loadgen drives this surface at a configurable
 // offered load.
 //
+// Streaming inference: with -http, POST /stream?id=VEHICLE holds one
+// long-lived NDJSON exchange per vehicle — one [x, y, t] point per request
+// line, answered in order with incremental updates (pairs inferred so far,
+// the firm prefix no future point can revise, a provisional route tail) and,
+// when the request body ends, a final record carrying the same routes POST
+// /infer would return for the completed trace. Sessions are admitted by a
+// bounded manager (-max-sessions, 429 at capacity), hold at most
+// -session-max-points points, and are evicted after -session-idle without a
+// point; -deadline budgets each point's incremental step. With
+// -stream-ingest every cleanly finalized stream trajectory is admitted into
+// the live archive, closing the loop from live vehicles to the reference
+// history the next queries search. On SIGINT/SIGTERM open streams finalize
+// what they have within -drain-grace (flagged "draining" in the final
+// record) before the server shuts down.
+//
 // Shortest paths: -accel selects the network's distance oracle — "ch"
 // (default) builds a contraction hierarchy once and answers queries from
 // its tiny upward search cones, "dijkstra" keeps the plain Dijkstra/A*
@@ -157,6 +172,13 @@ func main() {
 
 		maxInflight = flag.Int("max-inflight", 0, "max concurrent /infer inferences (< 1 = GOMAXPROCS)")
 		queueDepth  = flag.Int("queue-depth", -1, "max /infer requests waiting beyond -max-inflight before 429 (< 0 = 4x max-inflight)")
+
+		maxSessions   = flag.Int("max-sessions", 0, "max concurrent /stream sessions before 429 (< 1 = 16384)")
+		sessionIdle   = flag.Duration("session-idle", 0, "evict /stream sessions idle this long (0 = 5m)")
+		sessionWindow = flag.Int("session-window", 0, "provisional-tail window in pairs for /stream updates (< 1 = 8)")
+		sessionPoints = flag.Int("session-max-points", 0, "max points per /stream session before forced finalize (< 1 = 4096)")
+		streamIngest  = flag.Bool("stream-ingest", false, "ingest each finalized /stream trajectory into the live archive")
+		drainGrace    = flag.Duration("drain-grace", 2*time.Second, "per-stream finalize window during shutdown (keep below the 5s server shutdown timeout)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -237,10 +259,18 @@ func main() {
 	}
 	eng := core.NewEngineWithRegistry(st, params, reg)
 	var srv *http.Server
+	var mgr *core.SessionManager
 	if *httpAddr != "" {
 		gate := core.NewGate(eng, core.GateConfig{MaxInflight: *maxInflight, QueueDepth: *queueDepth})
+		mgr = core.NewSessionManager(eng, core.SessionManagerConfig{
+			MaxSessions: *maxSessions,
+			MaxPoints:   *sessionPoints,
+			IdleTimeout: *sessionIdle,
+			Window:      *sessionWindow,
+		})
 		srv = serveDebug(*httpAddr, &server{
-			eng: eng, gate: gate, st: st, params: params, root: ctx,
+			eng: eng, gate: gate, mgr: mgr, st: st, params: params, root: ctx,
+			streamIngest: *streamIngest, drainGrace: *drainGrace,
 		})
 	}
 
@@ -338,11 +368,17 @@ func main() {
 		stop() // restore default signal handling: a second ctrl-c kills us
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		// Shutdown waits for in-flight handlers, including open /stream
+		// connections: root cancellation already told each of them to
+		// finalize within -drain-grace, so they return inside this window.
 		if err := srv.Shutdown(shCtx); err != nil {
 			log.Printf("debug server shutdown: %v", err)
 		} else {
 			log.Printf("debug server stopped")
 		}
+	}
+	if mgr != nil {
+		mgr.Close()
 	}
 	// Flush and close the store last — the debug server is down, so no new
 	// ingests can race the final WAL sync.

@@ -14,7 +14,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/hist"
-	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
 
@@ -38,9 +37,15 @@ var errServerShutdown = errors.New("server shutting down")
 type server struct {
 	eng    *core.Engine
 	gate   *core.Gate
+	mgr    *core.SessionManager
 	st     hist.Ingester
 	params core.Params
 	root   context.Context
+	// streamIngest feeds each finalized /stream trajectory back into the
+	// live archive; drainGrace bounds the per-stream finalize window during
+	// shutdown (must stay inside main's Shutdown timeout).
+	streamIngest bool
+	drainGrace   time.Duration
 }
 
 // mux assembles the debug/serving routes: /metrics (JSON snapshot),
@@ -49,14 +54,21 @@ type server struct {
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		snap := s.eng.Metrics()
+		// session.active is a point-in-time gauge, not a registry counter:
+		// fold the manager's live count into the snapshot here.
+		if s.mgr != nil && snap.Counters != nil {
+			snap.Counters["session.active"] = uint64(s.mgr.Active())
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s.eng.Metrics()); err != nil {
+		if err := enc.Encode(snap); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
 		ingestHandler(w, r, s.st)
 	})
@@ -122,10 +134,6 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), inferErrStatus(ctx, err))
 		return
-	}
-	type routeJSON struct {
-		Segments roadnet.Route `json:"segments"`
-		Score    float64       `json:"score"`
 	}
 	resp := struct {
 		Routes   []routeJSON `json:"routes"`

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// maxStreamLine bounds one NDJSON point line on /stream — a point is three
+// JSON numbers, so 64 KiB is far beyond any honest producer.
+const maxStreamLine = 1 << 16
+
+// streamUpdateJSON is one incremental answer on the /stream response: the
+// session state after the point at Seq was absorbed.
+type streamUpdateJSON struct {
+	Seq         int           `json:"seq"`
+	Pairs       int           `json:"pairs"`
+	FirmPairs   int           `json:"firm_pairs"`
+	Provisional roadnet.Route `json:"provisional,omitempty"`
+	Score       float64       `json:"score,omitempty"`
+	Degraded    bool          `json:"degraded,omitempty"`
+}
+
+// streamFinalJSON is the terminal /stream record: the finalized whole-trace
+// routes (identical to what POST /infer would return for the same points), or
+// the error that ended the session. Draining marks a server-shutdown
+// finalize, Truncated a point-cap finalize; Ingested/Epoch report the
+// optional finalize-to-ingest handoff.
+type streamFinalJSON struct {
+	Final     bool        `json:"final"`
+	Routes    []routeJSON `json:"routes,omitempty"`
+	Degraded  bool        `json:"degraded,omitempty"`
+	Draining  bool        `json:"draining,omitempty"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Ingested  bool        `json:"ingested,omitempty"`
+	Epoch     uint64      `json:"epoch,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+type routeJSON struct {
+	Segments roadnet.Route `json:"segments"`
+	Score    float64       `json:"score"`
+}
+
+// streamSeq disambiguates anonymous /stream sessions.
+var streamSeq atomic.Uint64
+
+// streamLine is one read off the request body: a raw line or the reader's
+// terminal error.
+type streamLine struct {
+	data []byte
+	err  error
+}
+
+// handleStream serves one vehicle's live trajectory as a long-lived NDJSON
+// exchange: POST /stream?id=VEH with one [x, y, t] point per request line;
+// each line is answered (in order) with a streamUpdateJSON line, and the end
+// of the request body finalizes the session into a streamFinalJSON line.
+//
+// Status mapping (before the stream starts; afterwards errors ride in-band):
+//
+//	405 not a POST
+//	409 the vehicle id already has an active session
+//	429 the session manager is at capacity — back off and retry
+//
+// Shutdown: when the process begins draining, every open stream finalizes
+// what it has within -drain-grace and answers a final record flagged
+// "draining", so the server's graceful Shutdown window is honored and no
+// accepted point is silently dropped.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// rejectStream refuses the request before the stream starts. The body is
+	// an open-ended NDJSON feed, so the response must mark the connection
+	// closed: otherwise the server would drain the body before replying (to
+	// reuse the connection) while the client waits for this very reply
+	// before closing its send side — a mutual deadlock.
+	rejectStream := func(msg string, code int) {
+		w.Header().Set("Connection", "close")
+		http.Error(w, msg, code)
+	}
+	if r.Method != http.MethodPost {
+		rejectStream(`POST an NDJSON stream of [x, y, t] points; add ?id=VEHICLE to name the session`, http.StatusMethodNotAllowed)
+		return
+	}
+	if s.mgr == nil {
+		rejectStream("streaming disabled", http.StatusServiceUnavailable)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		id = fmt.Sprintf("anon-%d", streamSeq.Add(1))
+	}
+	vs, err := s.mgr.Open(id, s.params)
+	switch {
+	case errors.Is(err, core.ErrTooManySessions):
+		rejectStream(err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, core.ErrDuplicateSession):
+		rejectStream(err.Error(), http.StatusConflict)
+		return
+	case err != nil:
+		rejectStream(err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	// A stream outlives the server's request read/write timeouts by design;
+	// lift them for this connection and enable full-duplex so we can keep
+	// reading points after the first response bytes are written.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+	_ = rc.SetReadDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Push the response headers now so a client driving the stream in a
+	// strict write-then-read loop unblocks before the first point.
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+	enc := json.NewEncoder(w)
+	writeRec := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false
+		}
+		_ = rc.Flush()
+		return true
+	}
+
+	// The body reader runs aside so the handler can race point arrival
+	// against process shutdown. When the handler returns early the server
+	// closes the body, the pending read fails, and the goroutine exits.
+	lines := make(chan streamLine)
+	go func() {
+		br := bufio.NewReader(r.Body)
+		for {
+			data, err := readLine(br, maxStreamLine)
+			select {
+			case lines <- streamLine{data: data, err: err}:
+			case <-r.Context().Done():
+				return
+			}
+			if err != nil && err != errLineTooLong {
+				return
+			}
+		}
+	}()
+
+	var pts []traj.GPSPoint
+	finish := func(fin streamFinalJSON) {
+		res, err := vs.Finalize()
+		if err != nil {
+			fin.Error = err.Error()
+			writeRec(fin)
+			return
+		}
+		fin.Degraded = res.Degraded
+		for _, gr := range res.Routes {
+			fin.Routes = append(fin.Routes, routeJSON{Segments: gr.Route, Score: gr.Score})
+		}
+		if s.streamIngest {
+			stats := s.st.Ingest(&traj.Trajectory{ID: "stream-" + id, Points: pts})
+			if stats.Trips > 0 {
+				fin.Ingested = true
+				fin.Epoch = stats.Epoch
+			}
+		}
+		writeRec(fin)
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client vanished (connection aborted); the reader goroutine may
+			// have exited without delivering a final line, so this select arm
+			// is the only guaranteed exit.
+			vs.Abort()
+			return
+		case <-s.root.Done():
+			// Server draining: finalize what we have within the grace period
+			// so srv.Shutdown's window is met. Finalize is synchronous CPU
+			// work well under the grace on any real session; the timer only
+			// caps how long we'd wait for it to start.
+			done := make(chan struct{})
+			go func() { finish(streamFinalJSON{Final: true, Draining: true}); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(s.drainGrace):
+				vs.Abort()
+				log.Printf("/stream %s: drain grace %v expired mid-finalize", id, s.drainGrace)
+			}
+			return
+		case ln := <-lines:
+			if ln.err == errLineTooLong {
+				writeRec(streamFinalJSON{Final: true, Error: "point line exceeds size limit"})
+				vs.Abort()
+				return
+			}
+			if ln.err != nil {
+				if ln.err == io.EOF && len(bytes.TrimSpace(ln.data)) == 0 {
+					finish(streamFinalJSON{Final: true})
+					return
+				}
+				if ln.err != io.EOF {
+					// Client vanished mid-stream; nothing left to answer.
+					vs.Abort()
+					return
+				}
+				// Unterminated final line: refuse the possibly-torn point but
+				// finalize the accepted prefix.
+				finish(streamFinalJSON{Final: true, Error: "dropped unterminated final line"})
+				return
+			}
+			if len(bytes.TrimSpace(ln.data)) == 0 {
+				continue
+			}
+			var p [3]float64
+			if err := json.Unmarshal(ln.data, &p); err != nil {
+				writeRec(streamFinalJSON{Final: true, Error: "bad point: " + err.Error()})
+				vs.Abort()
+				return
+			}
+			pt := traj.GPSPoint{Pt: geo.Pt(p[0], p[1]), T: p[2]}
+			upd, err := vs.Push(r.Context(), pt)
+			switch {
+			case errors.Is(err, core.ErrSessionFull):
+				// Point cap: finalize what fit; the client reopens for the
+				// rest. The refused point is reported, not silently dropped.
+				finish(streamFinalJSON{Final: true, Truncated: true})
+				return
+			case errors.Is(err, core.ErrSessionEvicted):
+				writeRec(streamFinalJSON{Final: true, Error: err.Error()})
+				return
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				vs.Abort()
+				return
+			case err != nil:
+				// Fatal inference error (e.g. a pair with no routes); the
+				// manager already released the session.
+				writeRec(streamFinalJSON{Final: true, Error: err.Error()})
+				return
+			}
+			pts = append(pts, pt)
+			if !writeRec(streamUpdateJSON{
+				Seq:         upd.Seq,
+				Pairs:       upd.Pairs,
+				FirmPairs:   upd.FirmPairs,
+				Provisional: upd.Provisional,
+				Score:       upd.Score,
+				Degraded:    upd.Degraded,
+			}) {
+				vs.Abort()
+				return
+			}
+		}
+	}
+}

@@ -29,6 +29,16 @@
 // process if any 5xx or transport error occurred (an under-capacity run
 // must be clean) and -require-shed fails it if the server never shed (an
 // over-capacity run must shed rather than queue without bound).
+//
+// Streaming mode (-stream) exercises the incremental serving path instead:
+// each of the -c clients opens a long-lived POST /stream session per
+// vehicle, writes one [x, y, t] point line at a time and waits for the
+// matching update line (the write-to-update round trip is the per-update
+// lag), then closes its send side and reads the finalized routes — sessions
+// back to back until -duration. The report counts sessions, points,
+// finalized/truncated/ingested outcomes, the highest archive epoch observed
+// (when the server runs -stream-ingest) and the lag percentiles, ending in
+// a greppable "stream summary:" record; -require-no-5xx applies here too.
 package main
 
 import (
@@ -72,6 +82,8 @@ func main() {
 		jsonOut      = flag.String("json", "", "also write the report as JSON to this file (\"-\" = stdout)")
 		requireNo5xx = flag.Bool("require-no-5xx", false, "exit 1 if any 5xx or transport error occurred")
 		requireShed  = flag.Bool("require-shed", false, "exit 1 if the server never shed (no 429/503)")
+
+		stream = flag.Bool("stream", false, "drive /stream with -c concurrent NDJSON vehicle sessions instead of one-shot /infer")
 	)
 	flag.Parse()
 	if *clients < 1 {
@@ -80,6 +92,10 @@ func main() {
 
 	pool := buildPool(*seed, *rows, *cols, *hot, *trips, *interval, *poolSize)
 	log.Printf("query pool: %d queries (interval %.0fs) from trips past the %d-trip archive", len(pool), *interval, *trips)
+	if *stream {
+		runStream(*addr, *clients, *duration, pool, *seed, *jsonOut, *requireNo5xx)
+		return
+	}
 	bodies := make([][]byte, len(pool))
 	for i, q := range pool {
 		bodies[i] = marshalQuery(q, *deadline)

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/traj"
+)
+
+// streamUpdate mirrors the server's per-point /stream record (the fields the
+// generator needs).
+type streamUpdate struct {
+	Final     bool   `json:"final"`
+	Seq       int    `json:"seq"`
+	Pairs     int    `json:"pairs"`
+	FirmPairs int    `json:"firm_pairs"`
+	Ingested  bool   `json:"ingested"`
+	Epoch     uint64 `json:"epoch"`
+	Truncated bool   `json:"truncated"`
+	Error     string `json:"error"`
+}
+
+// sessionOutcome is one vehicle session's tally.
+type sessionOutcome struct {
+	code      int // non-200 open status; 0 when the stream started
+	points    int
+	finalized bool
+	truncated bool
+	ingested  bool
+	epoch     uint64
+	err       error
+}
+
+// streamSession drives one full vehicle session in a closed loop: write a
+// point, wait for its update (the write-to-update round trip is the per-update
+// lag), repeat; then close the send side and read the final record.
+func streamSession(hc *http.Client, url string, q *traj.Trajectory, lag *obs.Histogram) sessionOutcome {
+	var out sessionOutcome
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	req, err := http.NewRequest(http.MethodPost, url, pr)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	defer resp.Body.Close()
+	out.code = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return out
+	}
+	br := bufio.NewReader(resp.Body)
+	readRec := func() (streamUpdate, error) {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return streamUpdate{}, err
+		}
+		var u streamUpdate
+		return u, json.Unmarshal(line, &u)
+	}
+	for _, pt := range q.Points {
+		t0 := time.Now()
+		if _, err := fmt.Fprintf(pw, "[%g,%g,%g]\n", pt.Pt.X, pt.Pt.Y, pt.T); err != nil {
+			out.err = err
+			return out
+		}
+		u, err := readRec()
+		if err != nil {
+			out.err = err
+			return out
+		}
+		if u.Final {
+			// The server ended the session early (point cap or a fatal pair).
+			out.truncated = u.Truncated
+			out.finalized = u.Error == ""
+			out.ingested = u.Ingested
+			out.epoch = u.Epoch
+			return out
+		}
+		lag.Observe(time.Since(t0))
+		out.points++
+	}
+	pw.Close()
+	fin, err := readRec()
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.finalized = fin.Final && fin.Error == ""
+	out.truncated = fin.Truncated
+	out.ingested = fin.Ingested
+	out.epoch = fin.Epoch
+	return out
+}
+
+// streamReport is the -stream run's outcome breakdown (JSON form = -json).
+type streamReport struct {
+	Clients    int     `json:"clients"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+
+	Sessions  int `json:"sessions"`
+	Finalized int `json:"finalized"`
+	Truncated int `json:"truncated"`
+	Points    int `json:"points"`
+	Ingested  int `json:"ingested"`
+
+	Rejected429 int    `json:"rejected_429"`
+	Errors5xx   int    `json:"errors_5xx"`
+	NetErrors   int    `json:"net_errors"`
+	MaxEpoch    uint64 `json:"max_epoch"`
+
+	PointsPerSec float64 `json:"points_per_sec"`
+	LagP50MS     float64 `json:"lag_p50_ms"`
+	LagP95MS     float64 `json:"lag_p95_ms"`
+	LagP99MS     float64 `json:"lag_p99_ms"`
+	LagMaxMS     float64 `json:"lag_max_ms"`
+}
+
+// runStream is the -stream mode: -c concurrent vehicles, each streaming
+// pool trajectories point-by-point over its own /stream session, back to
+// back until the window closes.
+func runStream(addr string, clients int, duration time.Duration, pool []*traj.Trajectory,
+	seed int64, jsonOut string, requireNo5xx bool) {
+	// No client-side timeout: a session legitimately lives for the whole
+	// window. Transport failures still surface as read/write errors.
+	hc := &http.Client{}
+	base := addr + "/stream"
+
+	// Warm-up session: the first push pays the server's one-time distance
+	// oracle build; keep it out of the measured lag tail.
+	var warmLag obs.Histogram
+	warm := streamSession(hc, base+"?id=warmup", pool[0], &warmLag)
+	if warm.err != nil {
+		log.Fatalf("warm-up stream: %v (is hris -http running at %s?)", warm.err, addr)
+	}
+
+	var (
+		lag obs.Histogram
+		mu  sync.Mutex
+		rep = streamReport{Clients: clients}
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for n := 0; time.Since(start) < duration; n++ {
+				q := pool[rng.Intn(len(pool))]
+				out := streamSession(hc, fmt.Sprintf("%s?id=veh-%d-%d", base, c, n), q, &lag)
+				mu.Lock()
+				rep.Sessions++
+				rep.Points += out.points
+				if out.finalized {
+					rep.Finalized++
+				}
+				if out.truncated {
+					rep.Truncated++
+				}
+				if out.ingested {
+					rep.Ingested++
+					if out.epoch > rep.MaxEpoch {
+						rep.MaxEpoch = out.epoch
+					}
+				}
+				switch {
+				case out.err != nil:
+					rep.NetErrors++
+				case out.code == http.StatusTooManyRequests:
+					rep.Rejected429++
+				case out.code >= 500:
+					rep.Errors5xx++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := lag.Stats()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep.ElapsedSec = elapsed.Seconds()
+	rep.LagP50MS, rep.LagP95MS, rep.LagP99MS, rep.LagMaxMS = ms(st.P50), ms(st.P95), ms(st.P99), ms(st.Max)
+	if elapsed > 0 {
+		rep.PointsPerSec = float64(rep.Points) / elapsed.Seconds()
+	}
+
+	fmt.Printf("%d streaming vehicles for %.1fs: %d sessions, %d points (%.1f points/s)\n",
+		rep.Clients, rep.ElapsedSec, rep.Sessions, rep.Points, rep.PointsPerSec)
+	fmt.Printf("updates  lag p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms\n",
+		rep.LagP50MS, rep.LagP95MS, rep.LagP99MS, rep.LagMaxMS)
+	fmt.Printf("sessions %d finalized, %d truncated, %d ingested (max epoch %d)\n",
+		rep.Finalized, rep.Truncated, rep.Ingested, rep.MaxEpoch)
+	fmt.Printf("errors   %d rejected 429, %d http 5xx, %d transport\n",
+		rep.Rejected429, rep.Errors5xx, rep.NetErrors)
+	// One stable greppable record for scripts (verify.sh keys off this).
+	fmt.Printf("stream summary: sessions=%d finalized=%d truncated=%d points=%d ingested=%d max_epoch=%d rejected_429=%d errors_5xx=%d net_errors=%d pps=%.1f lag_p50_ms=%.2f lag_p95_ms=%.2f lag_p99_ms=%.2f\n",
+		rep.Sessions, rep.Finalized, rep.Truncated, rep.Points, rep.Ingested, rep.MaxEpoch,
+		rep.Rejected429, rep.Errors5xx, rep.NetErrors, rep.PointsPerSec,
+		rep.LagP50MS, rep.LagP95MS, rep.LagP99MS)
+
+	if jsonOut != "" {
+		out, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal stream report: %v", err)
+		}
+		out = append(out, '\n')
+		if jsonOut == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(jsonOut, out, 0o644); err != nil {
+			log.Fatalf("write %s: %v", jsonOut, err)
+		}
+	}
+	if requireNo5xx && (rep.Errors5xx > 0 || rep.NetErrors > 0) {
+		log.Fatalf("FAIL: -require-no-5xx but saw %d 5xx and %d transport errors", rep.Errors5xx, rep.NetErrors)
+	}
+}

@@ -159,15 +159,9 @@ func (e *Engine) inferRoutes(ctx context.Context, q *traj.Trajectory, p Params, 
 	}
 	res := &Result{Pairs: make([]PairStats, 0, n), Locals: make([][]LocalRoute, 0, n)}
 	for i, out := range outs {
-		if len(out.locals) == 0 {
+		if err := res.appendOutcome(i, q.Points[i], q.Points[i+1], out); err != nil {
 			x.stageDone(obs.StageQuery, -1, qt0, 0)
-			return nil, fmt.Errorf("core: pair %d (%v -> %v): %w",
-				i, q.Points[i].Pt, q.Points[i+1].Pt, ErrNoRoutes)
-		}
-		res.Pairs = append(res.Pairs, out.stats)
-		res.Locals = append(res.Locals, out.locals)
-		if out.degraded {
-			res.Degraded = true
+			return nil, err
 		}
 	}
 	kt0 := x.stageStart()
@@ -180,17 +174,10 @@ func (e *Engine) inferRoutes(ctx context.Context, q *traj.Trajectory, p Params, 
 	if kdeg && x.deadlineExpired(obs.StageKGRI) {
 		res.Degraded = true
 	}
-	res.Routes = routes
-	if len(res.Routes) == 0 {
+	if err := res.applyRoutes(e.g, routes, p, q.Points[0].Pt, q.Points[q.Len()-1].Pt); err != nil {
 		x.stageDone(obs.StageKGRI, -1, kt0, 0)
 		x.stageDone(obs.StageQuery, -1, qt0, 0)
-		return nil, ErrNoRoutes
-	}
-	if !p.AblateTrim {
-		for i := range res.Routes {
-			res.Routes[i].Route = trimRoute(e.g, res.Routes[i].Route,
-				q.Points[0].Pt, q.Points[q.Len()-1].Pt)
-		}
+		return nil, err
 	}
 	if res.Degraded && x.met != nil {
 		x.met.degraded.Inc()
@@ -198,6 +185,40 @@ func (e *Engine) inferRoutes(ctx context.Context, q *traj.Trajectory, p Params, 
 	x.stageDone(obs.StageKGRI, -1, kt0, len(res.Routes))
 	x.stageDone(obs.StageQuery, -1, qt0, len(res.Routes))
 	return res, nil
+}
+
+// appendOutcome folds one pair's outcome into the result in pair order. A
+// pair with no local routes (only possible when the deterministic fallback
+// itself found no path) is fatal for the whole query — no chain of local
+// routes can bridge it. Both the offline join above and a streaming
+// Session's per-point commit run through this, so their accumulated state
+// is identical by construction.
+func (res *Result) appendOutcome(i int, qi, qj traj.GPSPoint, out pairOutcome) error {
+	if len(out.locals) == 0 {
+		return fmt.Errorf("core: pair %d (%v -> %v): %w", i, qi.Pt, qj.Pt, ErrNoRoutes)
+	}
+	res.Pairs = append(res.Pairs, out.stats)
+	res.Locals = append(res.Locals, out.locals)
+	if out.degraded {
+		res.Degraded = true
+	}
+	return nil
+}
+
+// applyRoutes installs the K-GRI output into the result and applies the
+// endpoint trimming — the terminal assembly step shared by the offline path
+// and Session.Finalize. start/end are the query's first and last points.
+func (res *Result) applyRoutes(g *roadnet.Graph, routes []GlobalRoute, p Params, start, end geo.Point) error {
+	res.Routes = routes
+	if len(res.Routes) == 0 {
+		return ErrNoRoutes
+	}
+	if !p.AblateTrim {
+		for i := range res.Routes {
+			res.Routes[i].Route = trimRoute(g, res.Routes[i].Route, start, end)
+		}
+	}
+	return nil
 }
 
 // Infer is InferRoutes with the engine's frozen default parameters.

@@ -60,6 +60,13 @@ func kgri(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition boo
 // once closed it stops the exact DP and finishes greedily via greedyFinish,
 // reporting degraded = true. For a given interruption point the output is
 // deterministic.
+//
+// The DP itself is a fold over the incremental primitives below — kgriInit
+// seeds the posterior from pair 0, kgriStep extends it one column, and
+// kgriFinalize ranks and materializes — the same primitives a streaming
+// Session drives one point at a time (session.go). Keeping this offline
+// path a literal fold over them is what makes Session.Finalize() ≡
+// InferRoutesCtx structural rather than coincidental.
 func kgriDone(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition bool, done <-chan struct{}) ([]GlobalRoute, bool) {
 	n := len(locals)
 	if n == 0 || k <= 0 {
@@ -70,73 +77,96 @@ func kgriDone(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition
 			return nil, false // a pair with no local routes breaks every chain
 		}
 	}
-	// M[j] for the current pair i.
-	M := make([][]partial, len(locals[0]))
-	for j, lr := range locals[0] {
-		M[j] = []partial{{parts: []int{j}, score: lr.Popularity}}
-	}
-	// kgriCand defers the parts copy: the DP generates m·K candidates per
-	// local route but keeps only K, and a candidate is fully identified by
-	// its parent partial plus the current index, so only survivors
-	// materialize. The candidate buffer comes from a pool — it is the one
-	// allocation the DP's inner loop would otherwise repeat per query.
+	M := kgriInit(locals[0])
+	// The candidate buffer comes from a pool — it is the one allocation the
+	// DP's inner loop would otherwise repeat per query.
 	ks := kgriPool.Get().(*kgriScratch)
 	defer kgriPool.Put(ks)
-	cands := ks.cands[:0]
-	defer func() { ks.cands = cands }()
 	for i := 1; i < n; i++ {
 		if graphalg.Stopped(done) {
 			return greedyFinish(g, locals, M, i), true
 		}
-		next := make([][]partial, len(locals[i]))
-		for j, lr := range locals[i] {
-			cands = cands[:0]
-			for pj := range locals[i-1] {
-				gConf := 1.0
-				if !constantTransition {
-					// LocalRoute.Refs is sorted, so the Jaccard transition
-					// factor runs as a linear merge — same inter/union
-					// integers as the old map intersection, bit-identical
-					// scores.
-					gConf = jaccardConf(locals[i-1][pj].Refs, locals[i][j].Refs)
-				}
-				for pi, p := range M[pj] {
-					cands = append(cands, kgriCand{pj: pj, pi: pi, score: p.score * gConf * lr.Popularity})
-				}
-			}
-			// Same order as lessPartial over the materialized partials: all
-			// candidates here share the final index j, and parent parts all
-			// have length i, so comparing parents settles every tie. Parts
-			// are unique per partial, making the order total — sort.Slice's
-			// instability can't surface.
-			sort.Slice(cands, func(a, b int) bool {
-				ca, cb := cands[a], cands[b]
-				if ca.score != cb.score {
-					return ca.score > cb.score
-				}
-				pa, pb := M[ca.pj][ca.pi].parts, M[cb.pj][cb.pi].parts
-				for t := range pa {
-					if pa[t] != pb[t] {
-						return pa[t] < pb[t]
-					}
-				}
-				return false
-			})
-			if len(cands) > k {
-				cands = cands[:k]
-			}
-			out := make([]partial, len(cands))
-			for t, c := range cands {
-				pp := M[c.pj][c.pi].parts
-				parts := make([]int, len(pp)+1)
-				copy(parts, pp)
-				parts[len(pp)] = j
-				out[t] = partial{parts: parts, score: c.score}
-			}
-			next[j] = out
-		}
-		M = next
+		M = kgriStep(M, locals[i-1], locals[i], k, constantTransition, ks)
 	}
+	return kgriFinalize(g, locals, M, k), false
+}
+
+// kgriInit seeds the K-GRI posterior from the first pair's local routes:
+// M[j] holds the single partial that chose local route j.
+func kgriInit(locals []LocalRoute) [][]partial {
+	M := make([][]partial, len(locals))
+	for j, lr := range locals {
+		M[j] = []partial{{parts: []int{j}, score: lr.Popularity}}
+	}
+	return M
+}
+
+// kgriStep extends the posterior by one DP column: from M over prev (the
+// previous pair's local routes) to the returned matrix over cur. ks provides
+// the pooled candidate buffer; its content is truncated and fully rewritten
+// before every read, so any *kgriScratch (shared or fresh) yields the same
+// output.
+func kgriStep(M [][]partial, prev, cur []LocalRoute, k int, constantTransition bool, ks *kgriScratch) [][]partial {
+	// kgriCand defers the parts copy: the DP generates m·K candidates per
+	// local route but keeps only K, and a candidate is fully identified by
+	// its parent partial plus the current index, so only survivors
+	// materialize.
+	cands := ks.cands[:0]
+	next := make([][]partial, len(cur))
+	for j, lr := range cur {
+		cands = cands[:0]
+		for pj := range prev {
+			gConf := 1.0
+			if !constantTransition {
+				// LocalRoute.Refs is sorted, so the Jaccard transition
+				// factor runs as a linear merge — same inter/union
+				// integers as the old map intersection, bit-identical
+				// scores.
+				gConf = jaccardConf(prev[pj].Refs, cur[j].Refs)
+			}
+			for pi, p := range M[pj] {
+				cands = append(cands, kgriCand{pj: pj, pi: pi, score: p.score * gConf * lr.Popularity})
+			}
+		}
+		// Same order as lessPartial over the materialized partials: all
+		// candidates here share the final index j, and parent parts all
+		// have the same length, so comparing parents settles every tie.
+		// Parts are unique per partial, making the order total —
+		// sort.Slice's instability can't surface.
+		sort.Slice(cands, func(a, b int) bool {
+			ca, cb := cands[a], cands[b]
+			if ca.score != cb.score {
+				return ca.score > cb.score
+			}
+			pa, pb := M[ca.pj][ca.pi].parts, M[cb.pj][cb.pi].parts
+			for t := range pa {
+				if pa[t] != pb[t] {
+					return pa[t] < pb[t]
+				}
+			}
+			return false
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		out := make([]partial, len(cands))
+		for t, c := range cands {
+			pp := M[c.pj][c.pi].parts
+			parts := make([]int, len(pp)+1)
+			copy(parts, pp)
+			parts[len(pp)] = j
+			out[t] = partial{parts: parts, score: c.score}
+		}
+		next[j] = out
+	}
+	ks.cands = cands
+	return next
+}
+
+// kgriFinalize ranks the accumulated posterior and materializes the top-K
+// global routes — the terminal step of both the offline DP and a streaming
+// session.
+func kgriFinalize(g *roadnet.Graph, locals [][]LocalRoute, M [][]partial, k int) []GlobalRoute {
 	var all []partial
 	for _, ps := range M {
 		all = append(all, ps...)
@@ -145,7 +175,7 @@ func kgriDone(g *roadnet.Graph, locals [][]LocalRoute, k int, constantTransition
 	if len(all) > k {
 		all = all[:k]
 	}
-	return materialize(g, locals, all), false
+	return materialize(g, locals, all)
 }
 
 // greedyFinish completes an interrupted K-GRI run cheaply: the single best

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/hist"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// ErrSessionClosed is returned by Push/Finalize on a session that was
+// already finalized, closed, or evicted by its manager.
+var ErrSessionClosed = errors.New("core: session closed")
+
+// DefaultSessionWindow is the provisional-tail window when SessionConfig
+// leaves it unset: how many trailing pairs each SessionUpdate materializes.
+// Eight pairs is past the point where the posterior's top partial has
+// stabilized on this workload (eval.SessionProfile sweeps it).
+const DefaultSessionWindow = 8
+
+// SessionUpdate is the incremental answer emitted after each pushed point:
+// how much of the route has firmed up and the current best guess for its
+// tail. Provisional aliases published (immutable) local-route storage and
+// freshly allocated splice points only, so it is stable across later pushes.
+type SessionUpdate struct {
+	// Seq is the 0-based index of the point just pushed; Pairs is the
+	// number of query pairs inferred so far (Seq, for an uninterrupted
+	// session).
+	Seq   int
+	Pairs int
+	// FirmPairs counts the leading pairs on which every surviving partial
+	// in the posterior agrees: no future point can change their local-route
+	// choice (the DP only extends partials, never revises a shared prefix),
+	// so a consumer may commit them. Update lag = Pairs - FirmPairs.
+	FirmPairs int
+	// Provisional is the best-scoring partial's tail, materialized over the
+	// last min(window, Pairs) pairs — the session's current best guess at
+	// where the vehicle has just been. Empty until the first pair resolves.
+	Provisional roadnet.Route
+	// Score is the best partial's accumulated K-GRI score.
+	Score float64
+	// Degraded marks that this point's pair inference hit its deadline and
+	// fell back to a shortest path.
+	Degraded bool
+}
+
+// Session is the incremental form of InferRoutes: it accepts one timestamped
+// GPS point at a time and maintains the K-GRI posterior online, extending
+// the dynamic program by exactly one column per point instead of re-solving
+// from scratch. Finalize returns a *Result byte-identical to what
+// InferRoutesCtx would produce on the completed trace — the equivalence
+// oracle the session tests pin — because every stage is the same code over
+// the same pinned snapshot: exec.inferPair per pair, kgriInit/kgriStep per
+// point, kgriFinalize + the shared Result assembly at the end.
+//
+// Memory: the session retains every pair's capped local-route set (Result
+// must report them, and the posterior's partials index into them), so state
+// grows O(points) with a small constant — MaxLocalRoutes routes per pair —
+// and per-push work is O(window) on top of the pair inference itself.
+// SessionManager bounds points per session and sessions per process.
+//
+// A Session is NOT safe for concurrent use; one vehicle's points arrive in
+// order on one connection. Distinct sessions sharing one Engine are safe —
+// all shared engine state is immutable or internally synchronized, and the
+// pooled scratch is checked out per push under the PR 9 ownership rule.
+type Session struct {
+	eng    *Engine
+	p      Params
+	snap   hist.View
+	window int
+
+	first traj.GPSPoint // trimRoute's start anchor
+	prev  traj.GPSPoint // previous accepted point
+	n     int           // points accepted
+
+	res *Result     // accumulating Pairs/Locals/Degraded, in pair order
+	M   [][]partial // K-GRI posterior over the latest pair's locals
+
+	err    error // sticky fatal error (a pair with no routes)
+	closed bool
+}
+
+// SessionConfig shapes one streaming session.
+type SessionConfig struct {
+	// Window is the provisional-tail length in pairs (DefaultSessionWindow
+	// when < 1). It only affects SessionUpdate.Provisional — never the
+	// posterior, the firm prefix, or the finalized result.
+	Window int
+}
+
+// NewSession opens a streaming inference session with the engine. Like one
+// InferRoutes invocation, the session pins the archive snapshot current at
+// creation for its whole lifetime — a long-lived session deliberately reads
+// one consistent epoch while the live store keeps publishing new ones.
+// p.Deadline, when set, budgets each Push individually (offline it budgets
+// the whole query; per-point is the streaming analogue).
+func (e *Engine) NewSession(p Params, cfg SessionConfig) *Session {
+	w := cfg.Window
+	if w < 1 {
+		w = DefaultSessionWindow
+	}
+	return &Session{
+		eng:    e,
+		p:      p,
+		snap:   e.src.Current(),
+		window: w,
+		res:    &Result{},
+	}
+}
+
+// Push feeds the next GPS point and returns the incremental update. The
+// first point only anchors the session. Outright context cancellation
+// returns the context error with the point NOT consumed (the caller may
+// retry it); deadline expiry (p.Deadline per push) degrades the pair to a
+// shortest-path fallback exactly like the offline pipeline. A pair that
+// yields no local routes at all is fatal: the error is returned, remembered,
+// and re-returned by Finalize — matching InferRoutesCtx on the same trace.
+func (s *Session) Push(ctx context.Context, pt traj.GPSPoint) (SessionUpdate, error) {
+	if s.closed {
+		return SessionUpdate{}, ErrSessionClosed
+	}
+	if s.err != nil {
+		return SessionUpdate{}, s.err
+	}
+	if s.p.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.p.Deadline)
+		defer cancel()
+	}
+	x := exec{eng: s.eng, p: s.p, met: s.eng.met, snap: s.snap, ctx: ctx, done: ctx.Done()}
+	if err := x.abortErr(); err != nil {
+		return SessionUpdate{}, err
+	}
+	if s.n == 0 {
+		s.first, s.prev, s.n = pt, pt, 1
+		return SessionUpdate{Seq: 0}, nil
+	}
+	i := s.n - 1 // index of the pair this point completes
+	// Scratch is checked out for exactly this push and returned before any
+	// state is committed: the ownership rule (nothing scratch-backed crosses
+	// a stage boundary) holds per point exactly as it holds per query.
+	x.sc = s.eng.getScratch()
+	out := x.inferPair(i, s.prev, pt)
+	s.eng.putScratch(x.sc)
+	if err := x.abortErr(); err != nil {
+		return SessionUpdate{}, err // cancelled outright: point not consumed
+	}
+	if err := s.res.appendOutcome(i, s.prev, pt, out); err != nil {
+		s.err = err
+		return SessionUpdate{}, err
+	}
+	if i == 0 {
+		s.M = kgriInit(s.res.Locals[0])
+	} else {
+		ks := kgriPool.Get().(*kgriScratch)
+		s.M = kgriStep(s.M, s.res.Locals[i-1], s.res.Locals[i], s.p.K3, s.p.AblateTransition, ks)
+		kgriPool.Put(ks)
+	}
+	s.prev = pt
+	s.n++
+	upd := SessionUpdate{Seq: s.n - 1, Pairs: s.n - 1, Degraded: out.degraded}
+	upd.FirmPairs = firmPrefix(s.M)
+	upd.Provisional, upd.Score = s.provisionalTail()
+	return upd, nil
+}
+
+// Finalize closes the session and assembles the whole-trace Result: the
+// terminal K-GRI ranking over the accumulated posterior plus the shared
+// endpoint trimming — byte-identical to InferRoutesCtx on the same points
+// against the same snapshot. After Finalize the session rejects further use.
+func (s *Session) Finalize() (*Result, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.closed = true
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.n < 2 {
+		return nil, ErrEmptyQuery
+	}
+	res, M := s.res, s.M
+	s.res, s.M = nil, nil
+	routes := kgriFinalize(s.eng.g, res.Locals, M, s.p.K3)
+	if err := res.applyRoutes(s.eng.g, routes, s.p, s.first.Pt, s.prev.Pt); err != nil {
+		return nil, err
+	}
+	if res.Degraded && s.eng.met != nil {
+		s.eng.met.degraded.Inc()
+	}
+	return res, nil
+}
+
+// Close abandons the session without finalizing, releasing its state.
+// Closing an already-closed session is a no-op.
+func (s *Session) Close() {
+	s.closed = true
+	s.res, s.M = nil, nil
+}
+
+// Points returns how many points the session has accepted.
+func (s *Session) Points() int { return s.n }
+
+// Err returns the session's sticky fatal error, if any.
+func (s *Session) Err() error { return s.err }
+
+// Epoch returns the archive epoch the session pinned at creation.
+func (s *Session) Epoch() uint64 { return s.snap.Epoch() }
+
+// firmPrefix is the length of the longest common prefix of parts across
+// every partial in the posterior: pairs no future evidence can revise,
+// because kgriStep only ever extends existing partials.
+func firmPrefix(M [][]partial) int {
+	var ref []int
+	n := -1
+	for _, ps := range M {
+		for _, p := range ps {
+			if ref == nil {
+				ref = p.parts
+				n = len(ref)
+				continue
+			}
+			if len(p.parts) < n {
+				n = len(p.parts)
+			}
+			for t := 0; t < n; t++ {
+				if p.parts[t] != ref[t] {
+					n = t
+					break
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+		}
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// bestPartial returns the posterior's current winner under the same total
+// order kgriFinalize ranks by, or nil for an empty posterior.
+func bestPartial(M [][]partial) *partial {
+	var best *partial
+	for j := range M {
+		for t := range M[j] {
+			if best == nil || lessPartial(M[j][t], *best) {
+				best = &M[j][t]
+			}
+		}
+	}
+	return best
+}
+
+// provisionalTail materializes the best partial's last min(window, pairs)
+// local routes into a route — the per-update cost is O(window), independent
+// of how long the session has run. A failed splice truncates the tail at the
+// break instead of failing the update (materialize would drop the whole
+// candidate; a best-effort live tail is more useful than none).
+func (s *Session) provisionalTail() (roadnet.Route, float64) {
+	best := bestPartial(s.M)
+	if best == nil {
+		return nil, 0
+	}
+	lo := len(best.parts) - s.window
+	if lo < 0 {
+		lo = 0
+	}
+	var route roadnet.Route
+	for i := lo; i < len(best.parts); i++ {
+		joined, ok := mergeRoutes(s.eng.g, route, s.res.Locals[i][best.parts[i]].Route)
+		if !ok {
+			break
+		}
+		route = joined
+	}
+	return route, best.score
+}

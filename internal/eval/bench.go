@@ -38,7 +38,7 @@ type BenchResult struct {
 }
 
 // BenchReport is the machine-readable benchmark snapshot cmd/experiments
-// -fig bench-json writes (BENCH_9.json). It pins the headline numbers of
+// -fig bench-json writes (BENCH_10.json). It pins the headline numbers of
 // the shortest-path acceleration layer — end-to-end HRIS inference and
 // ST-Matching with the contraction-hierarchy oracle against the Dijkstra
 // fallback, plus the CH preprocessing cost — and of the live archive:
@@ -54,7 +54,12 @@ type BenchResult struct {
 // within 10% of hris_query/durable — the durable row has no p95, so means
 // are the comparable numbers; the load rows' own p95/p99 bound the tail);
 // at 2× capacity the gate must shed rather than let p99 grow with offered
-// load — served p99 stays bounded by the request deadline.
+// load — served p99 stays bounded by the request deadline. The session rows
+// pin the streaming substrate (see sessionBench): session_step is the
+// amortized per-point cost of an incremental session, session_full_requery
+// the per-point cost of re-inferring the whole prefix instead — the
+// streaming speedup is their ratio — and sessions/concurrent=N is the
+// shared-engine point throughput under concurrent vehicles.
 type BenchReport struct {
 	World   string        `json:"world"`
 	Results []BenchResult `json:"results"`
@@ -120,6 +125,7 @@ func BenchJSON(cfg WorldConfig) ([]byte, error) {
 
 	rep.Results = append(rep.Results, liveStoreBench(cfg)...)
 	rep.Results = append(rep.Results, loadBench(cfg)...)
+	rep.Results = append(rep.Results, sessionBench(cfg)...)
 
 	g := benchGraph(3000, 3)
 	rep.Results = append(rep.Results, record("ch_build/n=3000",

@@ -142,6 +142,38 @@ const (
 	CounterServerCoalesced = "server.coalesced"
 )
 
+// Names of the streaming-session instruments core.SessionManager maintains —
+// the per-vehicle incremental inference surface cmd/hris exposes on /stream.
+const (
+	// HistSessionStep is the per-point incremental inference latency: one
+	// Push end to end (pair inference + one K-GRI DP column + the
+	// provisional-tail materialization).
+	HistSessionStep = "session.step"
+	// HistSessionFinalize is the Finalize latency: the terminal K-GRI
+	// ranking plus result assembly over the whole accumulated trace.
+	HistSessionFinalize = "session.finalize"
+	// HistSessionLag is the update-lag distribution, recorded as a
+	// pseudo-duration of 1µs per unfirmed pair at each update (the
+	// HistScatterFanout encoding): how far the firm prefix trails the
+	// newest point.
+	HistSessionLag = "session.lag"
+	// CounterSessionCreated counts sessions admitted by the manager.
+	CounterSessionCreated = "session.created"
+	// CounterSessionRejected counts session opens refused at admission
+	// because the manager was at capacity.
+	CounterSessionRejected = "session.rejected"
+	// CounterSessionEvicted counts sessions the idle janitor reclaimed.
+	CounterSessionEvicted = "session.evicted"
+	// CounterSessionFinalized counts sessions that completed via Finalize.
+	CounterSessionFinalized = "session.finalized"
+	// CounterSessionAborted counts sessions closed without finalizing
+	// (client vanished, fatal pair error, point-cap overflow handling).
+	CounterSessionAborted = "session.aborted"
+	// CounterSessionPoints counts GPS points accepted across all sessions —
+	// with a timestamp delta this is the fleet's points/sec.
+	CounterSessionPoints = "session.points"
+)
+
 // Names of the deadline/cancellation counters core.Engine maintains for
 // context-aware inference (the ...Ctx entry points and Params.Deadline).
 const (

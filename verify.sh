@@ -37,7 +37,7 @@ go test -timeout 120s -count=2 -run 'Yen|KGRI' ./internal/graphalg/ ./internal/c
 # BenchmarkIngest and the WAL-on BenchmarkIngestDurable) must run one
 # iteration without failing. Real numbers come from
 # `go test -bench -benchmem` and cmd/experiments -fig bench-json.
-go test -timeout 300s -run '^$' -bench 'HRISQuery|STMatch|CH|Ingest' -benchtime 1x .
+go test -timeout 300s -run '^$' -bench 'HRISQuery|STMatch|CH|Ingest|SessionStep' -benchtime 1x .
 
 # Alloc-regression gate: the steady-state query hot path must stay within
 # the checked-in budget (bench_budget.json). BenchmarkHRISQuery warms the
@@ -52,6 +52,22 @@ allocs=$(echo "$bench_line" | awk '{print $(NF-1)}')
 bytes=$(echo "$bench_line" | awk '{print $(NF-3)}')
 max_allocs=$(sed -n 's/.*"max_allocs_per_op": *\([0-9][0-9]*\).*/\1/p' bench_budget.json)
 max_bytes=$(sed -n 's/.*"max_bytes_per_op": *\([0-9][0-9]*\).*/\1/p' bench_budget.json)
+test -n "$max_allocs" && test -n "$max_bytes"
+test "$allocs" -le "$max_allocs"
+test "$bytes" -le "$max_bytes"
+
+# Same gate for the streaming hot path: one session push (one pair's
+# inference plus the incremental K-GRI column and the provisional merge)
+# must stay within its own budget — the streaming substrate's value is the
+# per-point cost staying a small constant, so a regression here silently
+# erodes the whole feature.
+session_line=$(go test -timeout 300s -run '^$' -bench '^BenchmarkSessionStep$' \
+    -benchmem -benchtime 50x . | grep '^BenchmarkSessionStep')
+echo "$session_line"
+allocs=$(echo "$session_line" | awk '{print $(NF-1)}')
+bytes=$(echo "$session_line" | awk '{print $(NF-3)}')
+max_allocs=$(sed -n 's/.*"session_max_allocs_per_op": *\([0-9][0-9]*\).*/\1/p' bench_budget.json)
+max_bytes=$(sed -n 's/.*"session_max_bytes_per_op": *\([0-9][0-9]*\).*/\1/p' bench_budget.json)
 test -n "$max_allocs" && test -n "$max_bytes"
 test "$allocs" -le "$max_allocs"
 test "$bytes" -le "$max_bytes"
@@ -107,7 +123,7 @@ grep -q "recovered epoch $recovered " "$tmp/reopen2.log"
 # one slice and requests serialize, never meeting at the gate) it must
 # visibly shed instead of queueing without bound. A quick -fig load
 # exercises the in-process closed-loop figure; the checked-in
-# BENCH_9.json rows come from `cmd/experiments -quick -fig bench-json`.
+# BENCH_10.json rows come from `cmd/experiments -quick -fig bench-json`.
 go build -o "$tmp/loadgen" ./cmd/loadgen
 "$tmp/gendata" -out "$tmp/data-load" > /dev/null
 "$tmp/hris" -data "$tmp/data-load" -http 127.0.0.1:16060 -max-inflight 2 -queue-depth 2 \
@@ -133,3 +149,29 @@ done
 kill "$srv"
 wait "$srv" || true
 go run ./cmd/experiments -quick -fig load > /dev/null
+
+# Streaming smoke, end to end: serve the same dataset with finalize-to-ingest
+# on and drive /stream with concurrent NDJSON vehicle sessions. The run must
+# be clean (no 5xx, no transport errors — loadgen enforces this itself via
+# -require-no-5xx) and must close the loop: at least one finalized session
+# ingested back into the live archive and advanced its epoch, which the
+# greppable "stream summary:" record must show.
+"$tmp/hris" -data "$tmp/data-load" -http 127.0.0.1:16060 -stream-ingest \
+    < /dev/null > "$tmp/serve3.log" 2>&1 &
+srv=$!
+i=0
+until grep -q 'debug server listening' "$tmp/serve3.log"; do
+    i=$((i + 1)); test "$i" -le 300; sleep 0.1
+done
+"$tmp/loadgen" -addr http://127.0.0.1:16060 \
+    -stream -c 4 -duration 3s -require-no-5xx | tee "$tmp/stream-load.log"
+kill "$srv"
+wait "$srv" || true
+summary=$(grep '^stream summary:' "$tmp/stream-load.log")
+ingested=$(echo "$summary" | sed -n 's/.* ingested=\([0-9][0-9]*\).*/\1/p')
+epoch=$(echo "$summary" | sed -n 's/.* max_epoch=\([0-9][0-9]*\).*/\1/p')
+test "$ingested" -ge 1
+test "$epoch" -ge 1
+# A quick -fig sessions exercises the in-process session profile (firm lag,
+# provisional agreement, per-point step cost against window size).
+go run ./cmd/experiments -quick -fig sessions > /dev/null
