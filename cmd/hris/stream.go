@@ -10,6 +10,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -128,7 +129,20 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	_ = rc.Flush()
 	enc := json.NewEncoder(w)
+	// wmu serializes response writes and the finalize-to-ingest handoff
+	// against drain-grace abandonment: once the grace expires the handler
+	// returns, and nothing may touch the ResponseWriter (net/http forbids
+	// writes after ServeHTTP returns) or the store (main closes it once
+	// Shutdown unblocks) — a lagging finish goroutine flips to a no-op
+	// under this lock instead.
+	var wmu sync.Mutex
+	abandoned := false
 	writeRec := func(v any) bool {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if abandoned {
+			return false
+		}
 		if err := enc.Encode(v); err != nil {
 			return false
 		}
@@ -168,11 +182,15 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			fin.Routes = append(fin.Routes, routeJSON{Segments: gr.Route, Score: gr.Score})
 		}
 		if s.streamIngest {
-			stats := s.st.Ingest(&traj.Trajectory{ID: "stream-" + id, Points: pts})
-			if stats.Trips > 0 {
-				fin.Ingested = true
-				fin.Epoch = stats.Epoch
+			wmu.Lock()
+			if !abandoned {
+				stats := s.st.Ingest(&traj.Trajectory{ID: "stream-" + id, Points: pts})
+				if stats.Trips > 0 {
+					fin.Ingested = true
+					fin.Epoch = stats.Epoch
+				}
 			}
+			wmu.Unlock()
 		}
 		writeRec(fin)
 	}
@@ -194,7 +212,15 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			select {
 			case <-done:
 			case <-time.After(s.drainGrace):
-				vs.Abort()
+				// Abandon the stream: fail any in-flight response write so
+				// the finish goroutine cannot sit on wmu, then mark it
+				// abandoned so everything it would still do becomes a no-op.
+				// The session is NOT aborted here — Finalize may be mid-run,
+				// and it hands the slot back itself (release is idempotent).
+				_ = rc.SetWriteDeadline(time.Now())
+				wmu.Lock()
+				abandoned = true
+				wmu.Unlock()
 				log.Printf("/stream %s: drain grace %v expired mid-finalize", id, s.drainGrace)
 			}
 			return

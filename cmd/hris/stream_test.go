@@ -186,6 +186,47 @@ func TestStreamDrainOnShutdown(t *testing.T) {
 	}
 }
 
+// TestStreamDrainGraceExpiry: when the drain grace expires before the
+// shutdown finalize completes, the handler must return without the lagging
+// finish goroutine ever touching the ResponseWriter or the store again — the
+// abandoned stream just sees its connection close (no final record is owed).
+// With a zero grace the expiry races the finalize every time; -race plus the
+// ingest path pins the no-use-after-return guarantee.
+func TestStreamDrainGraceExpiry(t *testing.T) {
+	root, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, base := newStreamServer(t, core.SessionManagerConfig{}, root, true)
+	s.drainGrace = 0 // expire the grace immediately on shutdown
+	q := worldLight[1]
+	sc, code := openStream(t, base, "veh-grace")
+	if code != http.StatusOK {
+		t.Fatalf("open = %d, want 200", code)
+	}
+	for _, pt := range q.Points[:4] {
+		sc.push(pt)
+	}
+	cancel() // shutdown begins; the grace is already expired
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Either the finish goroutine won the race and a draining final
+		// record arrives, or the stream was abandoned and the read fails
+		// when the handler returns and the connection closes. Both are
+		// legal; writes after the handler returned are not (-race enforced).
+		if line, err := sc.br.ReadBytes('\n'); err == nil {
+			var fin streamFinalJSON
+			if jerr := json.Unmarshal(line, &fin); jerr != nil || !fin.Final {
+				t.Errorf("unexpected trailing line %q (err %v)", line, jerr)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(4 * time.Second):
+		t.Fatal("handler did not release the connection after grace expiry")
+	}
+}
+
 // TestStreamIngestFinalize: with finalize-to-ingest enabled, a cleanly closed
 // stream admits its trajectory into the live archive and reports the new
 // epoch in the final record.

@@ -50,8 +50,9 @@ type SessionManagerConfig struct {
 // SessionManager owns the streaming sessions of one engine: gate-style
 // admission for session creation, per-vehicle lookup, bounded per-session
 // memory and idle eviction. All methods are safe for concurrent use; the
-// sessions it hands out remain single-goroutine objects (one vehicle, one
-// connection, one goroutine).
+// sessions it hands out are still driven by one goroutine each (one
+// vehicle, one connection), with a per-session lock making janitor
+// reclamation safe against an in-flight call.
 type SessionManager struct {
 	eng *Engine
 	cfg SessionManagerConfig
@@ -67,8 +68,8 @@ type SessionManager struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	created, rejected, evicted, finalized, aborted, points *obs.Counter
-	stepHist, finHist, lagHist                             *obs.Histogram
+	created, rejected, duplicate, evicted, finalized, aborted, points *obs.Counter
+	stepHist, finHist, lagHist                                        *obs.Histogram
 }
 
 // NewSessionManager builds a manager over the engine, resolving its
@@ -96,6 +97,7 @@ func NewSessionManager(eng *Engine, cfg SessionManagerConfig) *SessionManager {
 		stop:      make(chan struct{}),
 		created:   reg.Counter(obs.CounterSessionCreated),
 		rejected:  reg.Counter(obs.CounterSessionRejected),
+		duplicate: reg.Counter(obs.CounterSessionDuplicate),
 		evicted:   reg.Counter(obs.CounterSessionEvicted),
 		finalized: reg.Counter(obs.CounterSessionFinalized),
 		aborted:   reg.Counter(obs.CounterSessionAborted),
@@ -131,7 +133,7 @@ func (m *SessionManager) Open(id string, p Params) (*VehicleSession, error) {
 	if _, dup := m.sessions[id]; dup {
 		m.mu.Unlock()
 		m.active.Add(-1)
-		m.rejected.Inc()
+		m.duplicate.Inc()
 		return nil, ErrDuplicateSession
 	}
 	m.sessions[id] = vs
@@ -195,13 +197,19 @@ func (m *SessionManager) janitor() {
 
 // VehicleSession is a manager-owned session: the underlying incremental
 // Session plus the bookkeeping (idle stamp, point cap, single-release
-// accounting) the manager needs. Like Session, it is driven by one
-// goroutine; eviction from the janitor only flips an atomic flag that the
-// owner observes on its next call.
+// accounting) the manager needs. Like Session, it is driven by one owner
+// goroutine; eviction from the janitor closes the underlying Session under
+// mu, so a reclaim landing mid-Push waits for that call to finish and the
+// owner observes ErrSessionEvicted on its next one.
 type VehicleSession struct {
 	id  string
 	mgr *SessionManager
-	s   *Session
+
+	// mu serializes every access to s between the owner goroutine
+	// (Push/Finalize/Abort) and the janitor or manager Close (evict) —
+	// the Session itself is a single-goroutine object.
+	mu sync.Mutex
+	s  *Session
 
 	lastTouch atomic.Int64
 	gone      atomic.Bool // evicted by janitor or manager shutdown
@@ -224,6 +232,8 @@ func (vs *VehicleSession) touch() { vs.lastTouch.Store(time.Now().UnixNano()) }
 // returns ErrSessionFull with the point not consumed — the stream layer
 // finalizes and lets the vehicle reopen.
 func (vs *VehicleSession) Push(ctx context.Context, pt traj.GPSPoint) (SessionUpdate, error) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
 	if vs.gone.Load() {
 		return SessionUpdate{}, ErrSessionEvicted
 	}
@@ -251,11 +261,14 @@ func (vs *VehicleSession) Push(ctx context.Context, pt traj.GPSPoint) (SessionUp
 // Finalize completes the session, releases it from the manager and returns
 // the whole-trace result (or the session's sticky error).
 func (vs *VehicleSession) Finalize() (*Result, error) {
+	vs.mu.Lock()
 	if vs.gone.Load() {
+		vs.mu.Unlock()
 		return nil, ErrSessionEvicted
 	}
 	t0 := time.Now()
 	res, err := vs.s.Finalize()
+	vs.mu.Unlock()
 	vs.release()
 	if err != nil {
 		vs.mgr.aborted.Inc()
@@ -267,13 +280,15 @@ func (vs *VehicleSession) Finalize() (*Result, error) {
 }
 
 // Abort closes the session without finalizing (client vanished mid-stream).
+// Aborting an already-finalized or evicted session is a no-op.
 func (vs *VehicleSession) Abort() {
-	if vs.gone.Load() {
-		return
-	}
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
 	vs.abortLocked()
 }
 
+// abortLocked closes the underlying session and gives the slot back; the
+// caller must hold vs.mu.
 func (vs *VehicleSession) abortLocked() {
 	vs.s.Close()
 	if vs.release() {
@@ -281,11 +296,16 @@ func (vs *VehicleSession) abortLocked() {
 	}
 }
 
-// evict marks the session gone and releases it; reports whether this call
-// did the release (false when the owner already finalized/aborted).
+// evict marks the session gone, closes it and releases the slot; reports
+// whether this call did the release (false when the owner already
+// finalized/aborted). gone is set before taking the lock, so an owner
+// blocked behind an eviction in progress observes it as soon as its own
+// call acquires vs.mu.
 func (vs *VehicleSession) evict() bool {
 	vs.gone.Store(true)
+	vs.mu.Lock()
 	vs.s.Close()
+	vs.mu.Unlock()
 	return vs.release()
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -308,5 +309,69 @@ func TestSessionManagerIdleEviction(t *testing.T) {
 	}
 	if _, err := m.Open("veh", w.p); err != nil {
 		t.Fatalf("reopen after eviction: %v", err)
+	}
+}
+
+// TestSessionEvictionRace hammers an aggressive janitor against owner
+// goroutines under -race: evictions landing mid-Push or mid-Finalize must
+// wait for the in-flight call instead of mutating Session state under it.
+// Owners either complete normally or observe ErrSessionEvicted, and every
+// admission slot is handed back exactly once.
+func TestSessionEvictionRace(t *testing.T) {
+	w, _, queries := poolWorlds(t, 40, 99)
+	m := NewSessionManager(w.eng, SessionManagerConfig{
+		IdleTimeout: time.Millisecond,
+		SweepEvery:  time.Millisecond,
+	})
+	defer m.Close()
+	const vehicles = 8
+	var wg sync.WaitGroup
+	for g := 0; g < vehicles; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := queries[g%len(queries)]
+			for round := 0; round < 4; round++ {
+				vs, err := m.Open(fmt.Sprintf("veh-%d-%d", g, round), w.p)
+				if err != nil {
+					t.Errorf("vehicle %d round %d: open: %v", g, round, err)
+					return
+				}
+				evicted := false
+				for i, pt := range q.Points {
+					if i%3 == 2 {
+						// Stall long enough for the janitor to land mid-stream.
+						time.Sleep(2 * time.Millisecond)
+					}
+					if _, err := vs.Push(context.Background(), pt); err != nil {
+						if errors.Is(err, ErrSessionEvicted) {
+							evicted = true
+						} else {
+							// Fatal pair errors release the session themselves;
+							// anything else still aborts it (idempotent).
+							vs.Abort()
+						}
+						break
+					}
+				}
+				if !evicted {
+					if _, err := vs.Finalize(); err != nil && !errors.Is(err, ErrSessionEvicted) &&
+						!errors.Is(err, ErrSessionClosed) && !errors.Is(err, ErrEmptyQuery) {
+						t.Errorf("vehicle %d round %d: finalize: %v", g, round, err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every path — finalize, abort, eviction — must give the slot back
+	// exactly once. A janitor release may still be a hair behind the owner
+	// observing ErrSessionEvicted, so allow it to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Active() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Active = %d after all owners exited, want 0", m.Active())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

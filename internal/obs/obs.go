@@ -162,6 +162,11 @@ const (
 	// CounterSessionRejected counts session opens refused at admission
 	// because the manager was at capacity.
 	CounterSessionRejected = "session.rejected"
+	// CounterSessionDuplicate counts session opens refused because the
+	// vehicle id already had an active session (one vehicle, one stream) —
+	// kept separate from session.rejected so capacity rejections stay a
+	// clean overload signal.
+	CounterSessionDuplicate = "session.duplicate"
 	// CounterSessionEvicted counts sessions the idle janitor reclaimed.
 	CounterSessionEvicted = "session.evicted"
 	// CounterSessionFinalized counts sessions that completed via Finalize.
